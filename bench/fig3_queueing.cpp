@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Figure 3: analytical 99th-percentile latency (normalized to the
+ * DRAM-only average service time) vs throughput (normalized to the
+ * DRAM-only maximum) for the four system models.
+ *
+ * Setup from §III-A: every 10 µs of execution triggers a 50 µs flash
+ * access. DRAM-only and Flash-Sync are M/M/1 (the request holds the
+ * server for its whole lifetime); AstriFlash and OS-Swap are logical
+ * M/M/k (thread switching overlaps the flash wait), with per-miss
+ * overheads of ~0.2 µs and ~10 µs respectively.
+ *
+ * Expected shape: Flash-Sync saturates before 20% of DRAM-only
+ * throughput (>80% degradation), OS-Swap near 50%, AstriFlash within
+ * a few percent of DRAM-only; and an SLO of ~40x the average service
+ * time admits operation within ~20% of DRAM-only throughput.
+ *
+ * A Monte Carlo cross-check of two analytic points is appended.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "queueing/mc_queue.hh"
+#include "queueing/queueing.hh"
+
+using namespace astriflash::queueing;
+
+int
+main()
+{
+    const SystemModel dram{10.0, 0.0, 0.0, false};
+    const SystemModel sync{10.0, 50.0, 0.0, false};
+    const SystemModel os_swap{10.0, 50.0, 10.0, true};
+    const SystemModel astri{10.0, 50.0, 0.2, true};
+
+    struct Row {
+        const char *name;
+        const SystemModel *m;
+    };
+    const Row rows[] = {{"DRAM-only", &dram},
+                        {"AstriFlash", &astri},
+                        {"OS-Swap", &os_swap},
+                        {"Flash-Sync", &sync}};
+
+    const double base_thr = dram.maxThroughput(); // 0.1 req/us
+    const double base_svc = 10.0;                 // us
+
+    std::printf("# Figure 3: p99 latency (x avg DRAM-only service) vs "
+                "throughput (%% of DRAM-only max)\n");
+    std::printf("%-12s", "load%");
+    for (const Row &r : rows)
+        std::printf(" %-12s", r.name);
+    std::printf("\n");
+
+    for (double load = 0.05; load < 1.0; load += 0.05) {
+        const double lambda = load * base_thr;
+        std::printf("%-12.0f", load * 100);
+        for (const Row &r : rows) {
+            const double p99 = r.m->p99ResponseUs(lambda);
+            if (p99 < 0)
+                std::printf(" %-12s", "unstable");
+            else
+                std::printf(" %-12.1f", p99 / base_svc);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n# Max sustainable throughput (%% of DRAM-only)\n");
+    for (const Row &r : rows) {
+        std::printf("%-12s %.0f%%\n", r.name,
+                    100.0 * r.m->maxThroughput() / base_thr);
+    }
+
+    // SLO observation: load achievable under a 40x SLO.
+    std::printf("\n# Throughput at p99 <= 40x avg service (the "
+                "paper's SLO rule of thumb)\n");
+    for (const Row &r : rows) {
+        double best = 0.0;
+        for (double load = 0.01; load < 1.0; load += 0.01) {
+            const double p99 =
+                r.m->p99ResponseUs(load * base_thr);
+            if (p99 > 0 && p99 / base_svc <= 40.0)
+                best = load;
+        }
+        std::printf("%-12s %.0f%%\n", r.name, best * 100);
+    }
+
+    // Monte Carlo cross-check.
+    std::printf("\n# Monte Carlo cross-check (analytic vs simulated "
+                "p99, us)\n");
+    {
+        const double lambda = 0.6 / sync.occupancyUs();
+        const MM1 m(lambda, 1.0 / sync.occupancyUs());
+        const auto mc = simulateQueue(lambda,
+                                      1.0 / sync.occupancyUs(), 1,
+                                      300000,
+                                      ServiceDist::Exponential, 5);
+        std::printf("Flash-Sync@60%%(of its own max): analytic %.1f "
+                    "mc %.1f\n",
+                    m.responsePercentile(0.99), mc.p99Response);
+    }
+    {
+        const double total = astri.totalUs();
+        const auto k = static_cast<std::uint32_t>(
+            std::ceil(total / astri.occupancyUs()));
+        const double lambda = 0.85 / astri.occupancyUs();
+        const MMk m(lambda, 1.0 / total, k);
+        const auto mc = simulateQueue(lambda, 1.0 / total, k, 300000,
+                                      ServiceDist::Exponential, 9);
+        std::printf("AstriFlash@85%%: analytic %.1f mc %.1f\n",
+                    m.responsePercentile(0.99), mc.p99Response);
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * §VI-D: garbage-collection interference vs flash capacity.
+ *
+ * The paper argues GC blocks ~4% of requests on a 256 GB SSD but <1%
+ * on a 1 TB SSD, because capacity scales by adding chips/planes while
+ * the request rate stays fixed — each plane GCs proportionally less
+ * often in the request stream's critical path.
+ *
+ * Scaled experiment: drive an identical read/write mix (reads from a
+ * Zipfian page population, 10% rewrites — deliberately write-heavier
+ * than the server workloads to provoke GC) against SSD models of
+ * growing plane counts, and report the fraction of reads that arrive
+ * while their plane is garbage-collecting.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "flash/flash_device.hh"
+#include "sim/rng.hh"
+#include "workload/zipfian.hh"
+
+using namespace astriflash;
+using namespace astriflash::flash;
+using namespace astriflash::sim;
+
+namespace {
+
+struct GcResult {
+    double blockedPct;
+    double readP99Us;
+    std::uint64_t gcInvocations;
+    std::uint32_t planes;
+};
+
+GcResult
+runMix(std::uint32_t channel_scale)
+{
+    FlashConfig cfg;
+    cfg.channels = 2 * channel_scale; // capacity scales with chips
+    cfg.diesPerChannel = 2;
+    cfg.planesPerDie = 2;
+    cfg.blocksPerPlane = 64;
+    cfg.pagesPerBlock = 64;
+    cfg.gcFreeBlockLow = 4;
+
+    // Fill to ~90% so GC has real work.
+    const std::uint64_t preload =
+        static_cast<std::uint64_t>(cfg.userPages() * 0.9);
+    FlashDevice dev("ssd", cfg, preload);
+
+    Rng rng(7);
+    workload::ZipfianGenerator zipf(preload, 0.99, true, 13);
+
+    // Fixed request rate regardless of capacity: one access per
+    // 5 us with a 1.5% rewrite fraction (the paper's workloads have
+    // limited write traffic, §V-A). At the smallest capacity this
+    // keeps the program path ~20% utilized before GC amplification.
+    Ticks t = 0;
+    const std::uint64_t ops = 400000;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        t += microseconds(5);
+        const std::uint64_t lpn = zipf.next();
+        if (rng.chance(0.015))
+            dev.write(lpn, t);
+        else
+            dev.read(lpn, t);
+    }
+    GcResult res;
+    res.planes = cfg.totalPlanes();
+    const auto &st = dev.stats();
+    res.blockedPct = st.reads.value()
+        ? 100.0 * static_cast<double>(st.gcBlockedReads.value()) /
+              static_cast<double>(st.reads.value())
+        : 0.0;
+    res.readP99Us = static_cast<double>(
+                        st.readLatency.percentile(0.99)) /
+                    kMicrosecond;
+    res.gcInvocations = dev.ftl().stats().gcInvocations.value();
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# GC interference vs capacity (fixed request rate, "
+                "1.5%% rewrites, 90%% full)\n");
+    std::printf("%-10s %-10s %-16s %-14s %-10s\n", "scale",
+                "planes", "blocked reads%", "read p99 us", "GCs");
+    // scale=1 is a deliberately undersized device (saturated by the
+    // mix); scale=2 plays the paper's 256 GB point, scale=4 the 1 TB
+    // point (capacity grows via plane count at fixed request rate).
+    for (std::uint32_t scale : {1u, 2u, 4u, 8u}) {
+        const GcResult r = runMix(scale);
+        std::printf("%-10ux %-10u %-16.2f %-14.1f %-10llu\n", scale,
+                    r.planes, r.blockedPct, r.readP99Us,
+                    static_cast<unsigned long long>(
+                        r.gcInvocations));
+        std::fflush(stdout);
+    }
+    std::printf("# Expect: blocked%% falls as capacity (plane count) "
+                "grows — the paper's 4%% @256GB -> <1%% @1TB.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quickstart: build an AstriFlash system, run a workload, print the
+ * headline metrics, and compare against the DRAM-only ideal.
+ *
+ * Usage: quickstart [workload] [cores]
+ *   workload: arrayswap|rbt|hashtable|tatp|tpcc|silo|masstree
+ *             (default tatp)
+ *   cores:    default 4
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/system.hh"
+
+using namespace astriflash;
+
+namespace {
+
+workload::Kind
+parseWorkload(const char *s)
+{
+    for (workload::Kind k : workload::kAllKinds) {
+        if (std::strcmp(s, workload::kindName(k)) == 0)
+            return k;
+    }
+    std::fprintf(stderr, "unknown workload '%s', using tatp\n", s);
+    return workload::Kind::Tatp;
+}
+
+core::RunResults
+runOne(core::SystemKind kind, workload::Kind wl, std::uint32_t cores)
+{
+    core::SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.cores = cores;
+    cfg.workloadKind = wl;
+    cfg.workload.datasetBytes = std::uint64_t{1} << 30; // 1 GB scaled
+    cfg.warmupJobs = 500;
+    cfg.measureJobs = 4000;
+    core::System system(cfg);
+    return system.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const workload::Kind wl =
+        argc > 1 ? parseWorkload(argv[1]) : workload::Kind::Tatp;
+    const std::uint32_t cores =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+
+    std::printf("AstriFlash quickstart: workload=%s cores=%u "
+                "dataset=1GiB dram-cache=3%%\n\n",
+                workload::kindName(wl), cores);
+
+    const auto ideal = runOne(core::SystemKind::DramOnly, wl, cores);
+    const auto astri = runOne(core::SystemKind::AstriFlash, wl, cores);
+
+    auto row = [](const char *name, const core::RunResults &r,
+                  double norm) {
+        std::printf("%-12s %10.0f jobs/s (%.0f%% of DRAM-only)  "
+                    "avg svc %6.1f us  p99 svc %7.1f us  "
+                    "dc-hit %4.1f%%\n",
+                    name, r.throughputJobsPerSec,
+                    100.0 * r.throughputJobsPerSec / norm,
+                    r.avgServiceUs, r.p99ServiceUs,
+                    100.0 * r.dramCacheHitRatio);
+    };
+
+    row("DRAM-only", ideal, ideal.throughputJobsPerSec);
+    row("AstriFlash", astri, ideal.throughputJobsPerSec);
+
+    std::printf("\nCalibration: exec between DRAM-cache misses "
+                "%.1f us (paper target 5-25 us)\n",
+                astri.avgExecBetweenMissesUs);
+    std::printf("Flash reads %llu, writes %llu, peak outstanding "
+                "misses %llu\n",
+                static_cast<unsigned long long>(astri.flashReads),
+                static_cast<unsigned long long>(astri.flashWrites),
+                static_cast<unsigned long long>(
+                    astri.peakOutstandingMisses));
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tail-latency explorer: load an AstriFlash (or baseline) system with
+ * open-loop Poisson arrivals and print the latency distribution — the
+ * experiment an operator would run to find the knee of the
+ * latency-throughput curve for their SLO.
+ *
+ * Usage: tail_latency_explorer [config] [workload] [load%]
+ *   config:   astriflash|dram|ossswap|flashsync (default astriflash)
+ *   workload: one of the seven (default tatp)
+ *   load%:    percent of the DRAM-only max throughput (default 80)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/system.hh"
+
+using namespace astriflash;
+using namespace astriflash::core;
+
+namespace {
+
+SystemConfig
+baseCfg(SystemKind kind, workload::Kind wl)
+{
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.cores = 4;
+    cfg.workloadKind = wl;
+    cfg.workload.datasetBytes = 1ull << 30;
+    cfg.warmupJobs = 500;
+    cfg.measureJobs = 6000;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemKind kind = SystemKind::AstriFlash;
+    if (argc > 1) {
+        if (!std::strcmp(argv[1], "dram"))
+            kind = SystemKind::DramOnly;
+        else if (!std::strcmp(argv[1], "osswap"))
+            kind = SystemKind::OsSwap;
+        else if (!std::strcmp(argv[1], "flashsync"))
+            kind = SystemKind::FlashSync;
+    }
+    workload::Kind wl = workload::Kind::Tatp;
+    if (argc > 2) {
+        for (workload::Kind k : workload::kAllKinds) {
+            if (!std::strcmp(argv[2], workload::kindName(k)))
+                wl = k;
+        }
+    }
+    const double load = argc > 3 ? std::atof(argv[3]) / 100.0 : 0.8;
+
+    // Reference: the DRAM-only closed-loop maximum.
+    double dram_max = 0;
+    {
+        System sys(baseCfg(SystemKind::DramOnly, wl));
+        dram_max = sys.run().throughputJobsPerSec;
+    }
+
+    SystemConfig cfg = baseCfg(kind, wl);
+    cfg.meanInterarrival =
+        static_cast<sim::Ticks>(1e12 / (load * dram_max));
+    System sys(cfg);
+    const auto r = sys.run();
+
+    std::printf("config=%s workload=%s target-load=%.0f%% of "
+                "DRAM-only max (%.0f jobs/s)\n\n",
+                systemKindName(kind), workload::kindName(wl),
+                load * 100, dram_max);
+    std::printf("achieved throughput  %10.0f jobs/s (%.0f%%)\n",
+                r.throughputJobsPerSec,
+                100.0 * r.throughputJobsPerSec / dram_max);
+    std::printf("service   avg/p50/p99/p99.9  %7.1f %7.1f %7.1f "
+                "%7.1f us\n",
+                r.avgServiceUs, r.p50ServiceUs, r.p99ServiceUs,
+                r.p999ServiceUs);
+    std::printf("response  avg/p99            %7.1f %15.1f us\n",
+                r.avgResponseUs, r.p99ResponseUs);
+    std::printf("dram-cache hit ratio  %5.1f%%   outstanding misses "
+                "peak %llu\n",
+                100.0 * r.dramCacheHitRatio,
+                static_cast<unsigned long long>(
+                    r.peakOutstandingMisses));
+    std::printf("flash reads/writes    %llu / %llu  (gc-blocked "
+                "%llu)\n",
+                static_cast<unsigned long long>(r.flashReads),
+                static_cast<unsigned long long>(r.flashWrites),
+                static_cast<unsigned long long>(r.gcBlockedReads));
+    if (r.shootdowns) {
+        std::printf("TLB shootdowns        %llu\n",
+                    static_cast<unsigned long long>(r.shootdowns));
+    }
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * User-level threading demo: a miniature AstriFlash server loop built
+ * on the real cooperative threading library (§IV-D).
+ *
+ * Worker threads process "requests"; whenever a request touches cold
+ * data it blocks on a page key (the software analog of the
+ * hardware-triggered switch-on-miss). The main loop plays the
+ * backside controller: when the scheduler runs out of runnable
+ * threads it waits out the simulated 50 µs flash delay and notifies
+ * the arrived pages — exactly the notification mechanism of §IV-D2.
+ *
+ * The same request stream runs under the priority+aging scheduler and
+ * under FIFO (the noPS ablation): FIFO drains every new request
+ * before resuming any blocked one, so the blocked requests' latency
+ * balloons — the effect Table II quantifies at ~7x p99.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "uthread/uthread.hh"
+
+using namespace astriflash;
+using namespace astriflash::uthread;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Result {
+    double avgUs = 0;
+    double maxMissedUs = 0; ///< Worst latency among missing requests.
+    std::uint64_t switches = 0;
+    std::uint64_t agingPromotions = 0;
+};
+
+Result
+runServer(Policy policy)
+{
+    Config cfg;
+    cfg.policy = policy;
+    cfg.agingThreshold = std::chrono::microseconds(30);
+    UScheduler sched(cfg);
+    sim::Rng rng(11);
+
+    constexpr int kRequests = 400;
+    std::vector<Clock::time_point> start(kRequests);
+    std::vector<double> latency_us(kRequests, 0);
+    std::vector<bool> missed(kRequests, false);
+
+    // "Flash": page keys become ready 50 us after the miss.
+    struct Pending {
+        std::uint64_t key;
+        Clock::time_point ready;
+    };
+    std::deque<Pending> flash;
+    int live = kRequests;
+
+    for (int r = 0; r < kRequests; ++r) {
+        const bool misses = rng.chance(0.4);
+        missed[r] = misses;
+        sched.spawn([&, r, misses] {
+            start[r] = Clock::now();
+            volatile int sink = 0;
+            for (int i = 0; i < 20000; ++i)
+                sink = sink + i;
+            if (misses) {
+                const std::uint64_t key = 0x1000 + r;
+                flash.push_back(
+                    {key, Clock::now() +
+                              std::chrono::microseconds(50)});
+                sched.blockOn(key); // switch-on-miss
+            }
+            for (int i = 0; i < 20000; ++i)
+                sink = sink + i;
+            latency_us[r] =
+                std::chrono::duration<double, std::micro>(
+                    Clock::now() - start[r])
+                    .count();
+            --live;
+        });
+    }
+
+    // Main loop = backside controller interleaved with small
+    // scheduling quanta (§IV-D2's queue-pair notifications): pages
+    // arrive *while* new requests are still executing, which is what
+    // lets FIFO starve the pending queue.
+    while (live > 0) {
+        const std::uint32_t ran = sched.runSlice(2);
+        if (ran == 0 && !flash.empty()) {
+            // Nothing runnable: wait out the oldest flash access.
+            while (Clock::now() < flash.front().ready) {
+            }
+        }
+        while (!flash.empty() &&
+               flash.front().ready <= Clock::now()) {
+            sched.notify(flash.front().key);
+            flash.pop_front();
+        }
+    }
+
+    Result res;
+    double sum = 0;
+    for (int r = 0; r < kRequests; ++r) {
+        sum += latency_us[r];
+        if (missed[r] && latency_us[r] > res.maxMissedUs)
+            res.maxMissedUs = latency_us[r];
+    }
+    res.avgUs = sum / kRequests;
+    res.switches = sched.stats().switches;
+    res.agingPromotions = sched.stats().agingPromotions;
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("AstriFlash user-level threading demo: 400 requests, "
+                "40%% touch cold data (50 us 'flash')\n\n");
+    const Result prio = runServer(Policy::PriorityAging);
+    const Result fifo = runServer(Policy::Fifo);
+
+    std::printf("%-16s %-12s %-18s %-10s %-8s\n", "scheduler",
+                "avg us", "worst missed us", "switches", "aged");
+    std::printf("%-16s %-12.1f %-18.1f %-10llu %-8llu\n",
+                "priority+aging", prio.avgUs, prio.maxMissedUs,
+                static_cast<unsigned long long>(prio.switches),
+                static_cast<unsigned long long>(
+                    prio.agingPromotions));
+    std::printf("%-16s %-12.1f %-18.1f %-10llu %-8llu\n", "fifo",
+                fifo.avgUs, fifo.maxMissedUs,
+                static_cast<unsigned long long>(fifo.switches),
+                static_cast<unsigned long long>(
+                    fifo.agingPromotions));
+    std::printf("\nFIFO drains every new request before resuming a "
+                "blocked one, so requests that\nmissed wait far "
+                "longer; priority+aging resumes them once their page "
+                "arrived.\n");
+    return 0;
+}

@@ -1,0 +1,367 @@
+#include "dram_cache.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace astriflash::core {
+
+DramCache::DramCache(sim::EventQueue &eq, std::string name,
+                     const DramCacheConfig &config,
+                     flash::FlashDevice &flash,
+                     const mem::AddressMap &amap)
+    : sim::SimObject(eq, std::move(name)), cfg(config), flashDev(flash),
+      addrMap(amap), dramModel(SimObject::name() + ".dram", config.dram),
+      pageTags(SimObject::name() + ".tags", config.capacityBytes,
+               config.pageBytes, config.ways),
+      msrTable(SimObject::name() + ".msr", config.msrSets,
+               config.msrEntriesPerSet),
+      evictBuf(SimObject::name() + ".evictbuf",
+               config.evictBufferEntries)
+{
+    const sim::ClockDomain clk(cfg.controllerFreqHz);
+    fcOpTicks = clk.cycles(cfg.fcCyclesPerOp);
+    bcOpTicks = clk.cycles(cfg.bcCyclesPerOp);
+}
+
+mem::Addr
+DramCache::setRowAddr(mem::Addr pa) const
+{
+    // Each cache set occupies one DRAM row region: tags first, then
+    // the page frames. Mapping sets onto distinct rows gives the tag
+    // probe natural row-buffer locality for same-set access bursts.
+    const std::uint64_t set =
+        (pa / cfg.pageBytes) % pageTags.numSets();
+    return set * cfg.dram.rowBytes *
+           ((cfg.ways * cfg.pageBytes) / cfg.dram.rowBytes + 1);
+}
+
+sim::Ticks
+DramCache::tagProbe(mem::Addr pa, sim::Ticks now)
+{
+    // RAS to open the set's row + CAS for the 64 B tag column + one
+    // FC cycle for the compare.
+    const auto res =
+        dramModel.access(setRowAddr(pa), now, false, mem::kBlockSize);
+    return res.complete + fcOp();
+}
+
+DcAccess
+DramCache::access(mem::Addr pa, bool write, sim::Ticks now,
+                  WaiterCookie waiter)
+{
+    const mem::Addr page = mem::pageBase(pa, cfg.pageBytes);
+    const sim::Ticks probe_done = tagProbe(pa, now);
+    const bool hit =
+        write ? pageTags.accessWrite(pa) : pageTags.access(pa);
+
+    DcAccess out;
+    if (hit) {
+        if (cfg.footprintEnabled) {
+            const std::uint64_t bit = blockBit(pa);
+            touchedMask[page] |= bit;
+            if (!(fetchedMask[page] & bit)) {
+                // Sub-page miss: the resident page was only partially
+                // transferred and this block is absent; fetch the
+                // remainder through the normal switch-on-miss path.
+                statsData.subPageMisses.inc();
+                out.hit = false;
+                out.ready = probe_done + fcOp();
+                if (pending.count(page))
+                    statsData.missesMerged.inc();
+                else
+                    statsData.misses.inc();
+                startMiss(page, probe_done, write,
+                          ~fetchedMask[page]);
+                pending[page].waiters.push_back(waiter);
+                return out;
+            }
+        }
+        // Data CAS in the (now open) row.
+        const auto data = dramModel.access(
+            setRowAddr(pa) + mem::kBlockSize, probe_done, write,
+            mem::kBlockSize);
+        out.hit = true;
+        out.ready = data.complete;
+        statsData.hits.inc();
+        statsData.hitLatency.sample(out.ready - now);
+        return out;
+    }
+
+    if (evictBuf.contains(page)) {
+        // The page is parked in the evict buffer awaiting writeback;
+        // the BC services the request from there.
+        out.hit = true;
+        out.ready = probe_done + bcOp();
+        statsData.hits.inc();
+        statsData.hitLatency.sample(out.ready - now);
+        return out;
+    }
+
+    // Miss: the FC replies with a miss response so on-chip MSHRs can
+    // be reclaimed, and hands the page request to the BC.
+    out.hit = false;
+    out.ready = probe_done + fcOp();
+    if (pending.count(page))
+        statsData.missesMerged.inc();
+    else
+        statsData.misses.inc();
+    if (cfg.footprintEnabled)
+        touchedMask[page] |= blockBit(pa); // the block will be used
+    const sim::Ticks data_ready =
+        startMiss(page, probe_done, write, blockBit(pa));
+    (void)data_ready;
+    pending[page].waiters.push_back(waiter);
+    return out;
+}
+
+sim::Ticks
+DramCache::accessSync(mem::Addr pa, bool write, sim::Ticks now)
+{
+    const mem::Addr page = mem::pageBase(pa, cfg.pageBytes);
+    const sim::Ticks probe_done = tagProbe(pa, now);
+    const bool hit =
+        write ? pageTags.accessWrite(pa) : pageTags.access(pa);
+    statsData.syncAccesses.inc();
+
+    if (hit) {
+        bool sub_page_miss = false;
+        if (cfg.footprintEnabled) {
+            const std::uint64_t bit = blockBit(pa);
+            touchedMask[page] |= bit;
+            sub_page_miss = !(fetchedMask[page] & bit);
+        }
+        if (!sub_page_miss) {
+            const auto data = dramModel.access(
+                setRowAddr(pa) + mem::kBlockSize, probe_done, write,
+                mem::kBlockSize);
+            statsData.hits.inc();
+            statsData.hitLatency.sample(data.complete - now);
+            return data.complete;
+        }
+        statsData.subPageMisses.inc();
+        if (pending.count(page))
+            statsData.missesMerged.inc();
+        else
+            statsData.misses.inc();
+        const sim::Ticks ready =
+            startMiss(page, probe_done, write, ~fetchedMask[page]);
+        return ready + cfg.dram.tCas + cfg.dram.tBurst;
+    }
+    if (evictBuf.contains(page)) {
+        statsData.hits.inc();
+        return probe_done + bcOp();
+    }
+    if (pending.count(page))
+        statsData.missesMerged.inc();
+    else
+        statsData.misses.inc();
+    if (cfg.footprintEnabled)
+        touchedMask[page] |= blockBit(pa); // the block will be used
+    const sim::Ticks data_ready =
+        startMiss(page, probe_done, write, blockBit(pa));
+    // The requester spins until the page is installed, then reads it.
+    return data_ready + cfg.dram.tCas + cfg.dram.tBurst;
+}
+
+sim::Ticks
+DramCache::startMiss(mem::Addr page, sim::Ticks now, bool write,
+                     std::uint64_t want_mask)
+{
+    auto it = pending.find(page);
+    if (it != pending.end()) {
+        it->second.anyWrite = it->second.anyWrite || write;
+        // Widen a not-yet-issued fetch to cover this request; an
+        // in-flight transfer cannot grow, in which case an uncovered
+        // block sub-page-misses again after the install.
+        if (!it->second.issued)
+            it->second.fetchMask |= want_mask;
+        return it->second.dataReady;
+    }
+
+    PendingMiss miss;
+    miss.anyWrite = write;
+    if (cfg.footprintEnabled) {
+        const auto hist = footprintHistory.find(page);
+        miss.fetchMask = hist != footprintHistory.end()
+            ? (hist->second | want_mask) : ~0ull;
+    } else {
+        miss.fetchMask = ~0ull;
+    }
+
+    // BC: one op to dequeue the request, one CAS-equivalent op to
+    // search the MSR.
+    const sim::Ticks bc_start = now + 2 * bcOp();
+    const MsrAlloc alloc = msrTable.allocate(page);
+    switch (alloc) {
+      case MsrAlloc::Duplicate:
+        // pending and the MSR mirror each other; a duplicate here is
+        // an invariant violation.
+        ASTRI_PANIC("MSR holds %llx but pending table does not",
+                    static_cast<unsigned long long>(page));
+      case MsrAlloc::SetFull: {
+        // BC waits for an entry in this set to free; the request sits
+        // in the BC queue. dataReady is a conservative estimate used
+        // only by forced-synchronous requesters.
+        miss.issued = false;
+        miss.dataReady =
+            bc_start + 2 * (flashDev.config().tRead +
+                            flashDev.config().tController);
+        pending.emplace(page, std::move(miss));
+        msrStalled.push_back(page);
+        break;
+      }
+      case MsrAlloc::New: {
+        const auto read = flashDev.read(
+            addrMap.flashPage(page), bc_start,
+            static_cast<std::uint64_t>(
+                std::popcount(miss.fetchMask)) * mem::kBlockSize);
+        miss.issued = true;
+        miss.dataReady = read.complete + bcOp() + installEstimate();
+        pending.emplace(page, std::move(miss));
+        scheduleIn(read.complete - curTick(),
+                   [this, page] { pageArrived(page); });
+        break;
+      }
+    }
+    if (pending.size() > statsData.peakOutstanding)
+        statsData.peakOutstanding = pending.size();
+    return pending[page].dataReady;
+}
+
+sim::Ticks
+DramCache::installEstimate() const
+{
+    // Closed-row activate plus streaming the 4 KB page.
+    return cfg.dram.closedRowLatency() +
+           cfg.dram.tBurst * (cfg.pageBytes / mem::kBlockSize - 1) +
+           bcOp();
+}
+
+void
+DramCache::pageArrived(mem::Addr page)
+{
+    const sim::Ticks now = curTick();
+
+    // Secure a frame: fill the tag array; a displaced victim parks in
+    // the evict buffer and drains to flash off the critical path.
+    auto pit = pending.find(page);
+    ASTRI_ASSERT_MSG(pit != pending.end(),
+                     "arrival for page %llx with no pending miss",
+                     static_cast<unsigned long long>(page));
+    const bool dirty_install = pit->second.anyWrite;
+    const std::uint64_t fetch_mask = pit->second.fetchMask;
+    const std::uint64_t fetch_bytes =
+        static_cast<std::uint64_t>(std::popcount(fetch_mask)) *
+        mem::kBlockSize;
+    statsData.flashBytesRead.inc(
+        fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
+    if (cfg.footprintEnabled)
+        fetchedMask[page] |= fetch_mask;
+    auto victim = pageTags.fill(page, dirty_install);
+    statsData.fills.inc();
+    if (victim) {
+        if (cfg.footprintEnabled) {
+            // Record the victim's footprint for its next residency
+            // and drop its residency masks.
+            const auto t = touchedMask.find(victim->tag_addr);
+            if (t != touchedMask.end() && t->second != 0)
+                footprintHistory[victim->tag_addr] = t->second;
+            touchedMask.erase(victim->tag_addr);
+            fetchedMask.erase(victim->tag_addr);
+        }
+        if (evictBuf.full()) {
+            // Backpressure: force-drain the oldest entry now (the
+            // install stalls behind the BC's emergency writeback).
+            drainEvictBuffer(now);
+        }
+        const bool ok = evictBuf.insert(victim->tag_addr, victim->dirty,
+                                        now);
+        ASTRI_ASSERT(ok);
+        // Lazy drain keeps writes off the read path.
+        scheduleIn(bcOp() * 4, [this] {
+            drainEvictBuffer(curTick());
+        });
+    }
+
+    // Install: stream the fetched blocks into the frame.
+    const auto install = dramModel.access(
+        setRowAddr(page), now, true,
+        fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
+    const sim::Ticks ready = install.complete + bcOp();
+    statsData.missPenalty.sample(ready > now ? ready - now : 0);
+
+    // Free the MSR entry and unblock any set-conflicted misses.
+    msrTable.free(page);
+    retryMsrStalled(now);
+
+    auto waiters = std::move(pit->second.waiters);
+    pending.erase(pit);
+    if (onReady)
+        onReady(page, ready, waiters);
+}
+
+void
+DramCache::retryMsrStalled(sim::Ticks now)
+{
+    for (auto it = msrStalled.begin(); it != msrStalled.end();) {
+        const mem::Addr page = *it;
+        auto pit = pending.find(page);
+        if (pit == pending.end() || pit->second.issued) {
+            it = msrStalled.erase(it);
+            continue;
+        }
+        const MsrAlloc alloc = msrTable.allocate(page);
+        if (alloc == MsrAlloc::SetFull) {
+            ++it;
+            continue;
+        }
+        ASTRI_ASSERT(alloc == MsrAlloc::New);
+        const auto read = flashDev.read(
+            addrMap.flashPage(page), now + bcOp(),
+            static_cast<std::uint64_t>(
+                std::popcount(pit->second.fetchMask)) *
+                mem::kBlockSize);
+        pit->second.issued = true;
+        pit->second.dataReady =
+            read.complete + bcOp() + installEstimate();
+        scheduleIn(read.complete - curTick(),
+                   [this, page] { pageArrived(page); });
+        it = msrStalled.erase(it);
+    }
+}
+
+void
+DramCache::drainEvictBuffer(sim::Ticks now)
+{
+    if (evictBuf.empty())
+        return;
+    const EvictBuffer::Entry e = evictBuf.pop();
+    if (e.dirty) {
+        flashDev.write(addrMap.flashPage(e.page), now);
+        statsData.dirtyWritebacks.inc();
+    }
+}
+
+bool
+DramCache::pageResident(mem::Addr pa) const
+{
+    return pageTags.contains(pa);
+}
+
+void
+DramCache::prewarmPage(mem::Addr pa)
+{
+    const mem::Addr page = mem::pageBase(pa, cfg.pageBytes);
+    pageTags.fill(page, false);
+    if (cfg.footprintEnabled)
+        fetchedMask[page] = ~0ull;
+}
+
+void
+DramCache::resetStats()
+{
+    statsData = Stats{};
+}
+
+} // namespace astriflash::core

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Hardware-managed DRAM cache: frontside + backside controllers
+ * (§IV-B, Fig. 5).
+ *
+ * The frontside controller (FC) extends a conventional DRAM controller:
+ * it RASes the set's row, CASes the tag column, compares tags, and
+ * either CASes the data (hit) or hands the miss to the backside
+ * controller (BC) and returns a miss response so the on-chip MSHRs can
+ * be reclaimed. The BC is programmable (slower per operation): it
+ * deduplicates misses through the in-DRAM Miss Status Row, issues 4 KB
+ * flash reads, selects victims into the evict buffer, writes dirty
+ * victims back to flash off the critical path, and installs arriving
+ * pages.
+ *
+ * Page arrivals are delivered through a callback carrying every waiter
+ * cookie that merged onto the miss — the hook the switch-on-miss cores
+ * use to wake pending user-level threads.
+ */
+
+#ifndef ASTRIFLASH_CORE_DRAM_CACHE_HH
+#define ASTRIFLASH_CORE_DRAM_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/flash_device.hh"
+#include "mem/address_map.hh"
+#include "mem/dram.hh"
+#include "mem/set_assoc_cache.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+#include "evict_buffer.hh"
+#include "miss_status_row.hh"
+
+namespace astriflash::core {
+
+/** Opaque identifier for whoever is waiting on a missing page. */
+using WaiterCookie = std::uint64_t;
+
+/** DRAM cache parameters. */
+struct DramCacheConfig {
+    std::uint64_t capacityBytes = std::uint64_t{64} << 20;
+    std::uint64_t pageBytes = mem::kPageSize;
+    std::uint32_t ways = 8; ///< One 64 B tag column maps 8 ways (§IV-B).
+    mem::DramConfig dram;
+    std::uint32_t msrSets = 128;
+    std::uint32_t msrEntriesPerSet = 8;
+    std::uint32_t evictBufferEntries = 32;
+    /** FC is a 1-cycle-per-op FSM; BC is programmable at 3 cycles/op
+     *  (§V-A), both at the memory-controller clock. */
+    std::uint64_t controllerFreqHz = 2'500'000'000ull;
+    std::uint32_t fcCyclesPerOp = 1;
+    std::uint32_t bcCyclesPerOp = 3;
+
+    /**
+     * Footprint-cache mode (§II-A's bandwidth optimization, after
+     * Jevdjic et al. [36]): on a refill of a previously-seen page,
+     * transfer only the blocks the page's last residency actually
+     * touched. Accesses to unfetched blocks of a resident page are
+     * sub-page misses that fetch the remainder via the normal
+     * switch-on-miss path. Trades a small extra miss rate for flash
+     * / PCIe bandwidth.
+     */
+    bool footprintEnabled = false;
+};
+
+/** Result of a frontside access. */
+struct DcAccess {
+    bool hit = false;
+    /** Hit: data-ready tick. Miss: miss-response tick (the miss signal
+     *  travels back to the core and MSHRs are reclaimed). */
+    sim::Ticks ready = 0;
+};
+
+/** The AstriFlash DRAM cache. */
+class DramCache : public sim::SimObject
+{
+  public:
+    using PageReadyFn = std::function<void(
+        mem::Addr page, sim::Ticks when,
+        const std::vector<WaiterCookie> &waiters)>;
+
+    struct Stats {
+        sim::Counter hits;
+        sim::Counter misses;
+        sim::Counter missesMerged;   ///< Deduplicated by the MSR.
+        sim::Counter fills;
+        sim::Counter dirtyWritebacks;
+        sim::Counter syncAccesses;   ///< Forward-progress forced-sync.
+        sim::Counter subPageMisses;  ///< Footprint mispredictions.
+        sim::Counter flashBytesRead; ///< Refill traffic (footprint
+                                     ///< mode transfers fewer bytes).
+        sim::Histogram hitLatency;   ///< FC path, ticks.
+        sim::Histogram missPenalty;  ///< Miss to page-ready, ticks.
+        std::uint64_t peakOutstanding = 0;
+
+        double
+        hitRatio() const
+        {
+            const double t = static_cast<double>(hits.value() +
+                                                 misses.value() +
+                                                 missesMerged.value());
+            return t > 0 ? static_cast<double>(hits.value()) / t : 0.0;
+        }
+    };
+
+    DramCache(sim::EventQueue &eq, std::string name,
+              const DramCacheConfig &config, flash::FlashDevice &flash,
+              const mem::AddressMap &amap);
+
+    /** Register the page-arrival notification hook. */
+    void setPageReadyCallback(PageReadyFn fn) { onReady = std::move(fn); }
+
+    /**
+     * Frontside access from the LLC miss path.
+     *
+     * On a miss the waiter cookie is recorded against the page; the
+     * PageReadyFn fires when the fill completes.
+     */
+    DcAccess access(mem::Addr pa, bool write, sim::Ticks now,
+                    WaiterCookie waiter);
+
+    /**
+     * Forced-synchronous access (forward-progress bit set, or the
+     * Flash-Sync configuration): even on a miss, returns the tick when
+     * the data is available, blocking the caller.
+     */
+    sim::Ticks accessSync(mem::Addr pa, bool write, sim::Ticks now);
+
+    /** True if the page holding @p pa is resident (no timing). */
+    bool pageResident(mem::Addr pa) const;
+
+    /** Install @p pa's page without timing (simulation warmup). */
+    void prewarmPage(mem::Addr pa);
+
+    /** Mark @p pa's page dirty if resident (LLC writeback landed). */
+    void
+    markPageDirty(mem::Addr pa)
+    {
+        pageTags.markDirty(pa);
+    }
+
+    /** Number of page frames. */
+    std::uint64_t
+    pageFrames() const
+    {
+        return cfg.capacityBytes / cfg.pageBytes;
+    }
+
+    /** Outstanding (in-flight) misses right now. */
+    std::uint32_t outstandingMisses() const
+    {
+        return static_cast<std::uint32_t>(pending.size());
+    }
+
+    /** Zero all statistics (end of warmup). */
+    void resetStats();
+
+    const Stats &stats() const { return statsData; }
+    const MissStatusRow &msr() const { return msrTable; }
+    const EvictBuffer &evictBuffer() const { return evictBuf; }
+    const mem::SetAssocCache &pageArray() const { return pageTags; }
+    const mem::Dram &dram() const { return dramModel; }
+    const DramCacheConfig &config() const { return cfg; }
+
+  private:
+    struct PendingMiss {
+        sim::Ticks dataReady = 0; ///< Install-complete estimate.
+        std::vector<WaiterCookie> waiters;
+        bool issued = false;  ///< Flash read issued (vs MSR-stalled).
+        bool anyWrite = false; ///< Install dirty (write-allocate).
+        std::uint64_t fetchMask = ~0ull; ///< Blocks to transfer.
+    };
+
+    /** Bit for the 64 B block of @p pa within its page. */
+    static std::uint64_t
+    blockBit(mem::Addr pa)
+    {
+        return 1ull << ((pa / mem::kBlockSize) %
+                        (mem::kPageSize / mem::kBlockSize));
+    }
+
+    /** FC tag probe: RAS + tag CAS at the set's row. */
+    sim::Ticks tagProbe(mem::Addr pa, sim::Ticks now);
+
+    /** Address of the set's row in the cached DRAM partition. */
+    mem::Addr setRowAddr(mem::Addr pa) const;
+
+    /**
+     * BC miss handling: MSR dedup/alloc, flash read, arrival event.
+     * @return the tick the requester's data will be ready.
+     */
+    sim::Ticks startMiss(mem::Addr page, sim::Ticks now, bool write,
+                         std::uint64_t want_mask = ~std::uint64_t{0});
+
+    /** Expected cost of installing one page into its frame. */
+    sim::Ticks installEstimate() const;
+
+    /** Install an arrived page, drain victims, notify waiters. */
+    void pageArrived(mem::Addr page);
+
+    /** Issue queued misses that were blocked on a full MSR set. */
+    void retryMsrStalled(sim::Ticks now);
+
+    /** Drain one evict-buffer entry to flash. */
+    void drainEvictBuffer(sim::Ticks now);
+
+    sim::Ticks fcOp() const { return fcOpTicks; }
+    sim::Ticks bcOp() const { return bcOpTicks; }
+
+    DramCacheConfig cfg;
+    flash::FlashDevice &flashDev;
+    const mem::AddressMap &addrMap;
+    mem::Dram dramModel;
+    mem::SetAssocCache pageTags;
+    MissStatusRow msrTable;
+    EvictBuffer evictBuf;
+    PageReadyFn onReady;
+    std::unordered_map<mem::Addr, PendingMiss> pending;
+    std::deque<mem::Addr> msrStalled; ///< Pages waiting for MSR space.
+    // Footprint mode: per-resident-page fetched/touched block masks
+    // and the per-page footprint history recorded at eviction.
+    std::unordered_map<mem::Addr, std::uint64_t> fetchedMask;
+    std::unordered_map<mem::Addr, std::uint64_t> touchedMask;
+    std::unordered_map<mem::Addr, std::uint64_t> footprintHistory;
+    sim::Ticks fcOpTicks;
+    sim::Ticks bcOpTicks;
+    Stats statsData;
+};
+
+} // namespace astriflash::core
+
+#endif // ASTRIFLASH_CORE_DRAM_CACHE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Backside-controller evict buffer (§IV-B2).
+ *
+ * When a fill needs a victim's frame, the BC copies the victim page
+ * into the evict buffer; dirty victims drain to flash off the critical
+ * path (writes are deprioritized against reads). The buffer's finite
+ * size backpressures installs when flash programs fall behind.
+ */
+
+#ifndef ASTRIFLASH_CORE_EVICT_BUFFER_HH
+#define ASTRIFLASH_CORE_EVICT_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "mem/address.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace astriflash::core {
+
+/** FIFO of victim pages awaiting flash writeback. */
+class EvictBuffer
+{
+  public:
+    struct Entry {
+        mem::Addr page = 0;
+        bool dirty = false;
+        sim::Ticks inserted = 0;
+    };
+
+    struct Stats {
+        sim::Counter inserts;
+        sim::Counter dirtyInserts;
+        sim::Counter drains;
+        sim::Counter fullStalls;
+        std::uint64_t peakOccupancy = 0;
+    };
+
+    EvictBuffer(std::string name, std::uint32_t entries)
+        : bufName(std::move(name)), capacity(entries)
+    {
+    }
+
+    bool full() const { return fifo.size() >= capacity; }
+    bool empty() const { return fifo.empty(); }
+
+    std::uint32_t occupancy() const
+    {
+        return static_cast<std::uint32_t>(fifo.size());
+    }
+
+    /**
+     * Insert a victim page.
+     * @return false if the buffer is full (caller must stall).
+     */
+    bool
+    insert(mem::Addr page, bool dirty, sim::Ticks now)
+    {
+        if (full()) {
+            statsData.fullStalls.inc();
+            return false;
+        }
+        fifo.push_back(Entry{mem::pageBase(page), dirty, now});
+        statsData.inserts.inc();
+        if (dirty)
+            statsData.dirtyInserts.inc();
+        if (fifo.size() > statsData.peakOccupancy)
+            statsData.peakOccupancy = fifo.size();
+        return true;
+    }
+
+    /** Pop the oldest entry for draining. Caller checks !empty(). */
+    Entry
+    pop()
+    {
+        Entry e = fifo.front();
+        fifo.pop_front();
+        statsData.drains.inc();
+        return e;
+    }
+
+    /** True if the buffer currently holds @p page (read-own-evict). */
+    bool
+    contains(mem::Addr page) const
+    {
+        const mem::Addr aligned = mem::pageBase(page);
+        for (const Entry &e : fifo) {
+            if (e.page == aligned)
+                return true;
+        }
+        return false;
+    }
+
+    const Stats &stats() const { return statsData; }
+
+  private:
+    std::string bufName;
+    std::uint32_t capacity;
+    std::deque<Entry> fifo;
+    Stats statsData;
+};
+
+} // namespace astriflash::core
+
+#endif // ASTRIFLASH_CORE_EVICT_BUFFER_HH

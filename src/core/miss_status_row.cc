@@ -1,0 +1,65 @@
+#include "miss_status_row.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::core {
+
+MissStatusRow::MissStatusRow(std::string name, std::uint32_t sets,
+                             std::uint32_t entries_per_set)
+    : msrName(std::move(name)), ways(entries_per_set)
+{
+    if (sets == 0 || entries_per_set == 0)
+        ASTRI_FATAL("%s: MSR needs >=1 set and entry", msrName.c_str());
+    table.resize(sets);
+}
+
+std::uint32_t
+MissStatusRow::setIndex(mem::Addr page) const
+{
+    // Page-number hash spreads consecutive pages across sets.
+    const std::uint64_t pn = page / mem::kPageSize;
+    return static_cast<std::uint32_t>(
+        (pn * 0x9e3779b97f4a7c15ull >> 32) % table.size());
+}
+
+MsrAlloc
+MissStatusRow::allocate(mem::Addr page)
+{
+    const mem::Addr aligned = mem::pageBase(page);
+    auto &set = table[setIndex(aligned)];
+    if (set.count(aligned)) {
+        statsData.duplicates.inc();
+        return MsrAlloc::Duplicate;
+    }
+    if (set.size() >= ways) {
+        statsData.setFullStalls.inc();
+        return MsrAlloc::SetFull;
+    }
+    set.insert(aligned);
+    ++total;
+    statsData.allocations.inc();
+    if (total > statsData.peakOccupancy)
+        statsData.peakOccupancy = total;
+    return MsrAlloc::New;
+}
+
+bool
+MissStatusRow::contains(mem::Addr page) const
+{
+    const mem::Addr aligned = mem::pageBase(page);
+    return table[setIndex(aligned)].count(aligned) != 0;
+}
+
+void
+MissStatusRow::free(mem::Addr page)
+{
+    const mem::Addr aligned = mem::pageBase(page);
+    auto &set = table[setIndex(aligned)];
+    const auto erased = set.erase(aligned);
+    ASTRI_ASSERT_MSG(erased == 1, "%s: freeing absent MSR entry",
+                     msrName.c_str());
+    --total;
+    statsData.frees.inc();
+}
+
+} // namespace astriflash::core

@@ -1,0 +1,119 @@
+#include "sched_model.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::core {
+
+void
+SchedulerModel::parkOnMiss(workload::Job &&job, std::uint64_t page,
+                           sim::Ticks now)
+{
+    job.pendingSince = now;
+    pendingWaiting.push_back(Waiting{std::move(job), page});
+    const std::uint64_t live = pendingCount();
+    if (live > statsData.peakPending)
+        statsData.peakPending = live;
+}
+
+std::uint32_t
+SchedulerModel::pageReady(std::uint64_t page, sim::Ticks when)
+{
+    std::uint32_t woken = 0;
+    for (auto it = pendingWaiting.begin(); it != pendingWaiting.end();) {
+        if (it->page == page) {
+            // Response time sample: halt to data-ready.
+            const sim::Ticks resp =
+                when > it->job.pendingSince
+                    ? when - it->job.pendingSince : 0;
+            noteFlashResponse(resp);
+            pendingReady.push_back(std::move(it->job));
+            it = pendingWaiting.erase(it);
+            ++woken;
+        } else {
+            ++it;
+        }
+    }
+    return woken;
+}
+
+void
+SchedulerModel::noteFlashResponse(sim::Ticks response)
+{
+    const double sample = static_cast<double>(response);
+    if (!emaSeeded) {
+        flashEma = sample > 0
+            ? sample : static_cast<double>(cfg.initialFlashEstimate);
+        emaSeeded = true;
+        return;
+    }
+    flashEma = cfg.emaAlpha * sample + (1.0 - cfg.emaAlpha) * flashEma;
+}
+
+std::optional<workload::Job>
+SchedulerModel::pickNext(sim::Ticks now)
+{
+    if (!emaSeeded)
+        flashEma = static_cast<double>(cfg.initialFlashEstimate);
+
+    auto take_pending = [&]() {
+        workload::Job job = std::move(pendingReady.front());
+        pendingReady.pop_front();
+        statsData.scheduledPending.inc();
+        return job;
+    };
+    auto take_new = [&]() {
+        workload::Job job = std::move(newJobs.front());
+        newJobs.pop_front();
+        statsData.scheduledNew.inc();
+        return job;
+    };
+
+    switch (cfg.policy) {
+      case SchedPolicy::PriorityAging: {
+        if (!pendingReady.empty()) {
+            // With queue-pair notifications the ready list is exact:
+            // its head's data has arrived, so it resumes now to keep
+            // the service distribution near Flash-Sync (§VI-B).
+            if (cfg.notifyArrivals)
+                return take_pending();
+            // Proxy mode: promote when the head has aged past the
+            // average flash response (its data has likely arrived).
+            const sim::Ticks age =
+                now > pendingReady.front().pendingSince
+                    ? now - pendingReady.front().pendingSince : 0;
+            if (age > agingThreshold()) {
+                statsData.agingPromotions.inc();
+                return take_pending();
+            }
+        }
+        if (!newJobs.empty())
+            return take_new();
+        if (!pendingReady.empty())
+            return take_pending();
+        return std::nullopt;
+      }
+      case SchedPolicy::Fifo: {
+        // noPS: new jobs always win; the pending queue is only
+        // drained when no new work exists.
+        if (!newJobs.empty())
+            return take_new();
+        if (!pendingReady.empty())
+            return take_pending();
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+}
+
+std::optional<workload::Job>
+SchedulerModel::pickPendingReady()
+{
+    if (pendingReady.empty())
+        return std::nullopt;
+    workload::Job job = std::move(pendingReady.front());
+    pendingReady.pop_front();
+    statsData.scheduledPending.inc();
+    return job;
+}
+
+} // namespace astriflash::core

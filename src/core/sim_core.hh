@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Timing model of one core executing user-level threads.
+ *
+ * Each core runs jobs pulled from its scheduler, consuming op streams:
+ * compute intervals advance the local clock; memory accesses traverse
+ * the TLB, the private cache hierarchy, and the configuration's memory
+ * backend. The switch-on-miss control path (§IV-C) is charged
+ * explicitly: miss response, ROB flush, handler entry, user-level
+ * thread switch. The OS-Swap and Flash-Sync baselines reuse the same
+ * execution engine with their respective miss paths.
+ *
+ * Execution is burst-based: a core processes ops synchronously until a
+ * switch point or the configured quantum, then re-schedules itself,
+ * bounding cross-core timing skew to the quantum.
+ */
+
+#ifndef ASTRIFLASH_CORE_SIM_CORE_HH
+#define ASTRIFLASH_CORE_SIM_CORE_HH
+
+#include <memory>
+#include <optional>
+
+#include "cpu/aso_engine.hh"
+#include "cpu/handler_regs.hh"
+#include "mem/address_map.hh"
+#include "mem/cache_hierarchy.hh"
+#include "mem/dram.hh"
+#include "mem/page_table.hh"
+#include "mem/tlb.hh"
+#include "os/os_paging.hh"
+#include "sim/sim_object.hh"
+#include "workload/workload.hh"
+
+#include "dram_cache.hh"
+#include "sched_model.hh"
+#include "system_config.hh"
+
+namespace astriflash::core {
+
+class System;
+
+/** One simulated core plus its private memory-side state. */
+class SimCore : public sim::SimObject
+{
+  public:
+    struct Stats {
+        sim::Counter jobsCompleted;
+        sim::Counter switchOnMiss;   ///< Thread switches taken.
+        sim::Counter syncMissStalls; ///< Forward-progress sync waits.
+        sim::Counter osFaults;
+        sim::Counter walkFlashStalls; ///< noDP PTE-from-flash walks.
+        sim::Ticks busyTicks = 0;     ///< Executing (not idle).
+    };
+
+    SimCore(sim::EventQueue &eq, std::string name, std::uint32_t id,
+            System &system);
+
+    /** Begin executing (schedules the first run event). */
+    void start();
+
+    /** Wake the core if idle (new arrival or page ready). */
+    void kick();
+
+    /**
+     * Notification that @p page will be ready at @p when (from the
+     * DRAM cache fill path or the OS install path).
+     */
+    void pageReady(mem::Addr page, sim::Ticks when);
+
+    SchedulerModel &scheduler() { return sched; }
+    const SchedulerModel &scheduler() const { return sched; }
+    mem::Tlb &tlb() { return tlbModel; }
+    mem::CacheHierarchy &hierarchy() { return hier; }
+    cpu::AsoEngine &aso() { return asoEngine; }
+    const Stats &stats() const { return statsData; }
+    std::uint32_t id() const { return coreId; }
+
+    /** Zero per-core statistics (end of warmup). */
+    void resetStats() { statsData = Stats{}; }
+
+  private:
+    /** Outcome of one memory access at the system level. */
+    struct MemOutcome {
+        enum class Kind {
+            Done,   ///< Data ready at doneAt; continue the job.
+            Parked, ///< Job halted on a miss; core free at freeAt.
+        } kind = Kind::Done;
+        sim::Ticks doneAt = 0;
+        sim::Ticks freeAt = 0;
+        mem::Addr page = 0; ///< Parked: page the job waits on.
+    };
+
+    /** Main execution event: run the current job for up to a quantum. */
+    void run();
+
+    /** Pick the next runnable job; returns false if the core idles. */
+    bool pickJob(sim::Ticks now);
+
+    /**
+     * Execute one memory access of the current job at local time @p t.
+     * May park the job (switch-on-miss / page fault).
+     */
+    MemOutcome memAccess(mem::Addr va, bool write, sim::Ticks t);
+
+    /** TLB miss service; may stall on flash in the noDP config. */
+    sim::Ticks pageWalk(mem::Addr va, sim::Ticks t);
+
+    /** Store-buffer bookkeeping for a store that hit / missed. */
+    void storeHit(mem::Addr pa);
+    void storeAborted(mem::Addr pa);
+
+    /** Finish the current job at @p t. */
+    void completeJob(sim::Ticks t);
+
+    std::uint32_t coreId;
+    System &sys;
+    SchedulerModel sched;
+    mem::Tlb tlbModel;
+    mem::CacheHierarchy hier;
+    cpu::AsoEngine asoEngine;
+    cpu::HandlerRegs handlerRegs;
+
+    std::optional<workload::Job> current;
+    bool idle = true;
+    bool blockedOnPendingFull = false;
+    /** Set when resuming a previously-missed job: the next access
+     *  completes synchronously (forward-progress bit, §IV-C3). */
+    bool forceProgress = false;
+    std::uint64_t renameCursor = 0;
+    Stats statsData;
+};
+
+} // namespace astriflash::core
+
+#endif // ASTRIFLASH_CORE_SIM_CORE_HH

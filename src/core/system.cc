@@ -1,0 +1,335 @@
+#include "system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace astriflash::core {
+
+System::System(const SystemConfig &config) : cfg(config)
+{
+    cfg.applyKindDefaults();
+    buildMemorySystem();
+
+    for (std::uint32_t c = 0; c < cfg.cores; ++c) {
+        workload::WorkloadConfig wc = cfg.workload;
+        wc.seed = cfg.seed * 1000003 + c; // independent streams
+        gens.push_back(
+            workload::makeWorkload(cfg.workloadKind, wc));
+        cores.push_back(std::make_unique<SimCore>(
+            eq, "core" + std::to_string(c), c, *this));
+    }
+
+    if (dcache) {
+        dcache->setPageReadyCallback(
+            [this](mem::Addr page, sim::Ticks when,
+                   const std::vector<WaiterCookie> &waiters) {
+                // Route the arrival to each waiting core once.
+                // (A bitmask over core&63 would alias cores >= 64
+                // and silently drop wakeups.)
+                std::vector<bool> seen(cores.size(), false);
+                for (WaiterCookie cookie : waiters) {
+                    const auto core =
+                        static_cast<std::uint32_t>(cookie);
+                    if (core < cores.size() && !seen[core]) {
+                        seen[core] = true;
+                        cores[core]->pageReady(page, when);
+                    }
+                }
+            });
+    }
+
+    if (cfg.meanInterarrival > 0) {
+        arrivals = std::make_unique<workload::PoissonArrivals>(
+            cfg.meanInterarrival, cfg.seed * 31 + 7);
+    }
+}
+
+System::~System() = default;
+
+void
+System::buildMemorySystem()
+{
+    const std::uint64_t dataset = cfg.workload.datasetBytes;
+    const std::uint64_t dataset_pages = dataset / mem::kPageSize;
+
+    // Page-table region sits above the dataset inside the flash BAR
+    // (only used by the noDP configuration's leaf walks).
+    const std::uint64_t pt_stride =
+        ((dataset_pages >> mem::PageTableModel::kIndexBits) + 1) *
+        mem::kPageSize;
+    const std::uint64_t pt_region =
+        pt_stride * mem::PageTableModel::kLevels;
+    const std::uint64_t flash_bytes = dataset + pt_region;
+
+    // Flat DRAM partition: covers the dataset in DRAM-only (the
+    // "1 TB of DRAM" machine); elsewhere it holds OS state + PTEs.
+    const std::uint64_t flat_bytes =
+        cfg.kind == SystemKind::DramOnly
+            ? dataset
+            : std::max<std::uint64_t>(dataset / 16,
+                                      std::uint64_t{64} << 20);
+    amap = std::make_unique<mem::AddressMap>(flat_bytes, flash_bytes);
+
+    ptModel = std::make_unique<mem::PageTableModel>(
+        mem::alignUp(dataset, mem::kPageSize), mem::kPageSize,
+        pt_stride);
+
+    // Size the SSD with headroom above the dataset (spare blocks for
+    // out-of-place writes) and pre-load only the dataset + PT region.
+    cfg.flash = flash::FlashConfig::forCapacity(flash_bytes);
+    flashDev = std::make_unique<flash::FlashDevice>(
+        "flash", cfg.flash, flash_bytes / mem::kPageSize);
+
+    flatDram = std::make_unique<mem::Dram>("flatdram",
+                                           cfg.dramCache.dram);
+
+    if (cfg.kind == SystemKind::DramOnly)
+        return;
+
+    if (cfg.kind == SystemKind::OsSwap) {
+        const std::uint64_t cache_bytes = static_cast<std::uint64_t>(
+            static_cast<double>(dataset) * cfg.dramCacheRatio);
+        osModel = std::make_unique<os::OsPagingModel>(
+            "os", mem::alignUp(cache_bytes, 16 * mem::kPageSize),
+            cfg.osCosts, cfg.cores, *flashDev, *amap);
+        return;
+    }
+
+    DramCacheConfig dc = cfg.dramCache;
+    dc.capacityBytes = mem::alignUp(
+        static_cast<std::uint64_t>(static_cast<double>(dataset) *
+                                   cfg.dramCacheRatio),
+        dc.ways * dc.pageBytes);
+    cfg.dramCache = dc;
+    dcache = std::make_unique<DramCache>(eq, "dramcache", dc, *flashDev,
+                                         *amap);
+}
+
+mem::Addr
+System::dataPa(mem::Addr va) const
+{
+    // DRAM-only serves the dataset from the flat partition; flash-
+    // backed configurations map it through the flash BAR (§IV-A).
+    if (cfg.kind == SystemKind::DramOnly)
+        return va;
+    return amap->flashRange().base + va;
+}
+
+mem::Addr
+System::leafPtePa(mem::Addr va) const
+{
+    return amap->flashRange().base +
+           ptModel->walkAddresses(va)[mem::PageTableModel::kLevels - 1];
+}
+
+sim::Ticks
+System::flatDramAccess(mem::Addr pa, bool write, sim::Ticks t)
+{
+    return flatDram->access(pa, t, write).complete;
+}
+
+void
+System::noteLlcWriteback(mem::Addr pa)
+{
+    if (dcache)
+        dcache->markPageDirty(pa);
+    else if (osModel)
+        osModel->markDirty(pa);
+}
+
+bool
+System::supplyJob(std::uint32_t core, sim::Ticks now,
+                  workload::Job &job)
+{
+    if (phase == Phase::Done)
+        return false;
+    if (arrivals)
+        return false; // open loop: jobs come from arrival events only
+    job = jobSource ? jobSource(core) : gens[core]->nextJob();
+    job.arrival = now;
+    job.enqueued = now;
+    return true;
+}
+
+void
+System::scheduleNextArrival()
+{
+    // Generate enough arrivals to cover warmup + measurement with
+    // slack for jobs that never finish inside the window.
+    const std::uint64_t target =
+        (cfg.warmupJobs + cfg.measureJobs) * 2 + 64;
+    if (arrivalsIssued >= target || phase == Phase::Done)
+        return;
+    const sim::Ticks when = arrivals->next(eq.curTick());
+    eq.schedule(when, [this] {
+        const std::uint32_t core = nextArrivalCore;
+        nextArrivalCore = (nextArrivalCore + 1) % cfg.cores;
+        workload::Job job =
+            jobSource ? jobSource(core) : gens[core]->nextJob();
+        job.arrival = eq.curTick();
+        job.enqueued = job.arrival;
+        cores[core]->scheduler().enqueueNew(std::move(job));
+        cores[core]->kick();
+        ++arrivalsIssued;
+        scheduleNextArrival();
+    });
+}
+
+void
+System::beginMeasurement(sim::Ticks now)
+{
+    phase = Phase::Measure;
+    measureStart = now;
+    serviceHist.reset();
+    responseHist.reset();
+    measuredMisses = 0;
+    if (dcache)
+        dcache->resetStats();
+    if (osModel)
+        osModel->resetStats();
+    flashDev->resetStats();
+    for (auto &core : cores)
+        core->resetStats();
+}
+
+void
+System::jobFinished(const workload::Job &job, sim::Ticks now)
+{
+    ++completedJobs;
+    if (phase == Phase::Warmup) {
+        if (completedJobs >= cfg.warmupJobs)
+            beginMeasurement(now);
+        return;
+    }
+    if (phase != Phase::Measure)
+        return;
+    ++measuredJobs;
+    serviceHist.sample(job.service);
+    responseHist.sample(job.finished - job.arrival);
+    measuredMisses += job.misses;
+    if (measuredJobs >= cfg.measureJobs) {
+        phase = Phase::Done;
+        measureEnd = now;
+    }
+}
+
+void
+System::prewarm()
+{
+    // Steady-state approximation: the DRAM cache (or OS page cache)
+    // holds the hot region plus the most popular Zipfian pages; the
+    // TLBs hold the hottest translations.
+    const std::uint64_t dataset_pages =
+        cfg.workload.datasetBytes / mem::kPageSize;
+    const std::uint64_t hot_pages = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(dataset_pages) *
+               cfg.workload.hotRegionFraction));
+    const std::uint64_t frames =
+        dcache ? dcache->pageFrames()
+               : static_cast<std::uint64_t>(
+                     static_cast<double>(dataset_pages) *
+                     cfg.dramCacheRatio);
+
+    auto install = [&](mem::Addr page_va) {
+        const mem::Addr pa = dataPa(page_va * mem::kPageSize);
+        if (dcache)
+            dcache->prewarmPage(pa);
+        else if (osModel)
+            osModel->prewarmPage(pa);
+    };
+
+    if (cfg.kind == SystemKind::DramOnly)
+        return;
+
+    // Hot region first (always resident in steady state).
+    std::uint64_t installed = 0;
+    for (std::uint64_t p = 0; p < hot_pages && installed < frames;
+         ++p, ++installed) {
+        install(dataset_pages - hot_pages + p);
+    }
+    // Then the Zipfian working set in decreasing popularity (it maps
+    // onto the low cold pages; see Workload::coldAddr).
+    const std::uint64_t ws = gens.empty()
+        ? 0 : gens[0]->workingSet();
+    for (std::uint64_t r = 0; installed < frames && r < ws;
+         ++r, ++installed) {
+        install(gens[0]->rankToPage(r));
+    }
+    // Any remaining frames pick up uniform-tail pages.
+    for (std::uint64_t p = ws;
+         installed < frames && p < dataset_pages - hot_pages;
+         ++p, ++installed) {
+        install(p);
+    }
+}
+
+RunResults
+System::run()
+{
+    prewarm();
+    for (auto &core : cores)
+        core->start();
+    if (arrivals)
+        scheduleNextArrival();
+
+    while (phase != Phase::Done && !eq.empty() &&
+           eq.curTick() < cfg.maxSimTicks) {
+        eq.runSteps(20000);
+    }
+    if (phase != Phase::Done) {
+        ASTRI_WARN("%s/%s: run ended early (phase=%d, %llu measured)",
+                   systemKindName(cfg.kind),
+                   workload::kindName(cfg.workloadKind),
+                   static_cast<int>(phase),
+                   static_cast<unsigned long long>(measuredJobs));
+        measureEnd = eq.curTick();
+    }
+
+    RunResults res;
+    res.jobs = measuredJobs;
+    res.measureTicks =
+        measureEnd > measureStart ? measureEnd - measureStart : 0;
+    if (res.measureTicks > 0) {
+        res.throughputJobsPerSec =
+            static_cast<double>(measuredJobs) /
+            sim::toSeconds(res.measureTicks);
+    }
+    res.avgServiceUs = serviceHist.mean() / sim::kMicrosecond;
+    res.p50ServiceUs =
+        static_cast<double>(serviceHist.percentile(0.50)) /
+        sim::kMicrosecond;
+    res.p99ServiceUs =
+        static_cast<double>(serviceHist.percentile(0.99)) /
+        sim::kMicrosecond;
+    res.p999ServiceUs =
+        static_cast<double>(serviceHist.percentile(0.999)) /
+        sim::kMicrosecond;
+    res.avgResponseUs = responseHist.mean() / sim::kMicrosecond;
+    res.p99ResponseUs =
+        static_cast<double>(responseHist.percentile(0.99)) /
+        sim::kMicrosecond;
+
+    if (dcache) {
+        res.dramCacheHitRatio = dcache->stats().hitRatio();
+        res.peakOutstandingMisses = dcache->stats().peakOutstanding;
+    }
+    res.flashReads = flashDev->stats().reads.value();
+    res.flashWrites = flashDev->stats().writes.value();
+    res.gcBlockedReads = flashDev->stats().gcBlockedReads.value();
+    if (osModel)
+        res.shootdowns = osModel->bus().stats().shootdowns.value();
+
+    // Calibration: execution time between misses (§V-A's 5-25 µs).
+    if (measuredMisses > 0 && measuredJobs > 0) {
+        const double exec_per_job = static_cast<double>(
+            gens[0]->meanComputePerJob());
+        res.avgExecBetweenMissesUs =
+            exec_per_job * static_cast<double>(measuredJobs) /
+            static_cast<double>(measuredMisses) / sim::kMicrosecond;
+    }
+    return res;
+}
+
+} // namespace astriflash::core

@@ -1,0 +1,53 @@
+#include "system_config.hh"
+
+namespace astriflash::core {
+
+const char *
+systemKindName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::DramOnly:
+        return "DRAM-only";
+      case SystemKind::AstriFlash:
+        return "AstriFlash";
+      case SystemKind::AstriFlashIdeal:
+        return "AstriFlash-Ideal";
+      case SystemKind::AstriFlashNoPS:
+        return "AstriFlash-noPS";
+      case SystemKind::AstriFlashNoDP:
+        return "AstriFlash-noDP";
+      case SystemKind::OsSwap:
+        return "OS-Swap";
+      case SystemKind::FlashSync:
+        return "Flash-Sync";
+    }
+    return "unknown";
+}
+
+void
+SystemConfig::applyKindDefaults()
+{
+    switch (kind) {
+      case SystemKind::AstriFlashIdeal:
+        threadSwitch = 0;
+        sched.policy = SchedPolicy::PriorityAging;
+        break;
+      case SystemKind::AstriFlashNoPS:
+        sched.policy = SchedPolicy::Fifo;
+        break;
+      case SystemKind::AstriFlash:
+      case SystemKind::AstriFlashNoDP:
+        sched.policy = SchedPolicy::PriorityAging;
+        break;
+      case SystemKind::OsSwap:
+        // OS threads are heavier; a realistic swap setup runs fewer
+        // blocked threads per core, but the same bound keeps the
+        // comparison about per-switch cost, not thread supply.
+        break;
+      case SystemKind::DramOnly:
+      case SystemKind::FlashSync:
+        break;
+    }
+}
+
+} // namespace astriflash::core

@@ -1,0 +1,111 @@
+#include "aso_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::cpu {
+
+AsoEngine::AsoEngine(const OoOConfig &config)
+    : cfg(config), map(config.archRegs,
+                       config.physRegs + config.asoExtraRegs)
+{
+}
+
+AsoDispatch
+AsoEngine::writeReg(std::uint32_t arch_reg)
+{
+    PhysReg old_reg = kNoReg;
+    const PhysReg fresh = map.rename(arch_reg, &old_reg);
+    if (fresh == kNoReg) {
+        statsData.prfStalls.inc();
+        return AsoDispatch::NoPhysRegs;
+    }
+    undoLog.push_back(Rename{seq, arch_reg, old_reg, fresh});
+    ++seq;
+    statsData.renames.inc();
+    // With no store pending, nothing can abort this rename; its old
+    // mapping is dead immediately.
+    if (stores.empty())
+        reclaimUnprotected();
+    return AsoDispatch::Ok;
+}
+
+AsoDispatch
+AsoEngine::dispatchStore(std::uint64_t addr)
+{
+    if (stores.size() >= cfg.sbEntries) {
+        statsData.sbFullStalls.inc();
+        return AsoDispatch::SbFull;
+    }
+    StoreEntry entry;
+    entry.seq = seq;
+    entry.addr = addr;
+    entry.snapshot = map.snapshot();
+    stores.push_back(std::move(entry));
+    ++seq;
+    statsData.storesDispatched.inc();
+    return AsoDispatch::Ok;
+}
+
+std::uint64_t
+AsoEngine::oldestStoreAddr() const
+{
+    ASTRI_ASSERT_MSG(!stores.empty(), "SB empty");
+    return stores.front().addr;
+}
+
+void
+AsoEngine::reclaimUnprotected()
+{
+    // A deferred rename with sequence q can release its displaced
+    // register once no pending store with snapshot taken at or before
+    // q remains (nothing can roll the map back across it anymore).
+    const InstSeq protect_from =
+        stores.empty() ? seq : stores.front().seq;
+    while (!undoLog.empty() && undoLog.front().seq < protect_from) {
+        if (undoLog.front().oldReg != kNoReg)
+            map.release(undoLog.front().oldReg);
+        undoLog.pop_front();
+    }
+}
+
+void
+AsoEngine::completeOldestStore()
+{
+    ASTRI_ASSERT_MSG(!stores.empty(), "completing with empty SB");
+    stores.pop_front();
+    statsData.storesCompleted.inc();
+    reclaimUnprotected();
+}
+
+void
+AsoEngine::abortOldestStore()
+{
+    ASTRI_ASSERT_MSG(!stores.empty(), "aborting with empty SB");
+    const StoreEntry head = std::move(stores.front());
+
+    // Undo every rename younger than the aborting store, newest first,
+    // reclaiming the speculatively allocated registers.
+    while (!undoLog.empty() && undoLog.back().seq >= head.seq) {
+        const Rename r = undoLog.back();
+        undoLog.pop_back();
+        ASTRI_ASSERT_MSG(map.mapping(r.archReg) == r.newReg,
+                         "undo log inconsistent with rename map");
+        map.release(r.newReg);
+        map.forceMap(r.archReg, r.oldReg);
+        statsData.renamesRolledBack.inc();
+    }
+    // The aborting store and everything younger leave the SB; their
+    // snapshots die with them.
+    stores.clear();
+    statsData.storesAborted.inc();
+
+    // Cross-check the undo log against the hardware mechanism: the
+    // rolled-back map must equal the aborting store's snapshot.
+    ASTRI_ASSERT_MSG(map.snapshot() == head.snapshot,
+                     "rollback diverged from the store's map snapshot");
+
+    // With the SB empty, the surviving older renames are final.
+    reclaimUnprotected();
+}
+
+} // namespace astriflash::cpu

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Post-retirement store speculation engine (ASO-style, §IV-C4).
+ *
+ * In AstriFlash any committed store sitting in the Store Buffer can
+ * still abort when its DRAM-cache access misses, so the core must be
+ * able to revert the rename state to the aborting store and discard
+ * everything younger. The paper extends ASO [77]: physical registers
+ * written after a store are only freed once that store leaves the SB,
+ * and each SB entry carries a map-table snapshot.
+ *
+ * This functional engine implements those semantics two ways at once —
+ * a per-store snapshot (the hardware mechanism) and an undo log — and
+ * cross-checks them on every abort, making the model self-verifying.
+ */
+
+#ifndef ASTRIFLASH_CPU_ASO_ENGINE_HH
+#define ASTRIFLASH_CPU_ASO_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+#include "ooo_config.hh"
+#include "register_map.hh"
+
+namespace astriflash::cpu {
+
+/** Instruction sequence number (program order). */
+using InstSeq = std::uint64_t;
+
+/** Outcome of trying to dispatch into the engine. */
+enum class AsoDispatch {
+    Ok,
+    SbFull,      ///< Store buffer is full; retire stalls.
+    NoPhysRegs,  ///< PRF (incl. ASO extension) exhausted; stall.
+};
+
+/**
+ * Store buffer + deferred register reclamation.
+ *
+ * Usage protocol (program order):
+ *  - writeReg() for each instruction that produces a register value;
+ *  - dispatchStore() when a store retires into the SB;
+ *  - completeOldestStore() when the SB head's write hits the DRAM cache;
+ *  - abortOldestStore() when it misses — rolls back every younger
+ *    rename and drops all younger stores.
+ */
+class AsoEngine
+{
+  public:
+    struct Stats {
+        sim::Counter renames;
+        sim::Counter storesDispatched;
+        sim::Counter storesCompleted;
+        sim::Counter storesAborted;
+        sim::Counter renamesRolledBack;
+        sim::Counter sbFullStalls;
+        sim::Counter prfStalls;
+    };
+
+    explicit AsoEngine(const OoOConfig &config);
+
+    /**
+     * Rename the destination of one instruction.
+     * @return Ok, or NoPhysRegs if the PRF is exhausted (the caller
+     *         must drain the SB before retrying).
+     */
+    AsoDispatch writeReg(std::uint32_t arch_reg);
+
+    /**
+     * Move a retiring store into the store buffer.
+     * @param addr  The store's target address (diagnostics).
+     */
+    AsoDispatch dispatchStore(std::uint64_t addr);
+
+    /** True if any store is pending in the SB. */
+    bool hasPendingStores() const { return !stores.empty(); }
+
+    /** Number of SB entries in use. */
+    std::uint32_t sbOccupancy() const
+    {
+        return static_cast<std::uint32_t>(stores.size());
+    }
+
+    /** Address of the SB head (the next store to issue). */
+    std::uint64_t oldestStoreAddr() const;
+
+    /**
+     * The SB head's DRAM-cache access hit: free its snapshot and every
+     * deferred register that no remaining store still protects.
+     */
+    void completeOldestStore();
+
+    /**
+     * The SB head's DRAM-cache access missed: revert the rename state
+     * to the head store's snapshot, discard all younger stores, and
+     * reclaim every speculatively allocated register.
+     */
+    void abortOldestStore();
+
+    /** Current mapping (for tests / value tracking). */
+    PhysReg mapping(std::uint32_t arch_reg) const
+    {
+        return map.mapping(arch_reg);
+    }
+
+    /** Free physical registers remaining. */
+    std::uint32_t freeRegs() const { return map.freeCount(); }
+
+    /** Program-order sequence of the next instruction. */
+    InstSeq nextSeq() const { return seq; }
+
+    const Stats &stats() const { return statsData; }
+
+  private:
+    struct Rename {
+        InstSeq seq;
+        std::uint32_t archReg;
+        PhysReg oldReg;
+        PhysReg newReg;
+    };
+
+    struct StoreEntry {
+        InstSeq seq;
+        std::uint64_t addr;
+        std::vector<PhysReg> snapshot;
+    };
+
+    /** Free deferred renames no longer protected by any store. */
+    void reclaimUnprotected();
+
+    OoOConfig cfg;
+    RegisterMap map;
+    InstSeq seq = 0;
+    std::deque<Rename> undoLog;   ///< Renames not yet reclaimable.
+    std::deque<StoreEntry> stores;
+    Stats statsData;
+};
+
+} // namespace astriflash::cpu
+
+#endif // ASTRIFLASH_CPU_ASO_ENGINE_HH

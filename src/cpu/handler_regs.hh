@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Switch-on-miss architectural registers (§IV-C2, §IV-C3).
+ *
+ * Two registers extend the process state:
+ *  - the Handler Address Register holds the user-level scheduler entry
+ *    point and is writable only in privileged mode (installed via a
+ *    verified system call);
+ *  - the Resume Register holds the PC of the miss-triggering
+ *    instruction plus the forward-progress bit, and is user-writable.
+ *
+ * When the forward-progress bit is set, the resuming instruction's
+ * memory access must complete synchronously at the frontside
+ * controller even on a DRAM-cache miss, guaranteeing the thread
+ * retires at least one instruction before it can be switched out
+ * again — the anti-livelock mechanism.
+ */
+
+#ifndef ASTRIFLASH_CPU_HANDLER_REGS_HH
+#define ASTRIFLASH_CPU_HANDLER_REGS_HH
+
+#include <cstdint>
+
+namespace astriflash::cpu {
+
+/** The per-process switch-on-miss register pair. */
+class HandlerRegs
+{
+  public:
+    /**
+     * Install the user-level handler address.
+     * @param privileged  Must be true (kernel-mediated install).
+     * @return false if the write was attempted without privilege.
+     */
+    bool
+    setHandler(std::uint64_t addr, bool privileged)
+    {
+        if (!privileged)
+            return false;
+        handlerAddr = addr;
+        handlerValid = true;
+        return true;
+    }
+
+    /** True once a handler is installed; misses trap to the OS until
+     *  then (legacy behaviour). */
+    bool handlerInstalled() const { return handlerValid; }
+
+    /** The user-level scheduler entry point. */
+    std::uint64_t handler() const { return handlerAddr; }
+
+    /** Save the miss-triggering PC (hardware write on a miss signal). */
+    void
+    recordMiss(std::uint64_t pc)
+    {
+        resumePcVal = pc;
+        fpBit = false;
+    }
+
+    /** User-mode write: arm the resume PC with forward progress. */
+    void
+    armForwardProgress(std::uint64_t pc)
+    {
+        resumePcVal = pc;
+        fpBit = true;
+    }
+
+    /** The resuming instruction clears the bit when it retires. */
+    void clearForwardProgress() { fpBit = false; }
+
+    std::uint64_t resumePc() const { return resumePcVal; }
+    bool forwardProgress() const { return fpBit; }
+
+    /** Context-switch support: the pair is ordinary process state. */
+    struct Saved {
+        std::uint64_t handlerAddr;
+        bool handlerValid;
+        std::uint64_t resumePc;
+        bool fpBit;
+    };
+
+    Saved
+    save() const
+    {
+        return Saved{handlerAddr, handlerValid, resumePcVal, fpBit};
+    }
+
+    void
+    load(const Saved &s)
+    {
+        handlerAddr = s.handlerAddr;
+        handlerValid = s.handlerValid;
+        resumePcVal = s.resumePc;
+        fpBit = s.fpBit;
+    }
+
+  private:
+    std::uint64_t handlerAddr = 0;
+    bool handlerValid = false;
+    std::uint64_t resumePcVal = 0;
+    bool fpBit = false;
+};
+
+} // namespace astriflash::cpu
+
+#endif // ASTRIFLASH_CPU_HANDLER_REGS_HH

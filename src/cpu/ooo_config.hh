@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Out-of-order core parameters and derived cost model.
+ *
+ * The paper models 4-wide ARM Cortex-A76-class cores (128-entry ROB,
+ * 32-entry store buffer). The timing simulator charges the switch-on-
+ * miss control path with the costs derived here: pipeline flush on a
+ * DRAM-cache miss signal, redirect to the user-level handler, and the
+ * user-level thread switch itself (~100 ns, §IV-D).
+ */
+
+#ifndef ASTRIFLASH_CPU_OOO_CONFIG_HH
+#define ASTRIFLASH_CPU_OOO_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace astriflash::cpu {
+
+/** Core microarchitecture parameters (Cortex-A76-like defaults). */
+struct OoOConfig {
+    std::uint64_t frequencyHz = 2'500'000'000ull;
+    std::uint32_t issueWidth = 4;
+    std::uint32_t robEntries = 128;
+    std::uint32_t sbEntries = 32;
+    std::uint32_t archRegs = 32;
+    std::uint32_t physRegs = 128;
+    /** Extra physical registers reserved for ASO snapshots (§IV-C4). */
+    std::uint32_t asoExtraRegs = 128;
+    /** Pipeline depth for redirect cost (fetch-to-issue). */
+    std::uint32_t redirectCycles = 12;
+
+    /** Clock domain for cycle/tick conversion. */
+    sim::ClockDomain
+    clock() const
+    {
+        return sim::ClockDomain(frequencyHz);
+    }
+
+    /**
+     * Cost of aborting at a DRAM-cache miss: squash the ROB and refill
+     * the front-end. Lost work scales with occupied ROB entries; we
+     * charge the average (half-full ROB drained at issue width) plus
+     * the redirect, which is what makes compute-heavy TPCC lose more
+     * per flush than the pointer-chasing microbenchmarks (§VI-A).
+     */
+    sim::Ticks
+    robFlushCost() const
+    {
+        const std::uint64_t refill_cycles =
+            robEntries / (2 * issueWidth) + redirectCycles;
+        return clock().cycles(refill_cycles);
+    }
+
+    /** Cost of entering the user-level handler (register save path). */
+    sim::Ticks
+    handlerEntryCost() const
+    {
+        return clock().cycles(redirectCycles);
+    }
+};
+
+} // namespace astriflash::cpu
+
+#endif // ASTRIFLASH_CPU_OOO_CONFIG_HH

@@ -1,0 +1,78 @@
+#include "register_map.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::cpu {
+
+RegisterMap::RegisterMap(std::uint32_t arch_regs, std::uint32_t phys_regs)
+{
+    ASTRI_ASSERT_MSG(phys_regs >= arch_regs,
+                     "need at least as many phys as arch registers");
+    ASTRI_ASSERT_MSG(phys_regs < kNoReg, "phys reg count overflows index");
+    map.resize(arch_regs);
+    isFree.assign(phys_regs, false);
+    for (std::uint32_t i = 0; i < arch_regs; ++i)
+        map[i] = static_cast<PhysReg>(i);
+    for (std::uint32_t i = phys_regs; i > arch_regs; --i) {
+        freeList.push_back(static_cast<PhysReg>(i - 1));
+        isFree[i - 1] = true;
+    }
+}
+
+PhysReg
+RegisterMap::rename(std::uint32_t arch_reg, PhysReg *old_reg)
+{
+    ASTRI_ASSERT(arch_reg < map.size());
+    if (freeList.empty())
+        return kNoReg;
+    const PhysReg fresh = freeList.back();
+    freeList.pop_back();
+    isFree[fresh] = false;
+    if (old_reg)
+        *old_reg = map[arch_reg];
+    map[arch_reg] = fresh;
+    return fresh;
+}
+
+PhysReg
+RegisterMap::mapping(std::uint32_t arch_reg) const
+{
+    ASTRI_ASSERT(arch_reg < map.size());
+    return map[arch_reg];
+}
+
+void
+RegisterMap::release(PhysReg reg)
+{
+    ASTRI_ASSERT(reg < isFree.size());
+    ASTRI_ASSERT_MSG(!isFree[reg], "double release of phys reg %u", reg);
+    isFree[reg] = true;
+    freeList.push_back(reg);
+}
+
+void
+RegisterMap::forceMap(std::uint32_t arch_reg, PhysReg reg)
+{
+    ASTRI_ASSERT(arch_reg < map.size());
+    ASTRI_ASSERT(reg < isFree.size());
+    ASTRI_ASSERT_MSG(!isFree[reg],
+                     "restoring a freed phys reg %u to arch %u", reg,
+                     arch_reg);
+    map[arch_reg] = reg;
+}
+
+void
+RegisterMap::restore(const std::vector<PhysReg> &snap)
+{
+    ASTRI_ASSERT(snap.size() == map.size());
+    // Release registers that are live now but were not live in the
+    // snapshot (they were allocated by squashed instructions).
+    for (std::size_t i = 0; i < map.size(); ++i) {
+        if (map[i] != snap[i]) {
+            release(map[i]);
+            map[i] = snap[i];
+        }
+    }
+}
+
+} // namespace astriflash::cpu

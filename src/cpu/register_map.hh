@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Architectural-to-physical register rename map with a free list.
+ *
+ * Substrate for the ASO-style post-retirement speculation engine: the
+ * map can be snapshotted per store-buffer entry and restored on a
+ * DRAM-cache-miss abort (§IV-C4).
+ */
+
+#ifndef ASTRIFLASH_CPU_REGISTER_MAP_HH
+#define ASTRIFLASH_CPU_REGISTER_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace astriflash::cpu {
+
+/** Physical register index. */
+using PhysReg = std::uint16_t;
+
+/** Invalid physical register sentinel. */
+inline constexpr PhysReg kNoReg = 0xffff;
+
+/** Rename map: arch reg -> phys reg, plus a phys-reg free list. */
+class RegisterMap
+{
+  public:
+    /**
+     * @param arch_regs  Number of architectural registers.
+     * @param phys_regs  Total physical registers (>= arch_regs).
+     *
+     * Initially arch reg i maps to phys reg i; the rest are free.
+     */
+    RegisterMap(std::uint32_t arch_regs, std::uint32_t phys_regs);
+
+    /**
+     * Rename: allocate a fresh phys reg for @p arch_reg.
+     * @param[out] old_reg  The previous mapping (to free at commit).
+     * @return The new phys reg, or kNoReg if the free list is empty.
+     */
+    PhysReg rename(std::uint32_t arch_reg, PhysReg *old_reg);
+
+    /** Current mapping of @p arch_reg. */
+    PhysReg mapping(std::uint32_t arch_reg) const;
+
+    /** Return @p reg to the free list. */
+    void release(PhysReg reg);
+
+    /** Snapshot of the full map table (32 x 8-bit indices in silicon). */
+    std::vector<PhysReg> snapshot() const { return map; }
+
+    /**
+     * Restore a snapshot, releasing every phys reg that is mapped now
+     * but was not mapped then (the speculative allocations).
+     */
+    void restore(const std::vector<PhysReg> &snap);
+
+    /**
+     * Force @p arch_reg to map to @p reg without touching the free
+     * list. Rollback support: @p reg must be a live (non-free)
+     * register the caller is restoring from an undo record.
+     */
+    void forceMap(std::uint32_t arch_reg, PhysReg reg);
+
+    /** Number of free physical registers. */
+    std::uint32_t freeCount() const
+    {
+        return static_cast<std::uint32_t>(freeList.size());
+    }
+
+    std::uint32_t archCount() const
+    {
+        return static_cast<std::uint32_t>(map.size());
+    }
+
+  private:
+    std::vector<PhysReg> map;
+    std::vector<PhysReg> freeList;
+    std::vector<bool> isFree;
+};
+
+} // namespace astriflash::cpu
+
+#endif // ASTRIFLASH_CPU_REGISTER_MAP_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reorder-buffer occupancy model.
+ *
+ * Functional ROB used to size the squash cost of a switch-on-miss
+ * flush and to test the precise-exception protocol: the miss signal
+ * names a triggering instruction; everything older retires, everything
+ * from the trigger onward is squashed, and the PC of the trigger goes
+ * to the resume register (§IV-C2).
+ */
+
+#ifndef ASTRIFLASH_CPU_ROB_HH
+#define ASTRIFLASH_CPU_ROB_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/stats.hh"
+
+namespace astriflash::cpu {
+
+/** Minimal in-flight instruction record. */
+struct RobEntry {
+    std::uint64_t seq = 0;
+    std::uint64_t pc = 0;
+    bool isMem = false;
+};
+
+/** Circular reorder buffer tracked as a deque. */
+class Rob
+{
+  public:
+    struct Stats {
+        sim::Counter dispatched;
+        sim::Counter retired;
+        sim::Counter squashed;
+        sim::Counter flushes;
+        sim::Counter fullStalls;
+    };
+
+    explicit Rob(std::uint32_t entries) : capacity(entries) {}
+
+    /** True when no instruction can be dispatched. */
+    bool full() const { return buf.size() >= capacity; }
+
+    /** True when no instruction is in flight. */
+    bool empty() const { return buf.empty(); }
+
+    std::uint32_t occupancy() const
+    {
+        return static_cast<std::uint32_t>(buf.size());
+    }
+
+    /**
+     * Dispatch an instruction.
+     * @return its sequence number, or 0 on a full-ROB stall.
+     */
+    std::uint64_t
+    dispatch(std::uint64_t pc, bool is_mem)
+    {
+        if (full()) {
+            statsData.fullStalls.inc();
+            return 0;
+        }
+        const std::uint64_t s = ++seq;
+        buf.push_back(RobEntry{s, pc, is_mem});
+        statsData.dispatched.inc();
+        return s;
+    }
+
+    /** Retire every instruction with sequence <= @p upto (in order). */
+    void
+    retireUpTo(std::uint64_t upto)
+    {
+        while (!buf.empty() && buf.front().seq <= upto) {
+            buf.pop_front();
+            statsData.retired.inc();
+        }
+    }
+
+    /**
+     * Flush the trigger and everything younger.
+     * @return the number of squashed instructions (lost work).
+     */
+    std::uint32_t
+    flushFrom(std::uint64_t trigger_seq)
+    {
+        std::uint32_t n = 0;
+        while (!buf.empty() && buf.back().seq >= trigger_seq) {
+            buf.pop_back();
+            ++n;
+        }
+        statsData.squashed.inc(n);
+        statsData.flushes.inc();
+        return n;
+    }
+
+    /** Oldest in-flight entry. Caller must check !empty(). */
+    const RobEntry &head() const { return buf.front(); }
+
+    const Stats &stats() const { return statsData; }
+
+  private:
+    std::uint32_t capacity;
+    std::uint64_t seq = 0;
+    std::deque<RobEntry> buf;
+    Stats statsData;
+};
+
+} // namespace astriflash::cpu
+
+#endif // ASTRIFLASH_CPU_ROB_HH

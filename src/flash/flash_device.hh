@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SSD timing model: planes, channels, deprioritized writes, GC stalls.
+ *
+ * Combines the FTL (placement, GC policy) with busy-until timing for
+ * every plane and channel. Reads occupy their plane for tR and their
+ * channel for the page transfer; writes and GC relocations occupy the
+ * plane for program/erase times and are serviced behind reads, matching
+ * the paper's "flash writebacks are de-prioritized against reads". A
+ * read that arrives while its plane is garbage-collecting is counted as
+ * GC-blocked — the §VI-D interference metric.
+ */
+
+#ifndef ASTRIFLASH_FLASH_FLASH_DEVICE_HH
+#define ASTRIFLASH_FLASH_FLASH_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+#include "flash_config.hh"
+#include "ftl.hh"
+
+namespace astriflash::flash {
+
+/** Completion information for one flash read. */
+struct FlashReadResult {
+    sim::Ticks complete = 0;   ///< Data available at host.
+    sim::Ticks queueing = 0;   ///< Time spent waiting for plane+channel.
+    bool blockedByGc = false;  ///< Plane was erasing/relocating.
+};
+
+/** 4 KB-page SSD with channel/plane parallelism. */
+class FlashDevice
+{
+  public:
+    struct Stats {
+        sim::Counter reads;
+        sim::Counter writes;
+        sim::Counter gcBlockedReads;
+        sim::Histogram readLatency;  ///< End-to-end ticks.
+        sim::Histogram writeLatency; ///< Host-visible (ack) ticks.
+    };
+
+    /**
+     * @param preload_pages  Logical pages pre-loaded as the dataset
+     *                       (default: full user capacity).
+     */
+    FlashDevice(std::string name, const FlashConfig &config,
+                std::uint64_t preload_pages = ~std::uint64_t{0});
+
+    /**
+     * Read logical page @p lpn arriving at @p now.
+     * @param bytes  Bytes to transfer to the host (0 = whole page).
+     *               The array read (tR) always fetches the full page;
+     *               partial transfers (footprint mode) only shorten
+     *               the channel occupancy.
+     */
+    FlashReadResult read(std::uint64_t lpn, sim::Ticks now,
+                         std::uint64_t bytes = 0);
+
+    /**
+     * Write logical page @p lpn arriving at @p now.
+     *
+     * The host-visible acknowledgment is the transfer into the device
+     * buffer; the program (and any GC it triggers) occupies the plane
+     * asynchronously afterwards.
+     * @return tick when the device has accepted the page.
+     */
+    sim::Ticks write(std::uint64_t lpn, sim::Ticks now);
+
+    /** First tick at which the plane serving @p lpn is free. */
+    sim::Ticks planeFreeAt(std::uint64_t lpn) const;
+
+    const Ftl &ftl() const { return ftlModel; }
+    const FlashConfig &config() const { return cfg; }
+    const Stats &stats() const { return statsData; }
+
+    /** User capacity in pages (convenience passthrough). */
+    std::uint64_t userPages() const { return ftlModel.userPages(); }
+
+    /** Zero device-level statistics (end of warmup). FTL counters
+     *  (wear, write amplification) are cumulative and not reset. */
+    void
+    resetStats()
+    {
+        statsData = Stats{};
+    }
+
+  private:
+    /**
+     * Read/write occupancy is tracked separately: modern NAND
+     * supports program/erase suspend, and the FTL de-prioritizes
+     * writebacks (§IV-B2), so reads only queue behind other reads —
+     * except during garbage collection, whose relocation/erase burst
+     * blocks the whole plane (the §VI-D interference).
+     */
+    struct PlaneState {
+        sim::Ticks readBusyUntil = 0;
+        sim::Ticks writeBusyUntil = 0;
+        sim::Ticks gcUntil = 0;
+    };
+
+    std::uint32_t channelOf(std::uint32_t plane) const;
+
+    std::string devName;
+    FlashConfig cfg;
+    Ftl ftlModel;
+    std::vector<PlaneState> planes;
+    std::vector<sim::Ticks> channelBusy;
+    Stats statsData;
+};
+
+} // namespace astriflash::flash
+
+#endif // ASTRIFLASH_FLASH_FLASH_DEVICE_HH

@@ -1,0 +1,295 @@
+#include "ftl.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::flash {
+
+namespace {
+constexpr std::uint64_t kUnmapped = ~std::uint64_t{0};
+} // namespace
+
+std::uint64_t
+Ftl::pack(const PhysPage &p)
+{
+    return (static_cast<std::uint64_t>(p.plane) << 40) |
+           (static_cast<std::uint64_t>(p.block) << 16) |
+           static_cast<std::uint64_t>(p.page);
+}
+
+PhysPage
+Ftl::unpack(std::uint64_t v) const
+{
+    PhysPage p;
+    p.plane = static_cast<std::uint32_t>(v >> 40);
+    p.block = static_cast<std::uint32_t>((v >> 16) & 0xffffff);
+    p.page = static_cast<std::uint32_t>(v & 0xffff);
+    return p;
+}
+
+Ftl::Ftl(std::string name, const FlashConfig &config,
+         std::uint64_t preload_pages)
+    : ftlName(std::move(name)), cfg(config),
+      preloaded(preload_pages == ~std::uint64_t{0}
+                    ? config.userPages()
+                    : preload_pages)
+{
+    if (cfg.pagesPerBlock == 0 || cfg.blocksPerPlane == 0)
+        ASTRI_FATAL("%s: empty flash geometry", ftlName.c_str());
+    if (preloaded > cfg.userPages())
+        ASTRI_FATAL("%s: preload %llu exceeds user capacity %llu",
+                    ftlName.c_str(),
+                    static_cast<unsigned long long>(preloaded),
+                    static_cast<unsigned long long>(cfg.userPages()));
+    planes.resize(cfg.totalPlanes());
+
+    // Pre-load the dataset: the first blocks of each plane are fully
+    // valid with statically-striped logical pages; the remaining
+    // blocks (free capacity + overprovisioning) start free.
+    const std::uint64_t user_pages = preloaded;
+    const std::uint32_t nplanes = cfg.totalPlanes();
+    for (std::uint32_t pl = 0; pl < nplanes; ++pl) {
+        Plane &plane = planes[pl];
+        plane.blocks.resize(cfg.blocksPerPlane);
+        // Pages of this plane: lpns with lpn % nplanes == pl.
+        const std::uint64_t plane_pages =
+            user_pages / nplanes + (pl < user_pages % nplanes ? 1 : 0);
+        const std::uint64_t full_blocks = plane_pages / cfg.pagesPerBlock;
+        const std::uint32_t partial = static_cast<std::uint32_t>(
+            plane_pages % cfg.pagesPerBlock);
+        for (std::uint64_t b = 0; b < cfg.blocksPerPlane; ++b) {
+            Block &blk = plane.blocks[b];
+            if (b < full_blocks) {
+                blk.validPages = cfg.pagesPerBlock;
+                blk.writePtr = cfg.pagesPerBlock;
+            } else if (b == full_blocks && partial > 0) {
+                blk.validPages = partial;
+                blk.writePtr = partial;
+            } else {
+                ++plane.freeBlocks;
+                plane.freePages += cfg.pagesPerBlock;
+            }
+        }
+        // Start writing into the first fully-free block.
+        plane.activeBlock = static_cast<std::uint32_t>(
+            full_blocks + (partial > 0 ? 1 : 0));
+        if (plane.activeBlock < cfg.blocksPerPlane) {
+            --plane.freeBlocks; // the active block is claimed
+        }
+    }
+}
+
+std::uint32_t
+Ftl::planeOf(std::uint64_t lpn) const
+{
+    return static_cast<std::uint32_t>(lpn % cfg.totalPlanes());
+}
+
+PhysPage
+Ftl::translate(std::uint64_t lpn)
+{
+    if (auto it = mapping.find(lpn); it != mapping.end())
+        return unpack(it->second);
+    ASTRI_ASSERT_MSG(lpn < preloaded,
+                     "read of unwritten lpn %llu beyond the preloaded "
+                     "dataset",
+                     static_cast<unsigned long long>(lpn));
+    // Static pre-load location.
+    PhysPage p;
+    p.plane = planeOf(lpn);
+    const std::uint64_t idx = lpn / cfg.totalPlanes();
+    p.block = static_cast<std::uint32_t>(idx / cfg.pagesPerBlock);
+    p.page = static_cast<std::uint32_t>(idx % cfg.pagesPerBlock);
+    return p;
+}
+
+void
+Ftl::invalidateOld(std::uint64_t lpn)
+{
+    const PhysPage old = translate(lpn);
+    Plane &plane = planes[old.plane];
+    Block &blk = plane.blocks[old.block];
+    if (blk.owners.empty()) {
+        // Materialize the static block's owner list so individual
+        // pages can be marked invalid.
+        blk.owners.assign(cfg.pagesPerBlock, kUnmapped);
+        for (std::uint32_t pg = 0; pg < blk.writePtr; ++pg) {
+            const std::uint64_t static_lpn =
+                (static_cast<std::uint64_t>(old.block) *
+                     cfg.pagesPerBlock + pg) * cfg.totalPlanes() +
+                old.plane;
+            if (static_lpn < preloaded)
+                blk.owners[pg] = static_lpn;
+        }
+    }
+    if (blk.owners[old.page] != kUnmapped) {
+        blk.owners[old.page] = kUnmapped;
+        ASTRI_ASSERT(blk.validPages > 0);
+        --blk.validPages;
+    }
+}
+
+PhysPage
+Ftl::allocate(std::uint32_t plane_idx)
+{
+    Plane &plane = planes[plane_idx];
+    ASTRI_ASSERT_MSG(plane.activeBlock < cfg.blocksPerPlane,
+                     "%s: plane %u has no active block",
+                     ftlName.c_str(), plane_idx);
+    Block *blk = &plane.blocks[plane.activeBlock];
+    if (blk->writePtr >= cfg.pagesPerBlock) {
+        // Advance the frontier to the next free block.
+        std::uint32_t next = cfg.blocksPerPlane;
+        for (std::uint32_t b = 0; b < cfg.blocksPerPlane; ++b) {
+            const Block &cand = plane.blocks[b];
+            if (cand.writePtr == 0 && cand.validPages == 0) {
+                next = b;
+                break;
+            }
+        }
+        ASTRI_ASSERT_MSG(next < cfg.blocksPerPlane,
+                         "%s: plane %u out of free blocks "
+                         "(overprovisioning exhausted)",
+                         ftlName.c_str(), plane_idx);
+        plane.activeBlock = next;
+        ASTRI_ASSERT(plane.freeBlocks > 0);
+        --plane.freeBlocks;
+        blk = &plane.blocks[next];
+    }
+    if (blk->owners.empty())
+        blk->owners.assign(cfg.pagesPerBlock, kUnmapped);
+    PhysPage out;
+    out.plane = plane_idx;
+    out.block = plane.activeBlock;
+    out.page = blk->writePtr;
+    ++blk->writePtr;
+    ASTRI_ASSERT(plane.freePages > 0);
+    --plane.freePages;
+    return out;
+}
+
+std::uint32_t
+Ftl::pickVictim(const Plane &plane) const
+{
+    std::uint32_t best = ~0u;
+    for (std::uint32_t b = 0; b < cfg.blocksPerPlane; ++b) {
+        const Block &blk = plane.blocks[b];
+        // Only sealed, non-active blocks with reclaimable space are
+        // candidates (erasing the write frontier would corrupt the
+        // free-block accounting).
+        if (b == plane.activeBlock ||
+            blk.writePtr < cfg.pagesPerBlock ||
+            blk.validPages == cfg.pagesPerBlock) {
+            continue;
+        }
+        if (best == ~0u) {
+            best = b;
+            continue;
+        }
+        const Block &cur = plane.blocks[best];
+        if (blk.validPages < cur.validPages ||
+            (blk.validPages == cur.validPages &&
+             blk.eraseCount < cur.eraseCount)) {
+            best = b;
+        }
+    }
+    return best;
+}
+
+GcWork
+Ftl::collectGarbage(std::uint32_t plane_idx)
+{
+    Plane &plane = planes[plane_idx];
+    GcWork work;
+    work.plane = plane_idx;
+    statsData.gcInvocations.inc();
+
+    while (plane.freeBlocks < cfg.gcFreeBlockLow) {
+        const std::uint32_t victim_idx = pickVictim(plane);
+        if (victim_idx == ~0u)
+            break; // nothing reclaimable; writes will hit the wall
+        Block &victim = plane.blocks[victim_idx];
+        // Relocate valid pages within the local plane (the paper's
+        // local-erasure policy keeps GC traffic off other planes).
+        if (victim.owners.empty()) {
+            victim.owners.assign(cfg.pagesPerBlock, kUnmapped);
+            for (std::uint32_t pg = 0; pg < victim.writePtr; ++pg) {
+                const std::uint64_t static_lpn =
+                    (static_cast<std::uint64_t>(victim_idx) *
+                         cfg.pagesPerBlock + pg) * cfg.totalPlanes() +
+                    plane_idx;
+                if (static_lpn < preloaded)
+                    victim.owners[pg] = static_lpn;
+            }
+        }
+        for (std::uint32_t pg = 0; pg < cfg.pagesPerBlock; ++pg) {
+            const std::uint64_t lpn = victim.owners[pg];
+            if (lpn == kUnmapped)
+                continue;
+            const PhysPage dst = allocate(plane_idx);
+            Block &dst_blk = plane.blocks[dst.block];
+            dst_blk.owners[dst.page] = lpn;
+            ++dst_blk.validPages;
+            mapping[lpn] = pack(dst);
+            ++work.relocatedPages;
+            statsData.gcRelocations.inc();
+            statsData.flashPrograms.inc();
+        }
+        // Erase the victim.
+        victim.validPages = 0;
+        victim.writePtr = 0;
+        victim.owners.clear();
+        victim.owners.shrink_to_fit();
+        ++victim.eraseCount;
+        ++plane.freeBlocks;
+        plane.freePages += cfg.pagesPerBlock;
+        ++work.erasedBlocks;
+        statsData.erases.inc();
+    }
+    return work;
+}
+
+PhysPage
+Ftl::write(std::uint64_t lpn, GcWork *gc)
+{
+    ASTRI_ASSERT_MSG(lpn < preloaded,
+                     "write of lpn %llu beyond the preloaded dataset",
+                     static_cast<unsigned long long>(lpn));
+    statsData.hostWrites.inc();
+    invalidateOld(lpn);
+
+    const std::uint32_t plane_idx = planeOf(lpn);
+    const PhysPage dst = allocate(plane_idx);
+    Block &blk = planes[plane_idx].blocks[dst.block];
+    blk.owners[dst.page] = lpn;
+    ++blk.validPages;
+    mapping[lpn] = pack(dst);
+    statsData.flashPrograms.inc();
+
+    GcWork local;
+    if (planes[plane_idx].freeBlocks < cfg.gcFreeBlockLow)
+        local = collectGarbage(plane_idx);
+    if (gc)
+        *gc = local;
+    return dst;
+}
+
+std::uint64_t
+Ftl::freePagesInPlane(std::uint32_t plane) const
+{
+    return planes[plane].freePages;
+}
+
+std::uint32_t
+Ftl::eraseCountSpread() const
+{
+    std::uint32_t lo = ~0u, hi = 0;
+    for (const Plane &plane : planes) {
+        for (const Block &blk : plane.blocks) {
+            lo = blk.eraseCount < lo ? blk.eraseCount : lo;
+            hi = blk.eraseCount > hi ? blk.eraseCount : hi;
+        }
+    }
+    return hi >= lo ? hi - lo : 0;
+}
+
+} // namespace astriflash::flash

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Address types and page/block arithmetic.
+ *
+ * The paper's memory hierarchy uses 64 B cache blocks on chip and 4 KB
+ * pages in the DRAM cache and flash; all address math funnels through
+ * these helpers so page-size experiments only change one constant.
+ */
+
+#ifndef ASTRIFLASH_MEM_ADDRESS_HH
+#define ASTRIFLASH_MEM_ADDRESS_HH
+
+#include <cstdint>
+
+namespace astriflash::mem {
+
+/** Physical or virtual byte address. */
+using Addr = std::uint64_t;
+
+/** Default cache block size (bytes). */
+inline constexpr std::uint64_t kBlockSize = 64;
+/** Default page size (bytes) for DRAM cache and flash. */
+inline constexpr std::uint64_t kPageSize = 4096;
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Round @p a down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Round @p a up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Page number of an address (default 4 KB pages). */
+constexpr std::uint64_t
+pageNumber(Addr a, std::uint64_t page_size = kPageSize)
+{
+    return a / page_size;
+}
+
+/** Base address of the page containing @p a. */
+constexpr Addr
+pageBase(Addr a, std::uint64_t page_size = kPageSize)
+{
+    return alignDown(a, page_size);
+}
+
+/** Block number of an address (default 64 B blocks). */
+constexpr std::uint64_t
+blockNumber(Addr a, std::uint64_t block_size = kBlockSize)
+{
+    return a / block_size;
+}
+
+/** Base address of the block containing @p a. */
+constexpr Addr
+blockBase(Addr a, std::uint64_t block_size = kBlockSize)
+{
+    return alignDown(a, block_size);
+}
+
+} // namespace astriflash::mem
+
+#endif // ASTRIFLASH_MEM_ADDRESS_HH

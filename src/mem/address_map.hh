@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Physical address map: PCIe BAR flash window + partitioned DRAM.
+ *
+ * Mirrors §IV-A of the paper: the SSD's Base Address Registers expose
+ * flash as a physical address range ("flash BAR"), while DRAM is split
+ * Knights-Landing-style into a flat partition the OS uses directly
+ * (page tables live here under DRAM partitioning) and a cached
+ * partition that backs the flash BAR range.
+ */
+
+#ifndef ASTRIFLASH_MEM_ADDRESS_MAP_HH
+#define ASTRIFLASH_MEM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "address.hh"
+
+namespace astriflash::mem {
+
+/** Where a physical address routes. */
+enum class AddressSpace {
+    DramFlat,    ///< Flat DRAM partition (OS-managed, page tables).
+    FlashCached, ///< Flash BAR range served via the DRAM cache.
+    Invalid,     ///< Outside every configured range.
+};
+
+/** A half-open [base, base+size) physical range. */
+struct AddrRange {
+    Addr base = 0;
+    std::uint64_t size = 0;
+
+    bool
+    contains(Addr a) const
+    {
+        return a >= base && a - base < size;
+    }
+
+    Addr end() const { return base + size; }
+};
+
+/** System physical address map. */
+class AddressMap
+{
+  public:
+    /**
+     * @param flat_dram_size   Bytes of flat (OS-visible) DRAM.
+     * @param flash_size       Bytes exposed by the flash BAR.
+     *
+     * Layout: flat DRAM at PA 0; flash BAR above it, aligned up to
+     * 1 GB as firmware typically places device windows.
+     */
+    AddressMap(std::uint64_t flat_dram_size, std::uint64_t flash_size)
+    {
+        constexpr std::uint64_t kBarAlign = std::uint64_t{1} << 30;
+        flat = {0, flat_dram_size};
+        flash = {alignUp(flat.end(), kBarAlign), flash_size};
+    }
+
+    /** Classify a physical address. */
+    AddressSpace
+    route(Addr a) const
+    {
+        if (flat.contains(a))
+            return AddressSpace::DramFlat;
+        if (flash.contains(a))
+            return AddressSpace::FlashCached;
+        return AddressSpace::Invalid;
+    }
+
+    /** Flash logical page number for a flash-BAR address. */
+    std::uint64_t
+    flashPage(Addr a) const
+    {
+        return (a - flash.base) / kPageSize;
+    }
+
+    /** Physical address of flash logical page @p lpn. */
+    Addr
+    flashPageAddr(std::uint64_t lpn) const
+    {
+        return flash.base + lpn * kPageSize;
+    }
+
+    const AddrRange &flatRange() const { return flat; }
+    const AddrRange &flashRange() const { return flash; }
+
+  private:
+    AddrRange flat;
+    AddrRange flash;
+};
+
+} // namespace astriflash::mem
+
+#endif // ASTRIFLASH_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,121 @@
+#include "cache_hierarchy.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::mem {
+
+std::vector<CacheLevelConfig>
+defaultHierarchyConfig()
+{
+    using sim::nanoseconds;
+    using sim::picoseconds;
+    // ARM Cortex-A76-like: 64 KB L1D (4-way, ~1.6 ns), 512 KB private
+    // L2 (8-way, ~3.6 ns), 1 MB LLC slice (16-way, ~12 ns).
+    return {
+        {"l1d", 64 * 1024, kBlockSize, 4, picoseconds(1600)},
+        {"l2", 512 * 1024, kBlockSize, 8, picoseconds(3600)},
+        {"llc", 1024 * 1024, kBlockSize, 16, nanoseconds(12)},
+    };
+}
+
+CacheHierarchy::CacheHierarchy(std::string name,
+                               const std::vector<CacheLevelConfig> &cfgs)
+    : hierName(std::move(name))
+{
+    if (cfgs.empty())
+        ASTRI_FATAL("%s: hierarchy needs at least one level",
+                    hierName.c_str());
+    for (const auto &cfg : cfgs) {
+        levels.push_back(std::make_unique<SetAssocCache>(
+            hierName + "." + cfg.name, cfg.capacity, cfg.lineSize,
+            cfg.ways));
+        levelLatency.push_back(cfg.accessLatency);
+        missLatency += cfg.accessLatency;
+    }
+}
+
+void
+CacheHierarchy::cascadeVictim(std::size_t from_level,
+                              const CacheLine &victim)
+{
+    if (!victim.dirty)
+        return;
+    for (std::size_t lvl = from_level + 1; lvl < levels.size(); ++lvl) {
+        if (levels[lvl]->markDirty(victim.tag_addr))
+            return; // absorbed by a lower level that holds the block
+        auto next_victim = levels[lvl]->fill(victim.tag_addr, true);
+        if (!next_victim)
+            return;
+        if (!next_victim->dirty)
+            return;
+        // Keep pushing the displaced dirty block downwards.
+        if (lvl + 1 >= levels.size()) {
+            lastWritebacks.push_back(next_victim->tag_addr);
+            statsData.llcWritebacks.inc();
+            return;
+        }
+        cascadeVictim(lvl, *next_victim);
+        return;
+    }
+    // Victim fell out of the LLC itself.
+    lastWritebacks.push_back(victim.tag_addr);
+    statsData.llcWritebacks.inc();
+}
+
+HierarchyAccess
+CacheHierarchy::access(Addr addr, bool is_write)
+{
+    lastWritebacks.clear();
+    statsData.accesses.inc();
+    HierarchyAccess out;
+    for (std::size_t lvl = 0; lvl < levels.size(); ++lvl) {
+        out.latency += levelLatency[lvl];
+        const bool hit = is_write ? levels[lvl]->accessWrite(addr)
+                                  : levels[lvl]->access(addr);
+        if (hit) {
+            out.hitLevel = static_cast<int>(lvl);
+            // Refill the levels above the hit.
+            for (std::size_t up = 0; up < lvl; ++up) {
+                auto victim = levels[up]->fill(addr, is_write);
+                if (victim)
+                    cascadeVictim(up, *victim);
+            }
+            return out;
+        }
+    }
+    out.llcMiss = true;
+    statsData.llcMisses.inc();
+    return out;
+}
+
+void
+CacheHierarchy::fillFromMemory(Addr addr, bool is_write)
+{
+    lastWritebacks.clear();
+    for (std::size_t lvl = 0; lvl < levels.size(); ++lvl) {
+        auto victim = levels[lvl]->fill(addr, is_write);
+        if (victim)
+            cascadeVictim(lvl, *victim);
+    }
+}
+
+bool
+CacheHierarchy::invalidateBlock(Addr addr)
+{
+    bool was_dirty = false;
+    for (auto &level : levels) {
+        if (auto line = level->invalidate(addr))
+            was_dirty = was_dirty || line->dirty;
+    }
+    return was_dirty;
+}
+
+void
+CacheHierarchy::invalidatePage(Addr addr)
+{
+    const Addr base = pageBase(addr);
+    for (Addr a = base; a < base + kPageSize; a += kBlockSize)
+        invalidateBlock(a);
+}
+
+} // namespace astriflash::mem

@@ -1,0 +1,93 @@
+#include "dram.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::mem {
+
+Dram::Dram(std::string name, const DramConfig &config)
+    : dramName(std::move(name)), cfg(config)
+{
+    if (cfg.channels == 0 || cfg.banksPerChannel == 0)
+        ASTRI_FATAL("%s: need >=1 channel and bank", dramName.c_str());
+    if (!isPowerOfTwo(cfg.rowBytes))
+        ASTRI_FATAL("%s: row size must be a power of two",
+                    dramName.c_str());
+    banks.resize(static_cast<std::size_t>(cfg.channels) *
+                 cfg.banksPerChannel);
+}
+
+std::uint64_t
+Dram::bankIndex(Addr addr) const
+{
+    // Row-granularity interleave: consecutive rows rotate channels,
+    // then banks. Accesses within one row (e.g. the DRAM cache's tag
+    // column and data columns) share a bank and enjoy row-buffer hits.
+    const std::uint64_t row = addr / cfg.rowBytes;
+    const std::uint64_t channel = row % cfg.channels;
+    const std::uint64_t bank = (row / cfg.channels) % cfg.banksPerChannel;
+    return channel * cfg.banksPerChannel + bank;
+}
+
+std::uint64_t
+Dram::rowIndex(Addr addr) const
+{
+    return addr / cfg.rowBytes;
+}
+
+DramAccessResult
+Dram::access(Addr addr, sim::Ticks now, bool is_write, std::uint64_t bytes)
+{
+    Bank &bank = banks[bankIndex(addr)];
+    const std::uint64_t row = rowIndex(addr);
+
+    DramAccessResult res;
+    res.start = now > bank.busyUntil ? now : bank.busyUntil;
+
+    sim::Ticks service = 0;
+    if (bank.rowOpen && bank.openRow == row) {
+        res.row = DramRowResult::Hit;
+        service = cfg.tCas;
+        statsData.rowHits.inc();
+    } else if (!bank.rowOpen) {
+        res.row = DramRowResult::Closed;
+        service = cfg.tRcd + cfg.tCas;
+        statsData.rowClosed.inc();
+    } else {
+        res.row = DramRowResult::Conflict;
+        service = cfg.tRp + cfg.tRcd + cfg.tCas;
+        statsData.rowConflicts.inc();
+    }
+
+    // Data transfer: one burst per 64 B (page installs stream bursts).
+    const std::uint64_t bursts = (bytes + kBlockSize - 1) / kBlockSize;
+    service += cfg.tBurst * (bursts == 0 ? 1 : bursts);
+
+    res.complete = res.start + service;
+    bank.busyUntil = res.complete;
+    bank.rowOpen = true;
+    bank.openRow = row;
+
+    if (is_write)
+        statsData.writes.inc();
+    else
+        statsData.reads.inc();
+    statsData.latency.sample(res.complete - now);
+    return res;
+}
+
+sim::Ticks
+Dram::occupyBank(Addr addr, sim::Ticks now, sim::Ticks duration)
+{
+    Bank &bank = banks[bankIndex(addr)];
+    const sim::Ticks start = now > bank.busyUntil ? now : bank.busyUntil;
+    bank.busyUntil = start + duration;
+    return bank.busyUntil;
+}
+
+sim::Ticks
+Dram::bankFreeAt(Addr addr) const
+{
+    return banks[bankIndex(addr)].busyUntil;
+}
+
+} // namespace astriflash::mem

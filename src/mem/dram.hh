@@ -1,0 +1,126 @@
+/**
+ * @file
+ * DRAM device timing model.
+ *
+ * Models banks with open-row (page-mode) policy and per-bank service
+ * occupancy. The AstriFlash frontside controller (core/) extends this
+ * model with tag CAS operations; the flat DRAM partition and the
+ * DRAM-only baseline use it directly.
+ *
+ * The model is "busy-until" based: a request arriving at tick T at a
+ * bank busy until B starts at max(T, B), pays RAS/CAS/precharge latency
+ * according to the row-buffer state, and occupies the bank for the data
+ * burst. This captures bank conflicts and row locality without
+ * simulating individual DRAM commands, which is sufficient because the
+ * studied effects are µs-scale.
+ */
+
+#ifndef ASTRIFLASH_MEM_DRAM_HH
+#define ASTRIFLASH_MEM_DRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+#include "address.hh"
+
+namespace astriflash::mem {
+
+/** DDR-style timing and geometry parameters. */
+struct DramConfig {
+    sim::Ticks tRcd = sim::picoseconds(13750);  ///< ACT -> column ready.
+    sim::Ticks tCas = sim::picoseconds(13750);  ///< Column access strobe.
+    sim::Ticks tRp = sim::picoseconds(13750);   ///< Precharge.
+    sim::Ticks tBurst = sim::picoseconds(3330); ///< 64 B burst transfer.
+    std::uint64_t rowBytes = 8192;              ///< Row-buffer size.
+    std::uint32_t banksPerChannel = 16;
+    std::uint32_t channels = 2;
+
+    /** Random-access latency for a closed row (ACT + CAS + burst). */
+    sim::Ticks
+    closedRowLatency() const
+    {
+        return tRcd + tCas + tBurst;
+    }
+};
+
+/** Outcome classification for one DRAM access. */
+enum class DramRowResult {
+    Hit,     ///< Row already open.
+    Closed,  ///< Bank idle, row must be activated.
+    Conflict ///< Different row open; precharge first.
+};
+
+/** Completion info for one access. */
+struct DramAccessResult {
+    sim::Ticks start = 0;      ///< When the bank began serving it.
+    sim::Ticks complete = 0;   ///< When the data burst finished.
+    DramRowResult row = DramRowResult::Closed;
+};
+
+/**
+ * Multi-channel DRAM with open-row banks.
+ *
+ * Address mapping: block -> channel -> bank -> row (low-order channel
+ * interleave spreads consecutive blocks across channels, standard for
+ * bandwidth).
+ */
+class Dram
+{
+  public:
+    struct Stats {
+        sim::Counter reads;
+        sim::Counter writes;
+        sim::Counter rowHits;
+        sim::Counter rowClosed;
+        sim::Counter rowConflicts;
+        sim::Histogram latency; ///< Queuing+service latency in ticks.
+    };
+
+    Dram(std::string name, const DramConfig &config);
+
+    /**
+     * Perform one access of @p bytes at @p addr arriving at @p now.
+     * @param is_write Write accesses update stats differently but share
+     *                 timing (write latency hides behind the row access).
+     */
+    DramAccessResult access(Addr addr, sim::Ticks now, bool is_write,
+                            std::uint64_t bytes = kBlockSize);
+
+    /**
+     * Directly occupy the bank holding @p addr for @p duration starting
+     * no earlier than @p now. Used by the frontside controller to charge
+     * tag CAS operations and page installs.
+     * @return tick when the occupation ends.
+     */
+    sim::Ticks occupyBank(Addr addr, sim::Ticks now, sim::Ticks duration);
+
+    /** First tick at which the bank holding @p addr is free. */
+    sim::Ticks bankFreeAt(Addr addr) const;
+
+    const DramConfig &config() const { return cfg; }
+    const Stats &stats() const { return statsData; }
+    const std::string &name() const { return dramName; }
+
+  private:
+    struct Bank {
+        sim::Ticks busyUntil = 0;
+        std::uint64_t openRow = ~0ull;
+        bool rowOpen = false;
+    };
+
+    std::uint64_t bankIndex(Addr addr) const;
+    std::uint64_t rowIndex(Addr addr) const;
+
+    std::string dramName;
+    DramConfig cfg;
+    std::vector<Bank> banks; // channels * banksPerChannel
+    Stats statsData;
+};
+
+} // namespace astriflash::mem
+
+#endif // ASTRIFLASH_MEM_DRAM_HH

@@ -1,0 +1,58 @@
+#include "mshr.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::mem {
+
+MshrFile::MshrFile(std::string name, std::uint32_t entries,
+                   std::uint64_t line_size)
+    : fileName(std::move(name)), capacity(entries), line(line_size)
+{
+    if (entries == 0)
+        ASTRI_FATAL("%s: MSHR file needs at least one entry",
+                    fileName.c_str());
+    if (!isPowerOfTwo(line_size))
+        ASTRI_FATAL("%s: line size must be a power of two",
+                    fileName.c_str());
+}
+
+MshrAlloc
+MshrFile::allocate(Addr addr)
+{
+    const Addr aligned = alignDown(addr, line);
+    if (auto it = table.find(aligned); it != table.end()) {
+        ++it->second;
+        statsData.merges.inc();
+        return MshrAlloc::Merged;
+    }
+    if (table.size() >= capacity) {
+        statsData.fullStalls.inc();
+        return MshrAlloc::Full;
+    }
+    table.emplace(aligned, 1);
+    statsData.allocations.inc();
+    if (table.size() > statsData.peakOccupancy)
+        statsData.peakOccupancy = table.size();
+    return MshrAlloc::New;
+}
+
+std::uint32_t
+MshrFile::release(Addr addr)
+{
+    const Addr aligned = alignDown(addr, line);
+    auto it = table.find(aligned);
+    if (it == table.end())
+        return 0;
+    const std::uint32_t waiters = it->second;
+    table.erase(it);
+    statsData.frees.inc();
+    return waiters;
+}
+
+bool
+MshrFile::contains(Addr addr) const
+{
+    return table.count(alignDown(addr, line)) != 0;
+}
+
+} // namespace astriflash::mem

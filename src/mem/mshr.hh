@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Miss Status Handling Register file.
+ *
+ * Classic CAM-style MSHRs used by the on-chip caches. The paper's point
+ * is that these are too expensive to scale to the 100s of outstanding
+ * DRAM-cache misses, which is why AstriFlash moves that bookkeeping into
+ * the in-DRAM Miss Status Row (core/miss_status_row.hh). This model
+ * provides the on-chip structure plus the occupancy statistics needed to
+ * demonstrate the contrast.
+ */
+
+#ifndef ASTRIFLASH_MEM_MSHR_HH
+#define ASTRIFLASH_MEM_MSHR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/stats.hh"
+
+#include "address.hh"
+
+namespace astriflash::mem {
+
+/** Outcome of an MSHR allocation attempt. */
+enum class MshrAlloc {
+    New,    ///< A fresh entry was allocated for this line.
+    Merged, ///< An entry for this line existed; request was merged.
+    Full,   ///< No free entry; the cache must block.
+};
+
+/** Fixed-capacity MSHR file keyed by line-aligned address. */
+class MshrFile
+{
+  public:
+    struct Stats {
+        sim::Counter allocations;
+        sim::Counter merges;
+        sim::Counter fullStalls;
+        sim::Counter frees;
+        std::uint64_t peakOccupancy = 0;
+    };
+
+    /**
+     * @param name     Instance name.
+     * @param entries  Number of MSHR entries (CAM size).
+     * @param line_size Granularity of request coalescing.
+     */
+    MshrFile(std::string name, std::uint32_t entries,
+             std::uint64_t line_size = kBlockSize);
+
+    /** Try to allocate (or merge into) an entry for @p addr. */
+    MshrAlloc allocate(Addr addr);
+
+    /**
+     * Release the entry for @p addr when its fill completes.
+     * @return Number of merged requests that were waiting (>=1), or 0
+     *         if no entry existed.
+     */
+    std::uint32_t release(Addr addr);
+
+    /** True if an entry for @p addr is outstanding. */
+    bool contains(Addr addr) const;
+
+    /** Current number of live entries. */
+    std::uint32_t occupancy() const
+    {
+        return static_cast<std::uint32_t>(table.size());
+    }
+
+    /** True when every entry is in use. */
+    bool full() const { return table.size() >= capacity; }
+
+    std::uint32_t entries() const { return capacity; }
+    const Stats &stats() const { return statsData; }
+
+  private:
+    std::string fileName;
+    std::uint32_t capacity;
+    std::uint64_t line;
+    std::unordered_map<Addr, std::uint32_t> table; // line addr -> waiters
+    Stats statsData;
+};
+
+} // namespace astriflash::mem
+
+#endif // ASTRIFLASH_MEM_MSHR_HH

@@ -1,0 +1,45 @@
+#include "page_table.hh"
+
+namespace astriflash::mem {
+
+std::array<Addr, PageTableModel::kLevels>
+PageTableModel::walkAddresses(Addr vaddr) const
+{
+    // Each level's directory array gets its own region of
+    // regionStride bytes; the leaf level's array is the largest
+    // (one page per 512 data pages), so the stride must cover it.
+    std::array<Addr, kLevels> out{};
+    const std::uint64_t vpage = vaddr / pageSize;
+    for (unsigned level = 0; level < kLevels; ++level) {
+        // Root (level 0) indexes with the top 9 bits of the page
+        // number; the leaf (level 3) with the bottom 9 bits.
+        const unsigned shift = (kLevels - 1 - level) * kIndexBits;
+        const std::uint64_t dir_index = vpage >> (shift + kIndexBits);
+        const std::uint64_t entry_index =
+            (vpage >> shift) & (kEntriesPerLevel - 1);
+        out[level] = base + level * regionStride +
+                     dir_index * pageSize + entry_index * kPteSize;
+    }
+    return out;
+}
+
+Addr
+PageTableModel::leafPtePage(Addr vaddr) const
+{
+    return pageBase(walkAddresses(vaddr)[kLevels - 1], pageSize);
+}
+
+std::uint64_t
+PageTableModel::tableFootprint(std::uint64_t va_bytes)
+{
+    const std::uint64_t pages = (va_bytes + kPageSize - 1) / kPageSize;
+    std::uint64_t total_pages = 0;
+    std::uint64_t covered = pages;
+    for (unsigned level = 0; level < kLevels; ++level) {
+        covered = (covered + kEntriesPerLevel - 1) / kEntriesPerLevel;
+        total_pages += covered;
+    }
+    return total_pages * kPageSize;
+}
+
+} // namespace astriflash::mem

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Radix page-table walk model.
+ *
+ * AstriFlash memory-maps flash, so virtual pages translate 1:1 onto
+ * flash physical pages; the interesting part is *where the page-table
+ * pages live*. With DRAM partitioning (default) they are pinned in the
+ * flat DRAM partition; in the noDP ablation the leaf levels live in the
+ * flash-backed cached address space and a cold walk can incur a
+ * synchronous flash access. This model computes the PTE addresses a
+ * 4-level walk touches so the system can route each one.
+ */
+
+#ifndef ASTRIFLASH_MEM_PAGE_TABLE_HH
+#define ASTRIFLASH_MEM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "address.hh"
+
+namespace astriflash::mem {
+
+/** 4-level radix table (512 entries of 8 B per level, x86/ARM-like). */
+class PageTableModel
+{
+  public:
+    static constexpr unsigned kLevels = 4;
+    static constexpr unsigned kEntriesPerLevel = 512;
+    static constexpr unsigned kIndexBits = 9;
+    static constexpr std::uint64_t kPteSize = 8;
+
+    /**
+     * @param table_base     PA where the page-table region starts.
+     * @param page_size      Translation granule (4 KB).
+     * @param region_stride  Bytes reserved per level's directory
+     *                       array (0 = default sparse layout). Must
+     *                       cover (max_vpage >> kIndexBits) pages for
+     *                       the leaf level.
+     */
+    PageTableModel(Addr table_base, std::uint64_t page_size = kPageSize,
+                   std::uint64_t region_stride = 0)
+        : base(table_base), pageSize(page_size),
+          regionStride(region_stride ? region_stride
+                                     : (std::uint64_t{1} << 40))
+    {
+    }
+
+    /**
+     * Addresses of the PTEs touched by a walk of @p vaddr, root first.
+     *
+     * Levels are laid out contiguously: the root page, then the L3
+     * directory pages, then L2, then the leaf (L1) pages, so deeper
+     * levels span more pages and have correspondingly less locality —
+     * the property that makes noDP walks miss the DRAM cache on cold
+     * data.
+     */
+    std::array<Addr, kLevels> walkAddresses(Addr vaddr) const;
+
+    /** PA of the leaf PTE page for @p vaddr (the flash-risky access). */
+    Addr leafPtePage(Addr vaddr) const;
+
+    /** Total bytes of page-table pages needed to map @p va_bytes. */
+    static std::uint64_t tableFootprint(std::uint64_t va_bytes);
+
+    Addr tableBase() const { return base; }
+
+  private:
+    Addr base;
+    std::uint64_t pageSize;
+    std::uint64_t regionStride;
+};
+
+} // namespace astriflash::mem
+
+#endif // ASTRIFLASH_MEM_PAGE_TABLE_HH

@@ -1,0 +1,188 @@
+#include "set_assoc_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::mem {
+
+SetAssocCache::SetAssocCache(std::string name, std::uint64_t capacity,
+                             std::uint64_t line_size, std::uint32_t ways,
+                             ReplacementPolicy policy, std::uint64_t seed)
+    : cacheName(std::move(name)), totalCapacity(capacity), line(line_size),
+      waysPerSet(ways), policy(policy), rng(seed)
+{
+    if (!isPowerOfTwo(line_size))
+        ASTRI_FATAL("%s: line size %llu not a power of two",
+                    cacheName.c_str(),
+                    static_cast<unsigned long long>(line_size));
+    if (ways == 0)
+        ASTRI_FATAL("%s: associativity must be >= 1", cacheName.c_str());
+    if (capacity % (static_cast<std::uint64_t>(ways) * line_size) != 0)
+        ASTRI_FATAL("%s: capacity %llu not divisible by ways*line",
+                    cacheName.c_str(),
+                    static_cast<unsigned long long>(capacity));
+    sets = capacity / (static_cast<std::uint64_t>(ways) * line_size);
+    if (sets == 0)
+        ASTRI_FATAL("%s: zero sets (capacity too small)",
+                    cacheName.c_str());
+    arr.resize(sets * ways);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr / line) % sets;
+}
+
+SetAssocCache::Way *
+SetAssocCache::findWay(Addr aligned)
+{
+    const std::uint64_t set = setIndex(aligned);
+    Way *base = &arr[set * waysPerSet];
+    for (std::uint32_t w = 0; w < waysPerSet; ++w) {
+        if (base[w].valid && base[w].tag == aligned)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Way *
+SetAssocCache::findWay(Addr aligned) const
+{
+    return const_cast<SetAssocCache *>(this)->findWay(aligned);
+}
+
+bool
+SetAssocCache::access(Addr addr)
+{
+    const Addr aligned = alignDown(addr, line);
+    ++stamp;
+    if (Way *w = findWay(aligned)) {
+        w->lastUse = stamp;
+        statsData.hits.inc();
+        return true;
+    }
+    statsData.misses.inc();
+    return false;
+}
+
+bool
+SetAssocCache::accessWrite(Addr addr)
+{
+    const Addr aligned = alignDown(addr, line);
+    ++stamp;
+    if (Way *w = findWay(aligned)) {
+        w->lastUse = stamp;
+        w->dirty = true;
+        statsData.hits.inc();
+        return true;
+    }
+    statsData.misses.inc();
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    return findWay(alignDown(addr, line)) != nullptr;
+}
+
+std::uint32_t
+SetAssocCache::victimWay(std::uint64_t set)
+{
+    Way *base = &arr[set * waysPerSet];
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < waysPerSet; ++w) {
+        if (!base[w].valid)
+            return w;
+    }
+    switch (policy) {
+      case ReplacementPolicy::Random:
+        return static_cast<std::uint32_t>(rng.uniformInt(waysPerSet));
+      case ReplacementPolicy::Fifo: {
+        std::uint32_t oldest = 0;
+        for (std::uint32_t w = 1; w < waysPerSet; ++w) {
+            if (base[w].fillTime < base[oldest].fillTime)
+                oldest = w;
+        }
+        return oldest;
+      }
+      case ReplacementPolicy::Lru:
+      default: {
+        std::uint32_t lru = 0;
+        for (std::uint32_t w = 1; w < waysPerSet; ++w) {
+            if (base[w].lastUse < base[lru].lastUse)
+                lru = w;
+        }
+        return lru;
+      }
+    }
+}
+
+std::optional<CacheLine>
+SetAssocCache::fill(Addr addr, bool dirty)
+{
+    const Addr aligned = alignDown(addr, line);
+    ++stamp;
+    if (Way *w = findWay(aligned)) {
+        // Refill of a resident line refreshes recency and dirtiness.
+        w->lastUse = stamp;
+        w->dirty = w->dirty || dirty;
+        return std::nullopt;
+    }
+    const std::uint64_t set = setIndex(aligned);
+    const std::uint32_t victim = victimWay(set);
+    Way &w = arr[set * waysPerSet + victim];
+    std::optional<CacheLine> evicted;
+    if (w.valid) {
+        evicted = CacheLine{w.tag, w.dirty};
+        statsData.evictions.inc();
+        if (w.dirty)
+            statsData.dirtyEvictions.inc();
+    } else {
+        ++validCount;
+    }
+    w.valid = true;
+    w.tag = aligned;
+    w.dirty = dirty;
+    w.lastUse = stamp;
+    w.fillTime = stamp;
+    statsData.fills.inc();
+    return evicted;
+}
+
+std::optional<CacheLine>
+SetAssocCache::invalidate(Addr addr)
+{
+    const Addr aligned = alignDown(addr, line);
+    if (Way *w = findWay(aligned)) {
+        CacheLine out{w->tag, w->dirty};
+        w->valid = false;
+        w->dirty = false;
+        --validCount;
+        statsData.invalidations.inc();
+        return out;
+    }
+    return std::nullopt;
+}
+
+bool
+SetAssocCache::markDirty(Addr addr)
+{
+    if (Way *w = findWay(alignDown(addr, line))) {
+        w->dirty = true;
+        return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::flushAll()
+{
+    for (Way &w : arr) {
+        w.valid = false;
+        w.dirty = false;
+    }
+    validCount = 0;
+}
+
+} // namespace astriflash::mem

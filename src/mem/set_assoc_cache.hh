@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Generic set-associative tag array.
+ *
+ * One structural model serves three roles:
+ *  - on-chip L1/L2/LLC tag arrays at 64 B block granularity,
+ *  - the page-grained DRAM-cache tag check (tags-in-DRAM timing is
+ *    charged by the frontside controller, the *contents* live here),
+ *  - the capacity/miss-ratio sweeps behind Figure 1.
+ */
+
+#ifndef ASTRIFLASH_MEM_SET_ASSOC_CACHE_HH
+#define ASTRIFLASH_MEM_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+#include "address.hh"
+
+namespace astriflash::mem {
+
+/** Victim-selection policy within a set. */
+enum class ReplacementPolicy {
+    Lru,    ///< Least-recently-used (default; what the paper assumes).
+    Fifo,   ///< Insertion order, ignores re-reference.
+    Random, ///< Uniform random way.
+};
+
+/** Result of a cache lookup or fill. */
+struct CacheLine {
+    Addr tag_addr = 0; ///< Block/page-aligned address stored in the line.
+    bool dirty = false;
+};
+
+/**
+ * Set-associative cache tag/state array (no data payload).
+ *
+ * Addresses are truncated to @p line_size granularity. The array tracks
+ * validity, dirtiness, and recency; it never stores data since the
+ * simulator is timing-directed, not value-accurate.
+ */
+class SetAssocCache
+{
+  public:
+    /** Aggregate statistics. */
+    struct Stats {
+        sim::Counter hits;
+        sim::Counter misses;
+        sim::Counter evictions;
+        sim::Counter dirtyEvictions;
+        sim::Counter fills;
+        sim::Counter invalidations;
+
+        /** Miss ratio over all lookups (0 if none). */
+        double
+        missRatio() const
+        {
+            const double total =
+                static_cast<double>(hits.value() + misses.value());
+            return total > 0.0
+                ? static_cast<double>(misses.value()) / total : 0.0;
+        }
+    };
+
+    /**
+     * @param name        Instance name (diagnostics only).
+     * @param capacity    Total bytes; must be sets*ways*line_size.
+     * @param line_size   Block or page size in bytes (power of two).
+     * @param ways        Associativity (>=1).
+     * @param policy      Replacement policy.
+     * @param seed        RNG seed for the Random policy.
+     */
+    SetAssocCache(std::string name, std::uint64_t capacity,
+                  std::uint64_t line_size, std::uint32_t ways,
+                  ReplacementPolicy policy = ReplacementPolicy::Lru,
+                  std::uint64_t seed = 1);
+
+    /**
+     * Look up @p addr, updating recency on a hit.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /**
+     * Look up @p addr for a store: like access() but marks dirty on hit.
+     * @return true on hit.
+     */
+    bool accessWrite(Addr addr);
+
+    /** Probe without touching recency or stats. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Insert @p addr (aligned internally), evicting a victim if the set
+     * is full.
+     * @param dirty  Whether the inserted line starts dirty.
+     * @return The evicted line, if any.
+     */
+    std::optional<CacheLine> fill(Addr addr, bool dirty = false);
+
+    /**
+     * Remove @p addr if present.
+     * @return The invalidated line (with dirtiness), if it was present.
+     */
+    std::optional<CacheLine> invalidate(Addr addr);
+
+    /** Mark @p addr dirty if present. @return true if it was present. */
+    bool markDirty(Addr addr);
+
+    /** Drop every line (e.g. between measurement phases). */
+    void flushAll();
+
+    /** Number of valid lines currently held. */
+    std::uint64_t validLines() const { return validCount; }
+
+    std::uint64_t capacity() const { return totalCapacity; }
+    std::uint64_t lineSize() const { return line; }
+    std::uint32_t associativity() const { return waysPerSet; }
+    std::uint64_t numSets() const { return sets; }
+    const std::string &name() const { return cacheName; }
+
+    const Stats &stats() const { return statsData; }
+    Stats &stats() { return statsData; }
+
+  private:
+    struct Way {
+        Addr tag = 0;        // line-aligned address
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;  // recency stamp (LRU)
+        std::uint64_t fillTime = 0; // insertion stamp (FIFO)
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Way *findWay(Addr aligned);
+    const Way *findWay(Addr aligned) const;
+    std::uint32_t victimWay(std::uint64_t set);
+
+    std::string cacheName;
+    std::uint64_t totalCapacity;
+    std::uint64_t line;
+    std::uint32_t waysPerSet;
+    std::uint64_t sets;
+    ReplacementPolicy policy;
+    std::vector<Way> arr; // sets * ways, row-major by set
+    std::uint64_t stamp = 0;
+    std::uint64_t validCount = 0;
+    sim::Rng rng;
+    Stats statsData;
+};
+
+} // namespace astriflash::mem
+
+#endif // ASTRIFLASH_MEM_SET_ASSOC_CACHE_HH

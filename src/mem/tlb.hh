@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Translation Lookaside Buffer model.
+ *
+ * AstriFlash keeps virtual memory, so TLB behaviour matters in two
+ * places: (1) the AstriFlash-noDP ablation, where a TLB miss can force
+ * a page-table walk whose leaf PTE lives in flash, and (2) the OS-Swap
+ * baseline, where page migration forces broadcast shootdowns. The TLB
+ * itself is a plain set-associative tag array over virtual page
+ * numbers; walk routing is decided by the system model.
+ */
+
+#ifndef ASTRIFLASH_MEM_TLB_HH
+#define ASTRIFLASH_MEM_TLB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+#include "address.hh"
+#include "set_assoc_cache.hh"
+
+namespace astriflash::mem {
+
+/** Two-level (L1 + L2) TLB with simple inclusive fill. */
+class Tlb
+{
+  public:
+    struct Config {
+        std::uint32_t l1Entries = 48;
+        std::uint32_t l1Ways = 48;    ///< L1 is fully associative.
+        std::uint32_t l2Entries = 1280;
+        std::uint32_t l2Ways = 5;
+        sim::Ticks l2Latency = sim::nanoseconds(3);
+        std::uint64_t pageSize = kPageSize;
+    };
+
+    struct Stats {
+        sim::Counter l1Hits;
+        sim::Counter l2Hits;
+        sim::Counter misses;      ///< Full TLB misses (walk needed).
+        sim::Counter shootdowns;  ///< Invalidations from remote cores.
+    };
+
+    Tlb(std::string name, const Config &config);
+
+    /** Lookup result. */
+    struct Result {
+        bool miss = false;        ///< Needs a page-table walk.
+        sim::Ticks latency = 0;   ///< L1 hit is free; L2 adds latency.
+    };
+
+    /** Translate the page containing @p vaddr. */
+    Result lookup(Addr vaddr);
+
+    /** Install a translation after a walk. */
+    void fill(Addr vaddr);
+
+    /** Invalidate one page (TLB shootdown target). */
+    void invalidate(Addr vaddr);
+
+    /** Invalidate everything (context switch without ASID). */
+    void flushAll();
+
+    const Stats &stats() const { return statsData; }
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    SetAssocCache l1;
+    SetAssocCache l2;
+    Stats statsData;
+};
+
+} // namespace astriflash::mem
+
+#endif // ASTRIFLASH_MEM_TLB_HH

@@ -1,0 +1,54 @@
+#include "mc_queue.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace astriflash::queueing {
+
+McResult
+simulateQueue(double lambda, double mu, std::uint32_t k,
+              std::uint64_t jobs, ServiceDist dist, std::uint64_t seed)
+{
+    if (lambda <= 0 || mu <= 0 || k == 0)
+        ASTRI_FATAL("simulateQueue: bad parameters");
+    sim::Rng rng(seed);
+
+    // Min-heap of server-free times.
+    std::priority_queue<double, std::vector<double>,
+                        std::greater<double>>
+        servers;
+    for (std::uint32_t i = 0; i < k; ++i)
+        servers.push(0.0);
+
+    std::vector<double> responses;
+    responses.reserve(jobs);
+
+    double t = 0.0;
+    for (std::uint64_t j = 0; j < jobs; ++j) {
+        t += rng.exponential(1.0 / lambda);
+        const double service = dist == ServiceDist::Exponential
+            ? rng.exponential(1.0 / mu) : 1.0 / mu;
+        const double free_at = servers.top();
+        servers.pop();
+        const double start = std::max(t, free_at);
+        const double done = start + service;
+        servers.push(done);
+        responses.push_back(done - t);
+    }
+
+    std::sort(responses.begin(), responses.end());
+    McResult res;
+    res.completed = jobs;
+    double sum = 0;
+    for (double r : responses)
+        sum += r;
+    res.meanResponse = sum / static_cast<double>(jobs);
+    res.p50Response = responses[static_cast<std::size_t>(0.50 * jobs)];
+    res.p99Response = responses[std::min<std::size_t>(
+        static_cast<std::size_t>(0.99 * jobs), jobs - 1)];
+    return res;
+}
+
+} // namespace astriflash::queueing

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Monte Carlo M/M/k simulator.
+ *
+ * Validates the closed-form percentile math in queueing.hh (and, with
+ * deterministic service, sanity-checks the full-system simulator's
+ * queueing behaviour). Runs a simple arrival/departure event loop —
+ * no dependence on the main discrete-event kernel, so tests can
+ * cross-check independently implemented machinery.
+ */
+
+#ifndef ASTRIFLASH_QUEUEING_MC_QUEUE_HH
+#define ASTRIFLASH_QUEUEING_MC_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace astriflash::queueing {
+
+/** Result of a Monte Carlo run. */
+struct McResult {
+    double meanResponse = 0;
+    double p50Response = 0;
+    double p99Response = 0;
+    std::uint64_t completed = 0;
+};
+
+/** Service-time shape. */
+enum class ServiceDist {
+    Exponential,
+    Deterministic,
+};
+
+/** Simulate an M/G/k FCFS queue for @p jobs completions. */
+McResult simulateQueue(double lambda, double mu, std::uint32_t k,
+                       std::uint64_t jobs, ServiceDist dist,
+                       std::uint64_t seed = 1);
+
+} // namespace astriflash::queueing
+
+#endif // ASTRIFLASH_QUEUEING_MC_QUEUE_HH

@@ -1,0 +1,133 @@
+#include "queueing.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace astriflash::queueing {
+
+MM1::MM1(double lambda, double mu) : lambda(lambda), mu(mu)
+{
+    if (lambda < 0 || mu <= 0)
+        ASTRI_FATAL("MM1: need lambda >= 0 and mu > 0");
+    rho = lambda / mu;
+}
+
+double
+MM1::meanResponse() const
+{
+    ASTRI_ASSERT_MSG(stable(), "MM1 mean undefined at rho >= 1");
+    return 1.0 / (mu - lambda);
+}
+
+double
+MM1::responsePercentile(double q) const
+{
+    ASTRI_ASSERT_MSG(stable(), "MM1 percentile undefined at rho >= 1");
+    // Sojourn time is exponential with rate mu - lambda.
+    return -std::log(1.0 - q) / (mu - lambda);
+}
+
+namespace {
+
+/** Erlang-C via the numerically stable iterative form. */
+double
+erlangCOf(double a, std::uint32_t k)
+{
+    // inv_b accumulates 1/B(k, a) using the Erlang-B recurrence.
+    double inv_b = 1.0;
+    for (std::uint32_t i = 1; i <= k; ++i)
+        inv_b = 1.0 + inv_b * static_cast<double>(i) / a;
+    const double b = 1.0 / inv_b;
+    const double rho = a / static_cast<double>(k);
+    return b / (1.0 - rho + rho * b);
+}
+
+} // namespace
+
+MMk::MMk(double lambda, double mu, std::uint32_t k)
+    : lambda(lambda), mu(mu), k(k)
+{
+    if (lambda < 0 || mu <= 0 || k == 0)
+        ASTRI_FATAL("MMk: need lambda >= 0, mu > 0, k >= 1");
+    rho = lambda / (mu * static_cast<double>(k));
+    erlangC = rho < 1.0 ? erlangCOf(lambda / mu, k) : 1.0;
+}
+
+double
+MMk::meanResponse() const
+{
+    ASTRI_ASSERT_MSG(stable(), "MMk mean undefined at rho >= 1");
+    const double wait =
+        erlangC / (static_cast<double>(k) * mu - lambda);
+    return wait + 1.0 / mu;
+}
+
+double
+MMk::responseSurvival(double t) const
+{
+    ASTRI_ASSERT_MSG(stable(), "MMk survival undefined at rho >= 1");
+    if (t <= 0)
+        return 1.0;
+    // T = W + S with P(W=0) = 1-C and W|wait ~ Exp(a), a = k*mu -
+    // lambda, independent of S ~ Exp(mu).
+    const double a = static_cast<double>(k) * mu - lambda;
+    const double es = std::exp(-mu * t);
+    if (std::abs(a - mu) < 1e-12) {
+        // Degenerate case: W+S is Erlang(2, mu).
+        return (1.0 - erlangC) * es +
+               erlangC * (1.0 + mu * t) * es;
+    }
+    const double conv =
+        (a * es - mu * std::exp(-a * t)) / (a - mu);
+    return (1.0 - erlangC) * es + erlangC * conv;
+}
+
+double
+MMk::responsePercentile(double q) const
+{
+    ASTRI_ASSERT_MSG(stable(), "MMk percentile undefined at rho >= 1");
+    const double target = 1.0 - q;
+    // Bracket: survival decays at least as fast as the slower of the
+    // two exponentials.
+    double lo = 0.0;
+    double hi = 1.0 / mu;
+    while (responseSurvival(hi) > target)
+        hi *= 2.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (responseSurvival(mid) > target)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-9 * hi)
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+SystemModel::p99ResponseUs(double lambda) const
+{
+    const double occupancy = occupancyUs();
+    if (lambda * occupancy >= 1.0)
+        return -1.0; // unstable
+
+    if (!overlapsFlash) {
+        const MM1 q(lambda, 1.0 / occupancy);
+        return q.responsePercentile(0.99);
+    }
+    // Logical multi-server: k contexts, each "server" holds a request
+    // for its full total (work + overhead + flash) but k of them run
+    // concurrently on one physical core because the flash portion
+    // overlaps.
+    const double total = totalUs();
+    const auto k = static_cast<std::uint32_t>(
+        std::ceil(total / occupancy));
+    const MMk q(lambda, 1.0 / total, k);
+    if (!q.stable())
+        return -1.0;
+    return q.responsePercentile(0.99);
+}
+
+} // namespace astriflash::queueing

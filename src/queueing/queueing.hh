@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Analytical queueing models behind Figure 3 (§III-A).
+ *
+ * The paper frames the four systems as queueing models: DRAM-only and
+ * Flash-Sync are M/M/1 servers (requests always run to completion),
+ * while AstriFlash and OS-Swap act as logical M/M/k servers — k
+ * contexts overlap the flash accesses, so the server's occupancy per
+ * request is only the execution + overhead portion, while a request's
+ * own latency still includes the flash wait. These helpers provide
+ * response-time percentiles for both models plus the system-level
+ * curve builder used by bench/fig3_queueing.
+ */
+
+#ifndef ASTRIFLASH_QUEUEING_QUEUEING_HH
+#define ASTRIFLASH_QUEUEING_QUEUEING_HH
+
+#include <cstdint>
+
+namespace astriflash::queueing {
+
+/** M/M/1 queue with arrival rate lambda and service rate mu. */
+class MM1
+{
+  public:
+    MM1(double lambda, double mu);
+
+    double utilization() const { return rho; }
+    bool stable() const { return rho < 1.0; }
+
+    /** Mean response (sojourn) time. */
+    double meanResponse() const;
+
+    /** Response-time quantile (q in (0,1)). */
+    double responsePercentile(double q) const;
+
+  private:
+    double lambda;
+    double mu;
+    double rho;
+};
+
+/** M/M/k queue (k identical servers, shared queue). */
+class MMk
+{
+  public:
+    MMk(double lambda, double mu, std::uint32_t k);
+
+    double utilization() const { return rho; }
+    bool stable() const { return rho < 1.0; }
+
+    /** Erlang-C probability that an arrival must wait. */
+    double probWait() const { return erlangC; }
+
+    /** Mean response time (wait + service). */
+    double meanResponse() const;
+
+    /** Survival function of the response time, P(T > t). */
+    double responseSurvival(double t) const;
+
+    /** Response-time quantile via bisection on the survival. */
+    double responsePercentile(double q) const;
+
+  private:
+    double lambda;
+    double mu;
+    std::uint32_t k;
+    double rho;
+    double erlangC;
+};
+
+/**
+ * Figure-3 system abstraction: a request does @p workUs of execution,
+ * then (probabilistically every request here, per the paper's "every
+ * 10 µs of execution triggers a flash access") waits @p flashUs on
+ * flash, costing @p overheadUs of software/hardware overhead. Systems
+ * with thread switching overlap the flash wait (M/M/k with
+ * k = ceil(total / occupancy)); synchronous systems occupy the server
+ * for the whole total (M/M/1).
+ */
+struct SystemModel {
+    double workUs = 10.0;
+    double flashUs = 50.0;
+    double overheadUs = 0.0;
+    bool overlapsFlash = false;
+
+    /** Server occupancy per request (µs). */
+    double
+    occupancyUs() const
+    {
+        return overlapsFlash ? workUs + overheadUs
+                             : workUs + overheadUs + flashUs;
+    }
+
+    /** End-to-end service time of one request in isolation (µs). */
+    double
+    totalUs() const
+    {
+        return workUs + overheadUs + flashUs;
+    }
+
+    /** Max sustainable throughput (requests/µs). */
+    double maxThroughput() const { return 1.0 / occupancyUs(); }
+
+    /**
+     * p99 response time (µs) at arrival rate @p lambda requests/µs.
+     * Returns a negative value when the system is unstable.
+     */
+    double p99ResponseUs(double lambda) const;
+};
+
+} // namespace astriflash::queueing
+
+#endif // ASTRIFLASH_QUEUEING_QUEUEING_HH

@@ -1,0 +1,84 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace astriflash::sim {
+
+EventId
+EventQueue::schedule(Ticks when, Callback fn, EventPriority prio)
+{
+    ASTRI_ASSERT_MSG(when >= now,
+                     "scheduling into the past: when=%llu now=%llu",
+                     static_cast<unsigned long long>(when),
+                     static_cast<unsigned long long>(now));
+    const EventId id = nextSeq;
+    heap.push(Entry{when, static_cast<int>(prio), nextSeq, id,
+                    std::move(fn)});
+    alive.insert(id);
+    ++nextSeq;
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    // Only events that are still pending can be cancelled; descheduling
+    // an already-fired or bogus id is a harmless no-op.
+    if (alive.erase(id) == 0)
+        return false;
+    cancelled.insert(id);
+    return true;
+}
+
+void
+EventQueue::runOne()
+{
+    Entry e = heap.top();
+    heap.pop();
+    ASTRI_ASSERT(e.when >= now);
+    alive.erase(e.id);
+    now = e.when;
+    ++executedCount;
+    e.fn();
+}
+
+bool
+EventQueue::skipCancelledTop()
+{
+    if (auto it = cancelled.find(heap.top().id); it != cancelled.end()) {
+        cancelled.erase(it);
+        heap.pop();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Ticks limit)
+{
+    std::uint64_t n = 0;
+    while (!heap.empty()) {
+        if (skipCancelledTop())
+            continue;
+        if (heap.top().when > limit)
+            break;
+        runOne();
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+EventQueue::runSteps(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && !heap.empty()) {
+        if (skipCancelledTop())
+            continue;
+        runOne();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace astriflash::sim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered event queue drives every timing model in the
+ * simulator. Events are arbitrary callables scheduled at an absolute
+ * tick; ties are broken by an explicit priority and then by insertion
+ * order, so simulations are fully deterministic.
+ */
+
+#ifndef ASTRIFLASH_SIM_EVENT_QUEUE_HH
+#define ASTRIFLASH_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "ticks.hh"
+
+namespace astriflash::sim {
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/** Sentinel returned for an event that could not be scheduled. */
+inline constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Tie-break priorities for events scheduled at the same tick.
+ * Lower values run first.
+ */
+enum class EventPriority : int {
+    ClockEdge = -10,   ///< Clock-like maintenance events.
+    Default = 0,       ///< Ordinary model events.
+    Stats = 10,        ///< End-of-quantum statistics sampling.
+    Teardown = 100,    ///< Simulation exit bookkeeping.
+};
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Not thread-safe; the whole simulator is single-threaded by design
+ * (determinism and debuggability outweigh host parallelism here).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Ticks curTick() const { return now; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @param when  Absolute tick; must be >= curTick().
+     * @param fn    Callable invoked when the event fires.
+     * @param prio  Tie-break priority at equal ticks.
+     * @return Handle usable with deschedule().
+     */
+    EventId schedule(Ticks when, Callback fn,
+                     EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p fn to run @p delta ticks from now. */
+    EventId
+    scheduleIn(Ticks delta, Callback fn,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(now + delta, std::move(fn), prio);
+    }
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return alive.size(); }
+
+    /** True if no runnable events remain. */
+    bool empty() const { return pending() == 0; }
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     * Events scheduled exactly at @p limit still run.
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Ticks limit);
+
+    /** Run all events until the queue drains. */
+    std::uint64_t run() { return runUntil(kTickNever); }
+
+    /** Execute at most @p max_events events. @return events executed. */
+    std::uint64_t runSteps(std::uint64_t max_events);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executedCount; }
+
+  private:
+    struct Entry {
+        Ticks when;
+        int prio;
+        std::uint64_t seq;
+        EventId id;
+        Callback fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop and run the single earliest event. Assumes non-empty heap. */
+    void runOne();
+
+    /** Drop the top heap node if it was cancelled. @return true if so. */
+    bool skipCancelledTop();
+
+    Ticks now = 0;
+    std::uint64_t nextSeq = 1;
+    std::uint64_t executedCount = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::unordered_set<EventId> alive;
+    std::unordered_set<EventId> cancelled;
+};
+
+} // namespace astriflash::sim
+
+#endif // ASTRIFLASH_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal convention.
+ *
+ * - panic():  an internal invariant was violated (a simulator bug).
+ *             Aborts so a debugger or core dump can capture state.
+ * - fatal():  the user asked for something impossible (bad config).
+ *             Exits with status 1.
+ * - warn()/inform(): non-fatal status channels.
+ */
+
+#ifndef ASTRIFLASH_SIM_LOGGING_HH
+#define ASTRIFLASH_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace astriflash::sim {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Suppress or enable warn()/inform() output (tests use this). */
+void setQuiet(bool quiet);
+
+/** @return true if status output is suppressed. */
+bool quiet();
+
+} // namespace astriflash::sim
+
+/** Report an internal simulator bug and abort. */
+#define ASTRI_PANIC(...)                                                      \
+    ::astriflash::sim::detail::panicImpl(                                     \
+        __FILE__, __LINE__, ::astriflash::sim::detail::format(__VA_ARGS__))
+
+/** Report an unusable user configuration and exit(1). */
+#define ASTRI_FATAL(...)                                                      \
+    ::astriflash::sim::detail::fatalImpl(                                     \
+        __FILE__, __LINE__, ::astriflash::sim::detail::format(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define ASTRI_WARN(...)                                                       \
+    ::astriflash::sim::detail::warnImpl(                                      \
+        ::astriflash::sim::detail::format(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define ASTRI_INFORM(...)                                                     \
+    ::astriflash::sim::detail::informImpl(                                    \
+        ::astriflash::sim::detail::format(__VA_ARGS__))
+
+/** Panic unless a simulator invariant holds. */
+#define ASTRI_ASSERT(cond)                                                    \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ASTRI_PANIC("assertion failed: %s", #cond);                       \
+        }                                                                     \
+    } while (0)
+
+/** Panic with a formatted explanation unless an invariant holds. */
+#define ASTRI_ASSERT_MSG(cond, ...)                                           \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ASTRI_PANIC(__VA_ARGS__);                                         \
+        }                                                                     \
+    } while (0)
+
+#endif // ASTRIFLASH_SIM_LOGGING_HH

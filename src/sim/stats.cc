@@ -1,0 +1,149 @@
+#include "stats.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace astriflash::sim {
+
+namespace {
+
+/** Number of buckets covering the full 64-bit value range. */
+constexpr std::uint32_t kSubBucketBits = 6;
+constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
+// One unit-resolution region + one region of kSubBuckets per octave
+// above it. 64-bit values have at most 64 - kSubBucketBits octaves.
+constexpr std::uint32_t kNumBuckets =
+    static_cast<std::uint32_t>(kSubBuckets) +
+    (64 - kSubBucketBits) * static_cast<std::uint32_t>(kSubBuckets);
+
+} // namespace
+
+Histogram::Histogram() : buckets(kNumBuckets, 0) {}
+
+std::uint32_t
+Histogram::bucketIndex(std::uint64_t v)
+{
+    if (v < kSubBuckets)
+        return static_cast<std::uint32_t>(v);
+    // Octave = index of the highest set bit beyond the unit region.
+    const int msb = 63 - std::countl_zero(v);
+    const std::uint32_t octave =
+        static_cast<std::uint32_t>(msb) - kSubBucketBits;
+    // Linear sub-bucket within the octave.
+    const std::uint64_t sub =
+        (v >> (msb - static_cast<int>(kSubBucketBits))) - kSubBuckets;
+    return static_cast<std::uint32_t>(kSubBuckets) +
+           octave * static_cast<std::uint32_t>(kSubBuckets) +
+           static_cast<std::uint32_t>(sub);
+}
+
+std::uint64_t
+Histogram::bucketUpperBound(std::uint32_t idx)
+{
+    if (idx < kSubBuckets)
+        return idx;
+    const std::uint32_t rel = idx - static_cast<std::uint32_t>(kSubBuckets);
+    const std::uint32_t octave = rel >> kSubBucketBits;
+    const std::uint64_t sub = rel & (kSubBuckets - 1);
+    // Values in this bucket satisfy (v >> octave) == kSubBuckets + sub,
+    // so the inclusive upper edge is one below the next sub-bucket edge.
+    return ((kSubBuckets + sub + 1) << octave) - 1;
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    sampleN(v, 1);
+}
+
+void
+Histogram::sampleN(std::uint64_t v, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    buckets[bucketIndex(v)] += weight;
+    n += weight;
+    sum += static_cast<double>(v) * static_cast<double>(weight);
+    if (v < minV)
+        minV = v;
+    if (v > maxV)
+        maxV = v;
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (n == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the target sample (1-based, ceil), standard nearest-rank.
+    const double exact = q * static_cast<double>(n);
+    std::uint64_t rank = static_cast<std::uint64_t>(exact);
+    if (static_cast<double>(rank) < exact || rank == 0)
+        ++rank;
+    std::uint64_t seen = 0;
+    for (std::uint32_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank) {
+            const std::uint64_t ub = bucketUpperBound(i);
+            return ub > maxV ? maxV : ub;
+        }
+    }
+    return maxV;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    n = 0;
+    sum = 0.0;
+    minV = std::numeric_limits<std::uint64_t>::max();
+    maxV = 0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    ASTRI_ASSERT(buckets.size() == other.buckets.size());
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    n += other.n;
+    sum += other.sum;
+    if (other.n) {
+        if (other.minV < minV)
+            minV = other.minV;
+        if (other.maxV > maxV)
+            maxV = other.maxV;
+    }
+}
+
+void
+StatRegistry::registerScalar(const std::string &name, const double *value)
+{
+    scalars[name] = value;
+}
+
+void
+StatRegistry::registerCounter(const std::string &name, const Counter *counter)
+{
+    counters[name] = counter;
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, ptr] : counters)
+        os << name << " = " << ptr->value() << "\n";
+    for (const auto &[name, ptr] : scalars)
+        os << name << " = " << *ptr << "\n";
+    return os.str();
+}
+
+} // namespace astriflash::sim

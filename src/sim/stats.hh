@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Statistics collection.
+ *
+ * Tail latency is the paper's headline metric, so the histogram is an
+ * HDR-style log-linear structure: values are bucketed into octaves with
+ * 64 linear sub-buckets each, giving <=1.6% relative error at any
+ * percentile while using O(kB) memory regardless of sample count.
+ */
+
+#ifndef ASTRIFLASH_SIM_STATS_HH
+#define ASTRIFLASH_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace astriflash::sim {
+
+/** Simple monotonically increasing event counter. */
+class Counter
+{
+  public:
+    /** Increment by @p n (default 1). */
+    void inc(std::uint64_t n = 1) { count += n; }
+
+    /** Current value. */
+    std::uint64_t value() const { return count; }
+
+    /** Reset to zero (between measurement phases). */
+    void reset() { count = 0; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Running mean/min/max accumulator for a scalar sample stream. */
+class Average
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+        if (v < minV)
+            minV = v;
+        if (v > maxV)
+            maxV = v;
+    }
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return n; }
+
+    /** Sum of samples. */
+    double total() const { return sum; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+
+    /** Smallest sample (+inf if empty). */
+    double min() const { return minV; }
+
+    /** Largest sample (-inf if empty). */
+    double max() const { return maxV; }
+
+    /** Forget all samples. */
+    void
+    reset()
+    {
+        sum = 0.0;
+        n = 0;
+        minV = std::numeric_limits<double>::infinity();
+        maxV = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    double minV = std::numeric_limits<double>::infinity();
+    double maxV = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Log-linear (HDR-style) histogram over non-negative integer values.
+ *
+ * Bucket layout: values < kSubBuckets land in exact unit buckets;
+ * above that, each power-of-two octave is split into kSubBuckets
+ * linear sub-buckets, bounding relative error by 1/kSubBuckets.
+ */
+class Histogram
+{
+  public:
+    Histogram();
+
+    /** Record one sample. */
+    void sample(std::uint64_t v);
+
+    /** Record @p weight occurrences of @p v. */
+    void sampleN(std::uint64_t v, std::uint64_t weight);
+
+    /** Number of samples. */
+    std::uint64_t count() const { return n; }
+
+    /** Sum of all samples. */
+    double total() const { return sum; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+
+    /** Smallest recorded sample (0 if empty). */
+    std::uint64_t min() const { return n ? minV : 0; }
+
+    /** Largest recorded sample (0 if empty). */
+    std::uint64_t max() const { return n ? maxV : 0; }
+
+    /**
+     * Value at quantile @p q in [0,1] (e.g. 0.99 for p99).
+     * Returns the representative (upper-bound) value of the bucket
+     * containing the q-th sample; 0 if empty.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Forget all samples. */
+    void reset();
+
+    /** Merge another histogram's samples into this one. */
+    void merge(const Histogram &other);
+
+  private:
+    static constexpr std::uint32_t kSubBucketBits = 6;
+    static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
+
+    static std::uint32_t bucketIndex(std::uint64_t v);
+    static std::uint64_t bucketUpperBound(std::uint32_t idx);
+
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    std::uint64_t minV = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t maxV = 0;
+};
+
+/**
+ * Named collection of statistics for one component, used for uniform
+ * end-of-run reporting.
+ */
+class StatRegistry
+{
+  public:
+    /** Register a live scalar value under @p name. */
+    void registerScalar(const std::string &name, const double *value);
+
+    /** Register a counter under @p name. */
+    void registerCounter(const std::string &name, const Counter *counter);
+
+    /** Render "name = value" lines sorted by name. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, const double *> scalars;
+    std::map<std::string, const Counter *> counters;
+};
+
+} // namespace astriflash::sim
+
+#endif // ASTRIFLASH_SIM_STATS_HH

@@ -1,0 +1,202 @@
+#include "uthread.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::uthread {
+
+namespace {
+// The trampoline needs to find its scheduler; makecontext's argument
+// passing is int-sized and awkward, so a scoped "current scheduler"
+// pointer is the established pattern. Single OS thread by design.
+thread_local UScheduler *g_current = nullptr;
+} // namespace
+
+UScheduler::UScheduler(const Config &config) : cfg(config)
+{
+    if (cfg.stackBytes < 16 * 1024)
+        ASTRI_FATAL("uthread: stacks below 16 KB are unsafe");
+}
+
+UScheduler::~UScheduler() = default;
+
+std::uint64_t
+UScheduler::spawn(std::function<void()> fn)
+{
+    auto t = std::make_unique<Thread>();
+    t->id = nextId++;
+    t->fn = std::move(fn);
+    t->stack.resize(cfg.stackBytes);
+    Thread *raw = t.get();
+    threads.push_back(std::move(t));
+    newQueue.push_back(raw);
+    ++statsData.spawned;
+    return raw->id;
+}
+
+void
+UScheduler::trampoline()
+{
+    UScheduler *self = g_current;
+    ASTRI_ASSERT(self && self->running);
+    Thread *t = self->running;
+    t->fn();
+    t->finished = true;
+    ++self->statsData.completed;
+    // Return to the scheduler; this context is never resumed.
+    swapcontext(&t->ctx, &self->schedCtx);
+    ASTRI_PANIC("resumed a finished uthread");
+}
+
+void
+UScheduler::dispatch(Thread *t)
+{
+    if (t->ctx.uc_stack.ss_sp == nullptr) {
+        // First dispatch: materialize the context.
+        getcontext(&t->ctx);
+        t->ctx.uc_stack.ss_sp = t->stack.data();
+        t->ctx.uc_stack.ss_size = t->stack.size();
+        t->ctx.uc_link = &schedCtx;
+        makecontext(&t->ctx, reinterpret_cast<void (*)()>(&trampoline),
+                    0);
+    }
+    running = t;
+    ++statsData.switches;
+    swapcontext(&schedCtx, &t->ctx);
+    running = nullptr;
+}
+
+UScheduler::Thread *
+UScheduler::pickNext()
+{
+    const auto now = std::chrono::steady_clock::now();
+    switch (cfg.policy) {
+      case Policy::PriorityAging: {
+        if (!pendingReady.empty()) {
+            Thread *head = pendingReady.front();
+            if (now - head->pendingSince >= cfg.agingThreshold) {
+                ++statsData.agingPromotions;
+                pendingReady.pop_front();
+                return head;
+            }
+        }
+        if (!newQueue.empty()) {
+            Thread *t = newQueue.front();
+            newQueue.pop_front();
+            return t;
+        }
+        if (!pendingReady.empty()) {
+            Thread *t = pendingReady.front();
+            pendingReady.pop_front();
+            return t;
+        }
+        return nullptr;
+      }
+      case Policy::Fifo: {
+        if (!newQueue.empty()) {
+            Thread *t = newQueue.front();
+            newQueue.pop_front();
+            return t;
+        }
+        if (!pendingReady.empty()) {
+            Thread *t = pendingReady.front();
+            pendingReady.pop_front();
+            return t;
+        }
+        return nullptr;
+      }
+    }
+    return nullptr;
+}
+
+std::uint32_t
+UScheduler::runSlice(std::uint32_t max_dispatches)
+{
+    ASTRI_ASSERT_MSG(!inWorker(), "runSlice() called from a worker");
+    UScheduler *prev = g_current;
+    g_current = this;
+    std::uint32_t dispatched = 0;
+    while (dispatched < max_dispatches) {
+        Thread *next = pickNext();
+        if (!next)
+            break;
+        dispatch(next);
+        if (!next->finished && next->blockKey == 0) {
+            // Plain yield: back to the new queue (still priority 2 —
+            // it has not missed).
+            newQueue.push_back(next);
+        }
+        ++dispatched;
+    }
+    g_current = prev;
+    return dispatched;
+}
+
+void
+UScheduler::run()
+{
+    ASTRI_ASSERT_MSG(!inWorker(), "run() called from a worker");
+    while (runSlice(~0u) > 0) {
+    }
+    if (!pendingBlocked.empty()) {
+        // Nothing runnable but threads still wait on keys no
+        // remaining thread will notify from inside this call: either
+        // the host loop will notify and call run()/runSlice() again,
+        // or this is the library analog of losing a flash response.
+        // Surface it — silent deadlock is the one thing a scheduler
+        // must not do.
+        ASTRI_WARN("uthread: run() exiting with %zu threads "
+                   "blocked on un-notified keys",
+                   pendingBlocked.size());
+    }
+}
+
+void
+UScheduler::yield()
+{
+    ASTRI_ASSERT_MSG(inWorker(), "yield() outside a worker");
+    Thread *t = running;
+    // Marker state: no block key, no pendingSince -> run() requeues.
+    t->blockKey = 0;
+    t->pendingSince = std::chrono::steady_clock::time_point{};
+    swapcontext(&t->ctx, &schedCtx);
+}
+
+void
+UScheduler::blockOn(std::uint64_t key)
+{
+    ASTRI_ASSERT_MSG(inWorker(), "blockOn() outside a worker");
+    ASTRI_ASSERT_MSG(key != 0, "block key 0 is reserved");
+    Thread *t = running;
+    t->blockKey = key;
+    t->pendingSince = std::chrono::steady_clock::now();
+    if (pendingCount() >= cfg.pendingCap)
+        ++statsData.pendingOverflows;
+    pendingBlocked.push_back(t);
+    ++statsData.blocks;
+    swapcontext(&t->ctx, &schedCtx);
+    // Resumed: key was notified.
+    t->blockKey = 0;
+    t->pendingSince = std::chrono::steady_clock::time_point{};
+}
+
+void
+UScheduler::notify(std::uint64_t key)
+{
+    ++statsData.notifies;
+    for (auto it = pendingBlocked.begin(); it != pendingBlocked.end();) {
+        if ((*it)->blockKey == key) {
+            pendingReady.push_back(*it);
+            it = pendingBlocked.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::uint64_t
+UScheduler::currentId() const
+{
+    return running ? running->id : 0;
+}
+
+} // namespace astriflash::uthread

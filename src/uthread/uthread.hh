@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A real cooperative user-level threading library (§IV-D).
+ *
+ * This is the software artifact AstriFlash's core-side design relies
+ * on: worker threads with private stacks, ~100 ns context switches,
+ * and a priority scheduler with aging over a bounded pending queue.
+ * In hardware the switch is triggered by the DRAM-cache miss signal;
+ * in this library the equivalent yield point is blockOn(key), which
+ * parks the calling thread until notify(key) — exactly how the
+ * simulator models it, and how an application running on AstriFlash
+ * hardware would behave.
+ *
+ * Context switching uses POSIX ucontext; stacks are heap-allocated.
+ * The library is single-OS-thread by design (cooperative scheduling
+ * needs no locks), mirroring the one-scheduler-per-core model.
+ */
+
+#ifndef ASTRIFLASH_UTHREAD_UTHREAD_HH
+#define ASTRIFLASH_UTHREAD_UTHREAD_HH
+
+#include <ucontext.h>
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace astriflash::uthread {
+
+/** Scheduling policy (mirrors core::SchedPolicy). */
+enum class Policy {
+    PriorityAging, ///< New jobs first, aged pending jobs promoted.
+    Fifo,          ///< New jobs always first (the noPS ablation).
+};
+
+/** Scheduler configuration. */
+struct Config {
+    Policy policy = Policy::PriorityAging;
+    std::size_t stackBytes = 64 * 1024;
+    std::uint32_t pendingCap = 64;
+    /** Aging threshold: a pending thread older than this runs first
+     *  (the simulator derives it from the flash-response EMA; the
+     *  library takes it as a parameter). */
+    std::chrono::nanoseconds agingThreshold{50000};
+};
+
+/** Cooperative user-level thread scheduler. */
+class UScheduler
+{
+  public:
+    struct Stats {
+        std::uint64_t spawned = 0;
+        std::uint64_t switches = 0;
+        std::uint64_t blocks = 0;
+        std::uint64_t notifies = 0;
+        std::uint64_t agingPromotions = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t pendingOverflows = 0;
+    };
+
+    explicit UScheduler(const Config &config = Config{});
+    ~UScheduler();
+
+    UScheduler(const UScheduler &) = delete;
+    UScheduler &operator=(const UScheduler &) = delete;
+
+    /** Create a new thread running @p fn. @return thread id. */
+    std::uint64_t spawn(std::function<void()> fn);
+
+    /**
+     * Run until every spawned thread has finished. Must be called
+     * from the hosting OS thread, not from inside a worker.
+     */
+    void run();
+
+    /**
+     * Run at most @p max_dispatches scheduling decisions, then
+     * return — the host loop's quantum. Lets an external "backside
+     * controller" interleave notify() calls with execution (the
+     * queue-pair pattern of §IV-D2).
+     * @return the number of threads dispatched (0 = nothing
+     *         runnable; the caller should produce a notification or
+     *         stop).
+     */
+    std::uint32_t runSlice(std::uint32_t max_dispatches);
+
+    /**
+     * Cooperative yield from inside a worker: reschedule and let the
+     * policy pick the next thread.
+     */
+    void yield();
+
+    /**
+     * Park the calling thread until notify(@p key) — the library
+     * analog of the switch-on-miss path. If the pending queue is
+     * full, the scheduler first drains the oldest pending thread
+     * (§IV-D1's overflow rule).
+     */
+    void blockOn(std::uint64_t key);
+
+    /** Wake every thread blocked on @p key. Callable from workers or
+     *  from outside run() (before/after scheduling quanta). */
+    void notify(std::uint64_t key);
+
+    /** Id of the currently running thread (0 = scheduler). */
+    std::uint64_t currentId() const;
+
+    /** True while called from inside a worker thread. */
+    bool inWorker() const { return running != nullptr; }
+
+    std::uint32_t pendingCount() const
+    {
+        return static_cast<std::uint32_t>(pendingBlocked.size() +
+                                          pendingReady.size());
+    }
+
+    const Stats &stats() const { return statsData; }
+    const Config &config() const { return cfg; }
+
+  private:
+    struct Thread {
+        std::uint64_t id = 0;
+        ucontext_t ctx{};
+        std::vector<std::uint8_t> stack;
+        std::function<void()> fn;
+        bool finished = false;
+        std::uint64_t blockKey = 0;
+        std::chrono::steady_clock::time_point pendingSince{};
+    };
+
+    static void trampoline();
+
+    /** Switch from the scheduler into @p t. */
+    void dispatch(Thread *t);
+
+    /** Pick the next runnable thread per the policy. */
+    Thread *pickNext();
+
+    Config cfg;
+    ucontext_t schedCtx{};
+    std::deque<Thread *> newQueue;
+    std::deque<Thread *> pendingBlocked;
+    std::deque<Thread *> pendingReady;
+    std::vector<std::unique_ptr<Thread>> threads;
+    Thread *running = nullptr;
+    std::uint64_t nextId = 1;
+    Stats statsData;
+};
+
+} // namespace astriflash::uthread
+
+#endif // ASTRIFLASH_UTHREAD_UTHREAD_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Jobs and their operation streams.
+ *
+ * A job models one client request executing on a user-level thread: an
+ * alternating stream of compute intervals and memory accesses. The
+ * timing core consumes ops in order (accesses are dependent, the
+ * conservative assumption for pointer-chasing server code) and records
+ * the queueing/service timestamps the tail-latency analysis needs.
+ */
+
+#ifndef ASTRIFLASH_WORKLOAD_JOB_HH
+#define ASTRIFLASH_WORKLOAD_JOB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address.hh"
+#include "sim/ticks.hh"
+
+namespace astriflash::workload {
+
+/** One step of a job's execution. */
+struct Op {
+    enum class Type : std::uint8_t {
+        Compute, ///< Pure execution for @ref compute ticks.
+        Load,    ///< Memory read at @ref addr.
+        Store,   ///< Memory write at @ref addr.
+    };
+
+    Type type = Type::Compute;
+    sim::Ticks compute = 0; ///< Only for Compute ops.
+    mem::Addr addr = 0;     ///< Only for Load/Store ops.
+};
+
+/** A client request: op stream plus latency bookkeeping. */
+struct Job {
+    std::uint64_t id = 0;
+    std::vector<Op> ops;
+    std::uint32_t nextOp = 0; ///< Execution cursor.
+
+    // Timestamps (ticks). arrival: open-loop generator; enqueued: put
+    // into the core's job queue; started: first scheduled; finished:
+    // last op retired.
+    sim::Ticks arrival = 0;
+    sim::Ticks enqueued = 0;
+    sim::Ticks started = 0;
+    sim::Ticks finished = 0;
+
+    /** Accumulated service time (execution + flash waits, excl. job
+     *  queue) maintained by the scheduler model. */
+    sim::Ticks service = 0;
+
+    /** When the job last entered the pending queue (aging policy). */
+    sim::Ticks pendingSince = 0;
+
+    /** Misses this job has suffered (diagnostics). */
+    std::uint32_t misses = 0;
+
+    bool done() const { return nextOp >= ops.size(); }
+
+    const Op &
+    currentOp() const
+    {
+        return ops[nextOp];
+    }
+
+    /** Total queueing delay experienced (response - service). */
+    sim::Ticks
+    queueing() const
+    {
+        const sim::Ticks response = finished - arrival;
+        return response > service ? response - service : 0;
+    }
+};
+
+} // namespace astriflash::workload
+
+#endif // ASTRIFLASH_WORKLOAD_JOB_HH

@@ -1,0 +1,137 @@
+#include "trace.hh"
+
+#include "sim/logging.hh"
+
+namespace astriflash::workload {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4352544952545341ull; // "ASTRITRC"
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU32(std::FILE *f, std::uint32_t v)
+{
+    if (std::fwrite(&v, sizeof(v), 1, f) != 1)
+        ASTRI_FATAL("trace: short write");
+}
+
+void
+writeU64(std::FILE *f, std::uint64_t v)
+{
+    if (std::fwrite(&v, sizeof(v), 1, f) != 1)
+        ASTRI_FATAL("trace: short write");
+}
+
+std::uint32_t
+readU32(std::FILE *f)
+{
+    std::uint32_t v = 0;
+    if (std::fread(&v, sizeof(v), 1, f) != 1)
+        ASTRI_FATAL("trace: truncated file");
+    return v;
+}
+
+std::uint64_t
+readU64(std::FILE *f)
+{
+    std::uint64_t v = 0;
+    if (std::fread(&v, sizeof(v), 1, f) != 1)
+        ASTRI_FATAL("trace: truncated file");
+    return v;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        ASTRI_FATAL("trace: cannot open '%s' for writing",
+                    path.c_str());
+    writeU64(file, kMagic);
+    writeU32(file, kVersion);
+    writeU32(file, 0);
+    writeU64(file, 0); // job count, patched in close()
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const Job &job)
+{
+    ASTRI_ASSERT_MSG(file != nullptr, "trace writer already closed");
+    writeU32(file, static_cast<std::uint32_t>(job.ops.size()));
+    for (const Op &op : job.ops) {
+        const std::uint8_t type = static_cast<std::uint8_t>(op.type);
+        if (std::fwrite(&type, 1, 1, file) != 1)
+            ASTRI_FATAL("trace: short write");
+        writeU64(file, op.type == Op::Type::Compute ? op.compute
+                                                    : op.addr);
+    }
+    ++jobs;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file)
+        return;
+    // Patch the job count into the header.
+    std::fseek(file, 16, SEEK_SET);
+    writeU64(file, jobs);
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        ASTRI_FATAL("trace: cannot open '%s'", path.c_str());
+    if (readU64(f) != kMagic)
+        ASTRI_FATAL("trace: '%s' is not a trace file", path.c_str());
+    if (readU32(f) != kVersion)
+        ASTRI_FATAL("trace: unsupported version in '%s'",
+                    path.c_str());
+    readU32(f); // reserved
+    const std::uint64_t count = readU64(f);
+    if (count == 0)
+        ASTRI_FATAL("trace: '%s' contains no jobs", path.c_str());
+    jobTemplates.reserve(count);
+    for (std::uint64_t j = 0; j < count; ++j) {
+        const std::uint32_t ops = readU32(f);
+        std::vector<Op> list;
+        list.reserve(ops);
+        for (std::uint32_t o = 0; o < ops; ++o) {
+            std::uint8_t type = 0;
+            if (std::fread(&type, 1, 1, f) != 1)
+                ASTRI_FATAL("trace: truncated file");
+            const std::uint64_t payload = readU64(f);
+            Op op;
+            op.type = static_cast<Op::Type>(type);
+            if (op.type == Op::Type::Compute)
+                op.compute = payload;
+            else
+                op.addr = payload;
+            list.push_back(op);
+        }
+        jobTemplates.push_back(std::move(list));
+    }
+    std::fclose(f);
+}
+
+Job
+TraceReader::nextJob()
+{
+    Job job;
+    job.id = nextId++;
+    job.ops = jobTemplates[cursor];
+    cursor = (cursor + 1) % jobTemplates.size();
+    return job;
+}
+
+} // namespace astriflash::workload

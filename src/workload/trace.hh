@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Job-trace recording and replay.
+ *
+ * The synthetic generators are deterministic, but studies often need
+ * to (a) pin the exact op stream across machines and code versions,
+ * or (b) drive the simulator with traces captured elsewhere. A trace
+ * file stores jobs as flat op lists in a small self-describing binary
+ * format; TraceReader replays them (cyclically) as a job source the
+ * System can consume via System::setJobSource().
+ *
+ * Format (little-endian):
+ *   u64 magic "ASTRITRC", u32 version, u32 reserved, u64 job count
+ *   per job: u32 op count; per op: u8 type, u64 payload
+ *            (compute ticks for Compute, byte address for Load/Store)
+ */
+
+#ifndef ASTRIFLASH_WORKLOAD_TRACE_HH
+#define ASTRIFLASH_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "job.hh"
+
+namespace astriflash::workload {
+
+/** Streams jobs into a trace file. */
+class TraceWriter
+{
+  public:
+    /** Opens @p path for writing (fatal on failure). */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one job's op stream. */
+    void append(const Job &job);
+
+    /** Jobs written so far. */
+    std::uint64_t count() const { return jobs; }
+
+    /** Finalize the header and close (also done by the dtor). */
+    void close();
+
+  private:
+    std::FILE *file = nullptr;
+    std::uint64_t jobs = 0;
+};
+
+/** Loads a trace and replays its jobs (cyclically). */
+class TraceReader
+{
+  public:
+    /** Reads the whole trace into memory (fatal on parse errors). */
+    explicit TraceReader(const std::string &path);
+
+    /** Number of distinct jobs in the trace. */
+    std::uint64_t size() const { return jobTemplates.size(); }
+
+    /**
+     * Next job (wraps around at the end). Ids are freshly assigned
+     * so repeated replays stay distinguishable.
+     */
+    Job nextJob();
+
+    /** The i-th job template (for inspection/tests). */
+    const std::vector<Op> &jobOps(std::uint64_t i) const
+    {
+        return jobTemplates[i];
+    }
+
+  private:
+    std::vector<std::vector<Op>> jobTemplates;
+    std::uint64_t cursor = 0;
+    std::uint64_t nextId = 1;
+};
+
+} // namespace astriflash::workload
+
+#endif // ASTRIFLASH_WORKLOAD_TRACE_HH

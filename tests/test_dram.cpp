@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the DRAM timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace astriflash::mem;
+using namespace astriflash::sim;
+
+namespace {
+
+DramConfig
+simpleCfg()
+{
+    DramConfig c;
+    c.tRcd = 10;
+    c.tCas = 10;
+    c.tRp = 10;
+    c.tBurst = 4;
+    c.rowBytes = 1024;
+    c.banksPerChannel = 2;
+    c.channels = 2;
+    return c;
+}
+
+} // namespace
+
+TEST(Dram, ClosedRowLatency)
+{
+    Dram d("d", simpleCfg());
+    const auto r = d.access(0, 100, false);
+    EXPECT_EQ(r.row, DramRowResult::Closed);
+    EXPECT_EQ(r.start, 100u);
+    EXPECT_EQ(r.complete, 100u + 10 + 10 + 4); // tRCD + tCAS + burst
+}
+
+TEST(Dram, RowHitSkipsActivate)
+{
+    Dram d("d", simpleCfg());
+    const auto first = d.access(0, 0, false);
+    const auto second = d.access(64, first.complete, false);
+    EXPECT_EQ(second.row, DramRowResult::Hit);
+    EXPECT_EQ(second.complete - second.start, 10u + 4); // tCAS + burst
+}
+
+TEST(Dram, RowConflictPaysPrecharge)
+{
+    Dram d("d", simpleCfg());
+    const auto first = d.access(0, 0, false);
+    // Same bank, different row: row stride = rowBytes * channels *
+    // banks (with row-granularity interleave) = 1024 * 4.
+    const auto conflict = d.access(4096, first.complete, false);
+    EXPECT_EQ(conflict.row, DramRowResult::Conflict);
+    EXPECT_EQ(conflict.complete - conflict.start, 10u + 10 + 10 + 4);
+}
+
+TEST(Dram, SameRowSharesBank)
+{
+    // The DRAM-cache FC depends on tag+data CAS hitting one open row.
+    Dram d("d", simpleCfg());
+    const auto tag = d.access(2048, 0, false);
+    const auto data = d.access(2048 + 64, tag.complete, false);
+    EXPECT_EQ(data.row, DramRowResult::Hit);
+}
+
+TEST(Dram, BankConflictQueues)
+{
+    Dram d("d", simpleCfg());
+    const auto a = d.access(0, 0, false);
+    // Same bank (same row even): arrives while busy -> waits.
+    const auto b = d.access(0, 0, false);
+    EXPECT_EQ(b.start, a.complete);
+}
+
+TEST(Dram, DifferentRowsDifferentChannelsOverlap)
+{
+    Dram d("d", simpleCfg());
+    const auto a = d.access(0, 0, false);
+    const auto b = d.access(1024, 0, false); // next row -> next channel
+    EXPECT_EQ(b.start, 0u);
+    EXPECT_EQ(a.start, 0u);
+}
+
+TEST(Dram, MultiBurstTransfer)
+{
+    Dram d("d", simpleCfg());
+    const auto page = d.access(0, 0, true, 4096);
+    // 4096/64 = 64 bursts.
+    EXPECT_EQ(page.complete, 0u + 10 + 10 + 64 * 4);
+}
+
+TEST(Dram, OccupyBankDelaysNextAccess)
+{
+    Dram d("d", simpleCfg());
+    const Ticks until = d.occupyBank(0, 50, 100);
+    EXPECT_EQ(until, 150u);
+    EXPECT_EQ(d.bankFreeAt(0), 150u);
+    const auto r = d.access(0, 0, false);
+    EXPECT_EQ(r.start, 150u);
+}
+
+TEST(Dram, StatsClassifyRowOutcomes)
+{
+    Dram d("d", simpleCfg());
+    d.access(0, 0, false);
+    d.access(64, 100, false);
+    d.access(4096, 200, true);
+    EXPECT_EQ(d.stats().rowClosed.value(), 1u);
+    EXPECT_EQ(d.stats().rowHits.value(), 1u);
+    EXPECT_EQ(d.stats().rowConflicts.value(), 1u);
+    EXPECT_EQ(d.stats().reads.value(), 2u);
+    EXPECT_EQ(d.stats().writes.value(), 1u);
+}
+
+TEST(DramDeath, RejectsBadConfig)
+{
+    DramConfig c = simpleCfg();
+    c.channels = 0;
+    EXPECT_EXIT(Dram("d", c), ::testing::ExitedWithCode(1), "channel");
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+using namespace astriflash::sim;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); }, EventPriority::Stats);
+    eq.schedule(5, [&] { order.push_back(1); }, EventPriority::Default);
+    eq.schedule(5, [&] { order.push_back(0); },
+                EventPriority::ClockEdge);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 15u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(21, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunStepsBoundsExecution)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i + 1, [] {});
+    EXPECT_EQ(eq.runSteps(3), 3u);
+    EXPECT_EQ(eq.pending(), 2u);
+}
+
+TEST(EventQueue, DescheduleCancelsPending)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId id = eq.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(eq.deschedule(id));
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, DescheduleIsIdempotent)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.deschedule(id));
+    EXPECT_FALSE(eq.deschedule(kInvalidEventId));
+    EXPECT_FALSE(eq.deschedule(99999));
+}
+
+TEST(EventQueue, DescheduleAfterFireFails)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.deschedule(id));
+}
+
+TEST(EventQueue, PendingCountsOnlyLiveEvents)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.deschedule(a);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, ExecutedAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 4; ++i)
+        eq.schedule(i + 1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 4u);
+}
+
+TEST(EventQueue, ZeroDelayEventRunsAtCurrentTick)
+{
+    EventQueue eq;
+    Ticks seen = kTickNever;
+    eq.schedule(7, [&] {
+        eq.scheduleIn(0, [&] { seen = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "scheduling into the past");
+}
+
+/** Determinism: interleaved schedules produce identical traces. */
+TEST(EventQueue, DeterministicTrace)
+{
+    auto trace = [] {
+        EventQueue eq;
+        std::vector<std::uint64_t> t;
+        for (int i = 0; i < 100; ++i) {
+            eq.schedule((i * 37) % 50 + 1, [&t, &eq] {
+                t.push_back(eq.curTick());
+            });
+        }
+        eq.run();
+        return t;
+    };
+    EXPECT_EQ(trace(), trace());
+}

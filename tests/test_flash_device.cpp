@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the SSD timing model: latency composition, plane/channel
+ * queueing, read priority over programs, GC interference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_device.hh"
+#include "sim/ticks.hh"
+
+using namespace astriflash::flash;
+using namespace astriflash::sim;
+
+namespace {
+
+FlashConfig
+fastCfg()
+{
+    FlashConfig c;
+    c.channels = 2;
+    c.diesPerChannel = 1;
+    c.planesPerDie = 2;
+    c.blocksPerPlane = 16;
+    c.pagesPerBlock = 4;
+    c.tRead = microseconds(40);
+    c.tProgram = microseconds(600);
+    c.tErase = milliseconds(3);
+    c.tChannelXfer = microseconds(3);
+    c.tController = microseconds(5);
+    c.gcFreeBlockLow = 2;
+    return c;
+}
+
+} // namespace
+
+TEST(FlashDevice, UnloadedReadLatency)
+{
+    FlashDevice dev("d", fastCfg());
+    const auto r = dev.read(0, 0);
+    // controller + tR + transfer = 5 + 40 + 3 us.
+    EXPECT_EQ(r.complete, microseconds(48));
+    EXPECT_EQ(r.queueing, 0u);
+    EXPECT_FALSE(r.blockedByGc);
+}
+
+TEST(FlashDevice, SamePlaneReadsSerialize)
+{
+    FlashDevice dev("d", fastCfg());
+    const auto a = dev.read(0, 0); // plane 0
+    const auto b = dev.read(4, 0); // lpn 4 -> plane 0 again
+    EXPECT_GT(b.queueing, 0u);
+    EXPECT_GE(b.complete, a.complete + microseconds(40));
+}
+
+TEST(FlashDevice, DifferentPlanesOverlap)
+{
+    FlashDevice dev("d", fastCfg());
+    const auto a = dev.read(0, 0); // plane 0, channel 0
+    const auto b = dev.read(1, 0); // plane 1, channel 1
+    EXPECT_EQ(a.complete, b.complete);
+    EXPECT_EQ(b.queueing, 0u);
+}
+
+TEST(FlashDevice, ChannelTransferSerializes)
+{
+    FlashDevice dev("d", fastCfg());
+    // Planes 0 and 2 share channel 0.
+    const auto a = dev.read(0, 0);
+    const auto b = dev.read(2, 0);
+    // Array reads overlap; the 3 us transfers share the channel.
+    EXPECT_EQ(b.complete, a.complete + microseconds(3));
+}
+
+TEST(FlashDevice, ReadsPreemptQueuedPrograms)
+{
+    // Preload half the capacity so plain writes have spare blocks and
+    // do not trigger GC (GC legitimately blocks reads; tested below).
+    const FlashConfig cfg = fastCfg();
+    FlashDevice dev("d", cfg, cfg.userPages() / 2);
+    // Queue a program on plane 0, then read from it immediately.
+    dev.write(0, 0);
+    const auto r = dev.read(4, microseconds(1)); // plane 0
+    // The read must NOT wait out the 600 us program.
+    EXPECT_LT(r.complete, microseconds(100));
+}
+
+TEST(FlashDevice, WriteAckIsTransferOnly)
+{
+    const FlashConfig wcfg = fastCfg();
+    FlashDevice dev("d", wcfg, wcfg.userPages() / 2);
+    const Ticks acked = dev.write(0, 0);
+    // controller + channel transfer; the program is asynchronous.
+    EXPECT_EQ(acked, microseconds(8));
+}
+
+TEST(FlashDevice, GcBlocksReadsOnItsPlane)
+{
+    FlashDevice dev("d", fastCfg());
+    // Preload half capacity; hammer one plane's lpns to force GC.
+    std::uint64_t gc_writes = 0;
+    Ticks t = 0;
+    while (dev.ftl().stats().gcInvocations.value() == 0 &&
+           gc_writes < 10000) {
+        dev.write(0 + 4 * (gc_writes % 8), t);
+        t += microseconds(10);
+        ++gc_writes;
+    }
+    ASSERT_GT(dev.ftl().stats().gcInvocations.value(), 0u);
+    // A read right after the GC-triggering write sees the plane busy.
+    const auto r = dev.read(0, t);
+    EXPECT_TRUE(r.blockedByGc);
+    EXPECT_GT(r.queueing, microseconds(100));
+    EXPECT_EQ(dev.stats().gcBlockedReads.value(), 1u);
+}
+
+TEST(FlashDevice, LatencyHistogramsPopulate)
+{
+    FlashDevice dev("d", fastCfg());
+    for (std::uint64_t i = 0; i < 32; ++i)
+        dev.read(i % 16, i * microseconds(100));
+    EXPECT_EQ(dev.stats().reads.value(), 32u);
+    EXPECT_GE(dev.stats().readLatency.percentile(0.5),
+              microseconds(47));
+}
+
+TEST(FlashDevice, ResetStatsKeepsFtlCounters)
+{
+    FlashDevice dev("d", fastCfg());
+    dev.read(0, 0);
+    dev.write(0, 0);
+    dev.resetStats();
+    EXPECT_EQ(dev.stats().reads.value(), 0u);
+    EXPECT_EQ(dev.stats().writes.value(), 0u);
+    EXPECT_EQ(dev.ftl().stats().hostWrites.value(), 1u); // cumulative
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tests for the on-chip MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+using namespace astriflash::mem;
+
+TEST(Mshr, AllocateMergeRelease)
+{
+    MshrFile m("m", 4);
+    EXPECT_EQ(m.allocate(0x100), MshrAlloc::New);
+    EXPECT_EQ(m.allocate(0x108), MshrAlloc::Merged); // same 64 B line
+    EXPECT_EQ(m.occupancy(), 1u);
+    EXPECT_TRUE(m.contains(0x100));
+    EXPECT_EQ(m.release(0x100), 2u);
+    EXPECT_FALSE(m.contains(0x100));
+    EXPECT_EQ(m.release(0x100), 0u);
+}
+
+TEST(Mshr, FullBlocks)
+{
+    MshrFile m("m", 2);
+    EXPECT_EQ(m.allocate(0x000), MshrAlloc::New);
+    EXPECT_EQ(m.allocate(0x040), MshrAlloc::New);
+    EXPECT_EQ(m.allocate(0x080), MshrAlloc::Full);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.stats().fullStalls.value(), 1u);
+    m.release(0x000);
+    EXPECT_EQ(m.allocate(0x080), MshrAlloc::New);
+}
+
+TEST(Mshr, PeakOccupancyTracked)
+{
+    MshrFile m("m", 8);
+    for (int i = 0; i < 5; ++i)
+        m.allocate(i * 64);
+    for (int i = 0; i < 5; ++i)
+        m.release(i * 64);
+    EXPECT_EQ(m.stats().peakOccupancy, 5u);
+    EXPECT_EQ(m.occupancy(), 0u);
+}
+
+TEST(Mshr, LineGranularityConfigurable)
+{
+    MshrFile m("m", 4, 4096);
+    EXPECT_EQ(m.allocate(0x0), MshrAlloc::New);
+    EXPECT_EQ(m.allocate(0xfff), MshrAlloc::Merged);
+    EXPECT_EQ(m.allocate(0x1000), MshrAlloc::New);
+}
+
+TEST(MshrDeath, RejectsZeroEntries)
+{
+    EXPECT_EXIT(MshrFile("m", 0), ::testing::ExitedWithCode(1),
+                "at least one entry");
+}

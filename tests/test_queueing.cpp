@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Queueing theory vs Monte Carlo cross-validation (Fig. 3 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "queueing/mc_queue.hh"
+#include "queueing/queueing.hh"
+
+using namespace astriflash::queueing;
+
+TEST(MM1, KnownClosedForms)
+{
+    // rho = 0.5, mu = 1: mean sojourn = 1/(mu-lambda) = 2.
+    MM1 q(0.5, 1.0);
+    EXPECT_DOUBLE_EQ(q.utilization(), 0.5);
+    EXPECT_DOUBLE_EQ(q.meanResponse(), 2.0);
+    // p99 of Exp(0.5) = ln(100)/0.5.
+    EXPECT_NEAR(q.responsePercentile(0.99), std::log(100.0) / 0.5,
+                1e-9);
+}
+
+TEST(MM1, UnstableDetected)
+{
+    MM1 q(2.0, 1.0);
+    EXPECT_FALSE(q.stable());
+}
+
+TEST(MMk, ReducesToMM1WhenKIs1)
+{
+    MM1 a(0.7, 1.0);
+    MMk b(0.7, 1.0, 1);
+    EXPECT_NEAR(a.meanResponse(), b.meanResponse(), 1e-9);
+    EXPECT_NEAR(a.responsePercentile(0.99),
+                b.responsePercentile(0.99), 1e-6);
+}
+
+TEST(MMk, ErlangCInUnitRange)
+{
+    for (double rho : {0.1, 0.5, 0.9, 0.99}) {
+        MMk q(rho * 8, 1.0, 8);
+        EXPECT_GT(q.probWait(), 0.0);
+        EXPECT_LT(q.probWait(), 1.0);
+        EXPECT_TRUE(q.stable());
+    }
+}
+
+TEST(MMk, MoreServersReduceWaiting)
+{
+    MMk a(3.0, 1.0, 4);
+    MMk b(3.0, 1.0, 8);
+    EXPECT_GT(a.probWait(), b.probWait());
+    EXPECT_GT(a.meanResponse(), b.meanResponse());
+}
+
+TEST(MMk, SurvivalMonotoneDecreasing)
+{
+    MMk q(5.0, 1.0, 6);
+    double prev = 1.0;
+    for (double t = 0.0; t < 20.0; t += 0.5) {
+        const double s = q.responseSurvival(t);
+        EXPECT_LE(s, prev + 1e-12);
+        EXPECT_GE(s, 0.0);
+        prev = s;
+    }
+}
+
+TEST(MMk, PercentileInvertsSurvival)
+{
+    MMk q(5.0, 1.0, 6);
+    for (double p : {0.5, 0.9, 0.99}) {
+        const double t = q.responsePercentile(p);
+        EXPECT_NEAR(q.responseSurvival(t), 1.0 - p, 1e-6);
+    }
+}
+
+/** Closed form vs Monte Carlo across utilizations and server counts. */
+class MMkVsMc : public ::testing::TestWithParam<
+                    std::tuple<double, std::uint32_t>>
+{
+};
+
+TEST_P(MMkVsMc, P99WithinMonteCarloNoise)
+{
+    const auto [rho, k] = GetParam();
+    const double mu = 1.0;
+    const double lambda = rho * mu * k;
+    MMk model(lambda, mu, k);
+    const auto mc = simulateQueue(lambda, mu, k, 400000,
+                                  ServiceDist::Exponential, 7);
+    EXPECT_NEAR(mc.meanResponse, model.meanResponse(),
+                model.meanResponse() * 0.05);
+    EXPECT_NEAR(mc.p99Response, model.responsePercentile(0.99),
+                model.responsePercentile(0.99) * 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operating, MMkVsMc,
+    ::testing::Combine(::testing::Values(0.3, 0.6, 0.9),
+                       ::testing::Values(1u, 4u, 16u)));
+
+TEST(SystemModel, OccupancyAndThroughput)
+{
+    // The paper's Fig. 3 anchor: work 10 us, flash 50 us.
+    SystemModel dram{10.0, 0.0, 0.0, false};
+    SystemModel sync{10.0, 50.0, 0.0, false};
+    SystemModel astri{10.0, 50.0, 0.2, true};
+    SystemModel os_swap{10.0, 50.0, 10.0, true};
+
+    EXPECT_DOUBLE_EQ(dram.maxThroughput(), 0.1);
+    // Flash-Sync: >80% throughput degradation.
+    EXPECT_LT(sync.maxThroughput() / dram.maxThroughput(), 0.2);
+    // OS-Swap: ~50% degradation.
+    EXPECT_NEAR(os_swap.maxThroughput() / dram.maxThroughput(), 0.5,
+                0.02);
+    // AstriFlash: approaches DRAM-only.
+    EXPECT_GT(astri.maxThroughput() / dram.maxThroughput(), 0.95);
+}
+
+TEST(SystemModel, P99CurveShape)
+{
+    SystemModel astri{10.0, 50.0, 0.2, true};
+    const double low = astri.p99ResponseUs(0.01);
+    const double high = astri.p99ResponseUs(0.09);
+    EXPECT_GT(low, 50.0); // always includes the flash access
+    EXPECT_GT(high, low); // queueing grows with load
+    EXPECT_LT(astri.p99ResponseUs(0.2), 0.0); // unstable flagged
+}
+
+TEST(McQueue, DeterministicServiceMatchesDG1Intuition)
+{
+    // At low load with deterministic service, responses cluster at
+    // exactly the service time.
+    const auto mc = simulateQueue(0.01, 1.0, 1, 50000,
+                                  ServiceDist::Deterministic, 3);
+    EXPECT_NEAR(mc.p50Response, 1.0, 1e-9);
+    EXPECT_NEAR(mc.meanResponse, 1.0, 0.01);
+}

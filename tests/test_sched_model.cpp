@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the user-level scheduler model: priority + aging, the
+ * FIFO ablation, notifications, and the pending-queue bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sched_model.hh"
+#include "sim/ticks.hh"
+
+using namespace astriflash::core;
+using namespace astriflash::sim;
+using astriflash::workload::Job;
+
+namespace {
+
+Job
+job(std::uint64_t id)
+{
+    Job j;
+    j.id = id;
+    return j;
+}
+
+SchedulerModel::Config
+cfgFor(SchedPolicy policy, bool notify = true)
+{
+    SchedulerModel::Config c;
+    c.policy = policy;
+    c.pendingCap = 4;
+    c.notifyArrivals = notify;
+    return c;
+}
+
+} // namespace
+
+TEST(SchedModel, EmptyPicksNothing)
+{
+    SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
+    EXPECT_FALSE(s.pickNext(0).has_value());
+    EXPECT_FALSE(s.hasRunnable());
+}
+
+TEST(SchedModel, NewJobsFifoAmongThemselves)
+{
+    SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
+    s.enqueueNew(job(1));
+    s.enqueueNew(job(2));
+    EXPECT_EQ(s.pickNext(0)->id, 1u);
+    EXPECT_EQ(s.pickNext(0)->id, 2u);
+}
+
+TEST(SchedModel, ParkedJobNotRunnableUntilPageReady)
+{
+    SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
+    s.parkOnMiss(job(1), 0x1000, 100);
+    EXPECT_EQ(s.pendingCount(), 1u);
+    EXPECT_FALSE(s.pickNext(200).has_value());
+    EXPECT_EQ(s.pageReady(0x1000, microseconds(50)), 1u);
+    const auto j = s.pickNext(microseconds(50));
+    ASSERT_TRUE(j.has_value());
+    EXPECT_EQ(j->id, 1u);
+}
+
+TEST(SchedModel, PageReadyWakesAllWaitersOnPage)
+{
+    SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
+    s.parkOnMiss(job(1), 0x1000, 0);
+    s.parkOnMiss(job(2), 0x1000, 0);
+    s.parkOnMiss(job(3), 0x2000, 0);
+    EXPECT_EQ(s.pageReady(0x1000, 100), 2u);
+    EXPECT_EQ(s.pendingCount(), 3u); // 2 ready + 1 waiting
+}
+
+TEST(SchedModel, NotifiedReadyJobBeatsNewJob)
+{
+    // With queue-pair notifications, an arrived pending job resumes
+    // at the next pick even when new work is queued (§VI-B).
+    SchedulerModel s(cfgFor(SchedPolicy::PriorityAging, true));
+    s.enqueueNew(job(10));
+    s.parkOnMiss(job(1), 0x1000, 0);
+    s.pageReady(0x1000, microseconds(50));
+    EXPECT_EQ(s.pickNext(microseconds(50))->id, 1u);
+    EXPECT_EQ(s.stats().scheduledPending.value(), 1u);
+}
+
+TEST(SchedModel, ProxyModePromotesOnlyAgedJobs)
+{
+    SchedulerModel s(cfgFor(SchedPolicy::PriorityAging, false));
+    // Establish an average flash response of ~50 us.
+    for (int i = 0; i < 50; ++i)
+        s.noteFlashResponse(microseconds(50));
+    s.enqueueNew(job(10));
+    s.parkOnMiss(job(1), 0x1000, 0);
+    // The page arrives quickly; head age (12 us) is below the 50 us
+    // average, so the proxy assumes it has not arrived: new job wins.
+    s.pageReady(0x1000, microseconds(10));
+    EXPECT_EQ(s.pickNext(microseconds(12))->id, 10u);
+    // Once aged beyond the average response, the pending job wins.
+    s.enqueueNew(job(11));
+    EXPECT_EQ(s.pickNext(microseconds(200))->id, 1u);
+    EXPECT_EQ(s.stats().agingPromotions.value(), 1u);
+}
+
+TEST(SchedModel, FifoStarvesPendingWhileNewExists)
+{
+    SchedulerModel s(cfgFor(SchedPolicy::Fifo));
+    s.parkOnMiss(job(1), 0x1000, 0);
+    s.pageReady(0x1000, 10);
+    s.enqueueNew(job(10));
+    s.enqueueNew(job(11));
+    EXPECT_EQ(s.pickNext(milliseconds(10))->id, 10u);
+    EXPECT_EQ(s.pickNext(milliseconds(20))->id, 11u);
+    // Only with an empty new queue does the pending job run.
+    EXPECT_EQ(s.pickNext(milliseconds(30))->id, 1u);
+}
+
+TEST(SchedModel, PendingFullDetection)
+{
+    SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
+    for (std::uint64_t i = 0; i < 4; ++i)
+        s.parkOnMiss(job(i), 0x1000 * (i + 1), 0);
+    EXPECT_TRUE(s.pendingFull());
+    s.notePendingOverflow();
+    EXPECT_EQ(s.stats().pendingOverflows.value(), 1u);
+    s.pageReady(0x1000, 10);
+    const auto j = s.pickPendingReady();
+    ASSERT_TRUE(j.has_value());
+    EXPECT_EQ(j->id, 0u);
+    EXPECT_FALSE(s.pendingFull());
+}
+
+TEST(SchedModel, PickPendingReadyIgnoresNewJobs)
+{
+    SchedulerModel s(cfgFor(SchedPolicy::Fifo));
+    s.enqueueNew(job(10));
+    EXPECT_FALSE(s.pickPendingReady().has_value());
+    s.parkOnMiss(job(1), 0x1000, 0);
+    s.pageReady(0x1000, 10);
+    EXPECT_EQ(s.pickPendingReady()->id, 1u);
+}
+
+TEST(SchedModel, FlashResponseEmaConverges)
+{
+    SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
+    for (int i = 0; i < 200; ++i)
+        s.noteFlashResponse(microseconds(80));
+    EXPECT_NEAR(static_cast<double>(s.agingThreshold()),
+                static_cast<double>(microseconds(80)),
+                static_cast<double>(microseconds(2)));
+}
+
+TEST(SchedModel, PeakPendingTracked)
+{
+    SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
+    s.parkOnMiss(job(1), 0x1000, 0);
+    s.parkOnMiss(job(2), 0x2000, 0);
+    s.pageReady(0x1000, 1);
+    (void)s.pickPendingReady();
+    s.parkOnMiss(job(3), 0x3000, 2);
+    EXPECT_EQ(s.stats().peakPending, 2u);
+}

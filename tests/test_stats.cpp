@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit + property tests for counters, averages, and the HDR-style
+ * histogram (percentile accuracy is load-bearing: the paper's key
+ * metric is p99 latency).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace astriflash::sim;
+
+TEST(Counter, IncrementsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.99), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.sample(v);
+    // Unit buckets below 64: percentiles are exact.
+    EXPECT_EQ(h.percentile(0.5), 31u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 63u);
+    EXPECT_DOUBLE_EQ(h.mean(), 31.5);
+}
+
+TEST(Histogram, SingleValue)
+{
+    Histogram h;
+    h.sample(1000000);
+    EXPECT_EQ(h.count(), 1u);
+    // Representative value bounded by the true max.
+    EXPECT_EQ(h.percentile(0.5), 1000000u);
+    EXPECT_EQ(h.percentile(0.999), 1000000u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h;
+    h.sampleN(10, 99);
+    h.sampleN(1000, 1);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.percentile(0.50), 10u);
+    EXPECT_GE(h.percentile(0.995), 900u);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a, b;
+    for (int i = 0; i < 100; ++i)
+        a.sample(10);
+    for (int i = 0; i < 100; ++i)
+        b.sample(100000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_EQ(a.percentile(0.25), 10u);
+    EXPECT_GE(a.percentile(0.75), 90000u);
+    EXPECT_EQ(a.max(), 100000u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.sample(12345);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.99), 0u);
+}
+
+/**
+ * Property: for random sample sets across many magnitudes, every
+ * histogram percentile is within the structure's relative-error bound
+ * (1/64) of the exact nearest-rank percentile.
+ */
+class HistogramAccuracy : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HistogramAccuracy, PercentilesWithinBound)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    Histogram h;
+    std::vector<std::uint64_t> exact;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        // Log-uniform magnitudes: ns to seconds in picosecond ticks.
+        const double mag = rng.uniform(0.0, 12.0);
+        const auto v = static_cast<std::uint64_t>(std::pow(10.0, mag));
+        h.sample(v);
+        exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    for (double q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+        std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q * n));
+        if (rank == 0)
+            rank = 1;
+        const std::uint64_t truth = exact[rank - 1];
+        const std::uint64_t est = h.percentile(q);
+        const double rel =
+            std::abs(static_cast<double>(est) -
+                     static_cast<double>(truth)) /
+            std::max<double>(1.0, static_cast<double>(truth));
+        EXPECT_LE(rel, 1.0 / 64.0 + 1e-9)
+            << "q=" << q << " truth=" << truth << " est=" << est;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracy,
+                         ::testing::Values(1, 2, 3, 17, 1234, 99999));
+
+TEST(StatRegistry, DumpsSortedNames)
+{
+    StatRegistry reg;
+    Counter c;
+    c.inc(7);
+    double v = 2.5;
+    reg.registerCounter("b.counter", &c);
+    reg.registerScalar("a.scalar", &v);
+    const std::string out = reg.dump();
+    EXPECT_NE(out.find("b.counter = 7"), std::string::npos);
+    EXPECT_NE(out.find("a.scalar = 2.5"), std::string::npos);
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Parameterized robustness sweep: every §V-B configuration must
+ * complete its measurement and satisfy basic sanity invariants for
+ * multiple RNG seeds — guarding against seed-dependent deadlocks or
+ * accounting bugs that a single golden run would hide.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/system.hh"
+
+using namespace astriflash;
+using namespace astriflash::core;
+
+namespace {
+
+constexpr SystemKind kAllSystems[] = {
+    SystemKind::DramOnly,        SystemKind::AstriFlash,
+    SystemKind::AstriFlashIdeal, SystemKind::AstriFlashNoPS,
+    SystemKind::AstriFlashNoDP,  SystemKind::OsSwap,
+    SystemKind::FlashSync,
+};
+
+} // namespace
+
+class SystemSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+};
+
+TEST_P(SystemSweep, CompletesWithSaneInvariants)
+{
+    const auto [kind_idx, seed] = GetParam();
+    const SystemKind kind = kAllSystems[kind_idx];
+
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.cores = 2;
+    cfg.workloadKind = workload::Kind::HashTable;
+    cfg.workload.datasetBytes = 256ull << 20;
+    cfg.warmupJobs = 100;
+    cfg.measureJobs = 600;
+    cfg.seed = seed;
+
+    System sys(cfg);
+    const RunResults r = sys.run();
+
+    // The measurement must complete (no deadlock / livelock).
+    ASSERT_EQ(r.jobs, 600u) << systemKindName(kind);
+    EXPECT_GT(r.throughputJobsPerSec, 0.0);
+
+    // Latency ordering invariants.
+    EXPECT_LE(r.p50ServiceUs, r.p99ServiceUs);
+    EXPECT_LE(r.p99ServiceUs, r.p999ServiceUs);
+    EXPECT_GT(r.avgServiceUs, 0.0);
+
+    // Flash traffic only exists on flash-backed configurations.
+    if (kind == SystemKind::DramOnly) {
+        EXPECT_EQ(r.flashReads, 0u);
+    } else {
+        EXPECT_GT(r.flashReads, 0u);
+        // Misses are bounded by accesses: hit ratio stays sane.
+        if (kind != SystemKind::OsSwap) {
+            EXPECT_GT(r.dramCacheHitRatio, 0.5);
+            EXPECT_LE(r.dramCacheHitRatio, 1.0);
+        }
+    }
+
+    // Shootdowns only exist under OS paging.
+    if (kind == SystemKind::OsSwap)
+        EXPECT_GT(r.shootdowns, 0u);
+    else
+        EXPECT_EQ(r.shootdowns, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigsBySeeds, SystemSweep,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(std::uint64_t{1},
+                                         std::uint64_t{99},
+                                         std::uint64_t{20260707})),
+    [](const auto &info) {
+        // No structured bindings here: commas in the binding list
+        // break the INSTANTIATE macro's argument parsing.
+        std::string name = systemKindName(
+            kAllSystems[std::get<0>(info.param)]);
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name + "_seed" +
+               std::to_string(std::get<1>(info.param));
+    });

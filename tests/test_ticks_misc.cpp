@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the time base, clock domains, address arithmetic, and
+ * logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/sim_object.hh"
+#include "sim/ticks.hh"
+
+using namespace astriflash::sim;
+using namespace astriflash::mem;
+
+TEST(Ticks, UnitConversions)
+{
+    EXPECT_EQ(nanoseconds(1), 1000u);
+    EXPECT_EQ(microseconds(1), 1000u * 1000);
+    EXPECT_EQ(milliseconds(1), 1000u * 1000 * 1000);
+    EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(50)), 50.0);
+    EXPECT_DOUBLE_EQ(toNanoseconds(nanoseconds(7)), 7.0);
+    EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
+}
+
+TEST(ClockDomain, PeriodAndCycles)
+{
+    const ClockDomain clk(2'500'000'000ull); // 2.5 GHz
+    EXPECT_EQ(clk.period(), 400u);           // 0.4 ns in ps
+    EXPECT_EQ(clk.cycles(10), 4000u);
+    EXPECT_EQ(clk.ticksToCycles(4400), 11u);
+}
+
+TEST(ClockDomain, NextEdgeRoundsUp)
+{
+    const ClockDomain clk(1'000'000'000ull); // 1 GHz, 1000 ps period
+    EXPECT_EQ(clk.nextEdge(0), 0u);
+    EXPECT_EQ(clk.nextEdge(1), 1000u);
+    EXPECT_EQ(clk.nextEdge(1000), 1000u);
+    EXPECT_EQ(clk.nextEdge(1001), 2000u);
+}
+
+TEST(Address, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(96));
+    EXPECT_EQ(log2i(4096), 12u);
+    EXPECT_EQ(alignDown(4097, 4096), 4096u);
+    EXPECT_EQ(alignUp(4097, 4096), 8192u);
+    EXPECT_EQ(alignUp(4096, 4096), 4096u);
+}
+
+TEST(Address, PageAndBlockMath)
+{
+    EXPECT_EQ(pageNumber(0x3fff), 3u);
+    EXPECT_EQ(pageBase(0x3fff), 0x3000u);
+    EXPECT_EQ(blockNumber(0x7f), 1u);
+    EXPECT_EQ(blockBase(0x7f), 0x40u);
+    EXPECT_EQ(pageNumber(0x5000, 8192), 2u);
+}
+
+TEST(Logging, FormatProducesPrintfOutput)
+{
+    const std::string s =
+        astriflash::sim::detail::format("x=%d s=%s", 42, "hi");
+    EXPECT_EQ(s, "x=42 s=hi");
+}
+
+TEST(Logging, QuietSuppressesNothingFatal)
+{
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    ASTRI_WARN("suppressed warning (should not print)");
+    ASTRI_INFORM("suppressed info (should not print)");
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+}
+
+TEST(LoggingDeath, AssertMacros)
+{
+    EXPECT_DEATH(ASTRI_PANIC("boom %d", 7), "boom 7");
+    const int v = 3;
+    EXPECT_DEATH(ASTRI_ASSERT(v == 4), "assertion failed");
+    EXPECT_DEATH(ASTRI_ASSERT_MSG(v == 4, "v was %d", v), "v was 3");
+}
+
+TEST(SimObject, NameAndClock)
+{
+    EventQueue eq;
+    class Obj : public SimObject
+    {
+      public:
+        using SimObject::SimObject;
+        using SimObject::scheduleIn;
+    };
+    Obj obj(eq, "system.thing");
+    EXPECT_EQ(obj.name(), "system.thing");
+    EXPECT_EQ(obj.curTick(), 0u);
+    int fired = 0;
+    obj.scheduleIn(5, [&fired] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(obj.curTick(), 5u);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for trace record/replay and the System job-source hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/system.hh"
+#include "workload/trace.hh"
+#include "workload/workload.hh"
+
+using namespace astriflash;
+using namespace astriflash::workload;
+
+namespace {
+
+std::string
+tempTracePath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "astri_trace_" + tag +
+           ".bin";
+}
+
+} // namespace
+
+TEST(Trace, RoundTripPreservesOps)
+{
+    const std::string path = tempTracePath("roundtrip");
+    WorkloadConfig wc;
+    wc.datasetBytes = 64ull << 20;
+    Workload gen(Kind::Tatp, wc);
+
+    std::vector<Job> originals;
+    {
+        TraceWriter writer(path);
+        for (int i = 0; i < 20; ++i) {
+            Job j = gen.nextJob();
+            writer.append(j);
+            originals.push_back(std::move(j));
+        }
+        EXPECT_EQ(writer.count(), 20u);
+    }
+
+    TraceReader reader(path);
+    ASSERT_EQ(reader.size(), 20u);
+    for (int i = 0; i < 20; ++i) {
+        const Job replay = TraceReader(path).nextJob();
+        (void)replay;
+        const auto &ops = reader.jobOps(i);
+        ASSERT_EQ(ops.size(), originals[i].ops.size()) << i;
+        for (std::size_t o = 0; o < ops.size(); ++o) {
+            EXPECT_EQ(static_cast<int>(ops[o].type),
+                      static_cast<int>(originals[i].ops[o].type));
+            if (ops[o].type == Op::Type::Compute)
+                EXPECT_EQ(ops[o].compute,
+                          originals[i].ops[o].compute);
+            else
+                EXPECT_EQ(ops[o].addr, originals[i].ops[o].addr);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReplayCyclesWithFreshIds)
+{
+    const std::string path = tempTracePath("cycle");
+    WorkloadConfig wc;
+    wc.datasetBytes = 64ull << 20;
+    Workload gen(Kind::HashTable, wc);
+    {
+        TraceWriter writer(path);
+        for (int i = 0; i < 3; ++i)
+            writer.append(gen.nextJob());
+    }
+    TraceReader reader(path);
+    const Job a = reader.nextJob();
+    reader.nextJob();
+    reader.nextJob();
+    const Job wrapped = reader.nextJob(); // back to template 0
+    EXPECT_NE(a.id, wrapped.id);
+    ASSERT_EQ(a.ops.size(), wrapped.ops.size());
+    for (std::size_t o = 0; o < a.ops.size(); ++o) {
+        if (a.ops[o].type != Op::Type::Compute)
+            EXPECT_EQ(a.ops[o].addr, wrapped.ops[o].addr);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeath, RejectsGarbageFile)
+{
+    const std::string path = tempTracePath("garbage");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs("not a trace", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceReader reader(path), ::testing::ExitedWithCode(1),
+                "not a trace file");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, SystemRunsFromTraceSource)
+{
+    // Record a short trace, then drive a full system from it.
+    const std::string path = tempTracePath("system");
+    core::SystemConfig cfg;
+    cfg.kind = core::SystemKind::AstriFlash;
+    cfg.cores = 2;
+    cfg.workloadKind = Kind::Tatp;
+    cfg.workload.datasetBytes = 256ull << 20;
+    cfg.warmupJobs = 50;
+    cfg.measureJobs = 400;
+
+    {
+        Workload gen(Kind::Tatp, cfg.workload);
+        TraceWriter writer(path);
+        for (int i = 0; i < 100; ++i)
+            writer.append(gen.nextJob());
+    }
+
+    TraceReader reader(path);
+    core::System sys(cfg);
+    sys.setJobSource(
+        [&reader](std::uint32_t) { return reader.nextJob(); });
+    const auto r = sys.run();
+    EXPECT_EQ(r.jobs, 400u);
+    EXPECT_GT(r.throughputJobsPerSec, 0.0);
+    EXPECT_GT(r.dramCacheHitRatio, 0.8);
+    std::remove(path.c_str());
+}

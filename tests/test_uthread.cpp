@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the real user-level threading library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "uthread/uthread.hh"
+
+using namespace astriflash::uthread;
+
+TEST(UThread, RunsAllSpawnedThreads)
+{
+    UScheduler sched;
+    int ran = 0;
+    for (int i = 0; i < 10; ++i)
+        sched.spawn([&ran] { ++ran; });
+    sched.run();
+    EXPECT_EQ(ran, 10);
+    EXPECT_EQ(sched.stats().completed, 10u);
+}
+
+TEST(UThread, SpawnOrderPreservedWithoutYields)
+{
+    UScheduler sched;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sched.spawn([&order, i] { order.push_back(i); });
+    sched.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(UThread, YieldInterleaves)
+{
+    UScheduler sched;
+    std::vector<int> order;
+    sched.spawn([&] {
+        order.push_back(1);
+        sched.yield();
+        order.push_back(3);
+    });
+    sched.spawn([&] {
+        order.push_back(2);
+        sched.yield();
+        order.push_back(4);
+    });
+    sched.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(UThread, BlockOnNotifyRoundTrip)
+{
+    UScheduler sched;
+    std::vector<int> order;
+    sched.spawn([&] {
+        order.push_back(1);
+        sched.blockOn(0x42); // "DRAM-cache miss"
+        order.push_back(4);
+    });
+    sched.spawn([&] {
+        order.push_back(2);
+        sched.notify(0x42); // "page arrived"
+        order.push_back(3);
+    });
+    sched.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(sched.stats().blocks, 1u);
+    EXPECT_EQ(sched.stats().notifies, 1u);
+}
+
+TEST(UThread, NotifyWakesAllBlockedOnKey)
+{
+    UScheduler sched;
+    int woken = 0;
+    for (int i = 0; i < 3; ++i) {
+        sched.spawn([&] {
+            sched.blockOn(7);
+            ++woken;
+        });
+    }
+    sched.spawn([&] { sched.notify(7); });
+    sched.run();
+    EXPECT_EQ(woken, 3);
+}
+
+TEST(UThread, FifoPolicyRunsNewBeforePending)
+{
+    Config cfg;
+    cfg.policy = Policy::Fifo;
+    UScheduler sched(cfg);
+    std::vector<int> order;
+    sched.spawn([&] {
+        sched.blockOn(1);
+        order.push_back(99); // pending resume
+    });
+    sched.spawn([&] {
+        sched.notify(1);
+        order.push_back(1);
+    });
+    sched.spawn([&] { order.push_back(2); });
+    sched.run();
+    // Under FIFO the new thread (2) runs before the resumed one (99).
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 99}));
+}
+
+TEST(UThread, PriorityAgingPromotesAgedPending)
+{
+    Config cfg;
+    cfg.policy = Policy::PriorityAging;
+    cfg.agingThreshold = std::chrono::nanoseconds(0); // always aged
+    UScheduler sched(cfg);
+    std::vector<int> order;
+    sched.spawn([&] {
+        sched.blockOn(1);
+        order.push_back(99);
+    });
+    sched.spawn([&] {
+        sched.notify(1);
+        order.push_back(1);
+    });
+    sched.spawn([&] { order.push_back(2); });
+    sched.run();
+    // The aged pending thread preempts the queued new thread.
+    EXPECT_EQ(order, (std::vector<int>{1, 99, 2}));
+    EXPECT_GE(sched.stats().agingPromotions, 1u);
+}
+
+TEST(UThread, DeepCallStacksSurviveSwitches)
+{
+    UScheduler sched;
+    // Recursion exercises each thread's private stack across
+    // switches.
+    std::function<int(int)> fib = [&](int n) -> int {
+        if (n < 2)
+            return n;
+        if (n == 10)
+            sched.yield();
+        return fib(n - 1) + fib(n - 2);
+    };
+    int a = 0, b = 0;
+    sched.spawn([&] { a = fib(18); });
+    sched.spawn([&] { b = fib(18); });
+    sched.run();
+    EXPECT_EQ(a, 2584);
+    EXPECT_EQ(b, 2584);
+}
+
+TEST(UThread, ManyThreads)
+{
+    Config cfg;
+    cfg.stackBytes = 32 * 1024;
+    UScheduler sched(cfg);
+    int sum = 0;
+    for (int i = 0; i < 200; ++i) {
+        sched.spawn([&sum, i, &sched] {
+            sched.yield();
+            sum += i;
+        });
+    }
+    sched.run();
+    EXPECT_EQ(sum, 199 * 200 / 2);
+    EXPECT_GE(sched.stats().switches, 400u);
+}
+
+TEST(UThread, CurrentIdInsideWorker)
+{
+    UScheduler sched;
+    std::uint64_t seen = 0;
+    const std::uint64_t id = sched.spawn([&] {
+        seen = sched.currentId();
+        EXPECT_TRUE(sched.inWorker());
+    });
+    EXPECT_FALSE(sched.inWorker());
+    sched.run();
+    EXPECT_EQ(seen, id);
+}
+
+TEST(UThread, RunSliceBoundsDispatches)
+{
+    UScheduler sched;
+    int ran = 0;
+    for (int i = 0; i < 6; ++i)
+        sched.spawn([&ran] { ++ran; });
+    EXPECT_EQ(sched.runSlice(2), 2u);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(sched.runSlice(100), 4u);
+    EXPECT_EQ(ran, 6);
+    EXPECT_EQ(sched.runSlice(1), 0u); // nothing runnable
+}
+
+TEST(UThread, RunSliceInterleavesExternalNotify)
+{
+    // The §IV-D2 pattern: the host loop delivers notifications
+    // between scheduling quanta.
+    UScheduler sched;
+    std::vector<int> order;
+    sched.spawn([&] {
+        order.push_back(1);
+        sched.blockOn(9);
+        order.push_back(3);
+    });
+    sched.spawn([&] { order.push_back(2); });
+    EXPECT_EQ(sched.runSlice(1), 1u); // first worker blocks
+    sched.notify(9);                  // page arrives "from hardware"
+    sched.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(UThread, PendingOverflowCounted)
+{
+    Config cfg;
+    cfg.pendingCap = 1;
+    UScheduler sched(cfg);
+    for (int i = 0; i < 3; ++i)
+        sched.spawn([&] { sched.blockOn(5); });
+    sched.spawn([&] { sched.notify(5); });
+    sched.run();
+    EXPECT_GE(sched.stats().pendingOverflows, 1u);
+}

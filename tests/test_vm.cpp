@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for TLB, page-table model, and the physical address map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address_map.hh"
+#include "mem/page_table.hh"
+#include "mem/tlb.hh"
+
+using namespace astriflash::mem;
+
+namespace {
+
+Tlb::Config
+tinyTlb()
+{
+    Tlb::Config c;
+    c.l1Entries = 4;
+    c.l1Ways = 4;
+    c.l2Entries = 16;
+    c.l2Ways = 4;
+    c.l2Latency = 3000;
+    return c;
+}
+
+} // namespace
+
+TEST(Tlb, MissThenFillThenL1Hit)
+{
+    Tlb tlb("t", tinyTlb());
+    auto r = tlb.lookup(0x5000);
+    EXPECT_TRUE(r.miss);
+    tlb.fill(0x5000);
+    r = tlb.lookup(0x5000);
+    EXPECT_FALSE(r.miss);
+    EXPECT_EQ(r.latency, 0u); // L1 hit folds into the load
+    EXPECT_EQ(tlb.stats().l1Hits.value(), 1u);
+}
+
+TEST(Tlb, L2HitPaysLatencyAndRefillsL1)
+{
+    Tlb tlb("t", tinyTlb());
+    // Fill 5 translations mapping to the same L1 set... L1 is fully
+    // associative with 4 entries, so the 5th evicts one.
+    for (Addr a = 0; a < 5 * kPageSize; a += kPageSize)
+        tlb.fill(a);
+    // Find one that left L1 but stays in L2.
+    bool saw_l2_hit = false;
+    for (Addr a = 0; a < 5 * kPageSize; a += kPageSize) {
+        const auto r = tlb.lookup(a);
+        ASSERT_FALSE(r.miss);
+        if (r.latency > 0)
+            saw_l2_hit = true;
+    }
+    EXPECT_TRUE(saw_l2_hit);
+    EXPECT_GE(tlb.stats().l2Hits.value(), 1u);
+}
+
+TEST(Tlb, InvalidateForcesWalk)
+{
+    Tlb tlb("t", tinyTlb());
+    tlb.fill(0x2000);
+    tlb.invalidate(0x2000);
+    EXPECT_TRUE(tlb.lookup(0x2000).miss);
+    EXPECT_EQ(tlb.stats().shootdowns.value(), 1u);
+}
+
+TEST(Tlb, FlushAllEmpties)
+{
+    Tlb tlb("t", tinyTlb());
+    tlb.fill(0x1000);
+    tlb.fill(0x2000);
+    tlb.flushAll();
+    EXPECT_TRUE(tlb.lookup(0x1000).miss);
+    EXPECT_TRUE(tlb.lookup(0x2000).miss);
+}
+
+TEST(PageTable, WalkTouchesFourDistinctLevels)
+{
+    PageTableModel pt(0x1000000, kPageSize, 1 << 22);
+    const auto walk = pt.walkAddresses(0x12345678);
+    std::set<Addr> uniq(walk.begin(), walk.end());
+    EXPECT_EQ(uniq.size(), PageTableModel::kLevels);
+}
+
+TEST(PageTable, NeighbouringPagesShareLeafPtePage)
+{
+    PageTableModel pt(0, kPageSize, 1 << 22);
+    // 512 consecutive virtual pages share one leaf PTE page.
+    EXPECT_EQ(pt.leafPtePage(0), pt.leafPtePage(511 * kPageSize));
+    EXPECT_NE(pt.leafPtePage(0), pt.leafPtePage(512 * kPageSize));
+}
+
+TEST(PageTable, LeafPtesAreDense)
+{
+    PageTableModel pt(0, kPageSize, 1 << 22);
+    const auto a = pt.walkAddresses(0)[3];
+    const auto b = pt.walkAddresses(kPageSize)[3];
+    EXPECT_EQ(b - a, PageTableModel::kPteSize);
+}
+
+TEST(PageTable, FootprintScalesWithVaSize)
+{
+    const auto f1 = PageTableModel::tableFootprint(1ull << 30);
+    const auto f2 = PageTableModel::tableFootprint(1ull << 34);
+    EXPECT_GT(f2, f1);
+    // ~8 B per 4 KB page plus upper levels: about 0.2% of VA.
+    EXPECT_NEAR(static_cast<double>(f1),
+                (1ull << 30) / 512.0, (1ull << 30) / 512.0);
+}
+
+TEST(AddressMap, RoutesRanges)
+{
+    AddressMap amap(1ull << 30, 4ull << 30);
+    EXPECT_EQ(amap.route(0), AddressSpace::DramFlat);
+    EXPECT_EQ(amap.route((1ull << 30) - 1), AddressSpace::DramFlat);
+    const Addr fbase = amap.flashRange().base;
+    EXPECT_EQ(amap.route(fbase), AddressSpace::FlashCached);
+    EXPECT_EQ(amap.route(fbase + (4ull << 30) - 1),
+              AddressSpace::FlashCached);
+    EXPECT_EQ(amap.route(fbase + (4ull << 30)), AddressSpace::Invalid);
+}
+
+TEST(AddressMap, FlashBarIsGigabyteAligned)
+{
+    AddressMap amap((1ull << 30) + 5, 1ull << 30);
+    EXPECT_EQ(amap.flashRange().base % (1ull << 30), 0u);
+    EXPECT_GE(amap.flashRange().base, amap.flatRange().end());
+}
+
+TEST(AddressMap, FlashPageRoundTrip)
+{
+    AddressMap amap(1ull << 20, 1ull << 30);
+    for (std::uint64_t lpn : {0ull, 1ull, 255ull, 262143ull}) {
+        const Addr pa = amap.flashPageAddr(lpn);
+        EXPECT_EQ(amap.flashPage(pa), lpn);
+        EXPECT_EQ(amap.flashPage(pa + 4095), lpn);
+    }
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/workload.hh"
+
+using namespace astriflash::workload;
+using astriflash::mem::kPageSize;
+
+namespace {
+
+WorkloadConfig
+smallCfg()
+{
+    WorkloadConfig c;
+    c.datasetBytes = 64ull << 20; // 64 MB
+    c.seed = 3;
+    return c;
+}
+
+} // namespace
+
+TEST(Workload, AllKindsProduceJobs)
+{
+    for (Kind k : kAllKinds) {
+        Workload w(k, smallCfg());
+        const Job j = w.nextJob();
+        EXPECT_GT(j.ops.size(), 8u) << kindName(k);
+        EXPECT_GT(j.id, 0u);
+    }
+}
+
+TEST(Workload, AddressesWithinDataset)
+{
+    for (Kind k : kAllKinds) {
+        Workload w(k, smallCfg());
+        for (int i = 0; i < 50; ++i) {
+            const Job j = w.nextJob();
+            for (const Op &op : j.ops) {
+                if (op.type == Op::Type::Compute)
+                    continue;
+                ASSERT_LT(op.addr, smallCfg().datasetBytes)
+                    << kindName(k);
+                ASSERT_EQ(op.addr % 64, 0u); // block aligned
+            }
+        }
+    }
+}
+
+TEST(Workload, DeterministicGivenSeed)
+{
+    for (Kind k : {Kind::Tatp, Kind::Masstree}) {
+        Workload a(k, smallCfg()), b(k, smallCfg());
+        for (int i = 0; i < 10; ++i) {
+            const Job ja = a.nextJob();
+            const Job jb = b.nextJob();
+            ASSERT_EQ(ja.ops.size(), jb.ops.size());
+            for (std::size_t o = 0; o < ja.ops.size(); ++o) {
+                ASSERT_EQ(ja.ops[o].addr, jb.ops[o].addr);
+                ASSERT_EQ(static_cast<int>(ja.ops[o].type),
+                          static_cast<int>(jb.ops[o].type));
+            }
+        }
+    }
+}
+
+TEST(Workload, ComputePrecedesEveryAccess)
+{
+    Workload w(Kind::Tatp, smallCfg());
+    const Job j = w.nextJob();
+    for (std::size_t i = 0; i < j.ops.size(); ++i) {
+        if (j.ops[i].type != Op::Type::Compute) {
+            ASSERT_GT(i, 0u);
+            EXPECT_EQ(static_cast<int>(j.ops[i - 1].type),
+                      static_cast<int>(Op::Type::Compute));
+        }
+    }
+}
+
+TEST(Workload, StoreFractionRoughlyMatchesProfile)
+{
+    for (Kind k : kAllKinds) {
+        Workload w(k, smallCfg());
+        std::uint64_t loads = 0, stores = 0;
+        for (int i = 0; i < 300; ++i) {
+            const Job j = w.nextJob();
+            for (const Op &op : j.ops) {
+                loads += op.type == Op::Type::Load;
+                stores += op.type == Op::Type::Store;
+            }
+        }
+        const double frac =
+            static_cast<double>(stores) /
+            static_cast<double>(loads + stores);
+        // Store fraction applies to record/leaf accesses; index reads
+        // dilute it, so only check broad consistency.
+        EXPECT_GT(frac, 0.0) << kindName(k);
+        EXPECT_LT(frac, 0.6) << kindName(k);
+        if (k == Kind::ArraySwap) {
+            EXPECT_NEAR(frac, 0.5, 0.01);
+        }
+    }
+}
+
+TEST(Workload, MeanComputeMatchesGeneratedOps)
+{
+    for (Kind k : kAllKinds) {
+        Workload w(k, smallCfg());
+        double total = 0;
+        const int jobs = 200;
+        for (int i = 0; i < jobs; ++i) {
+            const Job j = w.nextJob();
+            for (const Op &op : j.ops) {
+                if (op.type == Op::Type::Compute)
+                    total += static_cast<double>(op.compute);
+            }
+        }
+        const double measured = total / jobs;
+        const double predicted =
+            static_cast<double>(w.meanComputePerJob());
+        EXPECT_NEAR(measured, predicted, predicted * 0.15)
+            << kindName(k);
+    }
+}
+
+TEST(Workload, TatpJobsAreShortTransactions)
+{
+    // §VI-C: TATP "takes ten us on average" — compute plus on-chip
+    // time lands near 10 us.
+    Workload w(Kind::Tatp, smallCfg());
+    const double us =
+        static_cast<double>(w.meanComputePerJob()) / 1e6;
+    EXPECT_GT(us, 5.0);
+    EXPECT_LT(us, 15.0);
+}
+
+TEST(Workload, TpccIsComputeHeaviest)
+{
+    WorkloadConfig c = smallCfg();
+    std::uint64_t tpcc = Workload(Kind::Tpcc, c).meanComputePerJob();
+    for (Kind k : kAllKinds) {
+        if (k == Kind::Tpcc)
+            continue;
+        EXPECT_GT(tpcc, Workload(k, c).meanComputePerJob())
+            << kindName(k);
+    }
+}
+
+TEST(Workload, HotRegionPagesDistinctFromColdPages)
+{
+    Workload w(Kind::Tatp, smallCfg());
+    const std::uint64_t dataset_pages =
+        smallCfg().datasetBytes / kPageSize;
+    const std::uint64_t hot = w.hotRegionPages();
+    EXPECT_GT(hot, 0u);
+    EXPECT_LT(hot, dataset_pages / 20);
+    EXPECT_LE(w.workingSet(), dataset_pages);
+}
+
+TEST(Workload, ColdAccessSkewFollowsMixture)
+{
+    // ~97% of cold accesses land inside the working set.
+    WorkloadConfig c = smallCfg();
+    Workload w(Kind::ArraySwap, c); // pure cold accesses
+    const std::uint64_t ws_bytes = w.workingSet() * kPageSize;
+    std::uint64_t in_ws = 0, total = 0;
+    for (int i = 0; i < 500; ++i) {
+        const Job j = w.nextJob();
+        for (const Op &op : j.ops) {
+            if (op.type == Op::Type::Compute)
+                continue;
+            ++total;
+            in_ws += op.addr < ws_bytes;
+        }
+    }
+    const double frac =
+        static_cast<double>(in_ws) / static_cast<double>(total);
+    // uniformFraction=0.03 of accesses go uniform; nearly all others
+    // stay inside the working set (a few uniform draws also land
+    // there by chance).
+    EXPECT_GT(frac, 0.95);
+    EXPECT_LT(frac, 0.995);
+}
+
+TEST(Workload, ComputeScaleMultiplies)
+{
+    WorkloadConfig c = smallCfg();
+    c.computeScale = 2.0;
+    Workload scaled(Kind::Tatp, c);
+    Workload base(Kind::Tatp, smallCfg());
+    EXPECT_NEAR(static_cast<double>(scaled.meanComputePerJob()),
+                2.0 * static_cast<double>(base.meanComputePerJob()),
+                static_cast<double>(base.meanComputePerJob()) * 0.01);
+}
+
+TEST(Workload, PoissonArrivalsHaveConfiguredMean)
+{
+    PoissonArrivals p(astriflash::sim::microseconds(5), 9);
+    astriflash::sim::Ticks t = 0;
+    const int n = 100000;
+    astriflash::sim::Ticks prev = 0;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+        t = p.next(t);
+        sum += static_cast<double>(t - prev);
+        prev = t;
+    }
+    EXPECT_NEAR(sum / n,
+                static_cast<double>(astriflash::sim::microseconds(5)),
+                static_cast<double>(
+                    astriflash::sim::microseconds(5)) * 0.02);
+}
+
+TEST(Workload, KindNamesUnique)
+{
+    std::set<std::string> names;
+    for (Kind k : kAllKinds)
+        names.insert(kindName(k));
+    EXPECT_EQ(names.size(), 7u);
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * astriflash_sim — the command-line front end.
+ *
+ * Runs any of the seven §V-B configurations on any workload with
+ * overridable parameters and dumps the full statistics a study needs.
+ *
+ *   astriflash_sim --config=astriflash --workload=silo --cores=8 \
+ *                  --dataset-gib=2 --dram-ratio=0.03 --jobs=20000 \
+ *                  --load=0.8 --footprint --seed=3
+ *
+ * Flags (all optional):
+ *   --config=NAME       dram|astriflash|ideal|nops|nodp|osswap|flashsync
+ *   --workload=NAME     arrayswap|rbt|hashtable|tatp|tpcc|silo|masstree
+ *   --cores=N           default 4
+ *   --dataset-gib=F     default 1.0
+ *   --dram-ratio=F      DRAM cache / dataset, default 0.03
+ *   --jobs=N            measured jobs, default 8000
+ *   --warmup=N          warmup jobs, default jobs/10
+ *   --load=F            open-loop load as a fraction of this
+ *                       config's own closed-loop max (0 = closed loop)
+ *   --switch-ns=N       thread-switch cost override
+ *   --pending-cap=N     pending-queue bound
+ *   --footprint         enable footprint-cache mode
+ *   --no-fp-bit         disable the forward-progress bit
+ *   --seed=N            RNG seed
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/system.hh"
+
+using namespace astriflash;
+using namespace astriflash::core;
+
+namespace {
+
+bool
+flagValue(const char *arg, const char *name, std::string *out)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        *out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "astriflash_sim: %s (see --help in the file "
+                         "header)\n", msg);
+    std::exit(2);
+}
+
+SystemKind
+parseKind(const std::string &s)
+{
+    if (s == "dram")
+        return SystemKind::DramOnly;
+    if (s == "astriflash")
+        return SystemKind::AstriFlash;
+    if (s == "ideal")
+        return SystemKind::AstriFlashIdeal;
+    if (s == "nops")
+        return SystemKind::AstriFlashNoPS;
+    if (s == "nodp")
+        return SystemKind::AstriFlashNoDP;
+    if (s == "osswap")
+        return SystemKind::OsSwap;
+    if (s == "flashsync")
+        return SystemKind::FlashSync;
+    usage(("unknown config '" + s + "'").c_str());
+}
+
+workload::Kind
+parseWorkload(const std::string &s)
+{
+    for (workload::Kind k : workload::kAllKinds) {
+        if (s == workload::kindName(k))
+            return k;
+    }
+    usage(("unknown workload '" + s + "'").c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg;
+    cfg.cores = 4;
+    cfg.measureJobs = 8000;
+    cfg.warmupJobs = 0;
+    double dataset_gib = 1.0;
+    double load = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (flagValue(argv[i], "--config", &v))
+            cfg.kind = parseKind(v);
+        else if (flagValue(argv[i], "--workload", &v))
+            cfg.workloadKind = parseWorkload(v);
+        else if (flagValue(argv[i], "--cores", &v))
+            cfg.cores = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        else if (flagValue(argv[i], "--dataset-gib", &v))
+            dataset_gib = std::atof(v.c_str());
+        else if (flagValue(argv[i], "--dram-ratio", &v))
+            cfg.dramCacheRatio = std::atof(v.c_str());
+        else if (flagValue(argv[i], "--jobs", &v))
+            cfg.measureJobs =
+                static_cast<std::uint64_t>(std::atoll(v.c_str()));
+        else if (flagValue(argv[i], "--warmup", &v))
+            cfg.warmupJobs =
+                static_cast<std::uint64_t>(std::atoll(v.c_str()));
+        else if (flagValue(argv[i], "--load", &v))
+            load = std::atof(v.c_str());
+        else if (flagValue(argv[i], "--switch-ns", &v))
+            cfg.threadSwitch = sim::nanoseconds(
+                static_cast<std::uint64_t>(std::atoll(v.c_str())));
+        else if (flagValue(argv[i], "--pending-cap", &v))
+            cfg.sched.pendingCap =
+                static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        else if (flagValue(argv[i], "--seed", &v))
+            cfg.seed =
+                static_cast<std::uint64_t>(std::atoll(v.c_str()));
+        else if (!std::strcmp(argv[i], "--footprint"))
+            cfg.dramCache.footprintEnabled = true;
+        else if (!std::strcmp(argv[i], "--no-fp-bit"))
+            cfg.forwardProgressBit = false;
+        else
+            usage((std::string("unknown flag '") + argv[i] + "'")
+                      .c_str());
+    }
+    cfg.workload.datasetBytes =
+        static_cast<std::uint64_t>(dataset_gib * (1ull << 30));
+    if (cfg.warmupJobs == 0)
+        cfg.warmupJobs = cfg.measureJobs / 10 + 1;
+
+    if (load > 0.0) {
+        // Calibrate the open-loop arrival rate against this
+        // configuration's own closed-loop maximum.
+        SystemConfig probe = cfg;
+        probe.measureJobs = cfg.measureJobs / 2 + 1;
+        System ref(probe);
+        const double max_thr = ref.run().throughputJobsPerSec;
+        cfg.meanInterarrival =
+            static_cast<sim::Ticks>(1e12 / (load * max_thr));
+        std::printf("open loop: %.0f%% of closed-loop max "
+                    "(%.0f jobs/s)\n",
+                    load * 100, max_thr);
+    }
+
+    System sys(cfg);
+    const RunResults r = sys.run();
+
+    std::printf("== %s / %s / %u cores / %.2f GiB dataset / %.1f%% "
+                "DRAM ==\n",
+                systemKindName(cfg.kind),
+                workload::kindName(cfg.workloadKind), cfg.cores,
+                dataset_gib, cfg.dramCacheRatio * 100);
+    std::printf("jobs measured          %llu\n",
+                static_cast<unsigned long long>(r.jobs));
+    std::printf("throughput             %.0f jobs/s\n",
+                r.throughputJobsPerSec);
+    std::printf("service  avg/p50/p99   %.1f / %.1f / %.1f us\n",
+                r.avgServiceUs, r.p50ServiceUs, r.p99ServiceUs);
+    if (cfg.meanInterarrival > 0) {
+        std::printf("response avg/p99       %.1f / %.1f us\n",
+                    r.avgResponseUs, r.p99ResponseUs);
+    }
+    std::printf("exec between misses    %.1f us (paper target "
+                "5-25)\n",
+                r.avgExecBetweenMissesUs);
+    std::printf("dram-cache hit ratio   %.2f%%\n",
+                100.0 * r.dramCacheHitRatio);
+    std::printf("flash reads/writes     %llu / %llu\n",
+                static_cast<unsigned long long>(r.flashReads),
+                static_cast<unsigned long long>(r.flashWrites));
+    std::printf("gc-blocked reads       %llu\n",
+                static_cast<unsigned long long>(r.gcBlockedReads));
+    std::printf("peak outstanding miss  %llu\n",
+                static_cast<unsigned long long>(
+                    r.peakOutstandingMisses));
+    if (r.shootdowns) {
+        std::printf("tlb shootdowns         %llu\n",
+                    static_cast<unsigned long long>(r.shootdowns));
+    }
+    if (auto *dc = sys.dramCache()) {
+        std::printf("flash refill bytes     %.2f MB"
+                    " (sub-page misses %llu)\n",
+                    static_cast<double>(
+                        dc->stats().flashBytesRead.value()) / 1e6,
+                    static_cast<unsigned long long>(
+                        dc->stats().subPageMisses.value()));
+        std::printf("msr peak occupancy     %llu / %u\n",
+                    static_cast<unsigned long long>(
+                        dc->msr().stats().peakOccupancy),
+                    dc->msr().capacity());
+    }
+    std::printf("flash write amp        %.2f, erase spread %u\n",
+                sys.flash().ftl().stats().writeAmplification(),
+                sys.flash().ftl().eraseCountSpread());
+    return 0;
+}
