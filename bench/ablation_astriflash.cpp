@@ -63,7 +63,7 @@ main()
         std::printf("%-14.1f %-12.1f %-12.1f\n",
                     sim::toMicroseconds(cost),
                     100.0 * r.throughputJobsPerSec / dram_thr,
-                    r.p99ServiceUs);
+                    r.serviceUs(0.99));
         std::fflush(stdout);
     }
 
@@ -84,7 +84,7 @@ main()
         }
         std::printf("%-10u %-12.1f %-14.1f %-16llu\n", cap,
                     100.0 * r.throughputJobsPerSec / dram_thr,
-                    r.p99ServiceUs,
+                    r.serviceUs(0.99),
                     static_cast<unsigned long long>(ovf));
         std::fflush(stdout);
     }
@@ -101,7 +101,7 @@ main()
         const auto r = sys.run();
         std::printf("%-12u %-12.1f %-14.1f %-14llu\n", sets * 2,
                     100.0 * r.throughputJobsPerSec / dram_thr,
-                    r.p99ServiceUs,
+                    r.serviceUs(0.99),
                     static_cast<unsigned long long>(
                         sys.dramCache()
                             ->msr()
@@ -150,7 +150,7 @@ main()
         }
         std::printf("%-8s %-12.0f %-14.1f %-14llu %-12llu\n",
                     fp ? "on" : "off", r.throughputJobsPerSec,
-                    r.p99ServiceUs,
+                    r.serviceUs(0.99),
                     static_cast<unsigned long long>(forced),
                     static_cast<unsigned long long>(remisses));
         std::fflush(stdout);
@@ -185,7 +185,7 @@ main()
                         sys.dramCache()
                             ->stats()
                             .subPageMisses.value()),
-                    r.p99ServiceUs);
+                    r.serviceUs(0.99));
         std::fflush(stdout);
     }
     std::printf("# Expect: footprint mode cuts refill bytes for "

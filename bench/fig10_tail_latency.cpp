@@ -13,7 +13,11 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
+
+#include "sim/json.hh"
+#include "sim/option_parser.hh"
 
 #include "core/system.hh"
 
@@ -22,9 +26,13 @@ using namespace astriflash::core;
 
 namespace {
 
+std::uint64_t measure_jobs = 6000;
+std::uint32_t n_cores = 4;
+
 struct Point {
-    double load;   ///< Normalized throughput (vs DRAM-only max).
-    double p99;    ///< p99 response / DRAM-only avg service.
+    double target; ///< Requested load (fraction of DRAM-only max).
+    double thr[2]; ///< Achieved throughput % of DRAM-only max.
+    double p99[2]; ///< p99 response / DRAM-only avg service.
 };
 
 SystemConfig
@@ -32,19 +40,30 @@ baseCfg(SystemKind kind)
 {
     SystemConfig cfg;
     cfg.kind = kind;
-    cfg.cores = 4;
+    cfg.cores = n_cores;
     cfg.workloadKind = workload::Kind::Tatp;
     cfg.workload.datasetBytes = 1ull << 30;
-    cfg.warmupJobs = 500;
-    cfg.measureJobs = 6000;
+    cfg.warmupJobs = measure_jobs / 12 + 1;
+    cfg.measureJobs = measure_jobs;
     return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string stats_json;
+    sim::OptionParser opts(
+        "fig10_tail_latency",
+        "Figure 10: p99 response latency vs normalized throughput "
+        "under open-loop Poisson arrivals.");
+    opts.addUint("jobs", &measure_jobs, "measured jobs per point");
+    opts.addUint32("cores", &n_cores, "simulated cores");
+    opts.addString("stats-json", &stats_json,
+                   "write the sweep as JSON to FILE");
+    opts.parseOrExit(argc, argv);
+
     // Closed-loop references: maximum throughput and mean service of
     // the DRAM-only system.
     double dram_max = 0, dram_avg_svc_us = 0;
@@ -52,7 +71,7 @@ main()
         System sys(baseCfg(SystemKind::DramOnly));
         const auto r = sys.run();
         dram_max = r.throughputJobsPerSec;
-        dram_avg_svc_us = r.avgServiceUs;
+        dram_avg_svc_us = r.avgServiceUs();
     }
     std::printf("# Figure 10: p99 response (x DRAM-only avg service "
                 "= %.1f us) vs normalized throughput\n",
@@ -61,11 +80,14 @@ main()
     std::printf("%-12s %-10s %-10s %-10s %-10s\n", "target%",
                 "thr%", "p99x", "thr%", "p99x");
 
+    std::vector<Point> curve;
+
     // Sweep the arrival rate from light load toward saturation.
     for (double target : {0.3, 0.5, 0.65, 0.8, 0.87, 0.93, 0.96}) {
         const double lambda = target * dram_max; // jobs/s systemwide
         const auto gap = static_cast<sim::Ticks>(1e12 / lambda);
-        double thr[2], p99[2];
+        Point pt;
+        pt.target = target;
         const SystemKind kinds[2] = {SystemKind::DramOnly,
                                      SystemKind::AstriFlash};
         for (int i = 0; i < 2; ++i) {
@@ -73,12 +95,42 @@ main()
             cfg.meanInterarrival = gap;
             System sys(cfg);
             const auto r = sys.run();
-            thr[i] = r.throughputJobsPerSec / dram_max * 100.0;
-            p99[i] = r.p99ResponseUs / dram_avg_svc_us;
+            pt.thr[i] = r.throughputJobsPerSec / dram_max * 100.0;
+            pt.p99[i] = r.responseUs(0.99) / dram_avg_svc_us;
         }
+        curve.push_back(pt);
         std::printf("%-12.0f %-10.0f %-10.1f %-10.0f %-10.1f\n",
-                    target * 100, thr[0], p99[0], thr[1], p99[1]);
+                    target * 100, pt.thr[0], pt.p99[0], pt.thr[1],
+                    pt.p99[1]);
         std::fflush(stdout);
+    }
+
+    if (!stats_json.empty()) {
+        std::ofstream out(stats_json);
+        if (!out) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         stats_json.c_str());
+            return 1;
+        }
+        sim::JsonWriter w(out);
+        w.beginObject();
+        w.field("benchmark", "fig10_tail_latency");
+        w.field("dram_only_max_jobs_per_sec", dram_max);
+        w.field("dram_only_avg_service_us", dram_avg_svc_us);
+        w.key("points");
+        w.beginArray();
+        for (const Point &pt : curve) {
+            w.beginObject();
+            w.field("target_load", pt.target);
+            w.field("dram_throughput_pct", pt.thr[0]);
+            w.field("dram_p99_norm", pt.p99[0]);
+            w.field("astriflash_throughput_pct", pt.thr[1]);
+            w.field("astriflash_p99_norm", pt.p99[1]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        out << "\n";
     }
     return 0;
 }

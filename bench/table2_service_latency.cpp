@@ -11,7 +11,11 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
+
+#include "sim/json.hh"
+#include "sim/option_parser.hh"
 
 #include "core/system.hh"
 
@@ -20,25 +24,38 @@ using namespace astriflash::core;
 
 namespace {
 
+std::uint64_t measure_jobs = 8000;
+std::uint32_t n_cores = 4;
+
 double
 runP99Service(SystemKind kind, workload::Kind wl)
 {
     SystemConfig cfg;
     cfg.kind = kind;
-    cfg.cores = 4;
+    cfg.cores = n_cores;
     cfg.workloadKind = wl;
     cfg.workload.datasetBytes = 1ull << 30;
-    cfg.warmupJobs = 500;
-    cfg.measureJobs = 8000;
+    cfg.warmupJobs = measure_jobs / 16 + 1;
+    cfg.measureJobs = measure_jobs;
     System sys(cfg);
-    return sys.run().p99ServiceUs;
+    return sys.run().serviceUs(0.99);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string stats_json;
+    sim::OptionParser opts(
+        "table2_service_latency",
+        "Table II: p99 service latency normalized to Flash-Sync.");
+    opts.addUint("jobs", &measure_jobs, "measured jobs per cell");
+    opts.addUint32("cores", &n_cores, "simulated cores");
+    opts.addString("stats-json", &stats_json,
+                   "write the table as JSON to FILE");
+    opts.parseOrExit(argc, argv);
+
     const SystemKind kinds[] = {SystemKind::AstriFlash,
                                 SystemKind::AstriFlashNoPS,
                                 SystemKind::AstriFlashNoDP};
@@ -53,13 +70,17 @@ main()
         std::printf(" %-18s", systemKindName(k));
     std::printf("\n");
 
+    // rows[w][i]: kinds[i] normalized to Flash-Sync on workload w.
+    std::vector<std::vector<double>> rows;
     double sums[3] = {0, 0, 0};
     for (workload::Kind wl : wls) {
         const double base = runP99Service(SystemKind::FlashSync, wl);
         std::printf("%-10s %-12.2f", workload::kindName(wl), 1.0);
+        rows.emplace_back();
         for (std::size_t i = 0; i < std::size(kinds); ++i) {
             const double norm = runP99Service(kinds[i], wl) / base;
             sums[i] += norm;
+            rows.back().push_back(norm);
             std::printf(" %-18.2f", norm);
         }
         std::printf("\n");
@@ -69,5 +90,30 @@ main()
     for (std::size_t i = 0; i < std::size(kinds); ++i)
         std::printf(" %-18.2f", sums[i] / std::size(wls));
     std::printf("\n");
+
+    if (!stats_json.empty()) {
+        std::ofstream out(stats_json);
+        if (!out) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         stats_json.c_str());
+            return 1;
+        }
+        sim::JsonWriter w(out);
+        w.beginObject();
+        w.field("benchmark", "table2_service_latency");
+        w.field("normalized_to", "flashsync");
+        w.key("rows");
+        w.beginArray();
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            w.beginObject();
+            w.field("workload", workload::kindName(wls[r]));
+            for (std::size_t i = 0; i < std::size(kinds); ++i)
+                w.field(systemKindName(kinds[i]), rows[r][i]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        out << "\n";
+    }
     return 0;
 }

@@ -68,7 +68,7 @@ main(int argc, char **argv)
                     "dc-hit %4.1f%%\n",
                     name, r.throughputJobsPerSec,
                     100.0 * r.throughputJobsPerSec / norm,
-                    r.avgServiceUs, r.p99ServiceUs,
+                    r.avgServiceUs(), r.serviceUs(0.99),
                     100.0 * r.dramCacheHitRatio);
     };
 

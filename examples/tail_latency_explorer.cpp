@@ -80,10 +80,10 @@ main(int argc, char **argv)
                 100.0 * r.throughputJobsPerSec / dram_max);
     std::printf("service   avg/p50/p99/p99.9  %7.1f %7.1f %7.1f "
                 "%7.1f us\n",
-                r.avgServiceUs, r.p50ServiceUs, r.p99ServiceUs,
-                r.p999ServiceUs);
+                r.avgServiceUs(), r.serviceUs(0.50), r.serviceUs(0.99),
+                r.serviceUs(0.999));
     std::printf("response  avg/p99            %7.1f %15.1f us\n",
-                r.avgResponseUs, r.p99ResponseUs);
+                r.avgResponseUs(), r.responseUs(0.99));
     std::printf("dram-cache hit ratio  %5.1f%%   outstanding misses "
                 "peak %llu\n",
                 100.0 * r.dramCacheHitRatio,

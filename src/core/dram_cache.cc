@@ -3,6 +3,12 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/trace_events.hh"
+
+namespace {
+constexpr std::uint32_t kNoCore =
+    astriflash::sim::TraceRecord::kNoCore;
+} // namespace
 
 namespace astriflash::core {
 
@@ -176,6 +182,8 @@ DramCache::startMiss(mem::Addr page, sim::Ticks now, bool write,
         // block sub-page-misses again after the install.
         if (!it->second.issued)
             it->second.fetchMask |= want_mask;
+        sim::traceEvent(sim::TracePoint::MsrDedup, now, kNoCore, page,
+                        it->second.waiters.size());
         return it->second.dataReady;
     }
 
@@ -209,13 +217,20 @@ DramCache::startMiss(mem::Addr page, sim::Ticks now, bool write,
                             flashDev.config().tController);
         pending.emplace(page, std::move(miss));
         msrStalled.push_back(page);
+        sim::traceEvent(sim::TracePoint::MsrStall, bc_start, kNoCore,
+                        page, msrTable.setOccupancy(page));
         break;
       }
       case MsrAlloc::New: {
-        const auto read = flashDev.read(
-            addrMap.flashPage(page), bc_start,
+        sim::traceEvent(sim::TracePoint::MsrInsert, bc_start, kNoCore,
+                        page, msrTable.occupancy());
+        const std::uint64_t fetch_bytes =
             static_cast<std::uint64_t>(
-                std::popcount(miss.fetchMask)) * mem::kBlockSize);
+                std::popcount(miss.fetchMask)) * mem::kBlockSize;
+        const auto read = flashDev.read(
+            addrMap.flashPage(page), bc_start, fetch_bytes);
+        sim::traceEvent(sim::TracePoint::FlashReadIssue, bc_start,
+                        kNoCore, page, fetch_bytes);
         miss.issued = true;
         miss.dataReady = read.complete + bcOp() + installEstimate();
         pending.emplace(page, std::move(miss));
@@ -242,6 +257,7 @@ void
 DramCache::pageArrived(mem::Addr page)
 {
     const sim::Ticks now = curTick();
+    sim::traceEvent(sim::TracePoint::FlashReadDone, now, kNoCore, page);
 
     // Secure a frame: fill the tag array; a displaced victim parks in
     // the evict buffer and drains to flash off the critical path.
@@ -278,6 +294,8 @@ DramCache::pageArrived(mem::Addr page)
         const bool ok = evictBuf.insert(victim->tag_addr, victim->dirty,
                                         now);
         ASTRI_ASSERT(ok);
+        sim::traceEvent(sim::TracePoint::PageEvict, now, kNoCore,
+                        victim->tag_addr, victim->dirty ? 1 : 0);
         // Lazy drain keeps writes off the read path.
         scheduleIn(bcOp() * 4, [this] {
             drainEvictBuffer(curTick());
@@ -290,6 +308,8 @@ DramCache::pageArrived(mem::Addr page)
         fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
     const sim::Ticks ready = install.complete + bcOp();
     statsData.missPenalty.sample(ready > now ? ready - now : 0);
+    sim::traceEvent(sim::TracePoint::PageFill, ready, kNoCore, page,
+                    ready > now ? ready - now : 0);
 
     // Free the MSR entry and unblock any set-conflicted misses.
     msrTable.free(page);
@@ -317,11 +337,15 @@ DramCache::retryMsrStalled(sim::Ticks now)
             continue;
         }
         ASTRI_ASSERT(alloc == MsrAlloc::New);
-        const auto read = flashDev.read(
-            addrMap.flashPage(page), now + bcOp(),
+        sim::traceEvent(sim::TracePoint::MsrInsert, now + bcOp(),
+                        kNoCore, page, msrTable.occupancy());
+        const std::uint64_t fetch_bytes =
             static_cast<std::uint64_t>(
-                std::popcount(pit->second.fetchMask)) *
-                mem::kBlockSize);
+                std::popcount(pit->second.fetchMask)) * mem::kBlockSize;
+        const auto read = flashDev.read(
+            addrMap.flashPage(page), now + bcOp(), fetch_bytes);
+        sim::traceEvent(sim::TracePoint::FlashReadIssue, now + bcOp(),
+                        kNoCore, page, fetch_bytes);
         pit->second.issued = true;
         pit->second.dataReady =
             read.complete + bcOp() + installEstimate();
@@ -337,6 +361,8 @@ DramCache::drainEvictBuffer(sim::Ticks now)
     if (evictBuf.empty())
         return;
     const EvictBuffer::Entry e = evictBuf.pop();
+    sim::traceEvent(sim::TracePoint::EvictDrain, now, kNoCore, e.page,
+                    e.dirty ? 1 : 0);
     if (e.dirty) {
         flashDev.write(addrMap.flashPage(e.page), now);
         statsData.dirtyWritebacks.inc();
@@ -362,6 +388,30 @@ void
 DramCache::resetStats()
 {
     statsData = Stats{};
+}
+
+void
+DramCache::regStats(sim::StatRegistry &reg) const
+{
+    auto &fc = reg.subRegistry("fc");
+    fc.registerCounter("hits", &statsData.hits);
+    fc.registerCounter("misses", &statsData.misses);
+    fc.registerCounter("misses_merged", &statsData.missesMerged);
+    fc.registerCounter("sync_accesses", &statsData.syncAccesses);
+    fc.registerCounter("sub_page_misses", &statsData.subPageMisses);
+    fc.registerHistogram("hit_latency", &statsData.hitLatency);
+
+    auto &bc = reg.subRegistry("bc");
+    bc.registerCounter("fills", &statsData.fills);
+    bc.registerCounter("dirty_writebacks", &statsData.dirtyWritebacks);
+    bc.registerCounter("flash_bytes_read", &statsData.flashBytesRead);
+    bc.registerHistogram("miss_penalty", &statsData.missPenalty);
+    bc.registerUint("peak_outstanding", &statsData.peakOutstanding);
+    msrTable.regStats(bc.subRegistry("msr"));
+    evictBuf.regStats(bc.subRegistry("evictbuf"));
+
+    dramModel.regStats(reg.subRegistry("dram"));
+    pageTags.regStats(reg.subRegistry("tags"));
 }
 
 } // namespace astriflash::core

@@ -162,6 +162,14 @@ class DramCache : public sim::SimObject
     /** Zero all statistics (end of warmup). */
     void resetStats();
 
+    /**
+     * Register stats into @p reg following the controller split:
+     * "fc" (frontside: hit/miss accounting), "bc" (backside: fills,
+     * writebacks, miss penalty) with "msr"/"evictbuf" children, plus
+     * the "dram" device and the "tags" array.
+     */
+    void regStats(sim::StatRegistry &reg) const;
+
     const Stats &stats() const { return statsData; }
     const MissStatusRow &msr() const { return msrTable; }
     const EvictBuffer &evictBuffer() const { return evictBuf; }

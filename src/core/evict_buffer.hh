@@ -36,6 +36,7 @@ class EvictBuffer
         sim::Counter dirtyInserts;
         sim::Counter drains;
         sim::Counter fullStalls;
+        sim::Average occupancy; ///< Sampled at each insert.
         std::uint64_t peakOccupancy = 0;
     };
 
@@ -67,6 +68,7 @@ class EvictBuffer
         statsData.inserts.inc();
         if (dirty)
             statsData.dirtyInserts.inc();
+        statsData.occupancy.sample(static_cast<double>(fifo.size()));
         if (fifo.size() > statsData.peakOccupancy)
             statsData.peakOccupancy = fifo.size();
         return true;
@@ -95,6 +97,18 @@ class EvictBuffer
     }
 
     const Stats &stats() const { return statsData; }
+
+    /** Register this buffer's stats into @p reg. */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("inserts", &statsData.inserts);
+        reg.registerCounter("dirty_inserts", &statsData.dirtyInserts);
+        reg.registerCounter("drains", &statsData.drains);
+        reg.registerCounter("full_stalls", &statsData.fullStalls);
+        reg.registerAverage("occupancy", &statsData.occupancy);
+        reg.registerUint("peak_occupancy", &statsData.peakOccupancy);
+    }
 
   private:
     std::string bufName;

@@ -38,9 +38,18 @@ MissStatusRow::allocate(mem::Addr page)
     set.insert(aligned);
     ++total;
     statsData.allocations.inc();
+    statsData.occupancy.sample(total);
     if (total > statsData.peakOccupancy)
         statsData.peakOccupancy = total;
     return MsrAlloc::New;
+}
+
+std::uint32_t
+MissStatusRow::setOccupancy(mem::Addr page) const
+{
+    const mem::Addr aligned = mem::pageBase(page);
+    return static_cast<std::uint32_t>(
+        table[setIndex(aligned)].size());
 }
 
 bool

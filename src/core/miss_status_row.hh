@@ -41,6 +41,7 @@ class MissStatusRow
         sim::Counter duplicates;
         sim::Counter setFullStalls;
         sim::Counter frees;
+        sim::Average occupancy; ///< Sampled at each allocation.
         std::uint64_t peakOccupancy = 0;
     };
 
@@ -75,6 +76,18 @@ class MissStatusRow
     std::uint32_t capacity() const { return sets() * ways; }
 
     const Stats &stats() const { return statsData; }
+
+    /** Register this table's stats into @p reg. */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("allocations", &statsData.allocations);
+        reg.registerCounter("duplicates", &statsData.duplicates);
+        reg.registerCounter("set_full_stalls", &statsData.setFullStalls);
+        reg.registerCounter("frees", &statsData.frees);
+        reg.registerAverage("occupancy", &statsData.occupancy);
+        reg.registerUint("peak_occupancy", &statsData.peakOccupancy);
+    }
 
   private:
     std::uint32_t setIndex(mem::Addr page) const;

@@ -141,6 +141,20 @@ class SchedulerModel
     const Stats &stats() const { return statsData; }
     const Config &config() const { return cfg; }
 
+    /** Register this scheduler's stats into @p reg. */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("scheduled_new", &statsData.scheduledNew);
+        reg.registerCounter("scheduled_pending",
+                            &statsData.scheduledPending);
+        reg.registerCounter("aging_promotions",
+                            &statsData.agingPromotions);
+        reg.registerCounter("pending_overflows",
+                            &statsData.pendingOverflows);
+        reg.registerUint("peak_pending", &statsData.peakPending);
+    }
+
   private:
     struct Waiting {
         workload::Job job;

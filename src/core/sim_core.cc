@@ -1,6 +1,7 @@
 #include "sim_core.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_events.hh"
 
 #include "system.hh"
 
@@ -74,8 +75,15 @@ SimCore::pickJob(sim::Ticks now)
         break;
     }
     workload::Job &job = *current;
-    if (job.started == 0)
+    if (job.started == 0) {
         job.started = now;
+        sim::traceEvent(sim::TracePoint::JobStart, now, coreId, 0,
+                        job.id);
+    }
+    if (job.pendingSince != 0) {
+        sim::traceEvent(sim::TracePoint::ThreadResume, now, coreId, 0,
+                        job.id);
+    }
     // A job with pendingSince set is resuming after a miss: arm the
     // forward-progress bit so its faulting access retires (§IV-C3).
     if (job.pendingSince != 0 && sys.config().forwardProgressBit) {
@@ -213,6 +221,7 @@ SimCore::completeJob(sim::Ticks t)
     job.finished = t;
     job.service = t - job.started;
     statsData.jobsCompleted.inc();
+    sim::traceEvent(sim::TracePoint::JobFinish, t, coreId, 0, job.id);
     sys.jobFinished(job, t);
     current.reset();
 }
@@ -292,6 +301,8 @@ SimCore::run()
             ++job.nextOp;
             continue;
         }
+        sim::traceEvent(sim::TracePoint::LlcMiss, t, coreId, pa,
+                        job.id);
         for (mem::Addr wb : hier.writebacks())
             sys.noteLlcWriteback(wb);
 
@@ -311,6 +322,8 @@ SimCore::run()
         workload::Job halted = std::move(*current);
         current.reset();
         ++halted.misses;
+        sim::traceEvent(sim::TracePoint::ThreadPark, t, coreId,
+                        mo.page, halted.id);
         sched.parkOnMiss(std::move(halted), mo.page, t);
         if (sched.pendingFull()) {
             sched.notePendingOverflow();
@@ -327,6 +340,22 @@ SimCore::run()
             t += cfg.osCosts.contextSwitch;
         }
     }
+}
+
+void
+SimCore::regStats(sim::StatRegistry &reg) const
+{
+    reg.registerCounter("jobs_completed", &statsData.jobsCompleted);
+    reg.registerCounter("switch_on_miss", &statsData.switchOnMiss);
+    reg.registerCounter("sync_miss_stalls", &statsData.syncMissStalls);
+    reg.registerCounter("os_faults", &statsData.osFaults);
+    reg.registerCounter("walk_flash_stalls",
+                        &statsData.walkFlashStalls);
+    reg.registerUint("busy_ticks", &statsData.busyTicks);
+    sched.regStats(reg.subRegistry("sched"));
+    tlbModel.regStats(reg.subRegistry("tlb"));
+    hier.regStats(reg.subRegistry("hier"));
+    asoEngine.regStats(reg.subRegistry("aso"));
 }
 
 } // namespace astriflash::core

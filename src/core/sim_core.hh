@@ -79,6 +79,12 @@ class SimCore : public sim::SimObject
     /** Zero per-core statistics (end of warmup). */
     void resetStats() { statsData = Stats{}; }
 
+    /**
+     * Register this core's stats into @p reg, with "sched", "tlb",
+     * "hier", and "aso" children for the owned structures.
+     */
+    void regStats(sim::StatRegistry &reg) const;
+
   private:
     /** Outcome of one memory access at the system level. */
     struct MemOutcome {

@@ -43,6 +43,31 @@ System::System(const SystemConfig &config) : cfg(config)
         arrivals = std::make_unique<workload::PoissonArrivals>(
             cfg.meanInterarrival, cfg.seed * 31 + 7);
     }
+
+    registerStats();
+}
+
+void
+System::registerStats()
+{
+    auto &sys_reg = statsTree.subRegistry("system");
+    sys_reg.registerHistogram("service", &serviceHist);
+    sys_reg.registerHistogram("response", &responseHist);
+    sys_reg.registerUint("measured_jobs", &measuredJobs);
+    sys_reg.registerUint("completed_jobs", &completedJobs);
+    sys_reg.registerUint("measured_misses", &measuredMisses);
+
+    for (std::size_t c = 0; c < cores.size(); ++c)
+        cores[c]->regStats(
+            statsTree.subRegistry("core" + std::to_string(c)));
+    if (dcache)
+        dcache->regStats(statsTree.subRegistry("dcache"));
+    if (flashDev)
+        flashDev->regStats(statsTree.subRegistry("flash"));
+    if (flatDram)
+        flatDram->regStats(statsTree.subRegistry("flatdram"));
+    if (osModel)
+        osModel->regStats(statsTree.subRegistry("os"));
 }
 
 System::~System() = default;
@@ -296,20 +321,8 @@ System::run()
             static_cast<double>(measuredJobs) /
             sim::toSeconds(res.measureTicks);
     }
-    res.avgServiceUs = serviceHist.mean() / sim::kMicrosecond;
-    res.p50ServiceUs =
-        static_cast<double>(serviceHist.percentile(0.50)) /
-        sim::kMicrosecond;
-    res.p99ServiceUs =
-        static_cast<double>(serviceHist.percentile(0.99)) /
-        sim::kMicrosecond;
-    res.p999ServiceUs =
-        static_cast<double>(serviceHist.percentile(0.999)) /
-        sim::kMicrosecond;
-    res.avgResponseUs = responseHist.mean() / sim::kMicrosecond;
-    res.p99ResponseUs =
-        static_cast<double>(responseHist.percentile(0.99)) /
-        sim::kMicrosecond;
+    res.service = serviceHist;
+    res.response = responseHist;
 
     if (dcache) {
         res.dramCacheHitRatio = dcache->stats().hitRatio();

@@ -32,20 +32,43 @@
 
 namespace astriflash::core {
 
-/** End-of-run measurement summary. */
+/**
+ * End-of-run measurement summary.
+ *
+ * The latency metrics are carried as full distributions rather than a
+ * fixed menu of pre-derived scalars: callers query any quantile via
+ * serviceUs()/responseUs() (or work on the Histograms directly), so
+ * bench code no longer re-implements percentile math.
+ */
 struct RunResults {
     std::uint64_t jobs = 0;          ///< Jobs measured.
     sim::Ticks measureTicks = 0;     ///< Measurement window length.
     double throughputJobsPerSec = 0; ///< Aggregate.
 
-    // Service time = started -> finished (includes flash waits,
-    // excludes job-queue time). Response = arrival -> finished.
-    double avgServiceUs = 0;
-    double p50ServiceUs = 0;
-    double p99ServiceUs = 0;
-    double p999ServiceUs = 0;
-    double avgResponseUs = 0;
-    double p99ResponseUs = 0;
+    /** Service time = started -> finished (includes flash waits,
+     *  excludes job-queue time), in ticks. */
+    sim::Histogram service;
+    /** Response time = arrival -> finished, in ticks. */
+    sim::Histogram response;
+
+    /** Service-time quantile @p q (e.g. 0.99) in microseconds. */
+    double
+    serviceUs(double q) const
+    {
+        return static_cast<double>(service.percentile(q)) /
+               sim::kMicrosecond;
+    }
+
+    /** Response-time quantile @p q in microseconds. */
+    double
+    responseUs(double q) const
+    {
+        return static_cast<double>(response.percentile(q)) /
+               sim::kMicrosecond;
+    }
+
+    double avgServiceUs() const { return service.mean() / sim::kMicrosecond; }
+    double avgResponseUs() const { return response.mean() / sim::kMicrosecond; }
 
     double dramCacheHitRatio = 0;
     double avgExecBetweenMissesUs = 0; ///< Calibration check (5-25 µs).
@@ -68,6 +91,15 @@ class System
 
     /** Run warmup + measurement; returns the measured summary. */
     RunResults run();
+
+    /**
+     * Component-tree statistics registry. Every simulated component
+     * registers under a stable dotted namespace (e.g.
+     * "dcache.bc.msr.occupancy", "core0.sched.scheduled_new"); dump
+     * it as text or JSON via sim::StatRegistry after run().
+     */
+    sim::StatRegistry &statsRegistry() { return statsTree; }
+    const sim::StatRegistry &statsRegistry() const { return statsTree; }
 
     /**
      * Replace the built-in generators with an external job source
@@ -125,6 +157,9 @@ class System
     void scheduleNextArrival();
     void beginMeasurement(sim::Ticks now);
 
+    /** Build the component stat tree (end of construction). */
+    void registerStats();
+
     SystemConfig cfg;
     sim::EventQueue eq;
 
@@ -152,6 +187,8 @@ class System
     sim::Histogram serviceHist;  ///< Ticks.
     sim::Histogram responseHist; ///< Ticks.
     std::uint64_t measuredMisses = 0;
+
+    sim::StatRegistry statsTree;
 };
 
 } // namespace astriflash::core

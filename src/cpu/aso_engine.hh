@@ -116,6 +116,22 @@ class AsoEngine
 
     const Stats &stats() const { return statsData; }
 
+    /** Register this engine's stats into @p reg. */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("renames", &statsData.renames);
+        reg.registerCounter("stores_dispatched",
+                            &statsData.storesDispatched);
+        reg.registerCounter("stores_completed",
+                            &statsData.storesCompleted);
+        reg.registerCounter("stores_aborted", &statsData.storesAborted);
+        reg.registerCounter("renames_rolled_back",
+                            &statsData.renamesRolledBack);
+        reg.registerCounter("sb_full_stalls", &statsData.sbFullStalls);
+        reg.registerCounter("prf_stalls", &statsData.prfStalls);
+    }
+
   private:
     struct Rename {
         InstSeq seq;

@@ -1,6 +1,7 @@
 #include "flash_device.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace_events.hh"
 
 namespace astriflash::flash {
 
@@ -78,8 +79,12 @@ FlashDevice::read(std::uint64_t lpn, sim::Ticks now,
 
     res.complete = done;
     res.queueing = (array_start - issue) + (xfer_start - array_done);
-    if (res.blockedByGc)
+    if (res.blockedByGc) {
         statsData.gcBlockedReads.inc();
+        sim::traceEvent(sim::TracePoint::GcBlocked, now,
+                        sim::TraceRecord::kNoCore, lpn,
+                        plane.gcUntil - issue);
+    }
     statsData.readLatency.sample(res.complete - now);
     return res;
 }

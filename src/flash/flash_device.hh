@@ -90,6 +90,21 @@ class FlashDevice
         statsData = Stats{};
     }
 
+    /**
+     * Register device stats into @p reg; the FTL lands in an "ftl"
+     * child registry.
+     */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("reads", &statsData.reads);
+        reg.registerCounter("writes", &statsData.writes);
+        reg.registerCounter("gc_blocked_reads", &statsData.gcBlockedReads);
+        reg.registerHistogram("read_latency", &statsData.readLatency);
+        reg.registerHistogram("write_latency", &statsData.writeLatency);
+        ftlModel.regStats(reg.subRegistry("ftl"));
+    }
+
   private:
     /**
      * Read/write occupancy is tracked separately: modern NAND

@@ -105,6 +105,17 @@ class Ftl
     const Stats &stats() const { return statsData; }
     const FlashConfig &config() const { return cfg; }
 
+    /** Register FTL stats into @p reg. */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("host_writes", &statsData.hostWrites);
+        reg.registerCounter("flash_programs", &statsData.flashPrograms);
+        reg.registerCounter("gc_invocations", &statsData.gcInvocations);
+        reg.registerCounter("gc_relocations", &statsData.gcRelocations);
+        reg.registerCounter("erases", &statsData.erases);
+    }
+
   private:
     struct Block {
         std::uint32_t validPages = 0;

@@ -118,4 +118,21 @@ CacheHierarchy::invalidatePage(Addr addr)
         invalidateBlock(a);
 }
 
+void
+CacheHierarchy::regStats(sim::StatRegistry &reg) const
+{
+    reg.registerCounter("accesses", &statsData.accesses);
+    reg.registerCounter("llc_misses", &statsData.llcMisses);
+    reg.registerCounter("llc_writebacks", &statsData.llcWritebacks);
+    for (const auto &level : levels) {
+        // Level instances are named "<hier>.<level>"; the child registry
+        // only wants the trailing level component.
+        const std::string &full = level->name();
+        const auto dot = full.rfind('.');
+        const std::string leaf =
+            dot == std::string::npos ? full : full.substr(dot + 1);
+        level->regStats(reg.subRegistry(leaf));
+    }
+}
+
 } // namespace astriflash::mem

@@ -97,6 +97,12 @@ class CacheHierarchy
     SetAssocCache &level(std::size_t i) { return *levels[i]; }
     const Stats &stats() const { return statsData; }
 
+    /**
+     * Register hierarchy stats into @p reg; each level lands in a child
+     * registry named after it (l1d/l2/llc).
+     */
+    void regStats(sim::StatRegistry &reg) const;
+
   private:
     /**
      * Push a dirty victim evicted from level @p from_level into the

@@ -90,4 +90,15 @@ Dram::bankFreeAt(Addr addr) const
     return banks[bankIndex(addr)].busyUntil;
 }
 
+void
+Dram::regStats(sim::StatRegistry &reg) const
+{
+    reg.registerCounter("reads", &statsData.reads);
+    reg.registerCounter("writes", &statsData.writes);
+    reg.registerCounter("row_hits", &statsData.rowHits);
+    reg.registerCounter("row_closed", &statsData.rowClosed);
+    reg.registerCounter("row_conflicts", &statsData.rowConflicts);
+    reg.registerHistogram("latency", &statsData.latency);
+}
+
 } // namespace astriflash::mem

@@ -105,6 +105,9 @@ class Dram
     const Stats &stats() const { return statsData; }
     const std::string &name() const { return dramName; }
 
+    /** Register this device's stats into @p reg. */
+    void regStats(sim::StatRegistry &reg) const;
+
   private:
     struct Bank {
         sim::Ticks busyUntil = 0;

@@ -75,6 +75,17 @@ class MshrFile
     std::uint32_t entries() const { return capacity; }
     const Stats &stats() const { return statsData; }
 
+    /** Register this MSHR file's stats into @p reg. */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("allocations", &statsData.allocations);
+        reg.registerCounter("merges", &statsData.merges);
+        reg.registerCounter("full_stalls", &statsData.fullStalls);
+        reg.registerCounter("frees", &statsData.frees);
+        reg.registerUint("peak_occupancy", &statsData.peakOccupancy);
+    }
+
   private:
     std::string fileName;
     std::uint32_t capacity;

@@ -127,6 +127,20 @@ class SetAssocCache
     const Stats &stats() const { return statsData; }
     Stats &stats() { return statsData; }
 
+    /** Register this array's stats into @p reg. */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("hits", &statsData.hits);
+        reg.registerCounter("misses", &statsData.misses);
+        reg.registerCounter("evictions", &statsData.evictions);
+        reg.registerCounter("dirty_evictions",
+                            &statsData.dirtyEvictions);
+        reg.registerCounter("fills", &statsData.fills);
+        reg.registerCounter("invalidations",
+                            &statsData.invalidations);
+    }
+
   private:
     struct Way {
         Addr tag = 0;        // line-aligned address

@@ -65,6 +65,16 @@ class Tlb
     void flushAll();
 
     const Stats &stats() const { return statsData; }
+
+    /** Register this TLB's stats into @p reg. */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("l1_hits", &statsData.l1Hits);
+        reg.registerCounter("l2_hits", &statsData.l2Hits);
+        reg.registerCounter("misses", &statsData.misses);
+        reg.registerCounter("shootdowns", &statsData.shootdowns);
+    }
     const Config &config() const { return cfg; }
 
   private:

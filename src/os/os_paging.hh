@@ -78,6 +78,15 @@ class TlbShootdownBus
 
     const Stats &stats() const { return statsData; }
 
+    /** Register this bus's stats into @p reg. */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("shootdowns", &statsData.shootdowns);
+        reg.registerHistogram("initiator_latency",
+                              &statsData.initiatorLatency);
+    }
+
   private:
     OsCosts costs;
     std::uint32_t nCores;
@@ -144,6 +153,23 @@ class OsPagingModel
     TlbShootdownBus &bus() { return shootdownBus; }
     const Stats &stats() const { return statsData; }
     const OsCosts &costs() const { return costsData; }
+
+    /**
+     * Register paging stats into @p reg, with "bus" and "page_cache"
+     * children.
+     */
+    void
+    regStats(sim::StatRegistry &reg) const
+    {
+        reg.registerCounter("faults", &statsData.faults);
+        reg.registerCounter("evictions", &statsData.evictions);
+        reg.registerCounter("dirty_writebacks",
+                            &statsData.dirtyWritebacks);
+        reg.registerHistogram("fault_to_runnable",
+                              &statsData.faultToRunnable);
+        shootdownBus.regStats(reg.subRegistry("bus"));
+        pageCache.regStats(reg.subRegistry("page_cache"));
+    }
 
   private:
     std::string modelName;

@@ -1,0 +1,183 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace astriflash::sim {
+
+JsonWriter::JsonWriter(std::ostream &stream, bool pretty_print)
+    : os(stream), pretty(pretty_print)
+{
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    // %.17g round-trips any double; trim to %g first for readability
+    // when it already round-trips.
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+JsonWriter::indent()
+{
+    os << '\n';
+    for (std::size_t i = 0; i < hasElement.size(); ++i)
+        os << "  ";
+}
+
+void
+JsonWriter::prefix(bool is_key)
+{
+    if (pendingKey) {
+        // This emission is the value following a key.
+        ASTRI_ASSERT(!is_key);
+        pendingKey = false;
+        return;
+    }
+    if (hasElement.empty())
+        return; // Top-level value.
+    if (hasElement.back())
+        os << ',';
+    hasElement.back() = true;
+    if (pretty)
+        indent();
+}
+
+void
+JsonWriter::beginObject()
+{
+    prefix(false);
+    os << '{';
+    hasElement.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    ASTRI_ASSERT(!hasElement.empty());
+    const bool had = hasElement.back();
+    hasElement.pop_back();
+    if (pretty && had)
+        indent();
+    os << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    prefix(false);
+    os << '[';
+    hasElement.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    ASTRI_ASSERT(!hasElement.empty());
+    const bool had = hasElement.back();
+    hasElement.pop_back();
+    if (pretty && had)
+        indent();
+    os << ']';
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    prefix(true);
+    os << '"' << escape(name) << "\":";
+    if (pretty)
+        os << ' ';
+    pendingKey = true;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    prefix(false);
+    os << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::value(double v)
+{
+    prefix(false);
+    os << number(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    prefix(false);
+    os << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    prefix(false);
+    os << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    prefix(false);
+    os << (v ? "true" : "false");
+}
+
+void
+JsonWriter::null()
+{
+    prefix(false);
+    os << "null";
+}
+
+} // namespace astriflash::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Shared by the statistics registry (`--stats-json`), the trace sink
+ * (`--trace`), and the bench binaries' machine-readable output, so
+ * every producer escapes and formats values the same way. The writer
+ * is deliberately tiny: objects, arrays, and scalar values, with
+ * comma/indent bookkeeping handled internally. Output is deterministic
+ * for identical call sequences (doubles use a fixed shortest-roundtrip
+ * format), which the golden-stats tests rely on.
+ */
+
+#ifndef ASTRIFLASH_SIM_JSON_HH
+#define ASTRIFLASH_SIM_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace astriflash::sim {
+
+/** Streaming JSON emitter with automatic comma/indent handling. */
+class JsonWriter
+{
+  public:
+    /**
+     * @param os      Destination stream.
+     * @param pretty  Indent nested containers (2 spaces per level).
+     */
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+
+    /** Escape @p s per RFC 8259 (quotes, backslash, control chars). */
+    static std::string escape(std::string_view s);
+
+    /** Render a double deterministically (non-finite becomes null). */
+    static std::string number(double v);
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; the next emission is its value. */
+    void key(std::string_view name);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(bool v);
+    void null();
+
+    /** key() + value() in one call, any supported value type. */
+    template <typename T>
+    void
+    field(std::string_view name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    /** Before a value/key: emit separator + newline/indent as needed. */
+    void prefix(bool is_key);
+    void indent();
+
+    std::ostream &os;
+    bool pretty;
+    /** Per-open-container state: true once one element was emitted. */
+    std::vector<bool> hasElement;
+    bool pendingKey = false;
+};
+
+} // namespace astriflash::sim
+
+#endif // ASTRIFLASH_SIM_JSON_HH

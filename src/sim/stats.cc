@@ -1,8 +1,11 @@
 #include "stats.hh"
 
+#include <algorithm>
 #include <bit>
+#include <iterator>
 #include <sstream>
 
+#include "json.hh"
 #include "logging.hh"
 
 namespace astriflash::sim {
@@ -17,6 +20,20 @@ constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
 constexpr std::uint32_t kNumBuckets =
     static_cast<std::uint32_t>(kSubBuckets) +
     (64 - kSubBucketBits) * static_cast<std::uint32_t>(kSubBuckets);
+
+/** Quantiles a histogram renders in dumps (paper-headline set). */
+constexpr double kDumpQuantiles[] = {0.50, 0.99, 0.999};
+constexpr const char *kDumpQuantileNames[] = {"p50", "p99", "p999"};
+
+/** Split "a.b.c" into its leading segment and the remainder. */
+std::pair<std::string, std::string>
+splitPath(const std::string &path)
+{
+    const std::size_t dot = path.find('.');
+    if (dot == std::string::npos)
+        return {path, std::string()};
+    return {path.substr(0, dot), path.substr(dot + 1)};
+}
 
 } // namespace
 
@@ -126,23 +143,235 @@ Histogram::merge(const Histogram &other)
 void
 StatRegistry::registerScalar(const std::string &name, const double *value)
 {
-    scalars[name] = value;
+    leaves[name] = Leaf{LeafKind::Scalar, value};
 }
 
 void
-StatRegistry::registerCounter(const std::string &name, const Counter *counter)
+StatRegistry::registerUint(const std::string &name,
+                           const std::uint64_t *value)
 {
-    counters[name] = counter;
+    leaves[name] = Leaf{LeafKind::Uint, value};
+}
+
+void
+StatRegistry::registerCounter(const std::string &name,
+                              const Counter *counter)
+{
+    leaves[name] = Leaf{LeafKind::Counter, counter};
+}
+
+void
+StatRegistry::registerAverage(const std::string &name, const Average *avg)
+{
+    leaves[name] = Leaf{LeafKind::Average, avg};
+}
+
+void
+StatRegistry::registerHistogram(const std::string &name,
+                                const Histogram *hist)
+{
+    leaves[name] = Leaf{LeafKind::Hist, hist};
+}
+
+StatRegistry &
+StatRegistry::subRegistry(const std::string &path)
+{
+    ASTRI_ASSERT(!path.empty());
+    const auto [head, rest] = splitPath(path);
+    auto it = children.find(head);
+    if (it == children.end()) {
+        it = children
+                 .emplace(head, std::make_unique<StatRegistry>())
+                 .first;
+    }
+    return rest.empty() ? *it->second : it->second->subRegistry(rest);
+}
+
+const StatRegistry *
+StatRegistry::findSub(const std::string &path) const
+{
+    const auto [head, rest] = splitPath(path);
+    const auto it = children.find(head);
+    if (it == children.end())
+        return nullptr;
+    return rest.empty() ? it->second.get() : it->second->findSub(rest);
+}
+
+std::vector<std::string>
+StatRegistry::childNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(children.size());
+    for (const auto &[name, child] : children)
+        names.push_back(name);
+    return names;
+}
+
+void
+StatRegistry::collectLines(const std::string &prefix,
+                           std::vector<std::string> *lines) const
+{
+    for (const auto &[name, leaf] : leaves) {
+        const std::string full = prefix + name;
+        std::ostringstream os;
+        switch (leaf.kind) {
+          case LeafKind::Scalar:
+            os << full << " = "
+               << *static_cast<const double *>(leaf.ptr);
+            lines->push_back(os.str());
+            break;
+          case LeafKind::Uint:
+            os << full << " = "
+               << *static_cast<const std::uint64_t *>(leaf.ptr);
+            lines->push_back(os.str());
+            break;
+          case LeafKind::Counter:
+            os << full << " = "
+               << static_cast<const Counter *>(leaf.ptr)->value();
+            lines->push_back(os.str());
+            break;
+          case LeafKind::Average: {
+            const auto *a = static_cast<const Average *>(leaf.ptr);
+            os << full << ".count = " << a->count();
+            lines->push_back(os.str());
+            if (a->count()) {
+                std::ostringstream m;
+                m << full << ".mean = " << a->mean();
+                lines->push_back(m.str());
+                std::ostringstream mn;
+                mn << full << ".min = " << a->min();
+                lines->push_back(mn.str());
+                std::ostringstream mx;
+                mx << full << ".max = " << a->max();
+                lines->push_back(mx.str());
+            }
+            break;
+          }
+          case LeafKind::Hist: {
+            const auto *h = static_cast<const Histogram *>(leaf.ptr);
+            os << full << ".count = " << h->count();
+            lines->push_back(os.str());
+            if (h->count()) {
+                std::ostringstream m;
+                m << full << ".mean = " << h->mean();
+                lines->push_back(m.str());
+                std::ostringstream mn;
+                mn << full << ".min = " << h->min();
+                lines->push_back(mn.str());
+                std::ostringstream mx;
+                mx << full << ".max = " << h->max();
+                lines->push_back(mx.str());
+                for (std::size_t q = 0; q < std::size(kDumpQuantiles);
+                     ++q) {
+                    std::ostringstream p;
+                    p << full << '.' << kDumpQuantileNames[q] << " = "
+                      << h->percentile(kDumpQuantiles[q]);
+                    lines->push_back(p.str());
+                }
+            }
+            break;
+          }
+        }
+    }
+    for (const auto &[name, child] : children)
+        child->collectLines(prefix + name + ".", lines);
 }
 
 std::string
 StatRegistry::dump() const
 {
+    std::vector<std::string> lines;
+    collectLines(std::string(), &lines);
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const std::string &line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+void
+StatRegistry::collectNames(const std::string &prefix,
+                           std::vector<std::string> *names) const
+{
+    for (const auto &[name, leaf] : leaves) {
+        (void)leaf;
+        names->push_back(prefix + name);
+    }
+    for (const auto &[name, child] : children)
+        child->collectNames(prefix + name + ".", names);
+}
+
+void
+StatRegistry::forEachStat(
+    const std::function<void(const std::string &name)> &fn) const
+{
+    std::vector<std::string> names;
+    collectNames(std::string(), &names);
+    std::sort(names.begin(), names.end());
+    for (const std::string &name : names)
+        fn(name);
+}
+
+void
+StatRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &[name, leaf] : leaves) {
+        switch (leaf.kind) {
+          case LeafKind::Scalar:
+            w.field(name, *static_cast<const double *>(leaf.ptr));
+            break;
+          case LeafKind::Uint:
+            w.field(name,
+                    *static_cast<const std::uint64_t *>(leaf.ptr));
+            break;
+          case LeafKind::Counter:
+            w.field(name,
+                    static_cast<const Counter *>(leaf.ptr)->value());
+            break;
+          case LeafKind::Average: {
+            const auto *a = static_cast<const Average *>(leaf.ptr);
+            w.key(name);
+            w.beginObject();
+            w.field("count", a->count());
+            w.field("mean", a->mean());
+            w.field("min", a->count() ? a->min() : 0.0);
+            w.field("max", a->count() ? a->max() : 0.0);
+            w.endObject();
+            break;
+          }
+          case LeafKind::Hist: {
+            const auto *h = static_cast<const Histogram *>(leaf.ptr);
+            w.key(name);
+            w.beginObject();
+            w.field("count", h->count());
+            w.field("mean", h->mean());
+            w.field("min", h->min());
+            w.field("max", h->max());
+            for (std::size_t q = 0; q < std::size(kDumpQuantiles); ++q)
+                w.field(kDumpQuantileNames[q],
+                        h->percentile(kDumpQuantiles[q]));
+            w.endObject();
+            break;
+          }
+        }
+    }
+    for (const auto &[name, child] : children) {
+        w.key(name);
+        child->writeJson(w);
+    }
+    w.endObject();
+}
+
+std::string
+StatRegistry::dumpJson() const
+{
     std::ostringstream os;
-    for (const auto &[name, ptr] : counters)
-        os << name << " = " << ptr->value() << "\n";
-    for (const auto &[name, ptr] : scalars)
-        os << name << " = " << *ptr << "\n";
+    JsonWriter w(os);
+    writeJson(w);
+    os << '\n';
     return os.str();
 }
 

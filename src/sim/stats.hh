@@ -6,18 +6,31 @@
  * HDR-style log-linear structure: values are bucketed into octaves with
  * 64 linear sub-buckets each, giving <=1.6% relative error at any
  * percentile while using O(kB) memory regardless of sample count.
+ *
+ * The registry is a component tree: every simulated component registers
+ * its typed stats (Counter, Average, Histogram) under a stable dotted
+ * namespace ("dcache.bc.msr.occupancy"), and the full tree renders as
+ * either human-readable "name = value" lines or nested JSON
+ * (`--stats-json`). Registration is non-owning — the stats live in the
+ * components and the registry holds pointers — so dumping always
+ * reflects live values.
  */
 
 #ifndef ASTRIFLASH_SIM_STATS_HH
 #define ASTRIFLASH_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace astriflash::sim {
+
+class JsonWriter;
 
 /** Simple monotonically increasing event counter. */
 class Counter
@@ -145,24 +158,94 @@ class Histogram
 };
 
 /**
- * Named collection of statistics for one component, used for uniform
- * end-of-run reporting.
+ * Hierarchical registry of named statistics.
+ *
+ * A registry node holds typed leaf stats plus child registries; the
+ * root of the tree belongs to the enclosing system. Components obtain
+ * their node with subRegistry("dcache.bc") (dotted paths create
+ * intermediate nodes) and register their stats by leaf name, yielding
+ * stable fully-qualified names like "dcache.bc.msr.occupancy".
  */
 class StatRegistry
 {
   public:
-    /** Register a live scalar value under @p name. */
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /**
+     * Register a live scalar value under @p name.
+     * @deprecated Prefer the typed registrations below where a typed
+     *             stat exists; bare scalar pointers dump a single
+     *             number and cannot render distributions.
+     */
     void registerScalar(const std::string &name, const double *value);
+
+    /** Register a live integer value (peaks, occupancies) under
+     *  @p name. */
+    void registerUint(const std::string &name,
+                      const std::uint64_t *value);
 
     /** Register a counter under @p name. */
     void registerCounter(const std::string &name, const Counter *counter);
 
-    /** Render "name = value" lines sorted by name. */
+    /** Register a mean/min/max accumulator under @p name. */
+    void registerAverage(const std::string &name, const Average *avg);
+
+    /** Register a latency/occupancy histogram under @p name. */
+    void registerHistogram(const std::string &name,
+                           const Histogram *hist);
+
+    /**
+     * Child registry at dotted @p path relative to this node, created
+     * on first use. Returned reference stays valid for the lifetime of
+     * this registry.
+     */
+    StatRegistry &subRegistry(const std::string &path);
+
+    /** Child node, or nullptr if @p path was never registered. */
+    const StatRegistry *findSub(const std::string &path) const;
+
+    /**
+     * Render "name = value" lines for the whole subtree, sorted by
+     * fully-qualified dotted name. Histograms and averages render as
+     * one line per derived quantity (count/mean/min/max and p50, p99,
+     * p999 for histograms).
+     */
     std::string dump() const;
 
+    /** Render the subtree as nested JSON (one object per component). */
+    std::string dumpJson() const;
+
+    /** Emit the subtree into an in-flight JSON document. */
+    void writeJson(JsonWriter &w) const;
+
+    /**
+     * Visit every leaf stat in the subtree with its fully-qualified
+     * dotted name, in sorted order (dump() order).
+     */
+    void forEachStat(
+        const std::function<void(const std::string &name)> &fn) const;
+
+    /** Direct child names (one path segment), sorted. */
+    std::vector<std::string> childNames() const;
+
   private:
-    std::map<std::string, const double *> scalars;
-    std::map<std::string, const Counter *> counters;
+    enum class LeafKind { Scalar, Uint, Counter, Average, Hist };
+
+    struct Leaf {
+        LeafKind kind;
+        const void *ptr;
+    };
+
+    /** Accumulate "full.name = value" lines for sorting. */
+    void collectLines(const std::string &prefix,
+                      std::vector<std::string> *lines) const;
+    void collectNames(const std::string &prefix,
+                      std::vector<std::string> *names) const;
+
+    std::map<std::string, Leaf> leaves;
+    std::map<std::string, std::unique_ptr<StatRegistry>> children;
 };
 
 } // namespace astriflash::sim

@@ -1,0 +1,95 @@
+# Golden-output check for `astriflash_sim --stats-json`.
+#
+# Runs the simulator twice with a fixed configuration and verifies that
+#   1. the JSON parses (via CMake's built-in string(JSON ...)),
+#   2. the expected headline keys and component subtrees are present,
+#   3. the output is byte-for-byte deterministic across runs.
+#
+# Driven by: cmake -DSIM=<path-to-astriflash_sim> -DOUT_DIR=<scratch>
+#            -P check_stats_json.cmake
+
+if(NOT DEFINED SIM OR NOT DEFINED OUT_DIR)
+    message(FATAL_ERROR "usage: cmake -DSIM=... -DOUT_DIR=... -P check_stats_json.cmake")
+endif()
+
+set(args --config=astriflash --workload=tatp --cores=4
+    --dataset-gib=0.25 --jobs=200 --warmup=30)
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(json_a "${OUT_DIR}/stats_a.json")
+set(json_b "${OUT_DIR}/stats_b.json")
+
+foreach(out IN ITEMS "${json_a}" "${json_b}")
+    execute_process(
+        COMMAND "${SIM}" ${args} "--stats-json=${out}"
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "astriflash_sim exited with ${rc}")
+    endif()
+endforeach()
+
+file(READ "${json_a}" doc_a)
+file(READ "${json_b}" doc_b)
+
+if(NOT doc_a STREQUAL doc_b)
+    message(FATAL_ERROR "stats JSON is not deterministic across runs")
+endif()
+
+# --- 1. parses, and headline result keys exist with sane values -------
+string(JSON kind ERROR_VARIABLE err GET "${doc_a}" config kind)
+if(err)
+    message(FATAL_ERROR "config.kind missing: ${err}")
+endif()
+if(NOT kind STREQUAL "AstriFlash")
+    message(FATAL_ERROR "config.kind = '${kind}', want AstriFlash")
+endif()
+
+foreach(key IN ITEMS jobs throughput_jobs_per_sec avg_service_us
+        p50_service_us p99_service_us p999_service_us
+        dram_cache_hit_ratio flash_reads peak_outstanding_misses)
+    string(JSON val ERROR_VARIABLE err GET "${doc_a}" results ${key})
+    if(err)
+        message(FATAL_ERROR "results.${key} missing: ${err}")
+    endif()
+endforeach()
+
+string(JSON jobs GET "${doc_a}" results jobs)
+if(NOT jobs EQUAL 200)
+    message(FATAL_ERROR "results.jobs = ${jobs}, want 200")
+endif()
+
+# --- 2. per-component stats subtrees ----------------------------------
+set(n_components 0)
+foreach(comp IN ITEMS core0 core1 core2 core3 dcache flash system)
+    string(JSON sub ERROR_VARIABLE err GET "${doc_a}" stats ${comp})
+    if(err)
+        message(FATAL_ERROR "stats.${comp} missing: ${err}")
+    endif()
+    math(EXPR n_components "${n_components} + 1")
+endforeach()
+
+# Count every top-level component the tree actually exposes.
+string(JSON n_top LENGTH "${doc_a}" stats)
+if(n_top LESS 8)
+    message(FATAL_ERROR "stats has ${n_top} components, want >= 8")
+endif()
+
+# Deep dotted namespaces from DESIGN.md.
+string(JSON msr_mean ERROR_VARIABLE err
+    GET "${doc_a}" stats dcache bc msr occupancy mean)
+if(err)
+    message(FATAL_ERROR "stats.dcache.bc.msr.occupancy.mean missing: ${err}")
+endif()
+string(JSON svc_p99 ERROR_VARIABLE err
+    GET "${doc_a}" stats system service p99)
+if(err)
+    message(FATAL_ERROR "stats.system.service.p99 missing: ${err}")
+endif()
+string(JSON ftl_programs ERROR_VARIABLE err
+    GET "${doc_a}" stats flash ftl flash_programs)
+if(err)
+    message(FATAL_ERROR "stats.flash.ftl.flash_programs missing: ${err}")
+endif()
+
+message(STATUS "stats JSON OK: ${n_top} components, deterministic")

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader for tests.
+ *
+ * Just enough to round-trip-check the simulator's JSON producers
+ * (StatRegistry::dumpJson, JsonWriter, the trace JSONL lines) without
+ * pulling a JSON library into the tree: parses a document into a
+ * Value tree and exposes dotted-path lookup.
+ */
+
+#ifndef ASTRIFLASH_TESTS_MINI_JSON_HH
+#define ASTRIFLASH_TESTS_MINI_JSON_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace minijson {
+
+struct Value {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<std::unique_ptr<Value>> items;
+    std::map<std::string, std::unique_ptr<Value>> members;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** Member lookup by dotted path ("stats.dcache.bc"); nullptr if
+     *  any segment is missing or non-object along the way. */
+    const Value *
+    find(const std::string &path) const
+    {
+        const Value *cur = this;
+        std::size_t pos = 0;
+        while (pos <= path.size()) {
+            const std::size_t dot = path.find('.', pos);
+            const std::string seg =
+                path.substr(pos, dot == std::string::npos
+                                     ? std::string::npos
+                                     : dot - pos);
+            if (cur->kind != Kind::Object)
+                return nullptr;
+            const auto it = cur->members.find(seg);
+            if (it == cur->members.end())
+                return nullptr;
+            cur = it->second.get();
+            if (dot == std::string::npos)
+                return cur;
+            pos = dot + 1;
+        }
+        return nullptr;
+    }
+};
+
+class Parser
+{
+  public:
+    /** Parse @p text; returns nullptr on any syntax error. */
+    static std::unique_ptr<Value>
+    parse(const std::string &text)
+    {
+        Parser p(text);
+        auto v = p.parseValue();
+        if (!v)
+            return nullptr;
+        p.skipWs();
+        if (p.pos != text.size())
+            return nullptr; // trailing garbage
+        return v;
+    }
+
+  private:
+    explicit Parser(const std::string &t) : text(t) {}
+
+    const std::string &text;
+    std::size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    std::unique_ptr<Value>
+    parseValue()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return nullptr;
+        const char c = text[pos];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n')
+            return parseNull();
+        return parseNumber();
+    }
+
+    std::unique_ptr<Value>
+    parseObject()
+    {
+        if (!consume('{'))
+            return nullptr;
+        auto v = std::make_unique<Value>();
+        v->kind = Value::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return v;
+        while (true) {
+            auto k = parseString();
+            if (!k || !consume(':'))
+                return nullptr;
+            auto member = parseValue();
+            if (!member)
+                return nullptr;
+            v->members[k->str] = std::move(member);
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return v;
+            return nullptr;
+        }
+    }
+
+    std::unique_ptr<Value>
+    parseArray()
+    {
+        if (!consume('['))
+            return nullptr;
+        auto v = std::make_unique<Value>();
+        v->kind = Value::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return v;
+        while (true) {
+            auto item = parseValue();
+            if (!item)
+                return nullptr;
+            v->items.push_back(std::move(item));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return v;
+            return nullptr;
+        }
+    }
+
+    std::unique_ptr<Value>
+    parseString()
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return nullptr;
+        ++pos;
+        auto v = std::make_unique<Value>();
+        v->kind = Value::Kind::String;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return nullptr;
+                const char esc = text[pos++];
+                switch (esc) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case 'r': c = '\r'; break;
+                  case 'b': c = '\b'; break;
+                  case 'f': c = '\f'; break;
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'u':
+                    // Tests never need non-ASCII; skip the 4 digits
+                    // and substitute '?'.
+                    if (pos + 4 > text.size())
+                        return nullptr;
+                    pos += 4;
+                    c = '?';
+                    break;
+                  default:
+                    return nullptr;
+                }
+            }
+            v->str.push_back(c);
+        }
+        if (pos >= text.size())
+            return nullptr;
+        ++pos; // closing quote
+        return v;
+    }
+
+    std::unique_ptr<Value>
+    parseBool()
+    {
+        auto v = std::make_unique<Value>();
+        v->kind = Value::Kind::Bool;
+        if (text.compare(pos, 4, "true") == 0) {
+            v->boolean = true;
+            pos += 4;
+            return v;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            v->boolean = false;
+            pos += 5;
+            return v;
+        }
+        return nullptr;
+    }
+
+    std::unique_ptr<Value>
+    parseNull()
+    {
+        if (text.compare(pos, 4, "null") != 0)
+            return nullptr;
+        pos += 4;
+        return std::make_unique<Value>();
+    }
+
+    std::unique_ptr<Value>
+    parseNumber()
+    {
+        const char *begin = text.c_str() + pos;
+        char *end = nullptr;
+        const double d = std::strtod(begin, &end);
+        if (end == begin)
+            return nullptr;
+        pos += static_cast<std::size_t>(end - begin);
+        auto v = std::make_unique<Value>();
+        v->kind = Value::Kind::Number;
+        v->number = d;
+        return v;
+    }
+};
+
+inline std::unique_ptr<Value>
+parse(const std::string &text)
+{
+    return Parser::parse(text);
+}
+
+} // namespace minijson
+
+#endif // ASTRIFLASH_TESTS_MINI_JSON_HH

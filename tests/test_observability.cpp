@@ -1,0 +1,167 @@
+/**
+ * @file
+ * End-to-end observability tests: the full-system stats tree, its JSON
+ * rendering, determinism under a fixed seed, and the guarantee that
+ * tracing is inert when disabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "mini_json.hh"
+#include "sim/trace_events.hh"
+
+using namespace astriflash;
+using namespace astriflash::core;
+
+namespace {
+
+SystemConfig
+smallCfg(SystemKind kind)
+{
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.cores = 4;
+    cfg.workloadKind = workload::Kind::Tatp;
+    cfg.workload.datasetBytes = 256ull << 20;
+    cfg.warmupJobs = 30;
+    cfg.measureJobs = 200;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Observability, RegistryCoversAtLeastEightComponents)
+{
+    System sys(smallCfg(SystemKind::AstriFlash));
+    sys.run();
+    const auto kids = sys.statsRegistry().childNames();
+    EXPECT_GE(kids.size(), 8u)
+        << "components: " << ::testing::PrintToString(kids);
+    for (const char *expected :
+         {"core0", "core1", "core2", "core3", "dcache", "flash",
+          "system"}) {
+        EXPECT_NE(std::find(kids.begin(), kids.end(), expected),
+                  kids.end())
+            << "missing component " << expected;
+    }
+}
+
+TEST(Observability, CanonicalNamespacesExist)
+{
+    System sys(smallCfg(SystemKind::AstriFlash));
+    sys.run();
+    const auto &reg = sys.statsRegistry();
+    // The stable dotted paths DESIGN.md documents.
+    EXPECT_NE(reg.findSub("dcache.bc.msr"), nullptr);
+    EXPECT_NE(reg.findSub("dcache.bc.evictbuf"), nullptr);
+    EXPECT_NE(reg.findSub("dcache.fc"), nullptr);
+    EXPECT_NE(reg.findSub("flash.ftl"), nullptr);
+    EXPECT_NE(reg.findSub("core0.sched"), nullptr);
+    EXPECT_NE(reg.findSub("core0.hier"), nullptr);
+
+    std::vector<std::string> names;
+    reg.forEachStat([&](const std::string &n) { names.push_back(n); });
+    for (const char *expected :
+         {"dcache.bc.msr.occupancy", "dcache.fc.hits",
+          "flash.ftl.gc_invocations", "flash.reads",
+          "system.service", "core0.jobs_completed"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << "missing stat " << expected;
+    }
+}
+
+TEST(Observability, SystemJsonParsesAndMatchesResults)
+{
+    System sys(smallCfg(SystemKind::AstriFlash));
+    const RunResults r = sys.run();
+
+    const auto doc = minijson::parse(sys.statsRegistry().dumpJson());
+    ASSERT_NE(doc, nullptr);
+    const auto *service = doc->find("system.service");
+    ASSERT_NE(service, nullptr);
+    EXPECT_DOUBLE_EQ(service->find("count")->number,
+                     static_cast<double>(r.jobs));
+    // Results-API histograms mirror the registry's live ones.
+    EXPECT_EQ(r.service.count(), r.jobs);
+    EXPECT_DOUBLE_EQ(service->find("p99")->number,
+                     static_cast<double>(r.service.percentile(0.99)));
+    EXPECT_GE(r.serviceUs(0.99), r.serviceUs(0.50));
+    EXPECT_GT(r.avgServiceUs(), 0.0);
+
+    const auto *hits = doc->find("dcache.fc.hits");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_GT(hits->number, 0.0);
+}
+
+TEST(Observability, IdenticalSeedsProduceIdenticalStats)
+{
+    const std::string a = [] {
+        System sys(smallCfg(SystemKind::AstriFlash));
+        sys.run();
+        return sys.statsRegistry().dumpJson();
+    }();
+    const std::string b = [] {
+        System sys(smallCfg(SystemKind::AstriFlash));
+        sys.run();
+        return sys.statsRegistry().dumpJson();
+    }();
+    EXPECT_EQ(a, b);
+
+    SystemConfig other = smallCfg(SystemKind::AstriFlash);
+    other.seed += 1;
+    System sys(other);
+    sys.run();
+    EXPECT_NE(sys.statsRegistry().dumpJson(), a);
+}
+
+TEST(Observability, TracingDisabledRecordsNothingDuringRun)
+{
+    auto &tracer = sim::Tracer::instance();
+    tracer.disable();
+    System sys(smallCfg(SystemKind::AstriFlash));
+    sys.run();
+    EXPECT_FALSE(tracer.enabled());
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_EQ(tracer.emitted(), 0u);
+}
+
+TEST(Observability, TracingEnabledCapturesMissLifecycle)
+{
+    auto &tracer = sim::Tracer::instance();
+    tracer.enable(1 << 16);
+    {
+        System sys(smallCfg(SystemKind::AstriFlash));
+        sys.run();
+    }
+    EXPECT_GT(tracer.emitted(), 0u);
+    bool saw_miss = false, saw_fill = false, saw_resume = false;
+    tracer.forEach([&](const sim::TraceRecord &rec) {
+        if (rec.point == sim::TracePoint::LlcMiss)
+            saw_miss = true;
+        if (rec.point == sim::TracePoint::PageFill)
+            saw_fill = true;
+        if (rec.point == sim::TracePoint::ThreadResume)
+            saw_resume = true;
+    });
+    tracer.disable();
+    EXPECT_TRUE(saw_miss);
+    EXPECT_TRUE(saw_fill);
+    EXPECT_TRUE(saw_resume);
+}
+
+TEST(Observability, DramOnlySystemHasFlatDramComponent)
+{
+    System sys(smallCfg(SystemKind::DramOnly));
+    sys.run();
+    const auto kids = sys.statsRegistry().childNames();
+    EXPECT_NE(std::find(kids.begin(), kids.end(), "flatdram"),
+              kids.end());
+    EXPECT_EQ(std::find(kids.begin(), kids.end(), "dcache"),
+              kids.end());
+}

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mini_json.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 
@@ -161,4 +162,162 @@ TEST(StatRegistry, DumpsSortedNames)
     const std::string out = reg.dump();
     EXPECT_NE(out.find("b.counter = 7"), std::string::npos);
     EXPECT_NE(out.find("a.scalar = 2.5"), std::string::npos);
+}
+
+TEST(StatRegistry, HierarchicalDumpUsesFullyQualifiedSortedNames)
+{
+    StatRegistry root;
+    Counter hits, misses, fills;
+    hits.inc(10);
+    misses.inc(3);
+    fills.inc(2);
+
+    auto &fc = root.subRegistry("dcache.fc");
+    fc.registerCounter("hits", &hits);
+    fc.registerCounter("misses", &misses);
+    root.subRegistry("dcache.bc").registerCounter("fills", &fills);
+    Counter jobs;
+    jobs.inc(99);
+    root.subRegistry("core0").registerCounter("jobs", &jobs);
+
+    const std::string out = root.dump();
+    const auto core0 = out.find("core0.jobs = 99");
+    const auto bc = out.find("dcache.bc.fills = 2");
+    const auto hitsPos = out.find("dcache.fc.hits = 10");
+    const auto missPos = out.find("dcache.fc.misses = 3");
+    ASSERT_NE(core0, std::string::npos);
+    ASSERT_NE(bc, std::string::npos);
+    ASSERT_NE(hitsPos, std::string::npos);
+    ASSERT_NE(missPos, std::string::npos);
+    // Lines come out sorted by fully-qualified dotted name.
+    EXPECT_LT(core0, bc);
+    EXPECT_LT(bc, hitsPos);
+    EXPECT_LT(hitsPos, missPos);
+}
+
+TEST(StatRegistry, SubRegistryReturnsSameNodeAndFindSub)
+{
+    StatRegistry root;
+    StatRegistry &a = root.subRegistry("dcache.bc.msr");
+    StatRegistry &b = root.subRegistry("dcache.bc.msr");
+    EXPECT_EQ(&a, &b);
+    // Stepwise traversal lands on the same node.
+    StatRegistry &c = root.subRegistry("dcache").subRegistry("bc.msr");
+    EXPECT_EQ(&a, &c);
+
+    EXPECT_EQ(root.findSub("dcache.bc.msr"), &a);
+    EXPECT_EQ(root.findSub("dcache.nope"), nullptr);
+    EXPECT_EQ(root.findSub("totally.absent"), nullptr);
+
+    const auto kids = root.subRegistry("dcache").childNames();
+    ASSERT_EQ(kids.size(), 1u);
+    EXPECT_EQ(kids[0], "bc");
+}
+
+TEST(StatRegistry, TypedLeavesRenderDerivedQuantities)
+{
+    StatRegistry reg;
+    Average avg;
+    avg.sample(2.0);
+    avg.sample(4.0);
+    Histogram hist;
+    for (std::uint64_t i = 1; i <= 100; ++i)
+        hist.sample(i);
+    std::uint64_t peak = 17;
+    reg.registerAverage("occupancy", &avg);
+    reg.registerHistogram("latency", &hist);
+    reg.registerUint("peak", &peak);
+
+    const std::string out = reg.dump();
+    EXPECT_NE(out.find("occupancy.count = 2"), std::string::npos);
+    EXPECT_NE(out.find("occupancy.mean = 3"), std::string::npos);
+    EXPECT_NE(out.find("latency.count = 100"), std::string::npos);
+    EXPECT_NE(out.find("latency.p50"), std::string::npos);
+    EXPECT_NE(out.find("latency.p99"), std::string::npos);
+    EXPECT_NE(out.find("peak = 17"), std::string::npos);
+}
+
+TEST(StatRegistry, ForEachStatVisitsSortedFullyQualifiedNames)
+{
+    StatRegistry root;
+    Counter c1, c2;
+    root.subRegistry("z").registerCounter("last", &c1);
+    root.subRegistry("a.b").registerCounter("first", &c2);
+
+    std::vector<std::string> names;
+    root.forEachStat([&](const std::string &n) { names.push_back(n); });
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a.b.first");
+    EXPECT_EQ(names[1], "z.last");
+}
+
+TEST(StatRegistry, JsonRoundTripParses)
+{
+    StatRegistry root;
+    Counter hits;
+    hits.inc(42);
+    Average occ;
+    occ.sample(3.0);
+    occ.sample(5.0);
+    Histogram lat;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        lat.sample(i);
+    std::uint64_t peak = 7;
+    double ratio = 0.25;
+
+    auto &fc = root.subRegistry("dcache.fc");
+    fc.registerCounter("hits", &hits);
+    auto &msr = root.subRegistry("dcache.bc.msr");
+    msr.registerAverage("occupancy", &occ);
+    msr.registerUint("peak", &peak);
+    root.subRegistry("flash").registerHistogram("read_latency", &lat);
+    root.registerScalar("ratio", &ratio);
+
+    const std::string json = root.dumpJson();
+    const auto doc = minijson::parse(json);
+    ASSERT_NE(doc, nullptr) << json;
+    ASSERT_TRUE(doc->isObject());
+
+    const auto *hitsV = doc->find("dcache.fc.hits");
+    ASSERT_NE(hitsV, nullptr);
+    EXPECT_DOUBLE_EQ(hitsV->number, 42.0);
+
+    const auto *occV = doc->find("dcache.bc.msr.occupancy");
+    ASSERT_NE(occV, nullptr);
+    ASSERT_TRUE(occV->isObject());
+    EXPECT_DOUBLE_EQ(occV->find("count")->number, 2.0);
+    EXPECT_DOUBLE_EQ(occV->find("mean")->number, 4.0);
+    EXPECT_DOUBLE_EQ(occV->find("min")->number, 3.0);
+    EXPECT_DOUBLE_EQ(occV->find("max")->number, 5.0);
+
+    const auto *latV = doc->find("flash.read_latency");
+    ASSERT_NE(latV, nullptr);
+    EXPECT_DOUBLE_EQ(latV->find("count")->number, 1000.0);
+    ASSERT_NE(latV->find("p50"), nullptr);
+    ASSERT_NE(latV->find("p99"), nullptr);
+    ASSERT_NE(latV->find("p999"), nullptr);
+    // p50 of 0..999 is ~500, within the 1/64 bound.
+    EXPECT_NEAR(latV->find("p50")->number, 500.0, 500.0 / 64 + 1);
+
+    EXPECT_DOUBLE_EQ(doc->find("dcache.bc.msr.peak")->number, 7.0);
+    EXPECT_DOUBLE_EQ(doc->find("ratio")->number, 0.25);
+}
+
+TEST(StatRegistry, JsonEscapesAndLiveValues)
+{
+    StatRegistry root;
+    Counter c;
+    root.registerCounter("quoted\"name", &c);
+    c.inc(1);
+    auto doc = minijson::parse(root.dumpJson());
+    ASSERT_NE(doc, nullptr);
+    const auto it = doc->members.find("quoted\"name");
+    ASSERT_NE(it, doc->members.end());
+    EXPECT_DOUBLE_EQ(it->second->number, 1.0);
+
+    // Registration is non-owning: later increments show up in dumps.
+    c.inc(10);
+    doc = minijson::parse(root.dumpJson());
+    EXPECT_DOUBLE_EQ(doc->members.find("quoted\"name")->second->number,
+                     11.0);
 }

@@ -50,7 +50,7 @@ TEST(SystemIntegration, AllConfigsCompleteMeasurement)
         EXPECT_EQ(r.jobs, 1500u) << systemKindName(kind);
         EXPECT_GT(r.throughputJobsPerSec, 0.0)
             << systemKindName(kind);
-        EXPECT_GT(r.p99ServiceUs, r.avgServiceUs * 0.5)
+        EXPECT_GT(r.serviceUs(0.99), r.avgServiceUs() * 0.5)
             << systemKindName(kind);
     }
 }
@@ -83,12 +83,12 @@ TEST(SystemIntegration, ThroughputOrderingMatchesFig9)
 
 TEST(SystemIntegration, ServiceLatencyOrderingMatchesTable2)
 {
-    const double sync = runKind(SystemKind::FlashSync).p99ServiceUs;
-    const double astri = runKind(SystemKind::AstriFlash).p99ServiceUs;
+    const double sync = runKind(SystemKind::FlashSync).serviceUs(0.99);
+    const double astri = runKind(SystemKind::AstriFlash).serviceUs(0.99);
     const double nops =
-        runKind(SystemKind::AstriFlashNoPS).p99ServiceUs;
+        runKind(SystemKind::AstriFlashNoPS).serviceUs(0.99);
     const double nodp =
-        runKind(SystemKind::AstriFlashNoDP).p99ServiceUs;
+        runKind(SystemKind::AstriFlashNoDP).serviceUs(0.99);
 
     // Table II: AstriFlash close to Flash-Sync; noPS and noDP worse.
     EXPECT_LT(astri / sync, 2.0);
@@ -146,8 +146,8 @@ TEST(SystemIntegration, OpenLoopMeasuresResponseAboveService)
     System sys(cfg);
     const auto r = sys.run();
     EXPECT_EQ(r.jobs, 1500u);
-    EXPECT_GE(r.p99ResponseUs, r.p99ServiceUs * 0.99);
-    EXPECT_GT(r.avgResponseUs, 0.0);
+    EXPECT_GE(r.responseUs(0.99), r.serviceUs(0.99) * 0.99);
+    EXPECT_GT(r.avgResponseUs(), 0.0);
 }
 
 TEST(SystemIntegration, DeterministicAcrossRuns)
@@ -155,7 +155,7 @@ TEST(SystemIntegration, DeterministicAcrossRuns)
     const auto a = runKind(SystemKind::AstriFlash);
     const auto b = runKind(SystemKind::AstriFlash);
     EXPECT_DOUBLE_EQ(a.throughputJobsPerSec, b.throughputJobsPerSec);
-    EXPECT_DOUBLE_EQ(a.p99ServiceUs, b.p99ServiceUs);
+    EXPECT_DOUBLE_EQ(a.serviceUs(0.99), b.serviceUs(0.99));
     EXPECT_EQ(a.flashReads, b.flashReads);
 }
 

@@ -53,9 +53,9 @@ TEST_P(SystemSweep, CompletesWithSaneInvariants)
     EXPECT_GT(r.throughputJobsPerSec, 0.0);
 
     // Latency ordering invariants.
-    EXPECT_LE(r.p50ServiceUs, r.p99ServiceUs);
-    EXPECT_LE(r.p99ServiceUs, r.p999ServiceUs);
-    EXPECT_GT(r.avgServiceUs, 0.0);
+    EXPECT_LE(r.serviceUs(0.50), r.serviceUs(0.99));
+    EXPECT_LE(r.serviceUs(0.99), r.serviceUs(0.999));
+    EXPECT_GT(r.avgServiceUs(), 0.0);
 
     // Flash traffic only exists on flash-backed configurations.
     if (kind == SystemKind::DramOnly) {

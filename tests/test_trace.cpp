@@ -83,8 +83,9 @@ TEST(Trace, ReplayCyclesWithFreshIds)
     EXPECT_NE(a.id, wrapped.id);
     ASSERT_EQ(a.ops.size(), wrapped.ops.size());
     for (std::size_t o = 0; o < a.ops.size(); ++o) {
-        if (a.ops[o].type != Op::Type::Compute)
+        if (a.ops[o].type != Op::Type::Compute) {
             EXPECT_EQ(a.ops[o].addr, wrapped.ops[o].addr);
+        }
     }
     std::remove(path.c_str());
 }

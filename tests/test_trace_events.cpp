@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the miss-lifecycle trace ring: disabled no-op behaviour,
+ * ring wrap-around, and the JSONL drain format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mini_json.hh"
+#include "sim/trace_events.hh"
+
+using namespace astriflash::sim;
+
+namespace {
+
+/** RAII guard: whatever a test does, leave the global sink disabled. */
+struct TracerGuard {
+    TracerGuard() { Tracer::instance().disable(); }
+    ~TracerGuard() { Tracer::instance().disable(); }
+};
+
+} // namespace
+
+TEST(TraceEvents, DisabledEmitIsNoOp)
+{
+    TracerGuard guard;
+    auto &t = Tracer::instance();
+    EXPECT_FALSE(t.enabled());
+    traceEvent(TracePoint::LlcMiss, 100, 0, 0x1000, 1);
+    traceEvent(TracePoint::PageFill, 200, 1, 0x2000, 2);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.emitted(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TraceEvents, RecordsInOrderWhileEnabled)
+{
+    TracerGuard guard;
+    auto &t = Tracer::instance();
+    t.enable(16);
+    EXPECT_TRUE(t.enabled());
+    traceEvent(TracePoint::LlcMiss, 100, 2, 0x1000, 7);
+    traceEvent(TracePoint::MsrInsert, 150, 2, 0x1000, 1);
+    traceEvent(TracePoint::FlashReadIssue, 160,
+               TraceRecord::kNoCore, 0x1000, 4096);
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.emitted(), 3u);
+
+    std::vector<TraceRecord> recs;
+    t.forEach([&](const TraceRecord &r) { recs.push_back(r); });
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[0].point, TracePoint::LlcMiss);
+    EXPECT_EQ(recs[0].tick, 100u);
+    EXPECT_EQ(recs[0].core, 2u);
+    EXPECT_EQ(recs[0].addr, 0x1000u);
+    EXPECT_EQ(recs[0].detail, 7u);
+    EXPECT_EQ(recs[1].point, TracePoint::MsrInsert);
+    EXPECT_EQ(recs[2].core, TraceRecord::kNoCore);
+}
+
+TEST(TraceEvents, RingKeepsNewestAndCountsDrops)
+{
+    TracerGuard guard;
+    auto &t = Tracer::instance();
+    t.enable(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        traceEvent(TracePoint::JobStart, 1000 + i, 0, 0, i);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.emitted(), 10u);
+    EXPECT_EQ(t.dropped(), 6u);
+
+    // The survivors are the newest four, oldest first.
+    std::vector<std::uint64_t> details;
+    t.forEach([&](const TraceRecord &r) { details.push_back(r.detail); });
+    ASSERT_EQ(details.size(), 4u);
+    EXPECT_EQ(details[0], 6u);
+    EXPECT_EQ(details[3], 9u);
+}
+
+TEST(TraceEvents, ClearKeepsRingEnabled)
+{
+    TracerGuard guard;
+    auto &t = Tracer::instance();
+    t.enable(8);
+    traceEvent(TracePoint::GcBlocked, 5, 0, 0x40, 123);
+    ASSERT_EQ(t.size(), 1u);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.enabled());
+    traceEvent(TracePoint::GcBlocked, 6, 0, 0x40, 124);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TraceEvents, DisableReleasesState)
+{
+    TracerGuard guard;
+    auto &t = Tracer::instance();
+    t.enable(8);
+    traceEvent(TracePoint::ThreadPark, 1, 0, 0, 0);
+    t.disable();
+    EXPECT_FALSE(t.enabled());
+    EXPECT_EQ(t.size(), 0u);
+    traceEvent(TracePoint::ThreadPark, 2, 0, 0, 0);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TraceEvents, WriteJsonlEmitsOneParseableObjectPerLine)
+{
+    TracerGuard guard;
+    auto &t = Tracer::instance();
+    t.enable(8);
+    traceEvent(TracePoint::LlcMiss, 100, 1, 0xdead0000, 42);
+    traceEvent(TracePoint::FlashReadDone, 9999,
+               TraceRecord::kNoCore, 0xbeef000, 0);
+
+    std::ostringstream os;
+    t.writeJsonl(os);
+    std::istringstream in(os.str());
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 2u);
+
+    const auto first = minijson::parse(lines[0]);
+    ASSERT_NE(first, nullptr) << lines[0];
+    ASSERT_TRUE(first->isObject());
+    EXPECT_EQ(first->find("event")->str, "llc_miss");
+    EXPECT_DOUBLE_EQ(first->find("tick")->number, 100.0);
+    EXPECT_DOUBLE_EQ(first->find("core")->number, 1.0);
+    EXPECT_DOUBLE_EQ(first->find("detail")->number, 42.0);
+
+    const auto second = minijson::parse(lines[1]);
+    ASSERT_NE(second, nullptr) << lines[1];
+    EXPECT_EQ(second->find("event")->str, "flash_read_done");
+}
+
+TEST(TraceEvents, PointNamesAreStable)
+{
+    EXPECT_STREQ(tracePointName(TracePoint::LlcMiss), "llc_miss");
+    EXPECT_STREQ(tracePointName(TracePoint::MsrInsert), "msr_insert");
+    EXPECT_STREQ(tracePointName(TracePoint::MsrDedup), "msr_dedup");
+    EXPECT_STREQ(tracePointName(TracePoint::FlashReadIssue),
+                 "flash_read_issue");
+    EXPECT_STREQ(tracePointName(TracePoint::PageFill), "page_fill");
+    EXPECT_STREQ(tracePointName(TracePoint::ThreadResume),
+                 "thread_resume");
+    EXPECT_STREQ(tracePointName(TracePoint::JobFinish), "job_finish");
+}

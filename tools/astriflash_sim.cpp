@@ -7,29 +7,24 @@
  *
  *   astriflash_sim --config=astriflash --workload=silo --cores=8 \
  *                  --dataset-gib=2 --dram-ratio=0.03 --jobs=20000 \
- *                  --load=0.8 --footprint --seed=3
+ *                  --load=0.8 --footprint --seed=3 \
+ *                  --stats-json=stats.json --trace=miss.jsonl
  *
- * Flags (all optional):
- *   --config=NAME       dram|astriflash|ideal|nops|nodp|osswap|flashsync
- *   --workload=NAME     arrayswap|rbt|hashtable|tatp|tpcc|silo|masstree
- *   --cores=N           default 4
- *   --dataset-gib=F     default 1.0
- *   --dram-ratio=F      DRAM cache / dataset, default 0.03
- *   --jobs=N            measured jobs, default 8000
- *   --warmup=N          warmup jobs, default jobs/10
- *   --load=F            open-loop load as a fraction of this
- *                       config's own closed-loop max (0 = closed loop)
- *   --switch-ns=N       thread-switch cost override
- *   --pending-cap=N     pending-queue bound
- *   --footprint         enable footprint-cache mode
- *   --no-fp-bit         disable the forward-progress bit
- *   --seed=N            RNG seed
+ * Run with --help for the flag list. Beyond the human-readable report,
+ * --stats-json=FILE writes the full hierarchical component statistics
+ * tree as JSON and --trace=FILE records the miss-lifecycle event ring
+ * as JSONL (see DESIGN.md for both schemas).
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
+
+#include "sim/json.hh"
+#include "sim/option_parser.hh"
+#include "sim/trace_events.hh"
 
 #include "core/system.hh"
 
@@ -39,52 +34,82 @@ using namespace astriflash::core;
 namespace {
 
 bool
-flagValue(const char *arg, const char *name, std::string *out)
+parseKind(const std::string &s, SystemKind *out)
 {
-    const std::size_t n = std::strlen(name);
-    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
-        *out = arg + n + 1;
-        return true;
+    if (s == "dram")
+        *out = SystemKind::DramOnly;
+    else if (s == "astriflash")
+        *out = SystemKind::AstriFlash;
+    else if (s == "ideal")
+        *out = SystemKind::AstriFlashIdeal;
+    else if (s == "nops")
+        *out = SystemKind::AstriFlashNoPS;
+    else if (s == "nodp")
+        *out = SystemKind::AstriFlashNoDP;
+    else if (s == "osswap")
+        *out = SystemKind::OsSwap;
+    else if (s == "flashsync")
+        *out = SystemKind::FlashSync;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseWorkload(const std::string &s, workload::Kind *out)
+{
+    for (workload::Kind k : workload::kAllKinds) {
+        if (s == workload::kindName(k)) {
+            *out = k;
+            return true;
+        }
     }
     return false;
 }
 
-[[noreturn]] void
-usage(const char *msg)
+/** Write config + headline results + the full stats tree as JSON. */
+void
+writeStatsJson(std::ostream &os, const SystemConfig &cfg,
+               double dataset_gib, const RunResults &r,
+               const System &sys)
 {
-    std::fprintf(stderr, "astriflash_sim: %s (see --help in the file "
-                         "header)\n", msg);
-    std::exit(2);
-}
+    sim::JsonWriter w(os);
+    w.beginObject();
 
-SystemKind
-parseKind(const std::string &s)
-{
-    if (s == "dram")
-        return SystemKind::DramOnly;
-    if (s == "astriflash")
-        return SystemKind::AstriFlash;
-    if (s == "ideal")
-        return SystemKind::AstriFlashIdeal;
-    if (s == "nops")
-        return SystemKind::AstriFlashNoPS;
-    if (s == "nodp")
-        return SystemKind::AstriFlashNoDP;
-    if (s == "osswap")
-        return SystemKind::OsSwap;
-    if (s == "flashsync")
-        return SystemKind::FlashSync;
-    usage(("unknown config '" + s + "'").c_str());
-}
+    w.key("config");
+    w.beginObject();
+    w.field("kind", systemKindName(cfg.kind));
+    w.field("workload", workload::kindName(cfg.workloadKind));
+    w.field("cores", cfg.cores);
+    w.field("dataset_gib", dataset_gib);
+    w.field("dram_ratio", cfg.dramCacheRatio);
+    w.field("seed", cfg.seed);
+    w.endObject();
 
-workload::Kind
-parseWorkload(const std::string &s)
-{
-    for (workload::Kind k : workload::kAllKinds) {
-        if (s == workload::kindName(k))
-            return k;
-    }
-    usage(("unknown workload '" + s + "'").c_str());
+    w.key("results");
+    w.beginObject();
+    w.field("jobs", r.jobs);
+    w.field("throughput_jobs_per_sec", r.throughputJobsPerSec);
+    w.field("avg_service_us", r.avgServiceUs());
+    w.field("p50_service_us", r.serviceUs(0.50));
+    w.field("p99_service_us", r.serviceUs(0.99));
+    w.field("p999_service_us", r.serviceUs(0.999));
+    w.field("avg_response_us", r.avgResponseUs());
+    w.field("p99_response_us", r.responseUs(0.99));
+    w.field("dram_cache_hit_ratio", r.dramCacheHitRatio);
+    w.field("avg_exec_between_misses_us", r.avgExecBetweenMissesUs);
+    w.field("flash_reads", r.flashReads);
+    w.field("flash_writes", r.flashWrites);
+    w.field("gc_blocked_reads", r.gcBlockedReads);
+    w.field("shootdowns", r.shootdowns);
+    w.field("peak_outstanding_misses", r.peakOutstandingMisses);
+    w.endObject();
+
+    w.key("stats");
+    sys.statsRegistry().writeJson(w);
+
+    w.endObject();
+    os << "\n";
 }
 
 } // namespace
@@ -98,44 +123,61 @@ main(int argc, char **argv)
     cfg.warmupJobs = 0;
     double dataset_gib = 1.0;
     double load = 0.0;
+    std::uint64_t switch_ns = 0;
+    std::string stats_json;
+    std::string trace_file;
+    std::uint64_t trace_cap = 1 << 20;
+    bool dump_stats = false;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string v;
-        if (flagValue(argv[i], "--config", &v))
-            cfg.kind = parseKind(v);
-        else if (flagValue(argv[i], "--workload", &v))
-            cfg.workloadKind = parseWorkload(v);
-        else if (flagValue(argv[i], "--cores", &v))
-            cfg.cores = static_cast<std::uint32_t>(std::atoi(v.c_str()));
-        else if (flagValue(argv[i], "--dataset-gib", &v))
-            dataset_gib = std::atof(v.c_str());
-        else if (flagValue(argv[i], "--dram-ratio", &v))
-            cfg.dramCacheRatio = std::atof(v.c_str());
-        else if (flagValue(argv[i], "--jobs", &v))
-            cfg.measureJobs =
-                static_cast<std::uint64_t>(std::atoll(v.c_str()));
-        else if (flagValue(argv[i], "--warmup", &v))
-            cfg.warmupJobs =
-                static_cast<std::uint64_t>(std::atoll(v.c_str()));
-        else if (flagValue(argv[i], "--load", &v))
-            load = std::atof(v.c_str());
-        else if (flagValue(argv[i], "--switch-ns", &v))
-            cfg.threadSwitch = sim::nanoseconds(
-                static_cast<std::uint64_t>(std::atoll(v.c_str())));
-        else if (flagValue(argv[i], "--pending-cap", &v))
-            cfg.sched.pendingCap =
-                static_cast<std::uint32_t>(std::atoi(v.c_str()));
-        else if (flagValue(argv[i], "--seed", &v))
-            cfg.seed =
-                static_cast<std::uint64_t>(std::atoll(v.c_str()));
-        else if (!std::strcmp(argv[i], "--footprint"))
-            cfg.dramCache.footprintEnabled = true;
-        else if (!std::strcmp(argv[i], "--no-fp-bit"))
-            cfg.forwardProgressBit = false;
-        else
-            usage((std::string("unknown flag '") + argv[i] + "'")
-                      .c_str());
-    }
+    sim::OptionParser opts(
+        "astriflash_sim",
+        "Run one AstriFlash system configuration and report "
+        "throughput and latency statistics.");
+    opts.addCustom("config", "NAME",
+                   "dram|astriflash|ideal|nops|nodp|osswap|flashsync",
+                   [&](const std::string &v) {
+                       return parseKind(v, &cfg.kind);
+                   });
+    opts.addCustom("workload", "NAME",
+                   "arrayswap|rbt|hashtable|tatp|tpcc|silo|masstree",
+                   [&](const std::string &v) {
+                       return parseWorkload(v, &cfg.workloadKind);
+                   });
+    opts.addUint32("cores", &cfg.cores, "number of simulated cores");
+    opts.addDouble("dataset-gib", &dataset_gib, "dataset size in GiB");
+    opts.addDouble("dram-ratio", &cfg.dramCacheRatio,
+                   "DRAM cache / dataset ratio");
+    opts.addUint("jobs", &cfg.measureJobs, "measured jobs");
+    opts.addUint("warmup", &cfg.warmupJobs,
+                 "warmup jobs (default jobs/10)");
+    opts.addDouble("load", &load,
+                   "open-loop load fraction of this config's "
+                   "closed-loop max (0 = closed loop)");
+    opts.addUint("switch-ns", &switch_ns,
+                 "thread-switch cost override in ns");
+    opts.addUint32("pending-cap", &cfg.sched.pendingCap,
+                   "pending-queue bound");
+    opts.addFlag("footprint", &cfg.dramCache.footprintEnabled,
+                 "enable footprint-cache mode");
+    bool no_fp_bit = false;
+    opts.addFlag("no-fp-bit", &no_fp_bit,
+                 "disable the forward-progress bit");
+    opts.addUint("seed", &cfg.seed, "RNG seed");
+    opts.addString("stats-json", &stats_json,
+                   "write the full stats tree as JSON to FILE "
+                   "(- for stdout)");
+    opts.addFlag("stats", &dump_stats,
+                 "dump the stats tree as text after the report");
+    opts.addString("trace", &trace_file,
+                   "record miss-lifecycle events as JSONL to FILE");
+    opts.addUint("trace-cap", &trace_cap,
+                 "trace ring capacity in events");
+    opts.parseOrExit(argc, argv);
+
+    if (no_fp_bit)
+        cfg.forwardProgressBit = false;
+    if (switch_ns > 0)
+        cfg.threadSwitch = sim::nanoseconds(switch_ns);
     cfg.workload.datasetBytes =
         static_cast<std::uint64_t>(dataset_gib * (1ull << 30));
     if (cfg.warmupJobs == 0)
@@ -155,6 +197,10 @@ main(int argc, char **argv)
                     load * 100, max_thr);
     }
 
+    if (!trace_file.empty())
+        sim::Tracer::instance().enable(
+            static_cast<std::size_t>(trace_cap));
+
     System sys(cfg);
     const RunResults r = sys.run();
 
@@ -168,10 +214,10 @@ main(int argc, char **argv)
     std::printf("throughput             %.0f jobs/s\n",
                 r.throughputJobsPerSec);
     std::printf("service  avg/p50/p99   %.1f / %.1f / %.1f us\n",
-                r.avgServiceUs, r.p50ServiceUs, r.p99ServiceUs);
+                r.avgServiceUs(), r.serviceUs(0.50), r.serviceUs(0.99));
     if (cfg.meanInterarrival > 0) {
         std::printf("response avg/p99       %.1f / %.1f us\n",
-                    r.avgResponseUs, r.p99ResponseUs);
+                    r.avgResponseUs(), r.responseUs(0.99));
     }
     std::printf("exec between misses    %.1f us (paper target "
                 "5-25)\n",
@@ -205,5 +251,40 @@ main(int argc, char **argv)
     std::printf("flash write amp        %.2f, erase spread %u\n",
                 sys.flash().ftl().stats().writeAmplification(),
                 sys.flash().ftl().eraseCountSpread());
+
+    if (dump_stats)
+        std::fputs(sys.statsRegistry().dump().c_str(), stdout);
+
+    if (!stats_json.empty()) {
+        if (stats_json == "-") {
+            writeStatsJson(std::cout, cfg, dataset_gib, r, sys);
+        } else {
+            std::ofstream out(stats_json);
+            if (!out) {
+                std::fprintf(stderr,
+                             "astriflash_sim: cannot open '%s'\n",
+                             stats_json.c_str());
+                return 1;
+            }
+            writeStatsJson(out, cfg, dataset_gib, r, sys);
+        }
+    }
+
+    if (!trace_file.empty()) {
+        auto &tracer = sim::Tracer::instance();
+        std::ofstream out(trace_file);
+        if (!out) {
+            std::fprintf(stderr, "astriflash_sim: cannot open '%s'\n",
+                         trace_file.c_str());
+            return 1;
+        }
+        tracer.writeJsonl(out);
+        std::printf("trace: %llu events recorded (%llu dropped) -> "
+                    "%s\n",
+                    static_cast<unsigned long long>(tracer.emitted()),
+                    static_cast<unsigned long long>(tracer.dropped()),
+                    trace_file.c_str());
+        tracer.disable();
+    }
     return 0;
 }
