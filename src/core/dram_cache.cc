@@ -388,30 +388,123 @@ void
 DramCache::resetStats()
 {
     statsData = Stats{};
+    // Misses in flight across the reset still count toward the
+    // measurement window's peak.
+    statsData.peakOutstanding = pending.size();
 }
 
 void
 DramCache::regStats(sim::StatRegistry &reg) const
 {
     auto &fc = reg.subRegistry("fc");
-    fc.registerCounter("hits", &statsData.hits);
-    fc.registerCounter("misses", &statsData.misses);
-    fc.registerCounter("misses_merged", &statsData.missesMerged);
-    fc.registerCounter("sync_accesses", &statsData.syncAccesses);
-    fc.registerCounter("sub_page_misses", &statsData.subPageMisses);
-    fc.registerHistogram("hit_latency", &statsData.hitLatency);
+    fc.registerCounter("hits", &statsData.hits,
+                       "frontside accesses served from the cache");
+    fc.registerCounter("misses", &statsData.misses,
+                       "accesses starting a new outstanding miss");
+    fc.registerCounter("misses_merged", &statsData.missesMerged,
+                       "accesses merged onto an in-flight miss");
+    fc.registerCounter("sync_accesses", &statsData.syncAccesses,
+                       "forced-synchronous (forward-progress) accesses");
+    fc.registerCounter("sub_page_misses", &statsData.subPageMisses,
+                       "footprint mispredictions on resident pages");
+    fc.registerHistogram("hit_latency", &statsData.hitLatency,
+                         "FC hit path latency in ticks");
 
     auto &bc = reg.subRegistry("bc");
-    bc.registerCounter("fills", &statsData.fills);
-    bc.registerCounter("dirty_writebacks", &statsData.dirtyWritebacks);
-    bc.registerCounter("flash_bytes_read", &statsData.flashBytesRead);
-    bc.registerHistogram("miss_penalty", &statsData.missPenalty);
-    bc.registerUint("peak_outstanding", &statsData.peakOutstanding);
+    bc.registerCounter("fills", &statsData.fills,
+                       "pages installed into the cache");
+    bc.registerCounter("dirty_writebacks", &statsData.dirtyWritebacks,
+                       "dirty victims programmed to flash");
+    bc.registerCounter("flash_bytes_read", &statsData.flashBytesRead,
+                       "refill bytes transferred from flash");
+    bc.registerHistogram("miss_penalty", &statsData.missPenalty,
+                         "miss-to-page-ready latency in ticks");
+    bc.registerUint("peak_outstanding", &statsData.peakOutstanding,
+                    "maximum concurrent outstanding misses");
     msrTable.regStats(bc.subRegistry("msr"));
     evictBuf.regStats(bc.subRegistry("evictbuf"));
 
     dramModel.regStats(reg.subRegistry("dram"));
     pageTags.regStats(reg.subRegistry("tags"));
+}
+
+void
+DramCache::checkInvariants(sim::InvariantChecker &chk) const
+{
+    // The MSR and the pending table mirror each other: exactly the
+    // issued misses hold entries.
+    std::uint32_t issued = 0;
+    for (const auto &[page, miss] : pending) {
+        SIM_INVARIANT_MSG(chk,
+                          mem::pageBase(page, cfg.pageBytes) == page,
+                          "unaligned pending page %llx",
+                          static_cast<unsigned long long>(page));
+        SIM_INVARIANT_MSG(chk, !miss.waiters.empty() || miss.issued,
+                          "un-issued miss %llx has no waiters",
+                          static_cast<unsigned long long>(page));
+        if (miss.issued) {
+            ++issued;
+            SIM_INVARIANT_MSG(chk, msrTable.contains(page),
+                              "issued miss %llx lost its MSR entry",
+                              static_cast<unsigned long long>(page));
+        }
+        if (!cfg.footprintEnabled) {
+            // A full-page miss cannot coexist with a resident copy
+            // (footprint mode legitimately refetches absent blocks
+            // of resident pages).
+            SIM_INVARIANT_MSG(chk, !pageTags.contains(page),
+                              "page %llx is both resident and pending",
+                              static_cast<unsigned long long>(page));
+        }
+    }
+    SIM_INVARIANT_MSG(chk, msrTable.occupancy() == issued,
+                      "MSR holds %u entries but %u misses are issued",
+                      msrTable.occupancy(), issued);
+
+    // The stall queue holds exactly the un-issued pending pages.
+    std::unordered_map<mem::Addr, int> stalled;
+    for (const mem::Addr page : msrStalled) {
+        SIM_INVARIANT_MSG(chk, ++stalled[page] == 1,
+                          "page %llx queued twice behind a full MSR set",
+                          static_cast<unsigned long long>(page));
+        const auto it = pending.find(page);
+        SIM_INVARIANT_MSG(chk,
+                          it != pending.end() && !it->second.issued,
+                          "stall queue holds %llx which is not an "
+                          "un-issued pending miss",
+                          static_cast<unsigned long long>(page));
+    }
+    SIM_INVARIANT_MSG(chk,
+                      stalled.size() == pending.size() - issued,
+                      "%zu stalled pages but %zu un-issued misses",
+                      stalled.size(), pending.size() - issued);
+
+    SIM_INVARIANT(chk, statsData.peakOutstanding >= pending.size());
+    // Every install freed exactly one MSR entry in the same event.
+    // The MSR counter is cumulative while fills resets at measurement
+    // start, so lifetime frees bound the windowed fill count.
+    SIM_INVARIANT_MSG(chk,
+                      msrTable.stats().frees.value() >=
+                          statsData.fills.value(),
+                      "%llu fills outnumber %llu MSR frees",
+                      static_cast<unsigned long long>(
+                          statsData.fills.value()),
+                      static_cast<unsigned long long>(
+                          msrTable.stats().frees.value()));
+
+    // Footprint residency masks exist only for resident pages.
+    if (cfg.footprintEnabled) {
+        for (const auto &[page, mask] : fetchedMask) {
+            (void)mask;
+            SIM_INVARIANT_MSG(chk, pageTags.contains(page),
+                              "fetched mask for non-resident %llx",
+                              static_cast<unsigned long long>(page));
+        }
+    } else {
+        SIM_INVARIANT(chk, fetchedMask.empty());
+        SIM_INVARIANT(chk, touchedMask.empty());
+        SIM_INVARIANT(chk, footprintHistory.empty());
+    }
 }
 
 } // namespace astriflash::core

@@ -32,6 +32,7 @@
 #include "mem/address_map.hh"
 #include "mem/dram.hh"
 #include "mem/set_assoc_cache.hh"
+#include "sim/invariant.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -169,6 +170,15 @@ class DramCache : public sim::SimObject
      * the "dram" device and the "tags" array.
      */
     void regStats(sim::StatRegistry &reg) const;
+
+    /**
+     * Audit the miss-tracking machinery: every issued pending miss
+     * holds an MSR entry (and nothing else does), the stall queue
+     * mirrors the un-issued pending misses exactly, tag metadata stays
+     * coherent with the fill/evict traffic, and footprint masks only
+     * exist for resident pages.
+     */
+    void checkInvariants(sim::InvariantChecker &chk) const;
 
     const Stats &stats() const { return statsData; }
     const MissStatusRow &msr() const { return msrTable; }

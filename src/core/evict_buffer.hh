@@ -16,6 +16,8 @@
 #include <string>
 
 #include "mem/address.hh"
+#include "sim/invariant.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 
@@ -78,6 +80,9 @@ class EvictBuffer
     Entry
     pop()
     {
+        ASTRI_ASSERT_MSG(!fifo.empty(),
+                         "%s: draining an empty evict buffer",
+                         bufName.c_str());
         Entry e = fifo.front();
         fifo.pop_front();
         statsData.drains.inc();
@@ -102,12 +107,52 @@ class EvictBuffer
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("inserts", &statsData.inserts);
-        reg.registerCounter("dirty_inserts", &statsData.dirtyInserts);
-        reg.registerCounter("drains", &statsData.drains);
-        reg.registerCounter("full_stalls", &statsData.fullStalls);
-        reg.registerAverage("occupancy", &statsData.occupancy);
-        reg.registerUint("peak_occupancy", &statsData.peakOccupancy);
+        reg.registerCounter("inserts", &statsData.inserts,
+                            "victim pages parked for writeback");
+        reg.registerCounter("dirty_inserts", &statsData.dirtyInserts,
+                            "parked victims needing a flash program");
+        reg.registerCounter("drains", &statsData.drains,
+                            "entries drained to flash");
+        reg.registerCounter("full_stalls", &statsData.fullStalls,
+                            "inserts rejected by a full buffer");
+        reg.registerAverage("occupancy", &statsData.occupancy,
+                            "live entries sampled at each insert");
+        reg.registerUint("peak_occupancy", &statsData.peakOccupancy,
+                         "maximum live entries over the run");
+    }
+
+    /**
+     * Audit the buffer: bounded occupancy, FIFO insertion order, page
+     * alignment, and the conservation law inserts == drains + live.
+     */
+    void
+    checkInvariants(sim::InvariantChecker &chk) const
+    {
+        SIM_INVARIANT_MSG(chk, fifo.size() <= capacity,
+                          "%zu entries exceed the %u-entry bound",
+                          fifo.size(), capacity);
+        sim::Ticks prev = 0;
+        for (const Entry &e : fifo) {
+            SIM_INVARIANT_MSG(chk, mem::pageBase(e.page) == e.page,
+                              "unaligned parked page %llx",
+                              static_cast<unsigned long long>(e.page));
+            SIM_INVARIANT_MSG(chk, e.inserted >= prev,
+                              "FIFO order broken at page %llx",
+                              static_cast<unsigned long long>(e.page));
+            prev = e.inserted;
+        }
+        SIM_INVARIANT_MSG(
+            chk,
+            statsData.inserts.value() ==
+                statsData.drains.value() + fifo.size(),
+            "evict conservation: %llu inserts != %llu drains + %zu live",
+            static_cast<unsigned long long>(statsData.inserts.value()),
+            static_cast<unsigned long long>(statsData.drains.value()),
+            fifo.size());
+        SIM_INVARIANT(chk,
+                      statsData.dirtyInserts.value() <=
+                          statsData.inserts.value());
+        SIM_INVARIANT(chk, statsData.peakOccupancy >= fifo.size());
     }
 
   private:

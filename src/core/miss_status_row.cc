@@ -60,6 +60,39 @@ MissStatusRow::contains(mem::Addr page) const
 }
 
 void
+MissStatusRow::checkInvariants(sim::InvariantChecker &chk) const
+{
+    std::uint64_t live = 0;
+    for (std::size_t s = 0; s < table.size(); ++s) {
+        live += table[s].size();
+        SIM_INVARIANT_MSG(chk, table[s].size() <= ways,
+                          "set %zu holds %zu entries but has %u ways",
+                          s, table[s].size(), ways);
+        for (const mem::Addr page : table[s]) {
+            SIM_INVARIANT_MSG(chk, mem::pageBase(page) == page,
+                              "unaligned MSR entry %llx",
+                              static_cast<unsigned long long>(page));
+            SIM_INVARIANT_MSG(chk, setIndex(page) == s,
+                              "entry %llx resides in the wrong set %zu",
+                              static_cast<unsigned long long>(page), s);
+        }
+    }
+    SIM_INVARIANT_MSG(chk, live == total,
+                      "set sizes sum to %llu but total says %u",
+                      static_cast<unsigned long long>(live), total);
+    SIM_INVARIANT(chk, total <= capacity());
+    SIM_INVARIANT_MSG(
+        chk,
+        statsData.allocations.value() ==
+            statsData.frees.value() + total,
+        "miss conservation: %llu allocations != %llu frees + %u live",
+        static_cast<unsigned long long>(statsData.allocations.value()),
+        static_cast<unsigned long long>(statsData.frees.value()),
+        total);
+    SIM_INVARIANT(chk, statsData.peakOccupancy >= total);
+}
+
+void
 MissStatusRow::free(mem::Addr page)
 {
     const mem::Addr aligned = mem::pageBase(page);

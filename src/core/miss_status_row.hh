@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mem/address.hh"
+#include "sim/invariant.hh"
 #include "sim/stats.hh"
 
 namespace astriflash::core {
@@ -81,13 +82,26 @@ class MissStatusRow
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("allocations", &statsData.allocations);
-        reg.registerCounter("duplicates", &statsData.duplicates);
-        reg.registerCounter("set_full_stalls", &statsData.setFullStalls);
-        reg.registerCounter("frees", &statsData.frees);
-        reg.registerAverage("occupancy", &statsData.occupancy);
-        reg.registerUint("peak_occupancy", &statsData.peakOccupancy);
+        reg.registerCounter("allocations", &statsData.allocations,
+                            "MSR entries allocated (flash reads issued)");
+        reg.registerCounter("duplicates", &statsData.duplicates,
+                            "misses merged onto an existing MSR entry");
+        reg.registerCounter("set_full_stalls", &statsData.setFullStalls,
+                            "allocation attempts stalled on a full set");
+        reg.registerCounter("frees", &statsData.frees,
+                            "MSR entries released at fill completion");
+        reg.registerAverage("occupancy", &statsData.occupancy,
+                            "live entries sampled at each allocation");
+        reg.registerUint("peak_occupancy", &statsData.peakOccupancy,
+                         "maximum live entries over the run");
     }
+
+    /**
+     * Audit structural state and lifetime conservation: set sizes sum
+     * to the live total, no set exceeds its ways, and
+     * allocations == frees + occupancy.
+     */
+    void checkInvariants(sim::InvariantChecker &chk) const;
 
   private:
     std::uint32_t setIndex(mem::Addr page) const;

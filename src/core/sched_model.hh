@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "sim/invariant.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 #include "workload/job.hh"
@@ -145,14 +146,55 @@ class SchedulerModel
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("scheduled_new", &statsData.scheduledNew);
+        reg.registerCounter("scheduled_new", &statsData.scheduledNew,
+                            "new jobs dispatched to the core");
         reg.registerCounter("scheduled_pending",
-                            &statsData.scheduledPending);
+                            &statsData.scheduledPending,
+                            "halted jobs resumed after their fill");
         reg.registerCounter("aging_promotions",
-                            &statsData.agingPromotions);
+                            &statsData.agingPromotions,
+                            "pending jobs promoted past new work by age");
         reg.registerCounter("pending_overflows",
-                            &statsData.pendingOverflows);
-        reg.registerUint("peak_pending", &statsData.peakPending);
+                            &statsData.pendingOverflows,
+                            "misses that found the pending queue full");
+        reg.registerUint("peak_pending", &statsData.peakPending,
+                         "maximum halted jobs over the run");
+    }
+
+    /**
+     * Audit the queues: halted jobs stay within the recorded peak,
+     * waiting entries are parked in halt order, promotions are a
+     * subset of pending dispatches, and the EMA estimate stays sane.
+     * Halt stamps are NOT compared against the sweep tick: the core
+     * owning this scheduler simulates ahead of the global queue by up
+     * to its burst quantum, so stamps may legitimately sit in the
+     * sweep's future.
+     */
+    void
+    checkInvariants(sim::InvariantChecker &chk) const
+    {
+        SIM_INVARIANT_MSG(chk, statsData.peakPending >= pendingCount(),
+                          "peak %llu below the %zu live halted jobs",
+                          static_cast<unsigned long long>(
+                              statsData.peakPending),
+                          pendingCount());
+        // The core's local time cursor is monotone, so parks append
+        // in non-decreasing halt order.
+        sim::Ticks prev_halt = 0;
+        for (const Waiting &w : pendingWaiting) {
+            SIM_INVARIANT_MSG(chk,
+                              w.job.pendingSince >= prev_halt,
+                              "park order broken (page %llx)",
+                              static_cast<unsigned long long>(w.page));
+            prev_halt = w.job.pendingSince;
+        }
+        SIM_INVARIANT(chk,
+                      statsData.agingPromotions.value() <=
+                          statsData.scheduledPending.value());
+        SIM_INVARIANT(chk, flashEma >= 0.0);
+        SIM_INVARIANT(chk, emaSeeded || flashEma == 0.0 ||
+                               flashEma == static_cast<double>(
+                                   cfg.initialFlashEstimate));
     }
 
   private:

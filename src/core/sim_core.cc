@@ -345,13 +345,19 @@ SimCore::run()
 void
 SimCore::regStats(sim::StatRegistry &reg) const
 {
-    reg.registerCounter("jobs_completed", &statsData.jobsCompleted);
-    reg.registerCounter("switch_on_miss", &statsData.switchOnMiss);
-    reg.registerCounter("sync_miss_stalls", &statsData.syncMissStalls);
-    reg.registerCounter("os_faults", &statsData.osFaults);
+    reg.registerCounter("jobs_completed", &statsData.jobsCompleted,
+                        "jobs run to completion on this core");
+    reg.registerCounter("switch_on_miss", &statsData.switchOnMiss,
+                        "DRAM-cache misses that switched threads");
+    reg.registerCounter("sync_miss_stalls", &statsData.syncMissStalls,
+                        "misses served synchronously (core stalled)");
+    reg.registerCounter("os_faults", &statsData.osFaults,
+                        "page faults taken through the OS path");
     reg.registerCounter("walk_flash_stalls",
-                        &statsData.walkFlashStalls);
-    reg.registerUint("busy_ticks", &statsData.busyTicks);
+                        &statsData.walkFlashStalls,
+                        "page-table walks that touched flash");
+    reg.registerUint("busy_ticks", &statsData.busyTicks,
+                     "ticks spent executing jobs");
     sched.regStats(reg.subRegistry("sched"));
     tlbModel.regStats(reg.subRegistry("tlb"));
     hier.regStats(reg.subRegistry("hier"));

@@ -45,17 +45,23 @@ System::System(const SystemConfig &config) : cfg(config)
     }
 
     registerStats();
+    registerInvariants();
 }
 
 void
 System::registerStats()
 {
     auto &sys_reg = statsTree.subRegistry("system");
-    sys_reg.registerHistogram("service", &serviceHist);
-    sys_reg.registerHistogram("response", &responseHist);
-    sys_reg.registerUint("measured_jobs", &measuredJobs);
-    sys_reg.registerUint("completed_jobs", &completedJobs);
-    sys_reg.registerUint("measured_misses", &measuredMisses);
+    sys_reg.registerHistogram("service", &serviceHist,
+                              "per-job service time in ticks");
+    sys_reg.registerHistogram("response", &responseHist,
+                              "arrival-to-completion time in ticks");
+    sys_reg.registerUint("measured_jobs", &measuredJobs,
+                         "jobs completed inside the measurement window");
+    sys_reg.registerUint("completed_jobs", &completedJobs,
+                         "jobs completed since the run began");
+    sys_reg.registerUint("measured_misses", &measuredMisses,
+                         "DRAM-cache misses inside the window");
 
     for (std::size_t c = 0; c < cores.size(); ++c)
         cores[c]->regStats(
@@ -68,6 +74,61 @@ System::registerStats()
         flatDram->regStats(statsTree.subRegistry("flatdram"));
     if (osModel)
         osModel->regStats(statsTree.subRegistry("os"));
+}
+
+void
+System::registerInvariants()
+{
+    invariants.add("eq", [this](sim::InvariantChecker &chk) {
+        eq.checkInvariants(chk);
+    });
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        SimCore *core = cores[c].get();
+        const std::string prefix = "core" + std::to_string(c);
+        invariants.add(prefix + ".sched",
+                       [core](sim::InvariantChecker &chk) {
+                           core->scheduler().checkInvariants(chk);
+                       });
+        invariants.add(prefix + ".tlb",
+                       [core](sim::InvariantChecker &chk) {
+                           core->tlb().checkInvariants(chk);
+                       });
+        invariants.add(prefix + ".hier",
+                       [core](sim::InvariantChecker &chk) {
+                           core->hierarchy().checkInvariants(chk);
+                       });
+        invariants.add(prefix + ".aso",
+                       [core](sim::InvariantChecker &chk) {
+                           core->aso().checkInvariants(chk);
+                       });
+    }
+    if (dcache) {
+        invariants.add("dcache", [this](sim::InvariantChecker &chk) {
+            dcache->checkInvariants(chk);
+        });
+        invariants.add("dcache.bc.msr",
+                       [this](sim::InvariantChecker &chk) {
+                           dcache->msr().checkInvariants(chk);
+                       });
+        invariants.add("dcache.bc.evictbuf",
+                       [this](sim::InvariantChecker &chk) {
+                           dcache->evictBuffer().checkInvariants(chk);
+                       });
+        invariants.add("dcache.tags",
+                       [this](sim::InvariantChecker &chk) {
+                           dcache->pageArray().checkInvariants(chk);
+                       });
+    }
+    if (flashDev) {
+        invariants.add("flash", [this](sim::InvariantChecker &chk) {
+            flashDev->checkInvariants(chk);
+        });
+    }
+    if (osModel) {
+        invariants.add("os", [this](sim::InvariantChecker &chk) {
+            osModel->checkInvariants(chk);
+        });
+    }
 }
 
 System::~System() = default;
@@ -299,10 +360,21 @@ System::run()
     if (arrivals)
         scheduleNextArrival();
 
+    // Invariant sweeps run between event bursts, never from scheduled
+    // events: a recurring event would keep the queue non-empty and
+    // defeat quiesce-by-drain termination.
+    sim::Ticks next_check = eq.curTick() + cfg.invariantInterval;
     while (phase != Phase::Done && !eq.empty() &&
            eq.curTick() < cfg.maxSimTicks) {
         eq.runSteps(20000);
+        if (sim::checksEnabled() && cfg.invariantInterval > 0 &&
+            eq.curTick() >= next_check) {
+            invariants.checkAll(eq.curTick());
+            next_check = eq.curTick() + cfg.invariantInterval;
+        }
     }
+    if (sim::checksEnabled())
+        invariants.checkAll(eq.curTick()); // quiesce sweep
     if (phase != Phase::Done) {
         ASTRI_WARN("%s/%s: run ended early (phase=%d, %llu measured)",
                    systemKindName(cfg.kind),
@@ -333,6 +405,9 @@ System::run()
     res.gcBlockedReads = flashDev->stats().gcBlockedReads.value();
     if (osModel)
         res.shootdowns = osModel->bus().stats().shootdowns.value();
+    res.invariantSweeps = invariants.sweeps();
+    res.invariantChecks = invariants.conditionsEvaluated();
+    res.invariantViolations = invariants.violationCount();
 
     // Calibration: execution time between misses (§V-A's 5-25 µs).
     if (measuredMisses > 0 && measuredJobs > 0) {

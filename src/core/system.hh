@@ -23,6 +23,7 @@
 #include "mem/dram.hh"
 #include "mem/page_table.hh"
 #include "sim/event_queue.hh"
+#include "sim/invariant.hh"
 #include "sim/stats.hh"
 #include "workload/workload.hh"
 
@@ -77,6 +78,13 @@ struct RunResults {
     std::uint64_t gcBlockedReads = 0;
     std::uint64_t shootdowns = 0;
     std::uint64_t peakOutstandingMisses = 0;
+
+    /** Whole-system invariant sweeps completed (0 if checks off). */
+    std::uint64_t invariantSweeps = 0;
+    /** Individual invariant conditions evaluated across sweeps. */
+    std::uint64_t invariantChecks = 0;
+    /** Invariant violations found (always 0 unless fail-fast is off). */
+    std::uint64_t invariantViolations = 0;
 };
 
 /** One simulated machine. */
@@ -100,6 +108,15 @@ class System
      */
     sim::StatRegistry &statsRegistry() { return statsTree; }
     const sim::StatRegistry &statsRegistry() const { return statsTree; }
+
+    /**
+     * Component invariant hooks, registered at construction under the
+     * same dotted names as the stats tree. Sweeps run between event
+     * bursts every SystemConfig::invariantInterval ticks while checks
+     * are armed, and once at quiesce. Tests can setFailFast(false) to
+     * collect violations instead of panicking.
+     */
+    sim::InvariantRegistry &invariantRegistry() { return invariants; }
 
     /**
      * Replace the built-in generators with an external job source
@@ -160,6 +177,9 @@ class System
     /** Build the component stat tree (end of construction). */
     void registerStats();
 
+    /** Register every component's invariant hook (construction). */
+    void registerInvariants();
+
     SystemConfig cfg;
     sim::EventQueue eq;
 
@@ -189,6 +209,7 @@ class System
     std::uint64_t measuredMisses = 0;
 
     sim::StatRegistry statsTree;
+    sim::InvariantRegistry invariants;
 };
 
 } // namespace astriflash::core

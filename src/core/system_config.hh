@@ -90,6 +90,15 @@ struct SystemConfig {
     /** Hard wall on simulated time (runaway protection). */
     sim::Ticks maxSimTicks = sim::milliseconds(10000);
 
+    /**
+     * Gap between whole-system invariant sweeps while checks are
+     * armed (see sim/invariant.hh); 0 disables periodic sweeps. A
+     * final sweep always runs at quiesce. Sweeps happen between run
+     * events, never from a scheduled event, so an otherwise-drained
+     * queue still terminates the simulation.
+     */
+    sim::Ticks invariantInterval = sim::microseconds(200);
+
     std::uint64_t seed = 1;
 
     /** Apply the per-kind knob settings (switch cost, policy, DP). */

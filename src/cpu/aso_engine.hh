@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/invariant.hh"
 #include "sim/stats.hh"
 
 #include "ooo_config.hh"
@@ -120,16 +121,59 @@ class AsoEngine
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("renames", &statsData.renames);
+        reg.registerCounter("renames", &statsData.renames,
+                            "destination registers renamed");
         reg.registerCounter("stores_dispatched",
-                            &statsData.storesDispatched);
+                            &statsData.storesDispatched,
+                            "retired stores entering the store buffer");
         reg.registerCounter("stores_completed",
-                            &statsData.storesCompleted);
-        reg.registerCounter("stores_aborted", &statsData.storesAborted);
+                            &statsData.storesCompleted,
+                            "SB heads whose cache access hit");
+        reg.registerCounter("stores_aborted", &statsData.storesAborted,
+                            "SB heads aborted on a DRAM-cache miss");
         reg.registerCounter("renames_rolled_back",
-                            &statsData.renamesRolledBack);
-        reg.registerCounter("sb_full_stalls", &statsData.sbFullStalls);
-        reg.registerCounter("prf_stalls", &statsData.prfStalls);
+                            &statsData.renamesRolledBack,
+                            "renames reverted by store aborts");
+        reg.registerCounter("sb_full_stalls", &statsData.sbFullStalls,
+                            "retire stalls on a full store buffer");
+        reg.registerCounter("prf_stalls", &statsData.prfStalls,
+                            "renames stalled on an exhausted PRF");
+    }
+
+    /**
+     * Audit the speculation state: the SB respects its bound and
+     * program order, every snapshot covers the full map table, and the
+     * rename map itself is consistent.
+     */
+    void
+    checkInvariants(sim::InvariantChecker &chk) const
+    {
+        SIM_INVARIANT_MSG(chk, stores.size() <= cfg.sbEntries,
+                          "%zu SB entries exceed the %u-entry buffer",
+                          stores.size(), cfg.sbEntries);
+        InstSeq prev = 0;
+        for (const StoreEntry &s : stores) {
+            SIM_INVARIANT_MSG(chk, s.seq >= prev,
+                              "store buffer out of program order at "
+                              "seq %llu",
+                              static_cast<unsigned long long>(s.seq));
+            prev = s.seq;
+            SIM_INVARIANT_MSG(chk, s.snapshot.size() == cfg.archRegs,
+                              "snapshot for seq %llu covers %zu of %u "
+                              "arch registers",
+                              static_cast<unsigned long long>(s.seq),
+                              s.snapshot.size(), cfg.archRegs);
+        }
+        prev = 0;
+        for (const Rename &r : undoLog) {
+            SIM_INVARIANT(chk, r.seq >= prev);
+            prev = r.seq;
+        }
+        SIM_INVARIANT(chk,
+                      statsData.storesCompleted.value() +
+                              statsData.storesAborted.value() <=
+                          statsData.storesDispatched.value());
+        map.checkInvariants(chk);
     }
 
   private:

@@ -75,4 +75,36 @@ RegisterMap::restore(const std::vector<PhysReg> &snap)
     }
 }
 
+void
+RegisterMap::checkInvariants(sim::InvariantChecker &chk) const
+{
+    std::vector<bool> seen(isFree.size(), false);
+    for (std::size_t i = 0; i < map.size(); ++i) {
+        const PhysReg reg = map[i];
+        if (!SIM_INVARIANT_MSG(chk, reg < isFree.size(),
+                               "arch %zu maps to out-of-range phys %u",
+                               i, reg)) {
+            continue;
+        }
+        SIM_INVARIANT_MSG(chk, !isFree[reg],
+                          "arch %zu maps to freed phys %u", i, reg);
+        SIM_INVARIANT_MSG(chk, !seen[reg],
+                          "phys %u mapped by two arch registers", reg);
+        seen[reg] = true;
+    }
+    std::uint64_t free_mask = 0;
+    for (const bool f : isFree) {
+        if (f)
+            ++free_mask;
+    }
+    SIM_INVARIANT_MSG(chk, free_mask == freeList.size(),
+                      "%llu regs marked free but the list holds %zu",
+                      static_cast<unsigned long long>(free_mask),
+                      freeList.size());
+    for (const PhysReg reg : freeList) {
+        SIM_INVARIANT_MSG(chk, reg < isFree.size() && isFree[reg],
+                          "free list holds live phys %u", reg);
+    }
+}
+
 } // namespace astriflash::cpu

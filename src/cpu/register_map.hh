@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/invariant.hh"
+
 namespace astriflash::cpu {
 
 /** Physical register index. */
@@ -72,6 +74,13 @@ class RegisterMap
     {
         return static_cast<std::uint32_t>(map.size());
     }
+
+    /**
+     * Audit the rename state: mappings are live, distinct physical
+     * registers; the free list agrees with the isFree mask; and no
+     * register is both mapped and free.
+     */
+    void checkInvariants(sim::InvariantChecker &chk) const;
 
   private:
     std::vector<PhysReg> map;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/invariant.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 
@@ -97,12 +98,44 @@ class FlashDevice
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("reads", &statsData.reads);
-        reg.registerCounter("writes", &statsData.writes);
-        reg.registerCounter("gc_blocked_reads", &statsData.gcBlockedReads);
-        reg.registerHistogram("read_latency", &statsData.readLatency);
-        reg.registerHistogram("write_latency", &statsData.writeLatency);
+        reg.registerCounter("reads", &statsData.reads,
+                            "page reads served by the device");
+        reg.registerCounter("writes", &statsData.writes,
+                            "page writes accepted by the device");
+        reg.registerCounter("gc_blocked_reads", &statsData.gcBlockedReads,
+                            "reads that queued behind garbage collection");
+        reg.registerHistogram("read_latency", &statsData.readLatency,
+                              "end-to-end read latency in ticks");
+        reg.registerHistogram("write_latency", &statsData.writeLatency,
+                              "host-visible write-ack latency in ticks");
         ftlModel.regStats(reg.subRegistry("ftl"));
+    }
+
+    /**
+     * Audit device timing state: geometry-sized plane/channel tables,
+     * GC-blocked reads bounded by reads, one latency sample per
+     * operation, and the FTL's own invariants.
+     */
+    void
+    checkInvariants(sim::InvariantChecker &chk) const
+    {
+        SIM_INVARIANT(chk, planes.size() == cfg.totalPlanes());
+        SIM_INVARIANT(chk, channelBusy.size() == cfg.channels);
+        SIM_INVARIANT(chk,
+                      statsData.gcBlockedReads.value() <=
+                          statsData.reads.value());
+        SIM_INVARIANT_MSG(chk,
+                          statsData.readLatency.count() ==
+                              statsData.reads.value(),
+                          "%llu reads but %llu latency samples",
+                          static_cast<unsigned long long>(
+                              statsData.reads.value()),
+                          static_cast<unsigned long long>(
+                              statsData.readLatency.count()));
+        SIM_INVARIANT(chk,
+                      statsData.writeLatency.count() ==
+                          statsData.writes.value());
+        ftlModel.checkInvariants(chk);
     }
 
   private:

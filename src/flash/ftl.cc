@@ -1,5 +1,7 @@
 #include "ftl.hh"
 
+#include <unordered_set>
+
 #include "sim/logging.hh"
 
 namespace astriflash::flash {
@@ -277,6 +279,98 @@ std::uint64_t
 Ftl::freePagesInPlane(std::uint32_t plane) const
 {
     return planes[plane].freePages;
+}
+
+void
+Ftl::checkInvariants(sim::InvariantChecker &chk) const
+{
+    // Injective, in-bounds mapping with agreeing owner back-pointers.
+    std::unordered_set<std::uint64_t> targets;
+    for (const auto &[lpn, packed] : mapping) {
+        SIM_INVARIANT_MSG(chk, lpn < preloaded,
+                          "mapped lpn %llu beyond the dataset",
+                          static_cast<unsigned long long>(lpn));
+        SIM_INVARIANT_MSG(chk, targets.insert(packed).second,
+                          "two logical pages map to physical %llx",
+                          static_cast<unsigned long long>(packed));
+        const PhysPage p = unpack(packed);
+        SIM_INVARIANT_MSG(chk,
+                          p.plane < planes.size() &&
+                              p.block < cfg.blocksPerPlane &&
+                              p.page < cfg.pagesPerBlock,
+                          "lpn %llu maps out of bounds (%u/%u/%u)",
+                          static_cast<unsigned long long>(lpn),
+                          p.plane, p.block, p.page);
+        SIM_INVARIANT_MSG(chk, planeOf(lpn) == p.plane,
+                          "lpn %llu mapped off its stripe plane %u",
+                          static_cast<unsigned long long>(lpn),
+                          p.plane);
+        const Block &blk = planes[p.plane].blocks[p.block];
+        SIM_INVARIANT_MSG(chk,
+                          !blk.owners.empty() &&
+                              blk.owners[p.page] == lpn,
+                          "owner back-pointer disagrees for lpn %llu",
+                          static_cast<unsigned long long>(lpn));
+    }
+
+    // Block-level consistency and per-plane free-space accounting.
+    for (std::size_t pl = 0; pl < planes.size(); ++pl) {
+        const Plane &plane = planes[pl];
+        std::uint32_t free_blocks = 0;
+        for (std::size_t b = 0; b < plane.blocks.size(); ++b) {
+            const Block &blk = plane.blocks[b];
+            SIM_INVARIANT_MSG(chk,
+                              blk.validPages <= blk.writePtr &&
+                                  blk.writePtr <= cfg.pagesPerBlock,
+                              "plane %zu block %zu: valid %u > "
+                              "written %u (cap %u)",
+                              pl, b, blk.validPages, blk.writePtr,
+                              cfg.pagesPerBlock);
+            if (!blk.owners.empty()) {
+                std::uint32_t owned = 0;
+                for (const std::uint64_t owner : blk.owners) {
+                    if (owner != ~std::uint64_t{0})
+                        ++owned;
+                }
+                SIM_INVARIANT_MSG(chk, owned == blk.validPages,
+                                  "plane %zu block %zu: %u owners but "
+                                  "%u valid pages",
+                                  pl, b, owned, blk.validPages);
+            }
+            if (blk.writePtr == 0 && blk.validPages == 0 &&
+                b != plane.activeBlock) {
+                ++free_blocks;
+            }
+        }
+        SIM_INVARIANT_MSG(chk, plane.freeBlocks == free_blocks,
+                          "plane %zu counts %u free blocks, found %u",
+                          pl, plane.freeBlocks, free_blocks);
+        // freePages tracks the claimed frontier plus fully-free blocks.
+        std::uint64_t expect =
+            static_cast<std::uint64_t>(free_blocks) * cfg.pagesPerBlock;
+        if (plane.activeBlock < plane.blocks.size()) {
+            expect += cfg.pagesPerBlock -
+                      plane.blocks[plane.activeBlock].writePtr;
+        }
+        SIM_INVARIANT_MSG(chk, plane.freePages == expect,
+                          "plane %zu free-page ledger %llu != %llu",
+                          pl,
+                          static_cast<unsigned long long>(
+                              plane.freePages),
+                          static_cast<unsigned long long>(expect));
+    }
+
+    // Every physical program is a host write or a GC relocation.
+    SIM_INVARIANT_MSG(
+        chk,
+        statsData.flashPrograms.value() ==
+            statsData.hostWrites.value() +
+                statsData.gcRelocations.value(),
+        "program conservation: %llu programs != %llu host + %llu GC",
+        static_cast<unsigned long long>(statsData.flashPrograms.value()),
+        static_cast<unsigned long long>(statsData.hostWrites.value()),
+        static_cast<unsigned long long>(
+            statsData.gcRelocations.value()));
 }
 
 std::uint32_t

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/invariant.hh"
 #include "sim/stats.hh"
 
 #include "flash_config.hh"
@@ -109,12 +110,26 @@ class Ftl
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("host_writes", &statsData.hostWrites);
-        reg.registerCounter("flash_programs", &statsData.flashPrograms);
-        reg.registerCounter("gc_invocations", &statsData.gcInvocations);
-        reg.registerCounter("gc_relocations", &statsData.gcRelocations);
-        reg.registerCounter("erases", &statsData.erases);
+        reg.registerCounter("host_writes", &statsData.hostWrites,
+                            "logical page writes from the host");
+        reg.registerCounter("flash_programs", &statsData.flashPrograms,
+                            "physical page programs (host + GC)");
+        reg.registerCounter("gc_invocations", &statsData.gcInvocations,
+                            "garbage-collection passes triggered");
+        reg.registerCounter("gc_relocations", &statsData.gcRelocations,
+                            "valid pages moved by the collector");
+        reg.registerCounter("erases", &statsData.erases,
+                            "blocks erased");
     }
+
+    /**
+     * Audit the translation state: the logical->physical map is
+     * injective and in-bounds with owner back-pointers agreeing, block
+     * valid/write pointers are consistent, per-plane free-space
+     * accounting matches the block states, and every program is either
+     * a host write or a GC relocation.
+     */
+    void checkInvariants(sim::InvariantChecker &chk) const;
 
   private:
     struct Block {

@@ -121,9 +121,12 @@ CacheHierarchy::invalidatePage(Addr addr)
 void
 CacheHierarchy::regStats(sim::StatRegistry &reg) const
 {
-    reg.registerCounter("accesses", &statsData.accesses);
-    reg.registerCounter("llc_misses", &statsData.llcMisses);
-    reg.registerCounter("llc_writebacks", &statsData.llcWritebacks);
+    reg.registerCounter("accesses", &statsData.accesses,
+                        "demand accesses entering the hierarchy");
+    reg.registerCounter("llc_misses", &statsData.llcMisses,
+                        "accesses missing every on-chip level");
+    reg.registerCounter("llc_writebacks", &statsData.llcWritebacks,
+                        "dirty blocks written back below the LLC");
     for (const auto &level : levels) {
         // Level instances are named "<hier>.<level>"; the child registry
         // only wants the trailing level component.

@@ -103,6 +103,14 @@ class CacheHierarchy
      */
     void regStats(sim::StatRegistry &reg) const;
 
+    /** Audit every level's tag array. */
+    void
+    checkInvariants(sim::InvariantChecker &chk) const
+    {
+        for (const auto &level : levels)
+            level->checkInvariants(chk);
+    }
+
   private:
     /**
      * Push a dirty victim evicted from level @p from_level into the

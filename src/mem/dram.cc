@@ -93,12 +93,18 @@ Dram::bankFreeAt(Addr addr) const
 void
 Dram::regStats(sim::StatRegistry &reg) const
 {
-    reg.registerCounter("reads", &statsData.reads);
-    reg.registerCounter("writes", &statsData.writes);
-    reg.registerCounter("row_hits", &statsData.rowHits);
-    reg.registerCounter("row_closed", &statsData.rowClosed);
-    reg.registerCounter("row_conflicts", &statsData.rowConflicts);
-    reg.registerHistogram("latency", &statsData.latency);
+    reg.registerCounter("reads", &statsData.reads,
+                        "read column accesses");
+    reg.registerCounter("writes", &statsData.writes,
+                        "write column accesses");
+    reg.registerCounter("row_hits", &statsData.rowHits,
+                        "accesses hitting an open row");
+    reg.registerCounter("row_closed", &statsData.rowClosed,
+                        "accesses activating an idle bank");
+    reg.registerCounter("row_conflicts", &statsData.rowConflicts,
+                        "accesses forcing a precharge + activate");
+    reg.registerHistogram("latency", &statsData.latency,
+                          "access latency in ticks");
 }
 
 } // namespace astriflash::mem

@@ -17,6 +17,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "sim/invariant.hh"
 #include "sim/stats.hh"
 
 #include "address.hh"
@@ -79,11 +80,46 @@ class MshrFile
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("allocations", &statsData.allocations);
-        reg.registerCounter("merges", &statsData.merges);
-        reg.registerCounter("full_stalls", &statsData.fullStalls);
-        reg.registerCounter("frees", &statsData.frees);
-        reg.registerUint("peak_occupancy", &statsData.peakOccupancy);
+        reg.registerCounter("allocations", &statsData.allocations,
+                            "fresh MSHR entries allocated");
+        reg.registerCounter("merges", &statsData.merges,
+                            "requests merged onto an existing entry");
+        reg.registerCounter("full_stalls", &statsData.fullStalls,
+                            "allocation attempts rejected by a full file");
+        reg.registerCounter("frees", &statsData.frees,
+                            "entries released at fill completion");
+        reg.registerUint("peak_occupancy", &statsData.peakOccupancy,
+                         "maximum live entries over the run");
+    }
+
+    /**
+     * Audit the CAM: bounded occupancy, line-aligned keys with at least
+     * one waiter each, and allocations == frees + occupancy.
+     */
+    void
+    checkInvariants(sim::InvariantChecker &chk) const
+    {
+        SIM_INVARIANT_MSG(chk, table.size() <= capacity,
+                          "%zu entries exceed the %u-entry CAM",
+                          table.size(), capacity);
+        for (const auto &[addr, waiters] : table) {
+            SIM_INVARIANT_MSG(chk, addr % line == 0,
+                              "entry %llx is not line-aligned",
+                              static_cast<unsigned long long>(addr));
+            SIM_INVARIANT_MSG(chk, waiters >= 1,
+                              "entry %llx has no waiters",
+                              static_cast<unsigned long long>(addr));
+        }
+        SIM_INVARIANT_MSG(
+            chk,
+            statsData.allocations.value() ==
+                statsData.frees.value() + table.size(),
+            "MSHR conservation: %llu allocs != %llu frees + %zu live",
+            static_cast<unsigned long long>(
+                statsData.allocations.value()),
+            static_cast<unsigned long long>(statsData.frees.value()),
+            table.size());
+        SIM_INVARIANT(chk, statsData.peakOccupancy >= table.size());
     }
 
   private:

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/invariant.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 
@@ -131,14 +132,63 @@ class SetAssocCache
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("hits", &statsData.hits);
-        reg.registerCounter("misses", &statsData.misses);
-        reg.registerCounter("evictions", &statsData.evictions);
+        reg.registerCounter("hits", &statsData.hits,
+                            "lookups that found a valid line");
+        reg.registerCounter("misses", &statsData.misses,
+                            "lookups that found no valid line");
+        reg.registerCounter("evictions", &statsData.evictions,
+                            "valid lines displaced by fills");
         reg.registerCounter("dirty_evictions",
-                            &statsData.dirtyEvictions);
-        reg.registerCounter("fills", &statsData.fills);
+                            &statsData.dirtyEvictions,
+                            "displaced lines needing writeback");
+        reg.registerCounter("fills", &statsData.fills,
+                            "lines installed into the array");
         reg.registerCounter("invalidations",
-                            &statsData.invalidations);
+                            &statsData.invalidations,
+                            "lines removed by explicit invalidation");
+    }
+
+    /**
+     * Audit the array: the valid-line count matches the tag state,
+     * every valid tag is line-aligned and in its proper set, and the
+     * fill/evict/invalidate traffic accounts for the live lines.
+     */
+    void
+    checkInvariants(sim::InvariantChecker &chk) const
+    {
+        std::uint64_t valid = 0;
+        for (std::uint64_t s = 0; s < sets; ++s) {
+            for (std::uint32_t w = 0; w < waysPerSet; ++w) {
+                const Way &way = arr[s * waysPerSet + w];
+                if (!way.valid)
+                    continue;
+                ++valid;
+                SIM_INVARIANT_MSG(chk, way.tag % line == 0,
+                                  "%s: unaligned tag %llx",
+                                  cacheName.c_str(),
+                                  static_cast<unsigned long long>(
+                                      way.tag));
+                SIM_INVARIANT_MSG(chk, setIndex(way.tag) == s,
+                                  "%s: tag %llx in wrong set %llu",
+                                  cacheName.c_str(),
+                                  static_cast<unsigned long long>(
+                                      way.tag),
+                                  static_cast<unsigned long long>(s));
+            }
+        }
+        SIM_INVARIANT_MSG(chk, valid == validCount,
+                          "%s: %llu valid ways but counter says %llu",
+                          cacheName.c_str(),
+                          static_cast<unsigned long long>(valid),
+                          static_cast<unsigned long long>(validCount));
+        SIM_INVARIANT(chk, validCount <= sets * waysPerSet);
+        SIM_INVARIANT(chk,
+                      statsData.dirtyEvictions.value() <=
+                          statsData.evictions.value());
+        SIM_INVARIANT(chk,
+                      statsData.evictions.value() +
+                              statsData.invalidations.value() <=
+                          statsData.fills.value() + validCount);
     }
 
   private:

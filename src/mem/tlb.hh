@@ -70,12 +70,24 @@ class Tlb
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("l1_hits", &statsData.l1Hits);
-        reg.registerCounter("l2_hits", &statsData.l2Hits);
-        reg.registerCounter("misses", &statsData.misses);
-        reg.registerCounter("shootdowns", &statsData.shootdowns);
+        reg.registerCounter("l1_hits", &statsData.l1Hits,
+                            "translations served by the L1 TLB");
+        reg.registerCounter("l2_hits", &statsData.l2Hits,
+                            "translations served by the L2 TLB");
+        reg.registerCounter("misses", &statsData.misses,
+                            "translations requiring a page-table walk");
+        reg.registerCounter("shootdowns", &statsData.shootdowns,
+                            "pages invalidated by remote shootdowns");
     }
     const Config &config() const { return cfg; }
+
+    /** Audit both levels' tag arrays. */
+    void
+    checkInvariants(sim::InvariantChecker &chk) const
+    {
+        l1.checkInvariants(chk);
+        l2.checkInvariants(chk);
+    }
 
   private:
     Config cfg;

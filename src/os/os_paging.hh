@@ -82,9 +82,11 @@ class TlbShootdownBus
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("shootdowns", &statsData.shootdowns);
+        reg.registerCounter("shootdowns", &statsData.shootdowns,
+                            "TLB shootdown broadcasts issued");
         reg.registerHistogram("initiator_latency",
-                              &statsData.initiatorLatency);
+                              &statsData.initiatorLatency,
+                              "initiator-side shootdown cost in ticks");
     }
 
   private:
@@ -161,14 +163,33 @@ class OsPagingModel
     void
     regStats(sim::StatRegistry &reg) const
     {
-        reg.registerCounter("faults", &statsData.faults);
-        reg.registerCounter("evictions", &statsData.evictions);
+        reg.registerCounter("faults", &statsData.faults,
+                            "page faults taken through the OS path");
+        reg.registerCounter("evictions", &statsData.evictions,
+                            "resident pages evicted by reclaim");
         reg.registerCounter("dirty_writebacks",
-                            &statsData.dirtyWritebacks);
+                            &statsData.dirtyWritebacks,
+                            "evicted pages written back to flash");
         reg.registerHistogram("fault_to_runnable",
-                              &statsData.faultToRunnable);
+                              &statsData.faultToRunnable,
+                              "fault entry to thread-runnable ticks");
         shootdownBus.regStats(reg.subRegistry("bus"));
         pageCache.regStats(reg.subRegistry("page_cache"));
+    }
+
+    /**
+     * Audit the page cache's tag state and the fault/evict ledger.
+     */
+    void
+    checkInvariants(sim::InvariantChecker &chk) const
+    {
+        pageCache.checkInvariants(chk);
+        SIM_INVARIANT(chk,
+                      statsData.dirtyWritebacks.value() <=
+                          statsData.evictions.value());
+        SIM_INVARIANT(chk,
+                      statsData.faultToRunnable.count() ==
+                          statsData.faults.value());
     }
 
   private:

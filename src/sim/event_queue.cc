@@ -68,6 +68,35 @@ EventQueue::runUntil(Ticks limit)
     return n;
 }
 
+void
+EventQueue::checkInvariants(InvariantChecker &chk) const
+{
+    SIM_INVARIANT_MSG(chk,
+                      heap.size() == alive.size() + cancelled.size(),
+                      "%zu heap nodes != %zu alive + %zu cancelled",
+                      heap.size(), alive.size(), cancelled.size());
+    for (const EventId id : alive) {
+        SIM_INVARIANT_MSG(chk, id != kInvalidEventId && id < nextSeq,
+                          "alive id %llu outside the issued range",
+                          static_cast<unsigned long long>(id));
+        SIM_INVARIANT_MSG(chk, cancelled.count(id) == 0,
+                          "event %llu is both alive and cancelled",
+                          static_cast<unsigned long long>(id));
+    }
+    for (const EventId id : cancelled) {
+        SIM_INVARIANT_MSG(chk, id != kInvalidEventId && id < nextSeq,
+                          "cancelled id %llu outside the issued range",
+                          static_cast<unsigned long long>(id));
+    }
+    if (!heap.empty()) {
+        SIM_INVARIANT_MSG(chk, heap.top().when >= now,
+                          "earliest event at %llu lies before now %llu",
+                          static_cast<unsigned long long>(
+                              heap.top().when),
+                          static_cast<unsigned long long>(now));
+    }
+}
+
 std::uint64_t
 EventQueue::runSteps(std::uint64_t max_events)
 {

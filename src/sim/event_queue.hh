@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "invariant.hh"
 #include "ticks.hh"
 
 namespace astriflash::sim {
@@ -102,6 +103,13 @@ class EventQueue
 
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executedCount; }
+
+    /**
+     * Audit the kernel: every heap node is accounted alive or
+     * cancelled, ids stay below the sequence counter, and no pending
+     * event lies in the past.
+     */
+    void checkInvariants(InvariantChecker &chk) const;
 
   private:
     struct Entry {

@@ -1,0 +1,65 @@
+#include "invariant.hh"
+
+#include <sstream>
+
+namespace astriflash::sim {
+
+namespace {
+bool g_checks = ASTRIFLASH_CHECKS_ENABLED != 0;
+} // namespace
+
+bool
+checksEnabled()
+{
+    return g_checks;
+}
+
+void
+setChecksEnabled(bool on)
+{
+    g_checks = on;
+}
+
+std::uint64_t
+InvariantRegistry::checkAll(Ticks now)
+{
+    InvariantChecker chk;
+    for (const Entry &e : entries) {
+        chk.enterComponent(e.component, now);
+        e.fn(chk);
+    }
+    ++sweepCount;
+    evaluated += chk.conditionsEvaluated();
+    violationTotal += chk.failures();
+    for (const InvariantViolation &v : chk.violations()) {
+        if (stored.size() >= kMaxStored)
+            break;
+        stored.push_back(v);
+    }
+    if (failFast && chk.failures() > 0) {
+        ASTRI_PANIC("invariant sweep at tick %llu found %llu "
+                    "violation(s):\n%s",
+                    static_cast<unsigned long long>(now),
+                    static_cast<unsigned long long>(chk.failures()),
+                    report().c_str());
+    }
+    return chk.failures();
+}
+
+std::string
+InvariantRegistry::report() const
+{
+    std::ostringstream os;
+    for (const InvariantViolation &v : stored) {
+        os << "  [" << v.component << "] " << v.detail << " ("
+           << v.file << ":" << v.line << ", tick " << v.tick << ")\n";
+    }
+    if (violationTotal > stored.size()) {
+        os << "  ... and "
+           << violationTotal - static_cast<std::uint64_t>(stored.size())
+           << " more\n";
+    }
+    return os.str();
+}
+
+} // namespace astriflash::sim

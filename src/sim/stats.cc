@@ -140,37 +140,79 @@ Histogram::merge(const Histogram &other)
     }
 }
 
-void
-StatRegistry::registerScalar(const std::string &name, const double *value)
+StatRegistry::Leaf
+StatRegistry::makeLeaf(LeafKind kind, const void *ptr, const char *desc)
 {
-    leaves[name] = Leaf{LeafKind::Scalar, value};
+    ASTRI_ASSERT_MSG(desc != nullptr && desc[0] != '\0',
+                     "stat registration requires a description");
+    return Leaf{kind, ptr, desc};
+}
+
+void
+StatRegistry::registerScalar(const std::string &name, const double *value,
+                             const char *desc)
+{
+    leaves[name] = makeLeaf(LeafKind::Scalar, value, desc);
 }
 
 void
 StatRegistry::registerUint(const std::string &name,
-                           const std::uint64_t *value)
+                           const std::uint64_t *value, const char *desc)
 {
-    leaves[name] = Leaf{LeafKind::Uint, value};
+    leaves[name] = makeLeaf(LeafKind::Uint, value, desc);
 }
 
 void
 StatRegistry::registerCounter(const std::string &name,
-                              const Counter *counter)
+                              const Counter *counter, const char *desc)
 {
-    leaves[name] = Leaf{LeafKind::Counter, counter};
+    leaves[name] = makeLeaf(LeafKind::Counter, counter, desc);
 }
 
 void
-StatRegistry::registerAverage(const std::string &name, const Average *avg)
+StatRegistry::registerAverage(const std::string &name, const Average *avg,
+                              const char *desc)
 {
-    leaves[name] = Leaf{LeafKind::Average, avg};
+    leaves[name] = makeLeaf(LeafKind::Average, avg, desc);
 }
 
 void
 StatRegistry::registerHistogram(const std::string &name,
-                                const Histogram *hist)
+                                const Histogram *hist, const char *desc)
 {
-    leaves[name] = Leaf{LeafKind::Hist, hist};
+    leaves[name] = makeLeaf(LeafKind::Hist, hist, desc);
+}
+
+const std::string &
+StatRegistry::leafDescription(const std::string &name) const
+{
+    static const std::string kEmpty;
+    const auto it = leaves.find(name);
+    return it == leaves.end() ? kEmpty : it->second.desc;
+}
+
+void
+StatRegistry::collectDescriptions(const std::string &prefix,
+                                  std::vector<std::string> *lines) const
+{
+    for (const auto &[name, leaf] : leaves)
+        lines->push_back(prefix + name + ": " + leaf.desc);
+    for (const auto &[name, child] : children)
+        child->collectDescriptions(prefix + name + ".", lines);
+}
+
+std::string
+StatRegistry::describe() const
+{
+    std::vector<std::string> lines;
+    collectDescriptions(std::string(), &lines);
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const std::string &line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
 }
 
 StatRegistry &

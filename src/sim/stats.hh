@@ -175,26 +175,46 @@ class StatRegistry
 
     /**
      * Register a live scalar value under @p name.
+     *
+     * Every registration carries a short human-readable description
+     * (enforced by `tools/aflint`); `describe()` renders the
+     * resulting data dictionary.
+     *
      * @deprecated Prefer the typed registrations below where a typed
      *             stat exists; bare scalar pointers dump a single
      *             number and cannot render distributions.
      */
-    void registerScalar(const std::string &name, const double *value);
+    void registerScalar(const std::string &name, const double *value,
+                        const char *desc);
 
     /** Register a live integer value (peaks, occupancies) under
      *  @p name. */
     void registerUint(const std::string &name,
-                      const std::uint64_t *value);
+                      const std::uint64_t *value, const char *desc);
 
     /** Register a counter under @p name. */
-    void registerCounter(const std::string &name, const Counter *counter);
+    void registerCounter(const std::string &name, const Counter *counter,
+                         const char *desc);
 
     /** Register a mean/min/max accumulator under @p name. */
-    void registerAverage(const std::string &name, const Average *avg);
+    void registerAverage(const std::string &name, const Average *avg,
+                         const char *desc);
 
     /** Register a latency/occupancy histogram under @p name. */
     void registerHistogram(const std::string &name,
-                           const Histogram *hist);
+                           const Histogram *hist, const char *desc);
+
+    /**
+     * Description of direct leaf @p name in this node ("" if the leaf
+     * does not exist).
+     */
+    const std::string &leafDescription(const std::string &name) const;
+
+    /**
+     * Render the subtree's data dictionary: one sorted
+     * "full.name: description" line per leaf stat.
+     */
+    std::string describe() const;
 
     /**
      * Child registry at dotted @p path relative to this node, created
@@ -236,13 +256,20 @@ class StatRegistry
     struct Leaf {
         LeafKind kind;
         const void *ptr;
+        std::string desc;
     };
+
+    /** Validate and build a leaf entry. */
+    static Leaf makeLeaf(LeafKind kind, const void *ptr,
+                         const char *desc);
 
     /** Accumulate "full.name = value" lines for sorting. */
     void collectLines(const std::string &prefix,
                       std::vector<std::string> *lines) const;
     void collectNames(const std::string &prefix,
                       std::vector<std::string> *names) const;
+    void collectDescriptions(const std::string &prefix,
+                             std::vector<std::string> *lines) const;
 
     std::map<std::string, Leaf> leaves;
     std::map<std::string, std::unique_ptr<StatRegistry>> children;

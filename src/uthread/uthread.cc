@@ -1,5 +1,7 @@
 #include "uthread.hh"
 
+#include <unordered_map>
+
 #include "sim/logging.hh"
 
 namespace astriflash::uthread {
@@ -68,6 +70,7 @@ UScheduler::dispatch(Thread *t)
 UScheduler::Thread *
 UScheduler::pickNext()
 {
+    // aflint-allow-next-line(AF001): host-time aging by design
     const auto now = std::chrono::steady_clock::now();
     switch (cfg.policy) {
       case Policy::PriorityAging: {
@@ -157,6 +160,7 @@ UScheduler::yield()
     Thread *t = running;
     // Marker state: no block key, no pendingSince -> run() requeues.
     t->blockKey = 0;
+    // aflint-allow-next-line(AF001): host-time aging by design
     t->pendingSince = std::chrono::steady_clock::time_point{};
     swapcontext(&t->ctx, &schedCtx);
 }
@@ -168,6 +172,7 @@ UScheduler::blockOn(std::uint64_t key)
     ASTRI_ASSERT_MSG(key != 0, "block key 0 is reserved");
     Thread *t = running;
     t->blockKey = key;
+    // aflint-allow-next-line(AF001): host-time aging by design
     t->pendingSince = std::chrono::steady_clock::now();
     if (pendingCount() >= cfg.pendingCap)
         ++statsData.pendingOverflows;
@@ -176,6 +181,7 @@ UScheduler::blockOn(std::uint64_t key)
     swapcontext(&t->ctx, &schedCtx);
     // Resumed: key was notified.
     t->blockKey = 0;
+    // aflint-allow-next-line(AF001): host-time aging by design
     t->pendingSince = std::chrono::steady_clock::time_point{};
 }
 
@@ -197,6 +203,69 @@ std::uint64_t
 UScheduler::currentId() const
 {
     return running ? running->id : 0;
+}
+
+void
+UScheduler::checkInvariants(sim::InvariantChecker &chk) const
+{
+    SIM_INVARIANT(chk, statsData.spawned == threads.size());
+
+    std::uint64_t finished = 0;
+    for (const auto &t : threads) {
+        if (t->finished)
+            ++finished;
+    }
+    SIM_INVARIANT_MSG(chk, finished == statsData.completed,
+                      "%llu finished threads but %llu completions",
+                      static_cast<unsigned long long>(finished),
+                      static_cast<unsigned long long>(
+                          statsData.completed));
+
+    // Queue membership: each live thread in exactly one queue, with a
+    // block key iff it is (or was) parked on one.
+    std::unordered_map<const Thread *, int> queued;
+    auto tally = [&](const std::deque<Thread *> &q, const char *qname,
+                     bool want_key) {
+        for (const Thread *t : q) {
+            if (!SIM_INVARIANT_MSG(chk, t != nullptr,
+                                   "%s holds a null thread", qname)) {
+                continue;
+            }
+            SIM_INVARIANT_MSG(chk, !t->finished,
+                              "%s holds a finished thread", qname);
+            SIM_INVARIANT_MSG(chk, ++queued[t] == 1,
+                              "thread %llu queued more than once",
+                              static_cast<unsigned long long>(
+                                  t ? t->id : 0));
+            SIM_INVARIANT_MSG(chk, (t->blockKey != 0) == want_key,
+                              "%s holds thread %llu with block key "
+                              "%llu", qname,
+                              static_cast<unsigned long long>(t->id),
+                              static_cast<unsigned long long>(
+                                  t->blockKey));
+            SIM_INVARIANT_MSG(chk, t != running,
+                              "running thread %llu is also queued",
+                              static_cast<unsigned long long>(t->id));
+        }
+    };
+    tally(newQueue, "new queue", false);
+    tally(pendingBlocked, "blocked queue", true);
+    tally(pendingReady, "ready queue", true);
+
+    // From the scheduler context every unfinished thread is queued
+    // (workers observe themselves mid-dispatch, so only check there).
+    if (running == nullptr) {
+        SIM_INVARIANT_MSG(
+            chk,
+            newQueue.size() + pendingBlocked.size() +
+                    pendingReady.size() + finished ==
+                threads.size(),
+            "%zu threads but %zu queued and %llu finished",
+            threads.size(),
+            newQueue.size() + pendingBlocked.size() +
+                pendingReady.size(),
+            static_cast<unsigned long long>(finished));
+    }
 }
 
 } // namespace astriflash::uthread

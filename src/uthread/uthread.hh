@@ -28,6 +28,8 @@
 #include <memory>
 #include <vector>
 
+#include "sim/invariant.hh"
+
 namespace astriflash::uthread {
 
 /** Scheduling policy (mirrors core::SchedPolicy). */
@@ -120,6 +122,14 @@ class UScheduler
     const Stats &stats() const { return statsData; }
     const Config &config() const { return cfg; }
 
+    /**
+     * Audit the runqueues (call from the scheduler context, not a
+     * worker): every live thread sits in exactly one queue, block
+     * keys match queue membership, and the spawn/complete counters
+     * agree with the thread table.
+     */
+    void checkInvariants(sim::InvariantChecker &chk) const;
+
   private:
     struct Thread {
         std::uint64_t id = 0;
@@ -128,6 +138,10 @@ class UScheduler
         std::function<void()> fn;
         bool finished = false;
         std::uint64_t blockKey = 0;
+        // This library runs in host time (it is the runtime analog of
+        // the simulated scheduler, driven by real callers), so aging
+        // legitimately reads the host monotonic clock.
+        // aflint-allow-next-line(AF001)
         std::chrono::steady_clock::time_point pendingSince{};
     };
 

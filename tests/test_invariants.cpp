@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Invariant-layer tests: unit coverage for InvariantChecker /
+ * InvariantRegistry / the SIM_* macro families, a fixed-seed torture
+ * sweep that runs whole systems with every component audit armed, and
+ * conservation-law checks that cross-validate the stats-registry JSON
+ * against live structure occupancy at quiesce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/system.hh"
+#include "sim/invariant.hh"
+
+#include "mini_json.hh"
+
+using namespace astriflash;
+using namespace astriflash::core;
+
+namespace {
+
+/** Arm (or disarm) simulator checks for one test, restoring after. */
+class ScopedChecks
+{
+  public:
+    explicit ScopedChecks(bool on) : prev(sim::checksEnabled())
+    {
+        sim::setChecksEnabled(on);
+    }
+    ~ScopedChecks() { sim::setChecksEnabled(prev); }
+
+    ScopedChecks(const ScopedChecks &) = delete;
+    ScopedChecks &operator=(const ScopedChecks &) = delete;
+
+  private:
+    bool prev;
+};
+
+/** Small, fast system config shared by the torture/conservation runs. */
+SystemConfig
+smallCfg(SystemKind kind, workload::Kind wl, std::uint64_t seed)
+{
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.cores = 2;
+    cfg.workloadKind = wl;
+    cfg.workload.datasetBytes = 64ull << 20;
+    cfg.warmupJobs = 100;
+    cfg.measureJobs = 400;
+    // Sweep often so a short run still exercises many periodic audits.
+    cfg.invariantInterval = sim::microseconds(50);
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Numeric leaf lookup in a parsed stats-JSON document. */
+double
+jsonNum(const minijson::Value &doc, const std::string &path)
+{
+    const minijson::Value *v = doc.find(path);
+    EXPECT_NE(v, nullptr) << "missing stats path " << path;
+    if (v == nullptr || !v->isNumber())
+        return -1.0;
+    return v->number;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Unit: checker and registry bookkeeping.
+// --------------------------------------------------------------------
+
+TEST(InvariantRegistry, CountsPassesFailuresAndContext)
+{
+    sim::InvariantRegistry reg;
+    reg.setFailFast(false);
+    reg.add("widget", [](sim::InvariantChecker &chk) {
+        SIM_INVARIANT(chk, 1 + 1 == 2);
+        SIM_INVARIANT(chk, 2 + 2 == 5);
+        SIM_INVARIANT_MSG(chk, true, "never recorded");
+        SIM_INVARIANT_MSG(chk, false, "broken gauge %d/%d", 3, 4);
+    });
+
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_EQ(reg.checkAll(sim::microseconds(7)), 2u);
+
+    EXPECT_EQ(reg.sweeps(), 1u);
+    EXPECT_EQ(reg.conditionsEvaluated(), 4u);
+    EXPECT_EQ(reg.violationCount(), 2u);
+    ASSERT_EQ(reg.violations().size(), 2u);
+
+    const sim::InvariantViolation &first = reg.violations()[0];
+    EXPECT_EQ(first.component, "widget");
+    EXPECT_EQ(first.tick, sim::microseconds(7));
+    EXPECT_NE(first.detail.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(first.file.find("test_invariants.cpp"),
+              std::string::npos);
+    EXPECT_GT(first.line, 0);
+
+    EXPECT_EQ(reg.violations()[1].detail, "broken gauge 3/4");
+
+    const std::string report = reg.report();
+    EXPECT_NE(report.find("widget"), std::string::npos);
+    EXPECT_NE(report.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(report.find("broken gauge 3/4"), std::string::npos);
+}
+
+TEST(InvariantRegistry, AggregatesAcrossSweepsAndComponents)
+{
+    sim::InvariantRegistry reg;
+    reg.setFailFast(false);
+    int healthy_runs = 0;
+    reg.add("healthy", [&healthy_runs](sim::InvariantChecker &chk) {
+        ++healthy_runs;
+        SIM_INVARIANT(chk, true);
+        EXPECT_EQ(chk.component(), "healthy");
+    });
+    reg.add("flaky", [](sim::InvariantChecker &chk) {
+        SIM_INVARIANT_MSG(chk, chk.tick() < sim::microseconds(2),
+                          "late sweep");
+    });
+
+    EXPECT_EQ(reg.checkAll(sim::microseconds(1)), 0u);
+    EXPECT_EQ(reg.checkAll(sim::microseconds(3)), 1u);
+    EXPECT_EQ(reg.sweeps(), 2u);
+    EXPECT_EQ(healthy_runs, 2);
+    EXPECT_EQ(reg.conditionsEvaluated(), 4u);
+    EXPECT_EQ(reg.violationCount(), 1u);
+    EXPECT_EQ(reg.violations()[0].component, "flaky");
+}
+
+TEST(InvariantRegistry, StoredViolationsAreCappedButCountIsExact)
+{
+    sim::InvariantRegistry reg;
+    reg.setFailFast(false);
+    reg.add("stormy", [](sim::InvariantChecker &chk) {
+        for (int i = 0; i < 50; ++i)
+            SIM_INVARIANT_MSG(chk, false, "failure #%d", i);
+    });
+
+    EXPECT_EQ(reg.checkAll(0), 50u);
+    EXPECT_EQ(reg.checkAll(1), 50u);
+
+    EXPECT_EQ(reg.violationCount(), 100u);
+    // The stored list is bounded (kMaxStored) to keep reports usable.
+    EXPECT_LE(reg.violations().size(), 64u);
+    EXPECT_GT(reg.violations().size(), 0u);
+    // The report still accounts for the dropped tail.
+    EXPECT_NE(reg.report().find("36 more"), std::string::npos);
+}
+
+TEST(InvariantRegistryDeathTest, FailFastPanicsWithReport)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    sim::InvariantRegistry reg;
+    reg.add("doomed", [](sim::InvariantChecker &chk) {
+        SIM_INVARIANT_MSG(chk, false, "conservation broke");
+    });
+    EXPECT_DEATH(reg.checkAll(0), "conservation broke");
+}
+
+// --------------------------------------------------------------------
+// Unit: SIM_CHECK runtime gate.
+// --------------------------------------------------------------------
+
+TEST(SimCheck, DisarmedChecksDoNotEvaluateOrPanic)
+{
+    ScopedChecks off(false);
+    int evaluations = 0;
+    auto costly_false = [&evaluations]() {
+        ++evaluations;
+        return false;
+    };
+    SIM_CHECK(costly_false());
+    SIM_CHECK_MSG(costly_false(), "never printed");
+    // The gate short-circuits: the condition itself is skipped.
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(SimCheck, ArmedChecksPassSilently)
+{
+    ScopedChecks on(true);
+    int evaluations = 0;
+    auto costly_true = [&evaluations]() {
+        ++evaluations;
+        return true;
+    };
+    SIM_CHECK(costly_true());
+    SIM_CHECK_MSG(costly_true(), "never printed");
+    EXPECT_EQ(evaluations, 2);
+}
+
+TEST(SimCheckDeathTest, ArmedFailurePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ScopedChecks on(true);
+    EXPECT_DEATH(SIM_CHECK(2 + 2 == 5), "SIM_CHECK failed");
+    EXPECT_DEATH(SIM_CHECK_MSG(false, "queue depth %d underflow", -1),
+                 "queue depth -1 underflow");
+}
+
+TEST(SimCheck, RuntimeGateRoundTrips)
+{
+    ScopedChecks scope(sim::checksEnabled());
+    sim::setChecksEnabled(true);
+    EXPECT_TRUE(sim::checksEnabled());
+    sim::setChecksEnabled(false);
+    EXPECT_FALSE(sim::checksEnabled());
+}
+
+// --------------------------------------------------------------------
+// Torture: whole systems under fixed seeds with every audit armed.
+// Each configuration stresses a different subsystem mix; any invariant
+// violation anywhere in the component tree fails the run.
+// --------------------------------------------------------------------
+
+namespace {
+
+struct TortureCase {
+    const char *name;
+    SystemKind kind;
+    workload::Kind workload;
+    std::uint64_t seed;
+    bool footprint;   ///< Enable sub-page footprint management.
+    bool openLoop;    ///< Poisson arrivals instead of closed loop.
+};
+
+constexpr TortureCase kTortureCases[] = {
+    {"astriflash_tatp", SystemKind::AstriFlash, workload::Kind::Tatp, 1,
+     false, false},
+    {"astriflash_silo_footprint", SystemKind::AstriFlash,
+     workload::Kind::Silo, 2, true, false},
+    {"nops_tpcc", SystemKind::AstriFlashNoPS, workload::Kind::Tpcc, 3,
+     false, false},
+    {"nodp_hashtable", SystemKind::AstriFlashNoDP,
+     workload::Kind::HashTable, 4, false, false},
+    {"flashsync_arrayswap", SystemKind::FlashSync,
+     workload::Kind::ArraySwap, 5, false, false},
+    {"astriflash_tatp_openloop", SystemKind::AstriFlash,
+     workload::Kind::Tatp, 6, false, true},
+};
+
+} // namespace
+
+class InvariantTorture : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(InvariantTorture, RunsCleanUnderArmedChecks)
+{
+    const TortureCase &tc = kTortureCases[GetParam()];
+
+    SystemConfig cfg = smallCfg(tc.kind, tc.workload, tc.seed);
+    if (tc.footprint)
+        cfg.dramCache.footprintEnabled = true;
+    if (tc.openLoop)
+        cfg.meanInterarrival = sim::microseconds(5);
+
+    ScopedChecks armed(true);
+    System sys(cfg);
+    // Collect every violation rather than dying on the first so a
+    // regression produces the full report below.
+    sys.invariantRegistry().setFailFast(false);
+    const RunResults r = sys.run();
+
+    EXPECT_EQ(r.jobs, cfg.measureJobs) << tc.name;
+    EXPECT_GT(r.invariantSweeps, 1u) << tc.name;
+    EXPECT_GT(r.invariantChecks, 0u) << tc.name;
+    EXPECT_EQ(r.invariantViolations, 0u)
+        << tc.name << "\n" << sys.invariantRegistry().report();
+}
+
+INSTANTIATE_TEST_SUITE_P(FixedSeeds, InvariantTorture,
+                         ::testing::Range(0, 6), [](const auto &info) {
+                             return std::string(
+                                 kTortureCases[info.param].name);
+                         });
+
+// --------------------------------------------------------------------
+// Conservation laws at quiesce, cross-checked through the stats JSON.
+// --------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Run @p cfg with checks armed and assert the MSR / evict-buffer
+ * conservation laws from the dumped stats registry: every allocated
+ * miss entry is freed or still live, and every parked victim page is
+ * drained or still parked.
+ */
+void
+expectConservation(SystemConfig cfg, const char *label)
+{
+    ScopedChecks armed(true);
+    System sys(cfg);
+    sys.invariantRegistry().setFailFast(false);
+    const RunResults r = sys.run();
+    ASSERT_EQ(r.jobs, cfg.measureJobs) << label;
+    EXPECT_EQ(r.invariantViolations, 0u)
+        << label << "\n" << sys.invariantRegistry().report();
+
+    const auto doc = minijson::parse(sys.statsRegistry().dumpJson());
+    ASSERT_NE(doc, nullptr) << label;
+
+    const DramCache *dc = sys.dramCache();
+    ASSERT_NE(dc, nullptr) << label;
+
+    // MSR lifetime conservation: allocations == frees + live entries.
+    const double msr_allocs =
+        jsonNum(*doc, "dcache.bc.msr.allocations");
+    const double msr_frees = jsonNum(*doc, "dcache.bc.msr.frees");
+    EXPECT_GT(msr_allocs, 0.0) << label;
+    EXPECT_EQ(msr_allocs, msr_frees + dc->msr().occupancy()) << label;
+
+    // Evict-buffer conservation: inserts == drains + live entries.
+    const double eb_inserts =
+        jsonNum(*doc, "dcache.bc.evictbuf.inserts");
+    const double eb_drains = jsonNum(*doc, "dcache.bc.evictbuf.drains");
+    EXPECT_EQ(eb_inserts, eb_drains + dc->evictBuffer().occupancy())
+        << label;
+
+    // Miss conservation: every backside fill freed exactly one MSR
+    // entry. Fills reset at measurement start while the MSR counters
+    // are cumulative, so lifetime frees bound the windowed fills.
+    const double fills = jsonNum(*doc, "dcache.bc.fills");
+    EXPECT_GT(fills, 0.0) << label;
+    EXPECT_LE(fills, msr_frees) << label;
+
+    // The JSON values mirror the live counters they were dumped from.
+    EXPECT_EQ(static_cast<std::uint64_t>(msr_allocs),
+              dc->msr().stats().allocations.value())
+        << label;
+    EXPECT_EQ(static_cast<std::uint64_t>(eb_inserts),
+              dc->evictBuffer().stats().inserts.value())
+        << label;
+}
+
+} // namespace
+
+TEST(InvariantConservation, TatpClosedLoopHoldsAtQuiesce)
+{
+    expectConservation(
+        smallCfg(SystemKind::AstriFlash, workload::Kind::Tatp, 11),
+        "tatp closed loop");
+}
+
+TEST(InvariantConservation, TatpOpenLoopHoldsAtQuiesce)
+{
+    // The Figure-10 methodology: open-loop Poisson arrivals, so jobs
+    // queue and the MSR quiesces with misses potentially in flight.
+    SystemConfig cfg =
+        smallCfg(SystemKind::AstriFlash, workload::Kind::Tatp, 12);
+    cfg.meanInterarrival = sim::microseconds(5);
+    expectConservation(cfg, "tatp open loop (fig10)");
+}

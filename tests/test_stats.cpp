@@ -157,8 +157,8 @@ TEST(StatRegistry, DumpsSortedNames)
     Counter c;
     c.inc(7);
     double v = 2.5;
-    reg.registerCounter("b.counter", &c);
-    reg.registerScalar("a.scalar", &v);
+    reg.registerCounter("b.counter", &c, "test counter");
+    reg.registerScalar("a.scalar", &v, "test scalar");
     const std::string out = reg.dump();
     EXPECT_NE(out.find("b.counter = 7"), std::string::npos);
     EXPECT_NE(out.find("a.scalar = 2.5"), std::string::npos);
@@ -173,12 +173,14 @@ TEST(StatRegistry, HierarchicalDumpUsesFullyQualifiedSortedNames)
     fills.inc(2);
 
     auto &fc = root.subRegistry("dcache.fc");
-    fc.registerCounter("hits", &hits);
-    fc.registerCounter("misses", &misses);
-    root.subRegistry("dcache.bc").registerCounter("fills", &fills);
+    fc.registerCounter("hits", &hits, "test hits");
+    fc.registerCounter("misses", &misses, "test misses");
+    root.subRegistry("dcache.bc").registerCounter("fills", &fills,
+                                                   "test fills");
     Counter jobs;
     jobs.inc(99);
-    root.subRegistry("core0").registerCounter("jobs", &jobs);
+    root.subRegistry("core0").registerCounter("jobs", &jobs,
+                                              "test jobs");
 
     const std::string out = root.dump();
     const auto core0 = out.find("core0.jobs = 99");
@@ -224,9 +226,9 @@ TEST(StatRegistry, TypedLeavesRenderDerivedQuantities)
     for (std::uint64_t i = 1; i <= 100; ++i)
         hist.sample(i);
     std::uint64_t peak = 17;
-    reg.registerAverage("occupancy", &avg);
-    reg.registerHistogram("latency", &hist);
-    reg.registerUint("peak", &peak);
+    reg.registerAverage("occupancy", &avg, "test occupancy");
+    reg.registerHistogram("latency", &hist, "test latency");
+    reg.registerUint("peak", &peak, "test peak");
 
     const std::string out = reg.dump();
     EXPECT_NE(out.find("occupancy.count = 2"), std::string::npos);
@@ -241,8 +243,9 @@ TEST(StatRegistry, ForEachStatVisitsSortedFullyQualifiedNames)
 {
     StatRegistry root;
     Counter c1, c2;
-    root.subRegistry("z").registerCounter("last", &c1);
-    root.subRegistry("a.b").registerCounter("first", &c2);
+    root.subRegistry("z").registerCounter("last", &c1, "test last");
+    root.subRegistry("a.b").registerCounter("first", &c2,
+                                            "test first");
 
     std::vector<std::string> names;
     root.forEachStat([&](const std::string &n) { names.push_back(n); });
@@ -266,12 +269,13 @@ TEST(StatRegistry, JsonRoundTripParses)
     double ratio = 0.25;
 
     auto &fc = root.subRegistry("dcache.fc");
-    fc.registerCounter("hits", &hits);
+    fc.registerCounter("hits", &hits, "test hits");
     auto &msr = root.subRegistry("dcache.bc.msr");
-    msr.registerAverage("occupancy", &occ);
-    msr.registerUint("peak", &peak);
-    root.subRegistry("flash").registerHistogram("read_latency", &lat);
-    root.registerScalar("ratio", &ratio);
+    msr.registerAverage("occupancy", &occ, "test occupancy");
+    msr.registerUint("peak", &peak, "test peak");
+    root.subRegistry("flash").registerHistogram("read_latency", &lat,
+                                                "test latency");
+    root.registerScalar("ratio", &ratio, "test ratio");
 
     const std::string json = root.dumpJson();
     const auto doc = minijson::parse(json);
@@ -303,11 +307,35 @@ TEST(StatRegistry, JsonRoundTripParses)
     EXPECT_DOUBLE_EQ(doc->find("ratio")->number, 0.25);
 }
 
+TEST(StatRegistry, DescriptionsAreStoredAndListed)
+{
+    StatRegistry root;
+    Counter hits;
+    std::uint64_t peak = 0;
+    auto &fc = root.subRegistry("dcache.fc");
+    fc.registerCounter("hits", &hits, "accesses served from the cache");
+    fc.registerUint("peak", &peak, "maximum outstanding misses");
+
+    EXPECT_EQ(fc.leafDescription("hits"),
+              "accesses served from the cache");
+    EXPECT_EQ(fc.leafDescription("peak"),
+              "maximum outstanding misses");
+    EXPECT_EQ(fc.leafDescription("absent"), "");
+
+    const std::string listing = root.describe();
+    EXPECT_NE(listing.find("dcache.fc.hits: accesses served from the "
+                           "cache"),
+              std::string::npos);
+    EXPECT_NE(listing.find("dcache.fc.peak: maximum outstanding "
+                           "misses"),
+              std::string::npos);
+}
+
 TEST(StatRegistry, JsonEscapesAndLiveValues)
 {
     StatRegistry root;
     Counter c;
-    root.registerCounter("quoted\"name", &c);
+    root.registerCounter("quoted\"name", &c, "test escaping");
     c.inc(1);
     auto doc = minijson::parse(root.dumpJson());
     ASSERT_NE(doc, nullptr);

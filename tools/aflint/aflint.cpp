@@ -1,0 +1,474 @@
+/**
+ * @file
+ * aflint: AstriFlash repository lint.
+ *
+ * A fast, dependency-free token/regex scan that enforces the
+ * simulator's determinism and hygiene rules over src/, tools/, bench/
+ * and tests/ (see DESIGN.md §8 for the rationale behind each rule):
+ *
+ *   AF001  no wall-clock or libc randomness in simulator code
+ *   AF002  no raw new/delete expressions (use RAII owners)
+ *   AF003  no stdout writes from library code under src/
+ *   AF004  every stats registration carries a description
+ *   AF005  every header has an include guard
+ *   AF006  no signed integer truncation of Tick values
+ *   AF007  no bare assert() under src/ (use ASTRI_ASSERT / SIM_CHECK)
+ *
+ * Comments and string literals are stripped (newlines preserved)
+ * before matching, so prose never trips a rule. Intentional
+ * exceptions are annotated in a comment on the offending line:
+ *
+ *     // aflint-allow(AF001): host-time library by design
+ *
+ * or for a whole file, anywhere in it:
+ *
+ *     // aflint-allow-file(AF001): <reason>
+ *
+ * Exit status: 0 when clean, 1 when findings were reported, 2 on
+ * usage or I/O errors. --format=json emits one JSON object per
+ * finding (JSONL) for machine consumption in CI.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+struct Options {
+    std::string root = ".";
+    std::vector<std::string> paths; ///< Scan roots relative to root.
+    bool json = false;
+    bool defaultExcludes = true;
+};
+
+/** One lint rule: a regex applied per line of the stripped source. */
+struct LineRule {
+    const char *id;
+    const char *message;
+    std::regex pattern;
+    bool srcOnly; ///< Only enforced for files under src/.
+};
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".hh" ||
+           ext == ".h" || ext == ".hpp";
+}
+
+bool
+isHeader(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".hh" || ext == ".h" || ext == ".hpp";
+}
+
+/**
+ * Blank out comments, string literals and char literals, preserving
+ * newlines so findings keep their line numbers. Quote characters are
+ * kept so argument-list scans still see the (emptied) literals.
+ */
+std::string
+stripCommentsAndStrings(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    std::size_t i = 0;
+    const std::size_t n = in.size();
+
+    auto keepNewlines = [&out](const std::string &s, std::size_t from,
+                               std::size_t to) {
+        for (std::size_t k = from; k < to; ++k)
+            out.push_back(s[k] == '\n' ? '\n' : ' ');
+    };
+
+    while (i < n) {
+        const char c = in[i];
+        if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+            const std::size_t end = in.find('\n', i);
+            const std::size_t stop = end == std::string::npos ? n : end;
+            keepNewlines(in, i, stop);
+            i = stop;
+        } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+            const std::size_t end = in.find("*/", i + 2);
+            const std::size_t stop =
+                end == std::string::npos ? n : end + 2;
+            keepNewlines(in, i, stop);
+            i = stop;
+        } else if (c == '"' &&
+                   (i == 0 ||
+                    !(std::isalnum(static_cast<unsigned char>(
+                          in[i - 1])) ||
+                      in[i - 1] == '_') ||
+                    in[i - 1] == 'R')) {
+            // Raw string literal: R"delim( ... )delim".
+            if (i > 0 && in[i - 1] == 'R') {
+                std::size_t p = i + 1;
+                std::string delim;
+                while (p < n && in[p] != '(')
+                    delim.push_back(in[p++]);
+                const std::string closer = ")" + delim + "\"";
+                const std::size_t end = in.find(closer, p);
+                const std::size_t stop = end == std::string::npos
+                                             ? n
+                                             : end + closer.size();
+                out.push_back('"');
+                keepNewlines(in, i + 1, stop > i + 1 ? stop - 1 : i + 1);
+                if (stop > i + 1)
+                    out.push_back('"');
+                i = stop;
+                continue;
+            }
+            out.push_back('"');
+            ++i;
+            while (i < n && in[i] != '"') {
+                if (in[i] == '\\' && i + 1 < n)
+                    ++i;
+                out.push_back(in[i] == '\n' ? '\n' : ' ');
+                ++i;
+            }
+            if (i < n) {
+                out.push_back('"');
+                ++i;
+            }
+        } else if (c == '\'') {
+            out.push_back('\'');
+            ++i;
+            while (i < n && in[i] != '\'') {
+                if (in[i] == '\\' && i + 1 < n)
+                    ++i;
+                out.push_back(' ');
+                ++i;
+            }
+            if (i < n) {
+                out.push_back('\'');
+                ++i;
+            }
+        } else {
+            out.push_back(c);
+            ++i;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/**
+ * Suppressions live in the raw (unstripped) text: same-line
+ * aflint-allow(AFnnn), preceding-line aflint-allow-next-line(AFnnn),
+ * and per-file aflint-allow-file(AFnnn).
+ */
+struct Suppressions {
+    std::set<std::pair<int, std::string>> lines;
+    std::set<std::string> wholeFile;
+
+    bool
+    allows(int line, const std::string &rule) const
+    {
+        return wholeFile.count(rule) != 0 ||
+               lines.count({line, rule}) != 0;
+    }
+};
+
+Suppressions
+collectSuppressions(const std::vector<std::string> &raw_lines)
+{
+    static const std::regex allow_re(
+        "aflint-allow(-file|-next-line)?\\((AF[0-9]{3})\\)");
+    Suppressions sup;
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+        auto begin = std::sregex_iterator(raw_lines[i].begin(),
+                                          raw_lines[i].end(), allow_re);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const std::string scope = (*it)[1].str();
+            const std::string rule = (*it)[2].str();
+            if (scope == "-file")
+                sup.wholeFile.insert(rule);
+            else if (scope == "-next-line")
+                sup.lines.insert({static_cast<int>(i) + 2, rule});
+            else
+                sup.lines.insert({static_cast<int>(i) + 1, rule});
+        }
+    }
+    return sup;
+}
+
+const std::vector<LineRule> &
+lineRules()
+{
+    static const std::vector<LineRule> rules = {
+        {"AF001",
+         "wall-clock / libc randomness breaks determinism; use the "
+         "event queue's tick clock and sim::Rng",
+         std::regex("std::chrono::(system|steady|high_resolution)_"
+                    "clock|\\bgettimeofday\\b|\\bclock_gettime\\b|"
+                    "\\btime\\s*\\(|\\brand\\s*\\(|\\bsrand\\s*\\(|"
+                    "\\brandom\\s*\\("),
+         false},
+        {"AF002",
+         "raw new/delete; own memory with std::unique_ptr / "
+         "containers",
+         std::regex("\\bnew\\s+[A-Za-z_(:<]|\\bdelete\\s*(\\[\\s*\\]"
+                    "\\s*)?[A-Za-z_(:*]"),
+         false},
+        {"AF003",
+         "stdout write from library code; report through stats / "
+         "ASTRI_WARN instead",
+         std::regex("std::cout\\b|\\bprintf\\s*\\(|\\bputs\\s*\\("),
+         true},
+        {"AF006",
+         "signed integer truncation of a Tick value; Ticks are "
+         "uint64 picoseconds",
+         std::regex("static_cast<(int|long|std::int32_t|std::int64_t)"
+                    ">\\s*\\([^()]*([tT]ick|curTick\\(\\))"),
+         false},
+        {"AF007",
+         "bare assert(); use ASTRI_ASSERT / SIM_CHECK so Release "
+         "builds can arm it",
+         std::regex("\\bassert\\s*\\(|#\\s*include\\s*<cassert>"),
+         true},
+    };
+    return rules;
+}
+
+/**
+ * AF004: every stats registration names what it counts. Finds
+ * register{Counter,Uint,Average,Histogram}( call sites and counts
+ * top-level arguments across lines: fewer than three means the
+ * trailing description is missing.
+ */
+void
+checkStatDescriptions(const std::string &stripped,
+                      const std::string &file,
+                      const Suppressions &sup,
+                      std::vector<Finding> &out)
+{
+    static const std::regex call_re(
+        "register(Counter|Uint|Average|Histogram)\\s*\\(");
+    auto begin = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                      call_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::size_t open =
+            static_cast<std::size_t>(it->position()) +
+            it->length() - 1;
+        int depth = 0;
+        int args = 1;
+        bool closed = false;
+        for (std::size_t p = open; p < stripped.size(); ++p) {
+            const char c = stripped[p];
+            if (c == '(' || c == '[' || c == '{' || c == '<') {
+                // '<' heuristically tracks template args; stray
+                // comparisons never appear inside these call sites.
+                ++depth;
+            } else if (c == ')' || c == ']' || c == '}' || c == '>') {
+                --depth;
+                if (depth == 0 && c == ')') {
+                    closed = true;
+                    break;
+                }
+            } else if (c == ',' && depth == 1) {
+                ++args;
+            }
+        }
+        const int line = 1 + static_cast<int>(std::count(
+                                 stripped.begin(),
+                                 stripped.begin() +
+                                     static_cast<long>(it->position()),
+                                 '\n'));
+        if (closed && args < 3 && !sup.allows(line, "AF004")) {
+            out.push_back(
+                {file, line, "AF004",
+                 "stats registration is missing its description "
+                 "argument"});
+        }
+    }
+}
+
+/** AF005: headers must open an include guard before any code. */
+void
+checkIncludeGuard(const std::string &stripped, const std::string &file,
+                  const Suppressions &sup, std::vector<Finding> &out)
+{
+    static const std::regex guard_re("#\\s*ifndef\\s+[A-Za-z_]");
+    static const std::regex pragma_re("#\\s*pragma\\s+once");
+    if (std::regex_search(stripped, guard_re) ||
+        std::regex_search(stripped, pragma_re))
+        return;
+    if (!sup.allows(1, "AF005"))
+        out.push_back({file, 1, "AF005",
+                       "header has no include guard"});
+}
+
+void
+scanFile(const fs::path &path, const std::string &rel,
+         std::vector<Finding> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        out.push_back({rel, 0, "AF000", "unreadable file"});
+        return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string raw = buf.str();
+    const std::string stripped = stripCommentsAndStrings(raw);
+    const Suppressions sup = collectSuppressions(splitLines(raw));
+    const std::vector<std::string> lines = splitLines(stripped);
+
+    const bool under_src = rel.rfind("src/", 0) == 0;
+
+    for (const LineRule &rule : lineRules()) {
+        if (rule.srcOnly && !under_src)
+            continue;
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            const int lineno = static_cast<int>(i) + 1;
+            if (!std::regex_search(lines[i], rule.pattern))
+                continue;
+            if (sup.allows(lineno, rule.id))
+                continue;
+            out.push_back({rel, lineno, rule.id, rule.message});
+        }
+    }
+
+    checkStatDescriptions(stripped, rel, sup, out);
+    if (isHeader(path))
+        checkIncludeGuard(stripped, rel, sup, out);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--root DIR] [--format=text|json] "
+           "[--no-default-excludes] [paths...]\n"
+           "Scans src tools bench tests under DIR (default: .) "
+           "unless explicit paths are given.\n"
+           "Paths containing /fixtures/ are skipped unless "
+           "--no-default-excludes is set.\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            opt.root = argv[++i];
+        } else if (arg == "--format=json") {
+            opt.json = true;
+        } else if (arg == "--format=text") {
+            opt.json = false;
+        } else if (arg == "--no-default-excludes") {
+            opt.defaultExcludes = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            opt.paths.push_back(arg);
+        }
+    }
+    if (opt.paths.empty())
+        opt.paths = {"src", "tools", "bench", "tests"};
+
+    const fs::path root(opt.root);
+    if (!fs::is_directory(root)) {
+        std::cerr << "aflint: no such directory: " << opt.root << "\n";
+        return 2;
+    }
+
+    std::vector<Finding> findings;
+    std::size_t files_scanned = 0;
+    for (const std::string &sub : opt.paths) {
+        const fs::path base = root / sub;
+        if (!fs::exists(base)) {
+            std::cerr << "aflint: no such path: " << base.string()
+                      << "\n";
+            return 2;
+        }
+        std::vector<fs::path> files;
+        if (fs::is_regular_file(base)) {
+            files.push_back(base);
+        } else {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(base)) {
+                if (entry.is_regular_file() &&
+                    isSourceFile(entry.path()))
+                    files.push_back(entry.path());
+            }
+        }
+        std::sort(files.begin(), files.end());
+        for (const fs::path &f : files) {
+            const std::string rel =
+                fs::relative(f, root).generic_string();
+            if (opt.defaultExcludes &&
+                rel.find("fixtures/") != std::string::npos)
+                continue;
+            ++files_scanned;
+            scanFile(f, rel, findings);
+        }
+    }
+
+    for (const Finding &f : findings) {
+        if (opt.json) {
+            std::cout << "{\"file\":\"" << jsonEscape(f.file)
+                      << "\",\"line\":" << f.line << ",\"rule\":\""
+                      << f.rule << "\",\"message\":\""
+                      << jsonEscape(f.message) << "\"}\n";
+        } else {
+            std::cout << f.file << ":" << f.line << ": " << f.rule
+                      << ": " << f.message << "\n";
+        }
+    }
+    if (!opt.json) {
+        std::cout << "aflint: " << files_scanned << " files, "
+                  << findings.size() << " finding(s)\n";
+    }
+    return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * AF005 seed: a header with no include guard (and no pragma once).
+ * Part of the aflint negative-test fixtures; never compiled.
+ */
+
+namespace fixture {
+
+struct Unguarded {
+    int value = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deliberately broken source for the aflint negative test: every
+ * construct below violates a lint rule, so a scan of this directory
+ * (with default excludes disabled) must exit non-zero. Never compiled.
+ */
+
+#include <chrono>
+#include <cstdlib>
+
+#include "bad_header.hh"
+
+namespace fixture {
+
+unsigned long long
+wallClockNow()
+{
+    // AF001: wall-clock read inside simulator code.
+    const auto now = std::chrono::system_clock::now();
+    // AF001: libc randomness.
+    const int jitter = rand() % 7;
+    return static_cast<unsigned long long>(
+               now.time_since_epoch().count()) +
+           static_cast<unsigned long long>(jitter);
+}
+
+int *
+leakyAlloc()
+{
+    // AF002: raw allocation without an owner.
+    int *p = new int(42);
+    return p;
+}
+
+void
+leakyFree(int *p)
+{
+    // AF002: raw delete.
+    delete p;
+}
+
+struct FakeRegistry {
+    void registerCounter(const char *name, const void *counter);
+    void registerCounter(const char *name, const void *counter,
+                         const char *desc);
+};
+
+void
+undescribedStat(FakeRegistry &reg, const void *counter)
+{
+    // AF004: stats registration without a description argument.
+    reg.registerCounter("mystery_counter", counter);
+}
+
+unsigned
+truncatedTick(unsigned long long cur_tick)
+{
+    // AF006: signed truncation of a Tick value.
+    return static_cast<unsigned>(static_cast<int>(cur_tick));
+}
+
+} // namespace fixture
