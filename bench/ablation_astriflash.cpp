@@ -11,9 +11,20 @@
  *  4. DRAM-cache associativity — conflict misses at page grain.
  *  5. Forward-progress bit off — the livelock demonstration: under
  *     deliberate cache thrash, runs without the bit fail to finish.
+ *  6. Footprint-cache mode — flash refill bandwidth (§II-A).
+ *
+ * Every run is an isolated simulation parameterized up front, so the
+ * whole suite (reference run included) executes as one SweepRunner
+ * batch behind --jobs; rows print in fixed order regardless of which
+ * host thread finished first.
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "sim/option_parser.hh"
+#include "sim/sweep_runner.hh"
 
 #include "core/system.hh"
 
@@ -21,6 +32,14 @@ using namespace astriflash;
 using namespace astriflash::core;
 
 namespace {
+
+/** RunResults plus two ablation-specific counters pulled from the
+ *  component stats tree before the System is torn down. */
+struct Cell {
+    RunResults r;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
 
 SystemConfig
 baseCfg()
@@ -35,93 +54,173 @@ baseCfg()
     return cfg;
 }
 
+using Extract = std::function<void(System &, Cell &)>;
+
+std::function<Cell()>
+makeTask(SystemConfig cfg, Extract extract = nullptr)
+{
+    return [cfg, extract] {
+        System sys(cfg);
+        Cell cell;
+        cell.r = sys.run();
+        if (extract)
+            extract(sys, cell);
+        return cell;
+    };
+}
+
+/** Sum a per-core counter over all cores (a: switch-on-miss etc.). */
+std::uint64_t
+sumCores(System &sys, std::uint64_t n_cores,
+         const std::function<std::uint64_t(SimCore &)> &get)
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t c = 0; c < n_cores; ++c)
+        total += get(sys.coreAt(c));
+    return total;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    // Reference point.
-    double dram_thr = 0;
+    std::uint32_t host_jobs = 1;
+    sim::OptionParser opts(
+        "ablation_astriflash",
+        "Ablations of the §IV design choices (switch cost, pending "
+        "bound, MSR size, associativity, FP bit, footprint mode).");
+    opts.addUint32("jobs", &host_jobs,
+                   "host threads running ablation cells in parallel "
+                   "(0 = all hardware threads)");
+    opts.parseOrExit(argc, argv);
+
+    const sim::Ticks switch_costs[] = {
+        sim::Ticks{0}, sim::nanoseconds(100), sim::nanoseconds(500),
+        sim::microseconds(1), sim::microseconds(5)};
+    const std::uint32_t pending_caps[] = {2, 4, 8, 16, 64};
+    const std::uint32_t msr_sets[] = {1, 2, 8, 128};
+    const std::uint32_t assoc_ways[] = {1, 2, 4, 8, 16};
+    const bool fp_bits[] = {true, false};
+    const bool footprint_modes[] = {false, true};
+
+    // Build the whole suite up front: task 0 is the DRAM-only
+    // reference every ablation normalizes against.
+    std::vector<std::function<Cell()>> tasks;
     {
         SystemConfig cfg = baseCfg();
         cfg.kind = SystemKind::DramOnly;
-        System sys(cfg);
-        dram_thr = sys.run().throughputJobsPerSec;
+        tasks.push_back(makeTask(cfg));
     }
+    for (sim::Ticks cost : switch_costs) {
+        SystemConfig cfg = baseCfg();
+        cfg.threadSwitch = cost;
+        tasks.push_back(makeTask(cfg));
+    }
+    for (std::uint32_t cap : pending_caps) {
+        SystemConfig cfg = baseCfg();
+        cfg.sched.pendingCap = cap;
+        tasks.push_back(makeTask(cfg, [](System &sys, Cell &cell) {
+            cell.a = sumCores(sys, sys.config().cores,
+                              [](SimCore &core) {
+                                  return core.scheduler()
+                                      .stats()
+                                      .pendingOverflows.value();
+                              });
+        }));
+    }
+    for (std::uint32_t sets : msr_sets) {
+        SystemConfig cfg = baseCfg();
+        cfg.dramCache.msrSets = sets;
+        cfg.dramCache.msrEntriesPerSet = 2;
+        tasks.push_back(makeTask(cfg, [](System &sys, Cell &cell) {
+            cell.a =
+                sys.dramCache()->msr().stats().setFullStalls.value();
+        }));
+    }
+    for (std::uint32_t ways : assoc_ways) {
+        SystemConfig cfg = baseCfg();
+        cfg.dramCache.ways = ways;
+        tasks.push_back(makeTask(cfg));
+    }
+    for (bool fp : fp_bits) {
+        SystemConfig cfg = baseCfg();
+        cfg.kind = SystemKind::AstriFlashNoPS;
+        cfg.dramCacheRatio = 0.0002;
+        cfg.warmupJobs = 50;
+        cfg.measureJobs = 500;
+        cfg.maxSimTicks = sim::milliseconds(400);
+        cfg.forwardProgressBit = fp;
+        tasks.push_back(makeTask(cfg, [](System &sys, Cell &cell) {
+            const std::uint64_t cores = sys.config().cores;
+            cell.a = sumCores(sys, cores, [](SimCore &core) {
+                return core.stats().syncMissStalls.value();
+            });
+            cell.b = sumCores(sys, cores, [](SimCore &core) {
+                return core.stats().switchOnMiss.value();
+            });
+        }));
+    }
+    for (bool fpc : footprint_modes) {
+        SystemConfig cfg = baseCfg();
+        cfg.dramCache.footprintEnabled = fpc;
+        tasks.push_back(makeTask(cfg, [](System &sys, Cell &cell) {
+            cell.a =
+                sys.dramCache()->stats().flashBytesRead.value();
+            cell.b =
+                sys.dramCache()->stats().subPageMisses.value();
+        }));
+    }
+
+    const sim::SweepRunner runner(host_jobs);
+    const std::vector<Cell> cells = runner.run(std::move(tasks));
+
+    std::size_t at = 0;
+    const double dram_thr = cells[at++].r.throughputJobsPerSec;
 
     std::printf("# Ablation 1: thread-switch cost (TATP, 4 cores; "
                 "normalized throughput)\n");
     std::printf("%-14s %-12s %-12s\n", "switch cost", "thr%",
                 "p99 svc us");
-    for (sim::Ticks cost :
-         {sim::Ticks{0}, sim::nanoseconds(100), sim::nanoseconds(500),
-          sim::microseconds(1), sim::microseconds(5)}) {
-        SystemConfig cfg = baseCfg();
-        cfg.threadSwitch = cost;
-        System sys(cfg);
-        const auto r = sys.run();
+    for (sim::Ticks cost : switch_costs) {
+        const Cell &cell = cells[at++];
         std::printf("%-14.1f %-12.1f %-12.1f\n",
                     sim::toMicroseconds(cost),
-                    100.0 * r.throughputJobsPerSec / dram_thr,
-                    r.serviceUs(0.99));
-        std::fflush(stdout);
+                    100.0 * cell.r.throughputJobsPerSec / dram_thr,
+                    cell.r.serviceUs(0.99));
     }
 
     std::printf("\n# Ablation 2: pending-queue bound (p99 service)\n");
     std::printf("%-10s %-12s %-14s %-16s\n", "cap", "thr%",
                 "p99 svc us", "overflows");
-    for (std::uint32_t cap : {2u, 4u, 8u, 16u, 64u}) {
-        SystemConfig cfg = baseCfg();
-        cfg.sched.pendingCap = cap;
-        System sys(cfg);
-        const auto r = sys.run();
-        std::uint64_t ovf = 0;
-        for (std::uint32_t c = 0; c < cfg.cores; ++c) {
-            ovf += sys.coreAt(c)
-                       .scheduler()
-                       .stats()
-                       .pendingOverflows.value();
-        }
+    for (std::uint32_t cap : pending_caps) {
+        const Cell &cell = cells[at++];
         std::printf("%-10u %-12.1f %-14.1f %-16llu\n", cap,
-                    100.0 * r.throughputJobsPerSec / dram_thr,
-                    r.serviceUs(0.99),
-                    static_cast<unsigned long long>(ovf));
-        std::fflush(stdout);
+                    100.0 * cell.r.throughputJobsPerSec / dram_thr,
+                    cell.r.serviceUs(0.99),
+                    static_cast<unsigned long long>(cell.a));
     }
 
     std::printf("\n# Ablation 3: Miss Status Row capacity "
                 "(set-conflict stalls)\n");
     std::printf("%-12s %-12s %-14s %-14s\n", "MSR entries", "thr%",
                 "p99 svc us", "set stalls");
-    for (std::uint32_t sets : {1u, 2u, 8u, 128u}) {
-        SystemConfig cfg = baseCfg();
-        cfg.dramCache.msrSets = sets;
-        cfg.dramCache.msrEntriesPerSet = 2;
-        System sys(cfg);
-        const auto r = sys.run();
+    for (std::uint32_t sets : msr_sets) {
+        const Cell &cell = cells[at++];
         std::printf("%-12u %-12.1f %-14.1f %-14llu\n", sets * 2,
-                    100.0 * r.throughputJobsPerSec / dram_thr,
-                    r.serviceUs(0.99),
-                    static_cast<unsigned long long>(
-                        sys.dramCache()
-                            ->msr()
-                            .stats()
-                            .setFullStalls.value()));
-        std::fflush(stdout);
+                    100.0 * cell.r.throughputJobsPerSec / dram_thr,
+                    cell.r.serviceUs(0.99),
+                    static_cast<unsigned long long>(cell.a));
     }
 
     std::printf("\n# Ablation 4: DRAM-cache associativity "
                 "(hit ratio at 3%% capacity)\n");
     std::printf("%-8s %-12s %-12s\n", "ways", "hit%", "thr%");
-    for (std::uint32_t ways : {1u, 2u, 4u, 8u, 16u}) {
-        SystemConfig cfg = baseCfg();
-        cfg.dramCache.ways = ways;
-        System sys(cfg);
-        const auto r = sys.run();
+    for (std::uint32_t ways : assoc_ways) {
+        const Cell &cell = cells[at++];
         std::printf("%-8u %-12.2f %-12.1f\n", ways,
-                    100.0 * r.dramCacheHitRatio,
-                    100.0 * r.throughputJobsPerSec / dram_thr);
-        std::fflush(stdout);
+                    100.0 * cell.r.dramCacheHitRatio,
+                    100.0 * cell.r.throughputJobsPerSec / dram_thr);
     }
 
     std::printf("\n# Ablation 5: forward-progress bit under extreme "
@@ -131,29 +230,13 @@ main()
     std::printf("%-8s %-12s %-14s %-14s %-12s\n", "FP bit",
                 "thr jobs/s", "p99 svc us", "forced-sync",
                 "switches");
-    for (bool fp : {true, false}) {
-        SystemConfig cfg = baseCfg();
-        cfg.kind = SystemKind::AstriFlashNoPS;
-        cfg.dramCacheRatio = 0.0002;
-        cfg.warmupJobs = 50;
-        cfg.measureJobs = 500;
-        cfg.maxSimTicks = sim::milliseconds(400);
-        cfg.forwardProgressBit = fp;
-        System sys(cfg);
-        const auto r = sys.run();
-        std::uint64_t remisses = 0, forced = 0;
-        for (std::uint32_t c = 0; c < cfg.cores; ++c) {
-            remisses +=
-                sys.coreAt(c).stats().switchOnMiss.value();
-            forced +=
-                sys.coreAt(c).stats().syncMissStalls.value();
-        }
+    for (bool fp : fp_bits) {
+        const Cell &cell = cells[at++];
         std::printf("%-8s %-12.0f %-14.1f %-14llu %-12llu\n",
-                    fp ? "on" : "off", r.throughputJobsPerSec,
-                    r.serviceUs(0.99),
-                    static_cast<unsigned long long>(forced),
-                    static_cast<unsigned long long>(remisses));
-        std::fflush(stdout);
+                    fp ? "on" : "off", cell.r.throughputJobsPerSec,
+                    cell.r.serviceUs(0.99),
+                    static_cast<unsigned long long>(cell.a),
+                    static_cast<unsigned long long>(cell.b));
     }
     std::printf("# The bit trades throughput for a *guarantee*: each "
                 "resume retires at least one\n"
@@ -169,24 +252,14 @@ main()
     std::printf("%-12s %-12s %-16s %-14s %-14s\n", "footprint",
                 "thr%", "flash MB read", "sub-page miss",
                 "p99 svc us");
-    for (bool fpc : {false, true}) {
-        SystemConfig cfg = baseCfg();
-        cfg.dramCache.footprintEnabled = fpc;
-        System sys(cfg);
-        const auto r = sys.run();
+    for (bool fpc : footprint_modes) {
+        const Cell &cell = cells[at++];
         std::printf("%-12s %-12.1f %-16.2f %-14llu %-14.1f\n",
                     fpc ? "on" : "off",
-                    100.0 * r.throughputJobsPerSec / dram_thr,
-                    static_cast<double>(sys.dramCache()
-                                            ->stats()
-                                            .flashBytesRead.value()) /
-                        1e6,
-                    static_cast<unsigned long long>(
-                        sys.dramCache()
-                            ->stats()
-                            .subPageMisses.value()),
-                    r.serviceUs(0.99));
-        std::fflush(stdout);
+                    100.0 * cell.r.throughputJobsPerSec / dram_thr,
+                    static_cast<double>(cell.a) / 1e6,
+                    static_cast<unsigned long long>(cell.b),
+                    cell.r.serviceUs(0.99));
     }
     std::printf("# Expect: footprint mode cuts refill bytes for "
                 "re-referenced pages at the cost of a\n"

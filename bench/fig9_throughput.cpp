@@ -11,11 +11,21 @@
  * Scaled methodology: 8 cores, 1 GB dataset with a 3% DRAM cache
  * (capacity *ratio* and miss-interval calibration match §V-A; see
  * DESIGN.md for the scaling argument).
+ *
+ * Every (workload, config) cell — the DRAM-only baselines included —
+ * is an isolated simulation, so the whole grid runs as one parallel
+ * SweepRunner batch behind --jobs.
  */
 
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <map>
 #include <vector>
+
+#include "sim/json.hh"
+#include "sim/option_parser.hh"
+#include "sim/sweep_runner.hh"
 
 #include "core/system.hh"
 
@@ -24,8 +34,10 @@ using namespace astriflash::core;
 
 namespace {
 
-double
-runThroughput(SystemKind kind, workload::Kind wl)
+std::uint64_t measure_jobs = 6000;
+
+SystemConfig
+cellCfg(SystemKind kind, workload::Kind wl)
 {
     SystemConfig cfg;
     cfg.kind = kind;
@@ -33,19 +45,50 @@ runThroughput(SystemKind kind, workload::Kind wl)
     cfg.workloadKind = wl;
     cfg.workload.datasetBytes = 1ull << 30;
     cfg.warmupJobs = 800;
-    cfg.measureJobs = 6000;
-    System sys(cfg);
-    return sys.run().throughputJobsPerSec;
+    cfg.measureJobs = measure_jobs;
+    return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::uint32_t host_jobs = 1;
+    std::string stats_json;
+    sim::OptionParser opts(
+        "fig9_throughput",
+        "Figure 9: throughput of every configuration normalized to "
+        "DRAM-only across the seven workloads.");
+    opts.addUint("measure-jobs", &measure_jobs,
+                 "measured jobs per cell");
+    opts.addUint32("jobs", &host_jobs,
+                   "host threads running cells in parallel "
+                   "(0 = all hardware threads)");
+    opts.addString("stats-json", &stats_json,
+                   "write the normalized grid as JSON to FILE");
+    opts.parseOrExit(argc, argv);
+
     const SystemKind kinds[] = {
         SystemKind::AstriFlash, SystemKind::AstriFlashIdeal,
         SystemKind::OsSwap, SystemKind::FlashSync};
+
+    // One task per grid cell: column 0 is the DRAM-only baseline the
+    // row normalizes against.
+    std::vector<std::function<double()>> tasks;
+    for (workload::Kind wl : workload::kAllKinds) {
+        for (int col = -1;
+             col < static_cast<int>(std::size(kinds)); ++col) {
+            const SystemKind kind =
+                col < 0 ? SystemKind::DramOnly : kinds[col];
+            tasks.emplace_back([kind, wl] {
+                System sys(cellCfg(kind, wl));
+                return sys.run().throughputJobsPerSec;
+            });
+        }
+    }
+    const sim::SweepRunner runner(host_jobs);
+    const std::vector<double> thr = runner.run(std::move(tasks));
 
     std::printf("# Figure 9: throughput normalized to DRAM-only "
                 "(8 cores, 1 GiB dataset, 3%% DRAM cache)\n");
@@ -54,14 +97,18 @@ main()
         std::printf(" %-18s", systemKindName(k));
     std::printf("\n");
 
+    const std::size_t row_w = std::size(kinds) + 1;
     std::map<SystemKind, double> sums;
-    for (workload::Kind wl : workload::kAllKinds) {
-        const double base =
-            runThroughput(SystemKind::DramOnly, wl);
-        std::printf("%-10s", workload::kindName(wl));
-        for (SystemKind k : kinds) {
-            const double norm = runThroughput(k, wl) / base;
-            sums[k] += norm;
+    std::vector<std::vector<double>> rows;
+    for (std::size_t r = 0; r < std::size(workload::kAllKinds); ++r) {
+        const double base = thr[r * row_w];
+        std::printf("%-10s",
+                    workload::kindName(workload::kAllKinds[r]));
+        rows.emplace_back();
+        for (std::size_t i = 0; i < std::size(kinds); ++i) {
+            const double norm = thr[r * row_w + 1 + i] / base;
+            sums[kinds[i]] += norm;
+            rows.back().push_back(norm);
             std::printf(" %-18.2f", norm);
         }
         std::printf("\n");
@@ -73,5 +120,31 @@ main()
                     sums[k] / std::size(workload::kAllKinds));
     }
     std::printf("\n# (*arithmetic mean of normalized throughputs)\n");
+
+    if (!stats_json.empty()) {
+        std::ofstream out(stats_json);
+        if (!out) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         stats_json.c_str());
+            return 1;
+        }
+        sim::JsonWriter w(out);
+        w.beginObject();
+        w.field("benchmark", "fig9_throughput");
+        w.field("normalized_to", "dram");
+        w.key("rows");
+        w.beginArray();
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            w.beginObject();
+            w.field("workload",
+                    workload::kindName(workload::kAllKinds[r]));
+            for (std::size_t i = 0; i < std::size(kinds); ++i)
+                w.field(systemKindName(kinds[i]), rows[r][i]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        out << "\n";
+    }
     return 0;
 }

@@ -44,6 +44,25 @@ System::System(const SystemConfig &config) : cfg(config)
             cfg.meanInterarrival, cfg.seed * 31 + 7);
     }
 
+    // Pre-size the event heap and the measurement histograms from
+    // configuration hints so the warm-up phase reaches steady state
+    // without a single reallocation on the kernel's hot path. The
+    // event population is bounded by per-core machinery (run quantum,
+    // pending queue, hierarchy misses) plus one in-flight event per
+    // MSR entry and a slice of arrival bookkeeping.
+    std::size_t expected_events =
+        64 + static_cast<std::size_t>(cfg.cores) *
+                 (cfg.sched.pendingCap + 32);
+    if (dcache)
+        expected_events += dcache->msr().capacity();
+    if (arrivals)
+        expected_events += 64;
+    eq.reserve(expected_events);
+
+    // Every recorded latency is bounded by the simulated-time wall.
+    serviceHist.reserveFor(cfg.maxSimTicks);
+    responseHist.reserveFor(cfg.maxSimTicks);
+
     registerStats();
     registerInvariants();
 }

@@ -6,23 +6,39 @@
  * simulator. Events are arbitrary callables scheduled at an absolute
  * tick; ties are broken by an explicit priority and then by insertion
  * order, so simulations are fully deterministic.
+ *
+ * Hot-path design (see DESIGN.md §9):
+ *
+ * - Callbacks are InlineFunction (small-buffer optimized), so a
+ *   schedule() with a capture up to 48 bytes never touches the heap.
+ * - The binary heap holds small POD nodes only; each node points into
+ *   a slot table that owns the callback, so sift operations move
+ *   24-byte PODs instead of type-erased callables.
+ * - Cancellation is generation-tagged lazy deletion: deschedule()
+ *   flips a bit in the slot (O(1), no hashing) and the node is
+ *   discarded when it surfaces. When cancelled nodes exceed a fixed
+ *   fraction of the heap, the heap is compacted in one O(n) pass, so
+ *   tombstones cannot grow without bound.
  */
 
 #ifndef ASTRIFLASH_SIM_EVENT_QUEUE_HH
 #define ASTRIFLASH_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "inline_fn.hh"
 #include "invariant.hh"
 #include "ticks.hh"
 
 namespace astriflash::sim {
 
-/** Opaque handle identifying a scheduled event (for cancellation). */
+/**
+ * Opaque handle identifying a scheduled event (for cancellation).
+ * Packs a slot index and a generation tag; a handle goes stale the
+ * moment its event fires or is cancelled, and a stale handle can never
+ * cancel the slot's next occupant.
+ */
 using EventId = std::uint64_t;
 
 /** Sentinel returned for an event that could not be scheduled. */
@@ -42,13 +58,15 @@ enum class EventPriority : int {
 /**
  * Deterministic discrete-event queue.
  *
- * Not thread-safe; the whole simulator is single-threaded by design
- * (determinism and debuggability outweigh host parallelism here).
+ * Not thread-safe: each queue belongs to exactly one simulated system,
+ * and one system runs on one host thread. Host parallelism comes from
+ * running many isolated systems side by side (sim::SweepRunner), never
+ * from sharing a queue.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFunction<48>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -83,10 +101,22 @@ class EventQueue
     bool deschedule(EventId id);
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const { return alive.size(); }
+    std::size_t
+    pending() const
+    {
+        return heap.size() - cancelledCount;
+    }
 
     /** True if no runnable events remain. */
     bool empty() const { return pending() == 0; }
+
+    /**
+     * Pre-size the heap and slot table for @p expected_events
+     * simultaneously pending events, so steady-state scheduling never
+     * reallocates. Callers derive the hint from their configuration
+     * (cores, queue depths, MSHR/MSR capacities).
+     */
+    void reserve(std::size_t expected_events);
 
     /**
      * Run events until the queue drains or @p limit is reached.
@@ -104,46 +134,89 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executedCount; }
 
+    /** Cancelled nodes still parked in the heap (tests, stats). */
+    std::size_t cancelledInHeap() const { return cancelledCount; }
+
+    /** Heap compactions performed over the queue's lifetime. */
+    std::uint64_t compactions() const { return compactionCount; }
+
     /**
-     * Audit the kernel: every heap node is accounted alive or
-     * cancelled, ids stay below the sequence counter, and no pending
-     * event lies in the past.
+     * Audit the kernel: heap/slot cross-accounting, generation-tag
+     * sanity, the compaction policy's tombstone bound, and no pending
+     * event in the past.
      */
     void checkInvariants(InvariantChecker &chk) const;
 
+    /**
+     * Compaction policy: compact when more than kCompactDenominator-th
+     * of a heap larger than kCompactMinHeap nodes is tombstones.
+     * Exposed for tests and the invariant audit.
+     */
+    static constexpr std::size_t kCompactMinHeap = 64;
+    static constexpr std::size_t kCompactDenominator = 2;
+
   private:
-    struct Entry {
+    /** POD heap node; the callback lives in slots[slot]. */
+    struct Node {
         Ticks when;
-        int prio;
-        std::uint64_t seq;
-        EventId id;
+        std::int32_t prio;
+        std::uint32_t slot;
+        std::uint64_t seq; ///< Insertion order, tie-break of last resort.
+    };
+
+    /** Callback owner + liveness state for one in-flight event. */
+    struct Slot {
         Callback fn;
+        std::uint32_t gen = 1; ///< Bumped on release; 0 is never used.
+        bool busy = false;      ///< Scheduled and not yet fired/reaped.
+        bool cancelled = false; ///< deschedule() seen; reap on surface.
     };
 
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
-        }
-    };
+    /** Max-heap comparator on "later runs first popped last". */
+    static bool
+    later(const Node &a, const Node &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        if (a.prio != b.prio)
+            return a.prio > b.prio;
+        return a.seq > b.seq;
+    }
 
-    /** Pop and run the single earliest event. Assumes non-empty heap. */
-    void runOne();
+    static EventId
+    packId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(slot) << 32) | gen;
+    }
 
-    /** Drop the top heap node if it was cancelled. @return true if so. */
-    bool skipCancelledTop();
+    /** Push a node and restore the heap property (sift-up). */
+    void heapPush(const Node &n);
+
+    /** Pop the root node and restore the heap property (sift-down). */
+    Node heapPop();
+
+    /** Return @p slot to the free list and invalidate its handles. */
+    void releaseSlot(std::uint32_t slot);
+
+    /** Drop every cancelled node in one pass and re-heapify. */
+    void compact();
+
+    /** True when the tombstone fraction calls for compaction. */
+    bool
+    wantCompaction() const
+    {
+        return heap.size() > kCompactMinHeap &&
+               cancelledCount * kCompactDenominator > heap.size();
+    }
 
     Ticks now = 0;
     std::uint64_t nextSeq = 1;
     std::uint64_t executedCount = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
-    std::unordered_set<EventId> alive;
-    std::unordered_set<EventId> cancelled;
+    std::uint64_t compactionCount = 0;
+    std::size_t cancelledCount = 0;
+    std::vector<Node> heap; ///< Binary heap, root at index 0.
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> freeSlots;
 };
 
 } // namespace astriflash::sim

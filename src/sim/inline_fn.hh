@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable.
+ *
+ * The event kernel schedules millions of short-lived lambdas per
+ * simulated second; std::function heap-allocates any capture larger
+ * than its tiny internal buffer (16 bytes on libstdc++, and only for
+ * trivially-copyable captures), putting an allocator round trip on the
+ * kernel's hottest path. InlineFunction stores captures up to
+ * kInlineBytes directly inside the object and only falls back to the
+ * heap beyond that; unlike std::function it is move-only, so it also
+ * accepts callables with move-only captures (unique_ptr and friends).
+ */
+
+#ifndef ASTRIFLASH_SIM_INLINE_FN_HH
+#define ASTRIFLASH_SIM_INLINE_FN_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace astriflash::sim {
+
+/**
+ * Type-erased `void()` callable with inline storage.
+ *
+ * @tparam InlineBytes  Capture bytes stored without heap allocation.
+ */
+template <std::size_t InlineBytes = 48>
+class InlineFunction
+{
+  public:
+    static constexpr std::size_t kInlineBytes = InlineBytes;
+
+    InlineFunction() = default;
+
+    /** Wrap any `void()` callable. */
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&fn) // NOLINT: implicit like std::function
+    {
+        emplace(std::forward<F>(fn));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** True if a callable is held. */
+    explicit operator bool() const { return ops != nullptr; }
+
+    /** Invoke the held callable (must be non-empty). */
+    void operator()() { ops->invoke(storagePtr()); }
+
+    /** Destroy the held callable, leaving the function empty. */
+    void
+    reset()
+    {
+        if (ops) {
+            ops->destroy(storagePtr());
+            ops = nullptr;
+        }
+    }
+
+    /** True if the held callable lives in the inline buffer. */
+    bool
+    inlineStored() const
+    {
+        return ops != nullptr && ops->inlineStored;
+    }
+
+  private:
+    /** Per-erased-type operation table (shared, static storage). */
+    struct OpsTable {
+        void (*invoke)(void *);
+        void (*moveTo)(void *src, void *dst) noexcept;
+        void (*destroy)(void *) noexcept;
+        bool inlineStored;
+    };
+
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "InlineFunction requires a void() callable");
+        if constexpr (sizeof(Fn) <= InlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            // aflint-allow-next-line(AF002): placement new into the inline buffer
+            ::new (storagePtr()) Fn(std::forward<F>(fn));
+            static const OpsTable table = {
+                [](void *p) { (*static_cast<Fn *>(p))(); },
+                [](void *src, void *dst) noexcept {
+                    Fn *f = static_cast<Fn *>(src);
+                    // aflint-allow-next-line(AF002): relocation within the SBO
+                    ::new (dst) Fn(std::move(*f));
+                    f->~Fn();
+                },
+                [](void *p) noexcept { static_cast<Fn *>(p)->~Fn(); },
+                /*inlineStored=*/true,
+            };
+            ops = &table;
+        } else {
+            // Too big for the buffer: store a unique_ptr to it inline
+            // (always fits) and let its table forward through it.
+            using Box = std::unique_ptr<Fn>;
+            static_assert(sizeof(Box) <= InlineBytes);
+            // aflint-allow-next-line(AF002): placement new of the owning box
+            ::new (storagePtr())
+                Box(std::make_unique<Fn>(std::forward<F>(fn)));
+            static const OpsTable table = {
+                [](void *p) { (**static_cast<Box *>(p))(); },
+                [](void *src, void *dst) noexcept {
+                    Box *b = static_cast<Box *>(src);
+                    // aflint-allow-next-line(AF002): relocation of the owning box
+                    ::new (dst) Box(std::move(*b));
+                    b->~Box();
+                },
+                [](void *p) noexcept { static_cast<Box *>(p)->~Box(); },
+                /*inlineStored=*/false,
+            };
+            ops = &table;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        ops = other.ops;
+        if (ops) {
+            ops->moveTo(other.storagePtr(), storagePtr());
+            other.ops = nullptr;
+        }
+    }
+
+    void *storagePtr() { return static_cast<void *>(&storage); }
+    const void *storagePtr() const { return &storage; }
+
+    alignas(std::max_align_t) std::byte storage[InlineBytes];
+    const OpsTable *ops = nullptr;
+};
+
+} // namespace astriflash::sim
+
+#endif // ASTRIFLASH_SIM_INLINE_FN_HH

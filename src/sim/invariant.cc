@@ -1,23 +1,26 @@
 #include "invariant.hh"
 
+#include <atomic>
 #include <sstream>
 
 namespace astriflash::sim {
 
 namespace {
-bool g_checks = ASTRIFLASH_CHECKS_ENABLED != 0;
+// Atomic (relaxed) so parallel sweeps reading the gate while a test
+// harness arms/disarms it stay race-free under TSan.
+std::atomic<bool> g_checks{ASTRIFLASH_CHECKS_ENABLED != 0};
 } // namespace
 
 bool
 checksEnabled()
 {
-    return g_checks;
+    return g_checks.load(std::memory_order_relaxed);
 }
 
 void
 setChecksEnabled(bool on)
 {
-    g_checks = on;
+    g_checks.store(on, std::memory_order_relaxed);
 }
 
 std::uint64_t

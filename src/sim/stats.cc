@@ -37,7 +37,28 @@ splitPath(const std::string &path)
 
 } // namespace
 
-Histogram::Histogram() : buckets(kNumBuckets, 0) {}
+void
+Histogram::growTo(std::uint32_t idx)
+{
+    // Amortize demand growth: jump straight to the end of the octave
+    // so a warming-up latency distribution triggers at most one growth
+    // per octave rather than one per new sub-bucket.
+    std::uint32_t target = idx + 1;
+    if (target < kNumBuckets)
+        target = std::min<std::uint32_t>(
+            kNumBuckets, (target + kSubBuckets - 1) &
+                             ~(static_cast<std::uint32_t>(kSubBuckets) -
+                               1));
+    buckets.resize(target, 0);
+}
+
+void
+Histogram::reserveFor(std::uint64_t max_value)
+{
+    const std::uint32_t idx = bucketIndex(max_value);
+    if (idx >= buckets.size())
+        growTo(idx);
+}
 
 std::uint32_t
 Histogram::bucketIndex(std::uint64_t v)
@@ -80,7 +101,10 @@ Histogram::sampleN(std::uint64_t v, std::uint64_t weight)
 {
     if (weight == 0)
         return;
-    buckets[bucketIndex(v)] += weight;
+    const std::uint32_t idx = bucketIndex(v);
+    if (idx >= buckets.size())
+        growTo(idx);
+    buckets[idx] += weight;
     n += weight;
     sum += static_cast<double>(v) * static_cast<double>(weight);
     if (v < minV)
@@ -127,8 +151,9 @@ Histogram::reset()
 void
 Histogram::merge(const Histogram &other)
 {
-    ASTRI_ASSERT(buckets.size() == other.buckets.size());
-    for (std::size_t i = 0; i < buckets.size(); ++i)
+    if (other.buckets.size() > buckets.size())
+        buckets.resize(other.buckets.size(), 0);
+    for (std::size_t i = 0; i < other.buckets.size(); ++i)
         buckets[i] += other.buckets[i];
     n += other.n;
     sum += other.sum;

@@ -107,13 +107,22 @@ class Average
 class Histogram
 {
   public:
-    Histogram();
+    Histogram() = default;
 
     /** Record one sample. */
     void sample(std::uint64_t v);
 
     /** Record @p weight occurrences of @p v. */
     void sampleN(std::uint64_t v, std::uint64_t weight);
+
+    /**
+     * Pre-size the bucket array to cover values up to @p max_value, so
+     * sampling in that range never reallocates. Buckets otherwise grow
+     * on demand (O(log max) growths over a histogram's lifetime);
+     * components with a configured ceiling (e.g. maxSimTicks bounds
+     * every latency) call this once at construction.
+     */
+    void reserveFor(std::uint64_t max_value);
 
     /** Number of samples. */
     std::uint64_t count() const { return n; }
@@ -150,6 +159,10 @@ class Histogram
     static std::uint32_t bucketIndex(std::uint64_t v);
     static std::uint64_t bucketUpperBound(std::uint32_t idx);
 
+    /** Grow the bucket array to make @p idx addressable. */
+    void growTo(std::uint32_t idx);
+
+    /** Demand-grown (see reserveFor); index via bucketIndex. */
     std::vector<std::uint64_t> buckets;
     std::uint64_t n = 0;
     double sum = 0.0;

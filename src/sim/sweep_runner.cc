@@ -1,0 +1,73 @@
+#include "sweep_runner.hh"
+
+#include <algorithm>
+#include <mutex>
+
+#include "logging.hh"
+
+namespace astriflash::sim {
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobCount(jobs == 0 ? hardwareJobs() : jobs)
+{
+}
+
+unsigned
+SweepRunner::hardwareJobs()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+SweepRunner::runIndexed(
+    std::size_t n, const std::function<void(std::size_t)> &body) const
+{
+    if (n == 0)
+        return;
+
+    // Tasks are claimed through one atomic cursor, so workers stay
+    // busy even when task runtimes are wildly uneven (a saturated
+    // open-loop point can run 10x longer than a light-load one).
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mu;
+    std::size_t err_index = n;
+    std::exception_ptr err;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                // Keep only the submission-order-first exception so
+                // rethrow order does not depend on thread timing.
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (i < err_index) {
+                    err_index = i;
+                    err = std::current_exception();
+                }
+            }
+        }
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobCount, n));
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace astriflash::sim

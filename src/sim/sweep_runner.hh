@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Host-parallel execution of independent simulations.
+ *
+ * Every paper figure sweeps many *independent* configurations through
+ * the single-threaded event kernel, so the natural parallelism is one
+ * whole simulation per host thread (Sniper-style config-level
+ * parallelism, not intra-simulation parallelism). SweepRunner is a
+ * small thread pool that runs a batch of tasks and returns their
+ * results in deterministic submission order regardless of which worker
+ * finished first or in what interleaving.
+ *
+ * Isolation contract: a task must build every piece of mutable state
+ * it touches (System, EventQueue, Rng, stats, tracer) inside its own
+ * body. The simulator's process-global knobs are safe to *read*
+ * concurrently (the checks gate is atomic, the trace sink is
+ * thread-local), so tasks never observe each other. Under this
+ * contract a sweep's results — including every byte of its stats JSON
+ * — are identical at any --jobs value.
+ */
+
+#ifndef ASTRIFLASH_SIM_SWEEP_RUNNER_HH
+#define ASTRIFLASH_SIM_SWEEP_RUNNER_HH
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace astriflash::sim {
+
+/** Runs batches of independent tasks across host threads. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param jobs  Worker threads for each run() batch; 0 picks the
+     *              host's hardware concurrency, 1 runs inline on the
+     *              calling thread (no threads spawned).
+     */
+    explicit SweepRunner(unsigned jobs = 1);
+
+    /** Worker threads a batch will use. */
+    unsigned jobs() const { return jobCount; }
+
+    /** The host's hardware concurrency (>= 1). */
+    static unsigned hardwareJobs();
+
+    /**
+     * Run every task and return their results indexed exactly like
+     * @p tasks. Blocks until the whole batch finished. If any task
+     * threw, the first exception in submission order is rethrown
+     * (after all tasks completed).
+     */
+    template <typename R>
+    std::vector<R>
+    run(std::vector<std::function<R()>> tasks) const
+    {
+        std::vector<R> results(tasks.size());
+        runIndexed(tasks.size(), [&](std::size_t i) {
+            results[i] = tasks[i]();
+        });
+        return results;
+    }
+
+    /**
+     * Run @p body for every index in [0, n) across the pool; the
+     * body's own side effects (indexed writes) carry the results.
+     */
+    void runIndexed(std::size_t n,
+                    const std::function<void(std::size_t)> &body) const;
+
+  private:
+    unsigned jobCount;
+};
+
+} // namespace astriflash::sim
+
+#endif // ASTRIFLASH_SIM_SWEEP_RUNNER_HH

@@ -44,7 +44,11 @@ tracePointName(TracePoint p)
 Tracer &
 Tracer::instance()
 {
-    static Tracer tracer;
+    // One sink per host thread: a simulation owns its thread for the
+    // duration of a run (SweepRunner runs whole systems per thread),
+    // so per-thread sinks give each parallel simulation an isolated
+    // tracer with zero synchronization on the emit path.
+    thread_local Tracer tracer;
     return tracer;
 }
 

@@ -5,11 +5,12 @@
  * A fixed-size ring buffer of typed events following one DRAM-cache
  * miss end to end: LLC miss -> MSR insert/dedup/stall -> flash read
  * issue/complete -> page fill -> thread resume (plus eviction, GC, and
- * scheduling edges). The sink is process-global so components emit
- * without plumbing a pointer through every constructor; when disabled
- * (the default) emit() is a single branch on a bool — no heap
- * allocation, no formatting, no lock — so tracing costs nothing unless
- * `--trace=FILE` turned it on.
+ * scheduling edges). The sink is thread-global (one per host thread)
+ * so components emit without plumbing a pointer through every
+ * constructor, and parallel sweeps (sim::SweepRunner) each record into
+ * an isolated ring; when disabled (the default) emit() is a single
+ * branch on a bool — no heap allocation, no formatting, no lock — so
+ * tracing costs nothing unless `--trace=FILE` turned it on.
  *
  * Events are drained as JSONL (one JSON object per line), which both
  * `jq` and Chrome's trace importers consume after a trivial transform;
@@ -61,7 +62,7 @@ struct TraceRecord {
 };
 
 /**
- * Process-global trace sink.
+ * Per-host-thread trace sink.
  *
  * Disabled by default; enable(capacity) pre-allocates the ring so the
  * emit path never allocates. The ring keeps the newest records: once
@@ -70,7 +71,7 @@ struct TraceRecord {
 class Tracer
 {
   public:
-    /** The process-wide sink. */
+    /** The calling thread's sink. */
     static Tracer &instance();
 
     /** Pre-allocate @p capacity records and start recording. */

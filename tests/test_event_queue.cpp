@@ -171,3 +171,213 @@ TEST(EventQueue, DeterministicTrace)
     };
     EXPECT_EQ(trace(), trace());
 }
+
+// ---- Generation-tagged slot reuse ----
+
+TEST(EventQueue, StaleHandleCannotCancelReusedSlot)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId a = eq.schedule(10, [&] { ++fired; });
+    eq.run();
+    // Slot 0 is free again; the next schedule reuses it under a new
+    // generation, so the stale handle must not alias the new event.
+    const EventId b = eq.schedule(20, [&] { fired += 100; });
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(eq.deschedule(a));
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.deschedule(b));
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StaleHandleAfterCancelCannotCancelReusedSlot)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId a = eq.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(eq.deschedule(a));
+    eq.run(); // Reaps the tombstone and releases the slot.
+    const EventId b = eq.schedule(20, [&] { ++fired; });
+    EXPECT_FALSE(eq.deschedule(a));
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.deschedule(b) == false);
+}
+
+TEST(EventQueue, HandlesStayUniqueAcrossManyReuses)
+{
+    EventQueue eq;
+    std::vector<EventId> seen;
+    for (int round = 0; round < 50; ++round) {
+        const EventId id = eq.schedule(eq.curTick() + 1, [] {});
+        for (const EventId old : seen)
+            EXPECT_NE(id, old);
+        seen.push_back(id);
+        eq.run();
+    }
+}
+
+// ---- Cancellation from inside a firing callback ----
+
+TEST(EventQueue, CallbackCancelsLaterEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId victim = kInvalidEventId;
+    victim = eq.schedule(20, [&] { fired += 100; });
+    eq.schedule(10, [&] {
+        ++fired;
+        EXPECT_TRUE(eq.deschedule(victim));
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CallbackCancelsSameTickEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    // Same tick: the first event (earlier seq) cancels the second
+    // before it surfaces.
+    EventId victim = kInvalidEventId;
+    eq.schedule(10, [&] {
+        ++fired;
+        EXPECT_TRUE(eq.deschedule(victim));
+    });
+    victim = eq.schedule(10, [&] { fired += 100; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CallbackReschedulesDuringFire)
+{
+    // The firing slot is released before the callback runs, so the
+    // callback's own schedule may land in the very slot that is firing
+    // (and may reallocate the slot table). Both must be safe.
+    EventQueue eq;
+    std::vector<Ticks> at;
+    eq.schedule(10, [&] {
+        at.push_back(eq.curTick());
+        for (int i = 0; i < 64; ++i)
+            eq.scheduleIn(1 + i, [&] { at.push_back(eq.curTick()); });
+    });
+    eq.run();
+    EXPECT_EQ(at.size(), 65u);
+    EXPECT_EQ(at.front(), 10u);
+    EXPECT_EQ(at.back(), 74u);
+}
+
+// ---- Tie-break ordering under the slot/heap split ----
+
+TEST(EventQueue, TieBreakSurvivesCancellations)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 16; ++i)
+        ids.push_back(eq.schedule(5, [&order, i] {
+            order.push_back(i);
+        }));
+    for (int i = 0; i < 16; i += 2)
+        EXPECT_TRUE(eq.deschedule(ids[static_cast<std::size_t>(i)]));
+    eq.run();
+    std::vector<int> expect;
+    for (int i = 1; i < 16; i += 2)
+        expect.push_back(i);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, PriorityThenInsertionOrderAfterReuse)
+{
+    EventQueue eq;
+    // Burn and release some slots first so the tie-break test runs on
+    // reused slots (seq, not slot index, must decide order).
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(1, [] {});
+    eq.run();
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); }, EventPriority::Stats);
+    eq.schedule(10, [&] { order.push_back(0); },
+                EventPriority::ClockEdge);
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(10, [&] { order.push_back(3); },
+                EventPriority::Teardown);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// ---- Compaction policy ----
+
+TEST(EventQueue, CompactionReclaimsTombstones)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    const std::size_t n = EventQueue::kCompactMinHeap * 4;
+    for (std::size_t i = 0; i < n; ++i)
+        ids.push_back(eq.schedule(1000 + i, [] {}));
+    // Cancel well past the tombstone threshold; the queue must compact
+    // eagerly rather than let cancelled nodes accumulate.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i % 3 != 0) {
+            EXPECT_TRUE(eq.deschedule(ids[i]));
+        }
+    }
+    EXPECT_GE(eq.compactions(), 1u);
+    // Post-compaction bound: tombstones are at most 1/kCompactDenominator
+    // of the heap (for heaps above the minimum size). Heap size is the
+    // live events plus the tombstones still parked in it.
+    const std::size_t heap_size = eq.pending() + eq.cancelledInHeap();
+    EXPECT_TRUE(heap_size <= EventQueue::kCompactMinHeap ||
+                eq.cancelledInHeap() * EventQueue::kCompactDenominator <=
+                    heap_size);
+    astriflash::sim::InvariantChecker chk;
+    eq.checkInvariants(chk);
+    EXPECT_EQ(chk.failures(), 0u);
+    eq.run();
+    EXPECT_EQ(eq.executed(), (n + 2) / 3); // The i % 3 == 0 survivors.
+}
+
+TEST(EventQueue, SmallHeapsNeverCompact)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (std::size_t i = 0; i < EventQueue::kCompactMinHeap; ++i)
+        ids.push_back(eq.schedule(100 + i, [] {}));
+    for (const EventId id : ids)
+        EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_EQ(eq.compactions(), 0u);
+    eq.run();
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+// ---- Invariant audit & reserve ----
+
+TEST(EventQueue, InvariantsHoldOnBusyQueue)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i)
+        ids.push_back(eq.schedule((i * 17) % 97 + 1, [] {}));
+    for (int i = 0; i < 200; i += 5)
+        eq.deschedule(ids[static_cast<std::size_t>(i)]);
+    eq.runSteps(50);
+    astriflash::sim::InvariantChecker chk;
+    eq.checkInvariants(chk);
+    EXPECT_EQ(chk.failures(), 0u);
+    EXPECT_GT(chk.conditionsEvaluated(), 0u);
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbSemantics)
+{
+    EventQueue eq;
+    eq.reserve(1024);
+    std::vector<int> order;
+    for (int i = 0; i < 500; ++i)
+        eq.schedule((499 - i) + 1, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order.size(), 500u);
+    EXPECT_EQ(order.front(), 499);
+    EXPECT_EQ(order.back(), 0);
+    EXPECT_EQ(eq.executed(), 500u);
+}

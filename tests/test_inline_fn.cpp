@@ -1,0 +1,99 @@
+/**
+ * @file
+ * InlineFunction tests: inline vs boxed storage, move semantics, and
+ * destruction accounting for the kernel's callback type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_fn.hh"
+
+using astriflash::sim::InlineFunction;
+
+TEST(InlineFunction, EmptyByDefault)
+{
+    InlineFunction<48> fn;
+    EXPECT_FALSE(fn);
+}
+
+TEST(InlineFunction, SmallCallableStoredInline)
+{
+    int hits = 0;
+    InlineFunction<48> fn([&hits] { ++hits; });
+    ASSERT_TRUE(fn);
+    EXPECT_TRUE(fn.inlineStored());
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, LargeCallableFallsBackToBox)
+{
+    std::array<std::uint64_t, 16> payload{};
+    payload[0] = 7;
+    payload[15] = 9;
+    int sum = 0;
+    InlineFunction<48> fn([payload, &sum] {
+        sum += static_cast<int>(payload[0] + payload[15]);
+    });
+    ASSERT_TRUE(fn);
+    EXPECT_FALSE(fn.inlineStored());
+    fn();
+    EXPECT_EQ(sum, 16);
+}
+
+TEST(InlineFunction, MoveTransfersOwnership)
+{
+    int hits = 0;
+    InlineFunction<48> a([&hits] { ++hits; });
+    InlineFunction<48> b(std::move(a));
+    EXPECT_FALSE(a); // NOLINT(bugprone-use-after-move): documented state
+    ASSERT_TRUE(b);
+    b();
+    EXPECT_EQ(hits, 1);
+
+    InlineFunction<48> c;
+    c = std::move(b);
+    EXPECT_FALSE(b); // NOLINT(bugprone-use-after-move): documented state
+    ASSERT_TRUE(c);
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, ResetDestroysCapturedState)
+{
+    auto token = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = token;
+    InlineFunction<48> fn([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired()); // The capture keeps it alive.
+    fn.reset();
+    EXPECT_TRUE(watch.expired());
+    EXPECT_FALSE(fn);
+}
+
+TEST(InlineFunction, ReassignmentReplacesCallable)
+{
+    int first = 0, second = 0;
+    InlineFunction<48> fn([&first] { ++first; });
+    fn();
+    fn = InlineFunction<48>([&second] { ++second; });
+    fn();
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 1);
+}
+
+TEST(InlineFunction, MoveOnlyCaptureWorks)
+{
+    auto owned = std::make_unique<int>(5);
+    int seen = 0;
+    InlineFunction<48> fn(
+        [p = std::move(owned), &seen] { seen = *p; });
+    fn();
+    EXPECT_EQ(seen, 5);
+}
