@@ -63,9 +63,9 @@ runMix(std::uint32_t channel_scale)
         t += microseconds(5);
         const std::uint64_t lpn = zipf.next();
         if (rng.chance(0.015))
-            dev.write(lpn, t);
+            dev.write(Lpn(lpn), t);
         else
-            dev.read(lpn, t);
+            dev.read(Lpn(lpn), t);
     }
     GcResult res;
     res.planes = cfg.totalPlanes();

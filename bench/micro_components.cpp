@@ -89,8 +89,8 @@ BM_MsrAllocateFree(benchmark::State &state)
     core::MissStatusRow msr("m", 128, 8);
     std::uint64_t page = 0;
     for (auto _ : state) {
-        msr.allocate(page * 4096);
-        msr.free(page * 4096);
+        msr.allocate(mem::PageNum(page));
+        msr.free(mem::PageNum(page));
         ++page;
     }
 }
@@ -172,7 +172,7 @@ BM_FlashReadModel(benchmark::State &state)
     sim::Ticks t = 0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            dev.read(rng.uniformInt(100000), t));
+            dev.read(flash::Lpn(rng.uniformInt(100000)), t));
         t += sim::microseconds(10);
     }
 }

@@ -56,7 +56,7 @@ DcAccess
 DramCache::access(mem::Addr pa, bool write, sim::Ticks now,
                   WaiterCookie waiter)
 {
-    const mem::Addr page = mem::pageBase(pa, cfg.pageBytes);
+    const mem::PageNum page = pageNum(pa);
     const sim::Ticks probe_done = tagProbe(pa, now);
     const bool hit =
         write ? pageTags.accessWrite(pa) : pageTags.access(pa);
@@ -124,7 +124,7 @@ DramCache::access(mem::Addr pa, bool write, sim::Ticks now,
 sim::Ticks
 DramCache::accessSync(mem::Addr pa, bool write, sim::Ticks now)
 {
-    const mem::Addr page = mem::pageBase(pa, cfg.pageBytes);
+    const mem::PageNum page = pageNum(pa);
     const sim::Ticks probe_done = tagProbe(pa, now);
     const bool hit =
         write ? pageTags.accessWrite(pa) : pageTags.access(pa);
@@ -171,7 +171,7 @@ DramCache::accessSync(mem::Addr pa, bool write, sim::Ticks now)
 }
 
 sim::Ticks
-DramCache::startMiss(mem::Addr page, sim::Ticks now, bool write,
+DramCache::startMiss(mem::PageNum page, sim::Ticks now, bool write,
                      std::uint64_t want_mask)
 {
     auto it = pending.find(page);
@@ -182,8 +182,8 @@ DramCache::startMiss(mem::Addr page, sim::Ticks now, bool write,
         // block sub-page-misses again after the install.
         if (!it->second.issued)
             it->second.fetchMask |= want_mask;
-        sim::traceEvent(sim::TracePoint::MsrDedup, now, kNoCore, page,
-                        it->second.waiters.size());
+        sim::traceEvent(sim::TracePoint::MsrDedup, now, kNoCore,
+                        pageByteAddr(page), it->second.waiters.size());
         return it->second.dataReady;
     }
 
@@ -206,7 +206,8 @@ DramCache::startMiss(mem::Addr page, sim::Ticks now, bool write,
         // pending and the MSR mirror each other; a duplicate here is
         // an invariant violation.
         ASTRI_PANIC("MSR holds %llx but pending table does not",
-                    static_cast<unsigned long long>(page));
+                    static_cast<unsigned long long>(
+                        pageByteAddr(page)));
       case MsrAlloc::SetFull: {
         // BC waits for an entry in this set to free; the request sits
         // in the BC queue. dataReady is a conservative estimate used
@@ -218,19 +219,21 @@ DramCache::startMiss(mem::Addr page, sim::Ticks now, bool write,
         pending.emplace(page, std::move(miss));
         msrStalled.push_back(page);
         sim::traceEvent(sim::TracePoint::MsrStall, bc_start, kNoCore,
-                        page, msrTable.setOccupancy(page));
+                        pageByteAddr(page),
+                        msrTable.setOccupancy(page));
         break;
       }
       case MsrAlloc::New: {
         sim::traceEvent(sim::TracePoint::MsrInsert, bc_start, kNoCore,
-                        page, msrTable.occupancy());
+                        pageByteAddr(page), msrTable.occupancy());
         const std::uint64_t fetch_bytes =
             static_cast<std::uint64_t>(
                 std::popcount(miss.fetchMask)) * mem::kBlockSize;
         const auto read = flashDev.read(
-            addrMap.flashPage(page), bc_start, fetch_bytes);
+            addrMap.flashPage(pageByteAddr(page)), bc_start,
+            mem::Bytes(fetch_bytes));
         sim::traceEvent(sim::TracePoint::FlashReadIssue, bc_start,
-                        kNoCore, page, fetch_bytes);
+                        kNoCore, pageByteAddr(page), fetch_bytes);
         miss.issued = true;
         miss.dataReady = read.complete + bcOp() + installEstimate();
         pending.emplace(page, std::move(miss));
@@ -254,17 +257,19 @@ DramCache::installEstimate() const
 }
 
 void
-DramCache::pageArrived(mem::Addr page)
+DramCache::pageArrived(mem::PageNum page)
 {
     const sim::Ticks now = curTick();
-    sim::traceEvent(sim::TracePoint::FlashReadDone, now, kNoCore, page);
+    sim::traceEvent(sim::TracePoint::FlashReadDone, now, kNoCore,
+                    pageByteAddr(page));
 
     // Secure a frame: fill the tag array; a displaced victim parks in
     // the evict buffer and drains to flash off the critical path.
     auto pit = pending.find(page);
     ASTRI_ASSERT_MSG(pit != pending.end(),
                      "arrival for page %llx with no pending miss",
-                     static_cast<unsigned long long>(page));
+                     static_cast<unsigned long long>(
+                         pageByteAddr(page)));
     const bool dirty_install = pit->second.anyWrite;
     const std::uint64_t fetch_mask = pit->second.fetchMask;
     const std::uint64_t fetch_bytes =
@@ -274,25 +279,25 @@ DramCache::pageArrived(mem::Addr page)
         fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
     if (cfg.footprintEnabled)
         fetchedMask[page] |= fetch_mask;
-    auto victim = pageTags.fill(page, dirty_install);
+    auto victim = pageTags.fill(pageByteAddr(page), dirty_install);
     statsData.fills.inc();
     if (victim) {
+        const mem::PageNum vpage = pageNum(victim->tag_addr);
         if (cfg.footprintEnabled) {
             // Record the victim's footprint for its next residency
             // and drop its residency masks.
-            const auto t = touchedMask.find(victim->tag_addr);
+            const auto t = touchedMask.find(vpage);
             if (t != touchedMask.end() && t->second != 0)
-                footprintHistory[victim->tag_addr] = t->second;
-            touchedMask.erase(victim->tag_addr);
-            fetchedMask.erase(victim->tag_addr);
+                footprintHistory[vpage] = t->second;
+            touchedMask.erase(vpage);
+            fetchedMask.erase(vpage);
         }
         if (evictBuf.full()) {
             // Backpressure: force-drain the oldest entry now (the
             // install stalls behind the BC's emergency writeback).
             drainEvictBuffer(now);
         }
-        const bool ok = evictBuf.insert(victim->tag_addr, victim->dirty,
-                                        now);
+        const bool ok = evictBuf.insert(vpage, victim->dirty, now);
         ASTRI_ASSERT(ok);
         sim::traceEvent(sim::TracePoint::PageEvict, now, kNoCore,
                         victim->tag_addr, victim->dirty ? 1 : 0);
@@ -304,12 +309,12 @@ DramCache::pageArrived(mem::Addr page)
 
     // Install: stream the fetched blocks into the frame.
     const auto install = dramModel.access(
-        setRowAddr(page), now, true,
+        setRowAddr(pageByteAddr(page)), now, true,
         fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
     const sim::Ticks ready = install.complete + bcOp();
     statsData.missPenalty.sample(ready > now ? ready - now : 0);
-    sim::traceEvent(sim::TracePoint::PageFill, ready, kNoCore, page,
-                    ready > now ? ready - now : 0);
+    sim::traceEvent(sim::TracePoint::PageFill, ready, kNoCore,
+                    pageByteAddr(page), ready > now ? ready - now : 0);
 
     // Free the MSR entry and unblock any set-conflicted misses.
     msrTable.free(page);
@@ -325,7 +330,7 @@ void
 DramCache::retryMsrStalled(sim::Ticks now)
 {
     for (auto it = msrStalled.begin(); it != msrStalled.end();) {
-        const mem::Addr page = *it;
+        const mem::PageNum page = *it;
         auto pit = pending.find(page);
         if (pit == pending.end() || pit->second.issued) {
             it = msrStalled.erase(it);
@@ -338,14 +343,16 @@ DramCache::retryMsrStalled(sim::Ticks now)
         }
         ASTRI_ASSERT(alloc == MsrAlloc::New);
         sim::traceEvent(sim::TracePoint::MsrInsert, now + bcOp(),
-                        kNoCore, page, msrTable.occupancy());
+                        kNoCore, pageByteAddr(page),
+                        msrTable.occupancy());
         const std::uint64_t fetch_bytes =
             static_cast<std::uint64_t>(
                 std::popcount(pit->second.fetchMask)) * mem::kBlockSize;
         const auto read = flashDev.read(
-            addrMap.flashPage(page), now + bcOp(), fetch_bytes);
+            addrMap.flashPage(pageByteAddr(page)), now + bcOp(),
+            mem::Bytes(fetch_bytes));
         sim::traceEvent(sim::TracePoint::FlashReadIssue, now + bcOp(),
-                        kNoCore, page, fetch_bytes);
+                        kNoCore, pageByteAddr(page), fetch_bytes);
         pit->second.issued = true;
         pit->second.dataReady =
             read.complete + bcOp() + installEstimate();
@@ -361,10 +368,10 @@ DramCache::drainEvictBuffer(sim::Ticks now)
     if (evictBuf.empty())
         return;
     const EvictBuffer::Entry e = evictBuf.pop();
-    sim::traceEvent(sim::TracePoint::EvictDrain, now, kNoCore, e.page,
-                    e.dirty ? 1 : 0);
+    sim::traceEvent(sim::TracePoint::EvictDrain, now, kNoCore,
+                    pageByteAddr(e.page), e.dirty ? 1 : 0);
     if (e.dirty) {
-        flashDev.write(addrMap.flashPage(e.page), now);
+        flashDev.write(addrMap.flashPage(pageByteAddr(e.page)), now);
         statsData.dirtyWritebacks.inc();
     }
 }
@@ -378,10 +385,9 @@ DramCache::pageResident(mem::Addr pa) const
 void
 DramCache::prewarmPage(mem::Addr pa)
 {
-    const mem::Addr page = mem::pageBase(pa, cfg.pageBytes);
-    pageTags.fill(page, false);
+    pageTags.fill(mem::pageBase(pa, cfg.pageBytes), false);
     if (cfg.footprintEnabled)
-        fetchedMask[page] = ~0ull;
+        fetchedMask[pageNum(pa)] = ~0ull;
 }
 
 void
@@ -435,26 +441,26 @@ DramCache::checkInvariants(sim::InvariantChecker &chk) const
     // issued misses hold entries.
     std::uint32_t issued = 0;
     for (const auto &[page, miss] : pending) {
-        SIM_INVARIANT_MSG(chk,
-                          mem::pageBase(page, cfg.pageBytes) == page,
-                          "unaligned pending page %llx",
-                          static_cast<unsigned long long>(page));
         SIM_INVARIANT_MSG(chk, !miss.waiters.empty() || miss.issued,
                           "un-issued miss %llx has no waiters",
-                          static_cast<unsigned long long>(page));
+                          static_cast<unsigned long long>(
+                              pageByteAddr(page)));
         if (miss.issued) {
             ++issued;
             SIM_INVARIANT_MSG(chk, msrTable.contains(page),
                               "issued miss %llx lost its MSR entry",
-                              static_cast<unsigned long long>(page));
+                              static_cast<unsigned long long>(
+                                  pageByteAddr(page)));
         }
         if (!cfg.footprintEnabled) {
             // A full-page miss cannot coexist with a resident copy
             // (footprint mode legitimately refetches absent blocks
             // of resident pages).
-            SIM_INVARIANT_MSG(chk, !pageTags.contains(page),
+            SIM_INVARIANT_MSG(chk,
+                              !pageTags.contains(pageByteAddr(page)),
                               "page %llx is both resident and pending",
-                              static_cast<unsigned long long>(page));
+                              static_cast<unsigned long long>(
+                                  pageByteAddr(page)));
         }
     }
     SIM_INVARIANT_MSG(chk, msrTable.occupancy() == issued,
@@ -462,17 +468,19 @@ DramCache::checkInvariants(sim::InvariantChecker &chk) const
                       msrTable.occupancy(), issued);
 
     // The stall queue holds exactly the un-issued pending pages.
-    std::unordered_map<mem::Addr, int> stalled;
-    for (const mem::Addr page : msrStalled) {
+    std::unordered_map<mem::PageNum, int> stalled;
+    for (const mem::PageNum page : msrStalled) {
         SIM_INVARIANT_MSG(chk, ++stalled[page] == 1,
                           "page %llx queued twice behind a full MSR set",
-                          static_cast<unsigned long long>(page));
+                          static_cast<unsigned long long>(
+                              pageByteAddr(page)));
         const auto it = pending.find(page);
         SIM_INVARIANT_MSG(chk,
                           it != pending.end() && !it->second.issued,
                           "stall queue holds %llx which is not an "
                           "un-issued pending miss",
-                          static_cast<unsigned long long>(page));
+                          static_cast<unsigned long long>(
+                              pageByteAddr(page)));
     }
     SIM_INVARIANT_MSG(chk,
                       stalled.size() == pending.size() - issued,
@@ -496,9 +504,11 @@ DramCache::checkInvariants(sim::InvariantChecker &chk) const
     if (cfg.footprintEnabled) {
         for (const auto &[page, mask] : fetchedMask) {
             (void)mask;
-            SIM_INVARIANT_MSG(chk, pageTags.contains(page),
+            SIM_INVARIANT_MSG(chk,
+                              pageTags.contains(pageByteAddr(page)),
                               "fetched mask for non-resident %llx",
-                              static_cast<unsigned long long>(page));
+                              static_cast<unsigned long long>(
+                                  pageByteAddr(page)));
         }
     } else {
         SIM_INVARIANT(chk, fetchedMask.empty());

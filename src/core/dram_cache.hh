@@ -56,8 +56,8 @@ struct DramCacheConfig {
     /** FC is a 1-cycle-per-op FSM; BC is programmable at 3 cycles/op
      *  (§V-A), both at the memory-controller clock. */
     std::uint64_t controllerFreqHz = 2'500'000'000ull;
-    std::uint32_t fcCyclesPerOp = 1;
-    std::uint32_t bcCyclesPerOp = 3;
+    sim::Cycles fcCyclesPerOp{1};
+    sim::Cycles bcCyclesPerOp{3};
 
     /**
      * Footprint-cache mode (§II-A's bandwidth optimization, after
@@ -84,7 +84,7 @@ class DramCache : public sim::SimObject
 {
   public:
     using PageReadyFn = std::function<void(
-        mem::Addr page, sim::Ticks when,
+        mem::PageNum page, sim::Ticks when,
         const std::vector<WaiterCookie> &waiters)>;
 
     struct Stats {
@@ -204,6 +204,20 @@ class DramCache : public sim::SimObject
                         (mem::kPageSize / mem::kBlockSize));
     }
 
+    /** Page number of @p pa at this cache's page granularity. */
+    mem::PageNum
+    pageNum(mem::Addr pa) const
+    {
+        return mem::pageNumber(pa, cfg.pageBytes);
+    }
+
+    /** Byte base address of page @p pn (trace payloads, flash LPN). */
+    mem::Addr
+    pageByteAddr(mem::PageNum pn) const
+    {
+        return mem::pageAddr(pn, cfg.pageBytes);
+    }
+
     /** FC tag probe: RAS + tag CAS at the set's row. */
     sim::Ticks tagProbe(mem::Addr pa, sim::Ticks now);
 
@@ -214,14 +228,14 @@ class DramCache : public sim::SimObject
      * BC miss handling: MSR dedup/alloc, flash read, arrival event.
      * @return the tick the requester's data will be ready.
      */
-    sim::Ticks startMiss(mem::Addr page, sim::Ticks now, bool write,
+    sim::Ticks startMiss(mem::PageNum page, sim::Ticks now, bool write,
                          std::uint64_t want_mask = ~std::uint64_t{0});
 
     /** Expected cost of installing one page into its frame. */
     sim::Ticks installEstimate() const;
 
     /** Install an arrived page, drain victims, notify waiters. */
-    void pageArrived(mem::Addr page);
+    void pageArrived(mem::PageNum page);
 
     /** Issue queued misses that were blocked on a full MSR set. */
     void retryMsrStalled(sim::Ticks now);
@@ -240,13 +254,13 @@ class DramCache : public sim::SimObject
     MissStatusRow msrTable;
     EvictBuffer evictBuf;
     PageReadyFn onReady;
-    std::unordered_map<mem::Addr, PendingMiss> pending;
-    std::deque<mem::Addr> msrStalled; ///< Pages waiting for MSR space.
+    std::unordered_map<mem::PageNum, PendingMiss> pending;
+    std::deque<mem::PageNum> msrStalled; ///< Waiting for MSR space.
     // Footprint mode: per-resident-page fetched/touched block masks
     // and the per-page footprint history recorded at eviction.
-    std::unordered_map<mem::Addr, std::uint64_t> fetchedMask;
-    std::unordered_map<mem::Addr, std::uint64_t> touchedMask;
-    std::unordered_map<mem::Addr, std::uint64_t> footprintHistory;
+    std::unordered_map<mem::PageNum, std::uint64_t> fetchedMask;
+    std::unordered_map<mem::PageNum, std::uint64_t> touchedMask;
+    std::unordered_map<mem::PageNum, std::uint64_t> footprintHistory;
     sim::Ticks fcOpTicks;
     sim::Ticks bcOpTicks;
     Stats statsData;

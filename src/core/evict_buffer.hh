@@ -28,7 +28,7 @@ class EvictBuffer
 {
   public:
     struct Entry {
-        mem::Addr page = 0;
+        mem::PageNum page;
         bool dirty = false;
         sim::Ticks inserted = 0;
     };
@@ -60,13 +60,13 @@ class EvictBuffer
      * @return false if the buffer is full (caller must stall).
      */
     bool
-    insert(mem::Addr page, bool dirty, sim::Ticks now)
+    insert(mem::PageNum page, bool dirty, sim::Ticks now)
     {
         if (full()) {
             statsData.fullStalls.inc();
             return false;
         }
-        fifo.push_back(Entry{mem::pageBase(page), dirty, now});
+        fifo.push_back(Entry{page, dirty, now});
         statsData.inserts.inc();
         if (dirty)
             statsData.dirtyInserts.inc();
@@ -91,11 +91,10 @@ class EvictBuffer
 
     /** True if the buffer currently holds @p page (read-own-evict). */
     bool
-    contains(mem::Addr page) const
+    contains(mem::PageNum page) const
     {
-        const mem::Addr aligned = mem::pageBase(page);
         for (const Entry &e : fifo) {
-            if (e.page == aligned)
+            if (e.page == page)
                 return true;
         }
         return false;
@@ -133,12 +132,11 @@ class EvictBuffer
                           fifo.size(), capacity);
         sim::Ticks prev = 0;
         for (const Entry &e : fifo) {
-            SIM_INVARIANT_MSG(chk, mem::pageBase(e.page) == e.page,
-                              "unaligned parked page %llx",
-                              static_cast<unsigned long long>(e.page));
+            // A PageNum cannot be misaligned by construction.
             SIM_INVARIANT_MSG(chk, e.inserted >= prev,
                               "FIFO order broken at page %llx",
-                              static_cast<unsigned long long>(e.page));
+                              static_cast<unsigned long long>(
+                                  mem::pageAddr(e.page)));
             prev = e.inserted;
         }
         SIM_INVARIANT_MSG(

@@ -14,20 +14,20 @@ MissStatusRow::MissStatusRow(std::string name, std::uint32_t sets,
 }
 
 std::uint32_t
-MissStatusRow::setIndex(mem::Addr page) const
+MissStatusRow::setIndex(mem::PageNum page) const
 {
     // Page-number hash spreads consecutive pages across sets.
-    const std::uint64_t pn = page / mem::kPageSize;
+    // aflint-allow-next-line(AF011)
+    const std::uint64_t pn = page.raw();
     return static_cast<std::uint32_t>(
         (pn * 0x9e3779b97f4a7c15ull >> 32) % table.size());
 }
 
 MsrAlloc
-MissStatusRow::allocate(mem::Addr page)
+MissStatusRow::allocate(mem::PageNum page)
 {
-    const mem::Addr aligned = mem::pageBase(page);
-    auto &set = table[setIndex(aligned)];
-    if (set.count(aligned)) {
+    auto &set = table[setIndex(page)];
+    if (set.count(page)) {
         statsData.duplicates.inc();
         return MsrAlloc::Duplicate;
     }
@@ -35,7 +35,7 @@ MissStatusRow::allocate(mem::Addr page)
         statsData.setFullStalls.inc();
         return MsrAlloc::SetFull;
     }
-    set.insert(aligned);
+    set.insert(page);
     ++total;
     statsData.allocations.inc();
     statsData.occupancy.sample(total);
@@ -45,18 +45,15 @@ MissStatusRow::allocate(mem::Addr page)
 }
 
 std::uint32_t
-MissStatusRow::setOccupancy(mem::Addr page) const
+MissStatusRow::setOccupancy(mem::PageNum page) const
 {
-    const mem::Addr aligned = mem::pageBase(page);
-    return static_cast<std::uint32_t>(
-        table[setIndex(aligned)].size());
+    return static_cast<std::uint32_t>(table[setIndex(page)].size());
 }
 
 bool
-MissStatusRow::contains(mem::Addr page) const
+MissStatusRow::contains(mem::PageNum page) const
 {
-    const mem::Addr aligned = mem::pageBase(page);
-    return table[setIndex(aligned)].count(aligned) != 0;
+    return table[setIndex(page)].count(page) != 0;
 }
 
 void
@@ -68,13 +65,13 @@ MissStatusRow::checkInvariants(sim::InvariantChecker &chk) const
         SIM_INVARIANT_MSG(chk, table[s].size() <= ways,
                           "set %zu holds %zu entries but has %u ways",
                           s, table[s].size(), ways);
-        for (const mem::Addr page : table[s]) {
-            SIM_INVARIANT_MSG(chk, mem::pageBase(page) == page,
-                              "unaligned MSR entry %llx",
-                              static_cast<unsigned long long>(page));
+        for (const mem::PageNum page : table[s]) {
+            // A PageNum key cannot be misaligned by construction.
             SIM_INVARIANT_MSG(chk, setIndex(page) == s,
                               "entry %llx resides in the wrong set %zu",
-                              static_cast<unsigned long long>(page), s);
+                              static_cast<unsigned long long>(
+                                  mem::pageAddr(page)),
+                              s);
         }
     }
     SIM_INVARIANT_MSG(chk, live == total,
@@ -93,11 +90,10 @@ MissStatusRow::checkInvariants(sim::InvariantChecker &chk) const
 }
 
 void
-MissStatusRow::free(mem::Addr page)
+MissStatusRow::free(mem::PageNum page)
 {
-    const mem::Addr aligned = mem::pageBase(page);
-    auto &set = table[setIndex(aligned)];
-    const auto erased = set.erase(aligned);
+    auto &set = table[setIndex(page)];
+    const auto erased = set.erase(page);
     ASTRI_ASSERT_MSG(erased == 1, "%s: freeing absent MSR entry",
                      msrName.c_str());
     --total;

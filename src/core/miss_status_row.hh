@@ -54,20 +54,20 @@ class MissStatusRow
     MissStatusRow(std::string name, std::uint32_t sets,
                   std::uint32_t entries_per_set);
 
-    /** Try to record a miss for page-aligned address @p page. */
-    MsrAlloc allocate(mem::Addr page);
+    /** Try to record a miss for page @p page. */
+    MsrAlloc allocate(mem::PageNum page);
 
     /** True if a miss for @p page is outstanding. */
-    bool contains(mem::Addr page) const;
+    bool contains(mem::PageNum page) const;
 
     /** Remove the entry for @p page (fill completed). */
-    void free(mem::Addr page);
+    void free(mem::PageNum page);
 
     /** Live entries. */
     std::uint32_t occupancy() const { return total; }
 
     /** Live entries in the set that @p page maps to. */
-    std::uint32_t setOccupancy(mem::Addr page) const;
+    std::uint32_t setOccupancy(mem::PageNum page) const;
 
     std::uint32_t sets() const
     {
@@ -104,11 +104,11 @@ class MissStatusRow
     void checkInvariants(sim::InvariantChecker &chk) const;
 
   private:
-    std::uint32_t setIndex(mem::Addr page) const;
+    std::uint32_t setIndex(mem::PageNum page) const;
 
     std::string msrName;
     std::uint32_t ways;
-    std::vector<std::unordered_set<mem::Addr>> table;
+    std::vector<std::unordered_set<mem::PageNum>> table;
     std::uint32_t total = 0;
     Stats statsData;
 };

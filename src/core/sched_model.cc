@@ -5,7 +5,7 @@
 namespace astriflash::core {
 
 void
-SchedulerModel::parkOnMiss(workload::Job &&job, std::uint64_t page,
+SchedulerModel::parkOnMiss(workload::Job &&job, mem::PageNum page,
                            sim::Ticks now)
 {
     job.pendingSince = now;
@@ -16,7 +16,7 @@ SchedulerModel::parkOnMiss(workload::Job &&job, std::uint64_t page,
 }
 
 std::uint32_t
-SchedulerModel::pageReady(std::uint64_t page, sim::Ticks when)
+SchedulerModel::pageReady(mem::PageNum page, sim::Ticks when)
 {
     std::uint32_t woken = 0;
     for (auto it = pendingWaiting.begin(); it != pendingWaiting.end();) {

@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "mem/address.hh"
 #include "sim/invariant.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
@@ -95,14 +96,14 @@ class SchedulerModel
      * Park a job that missed; it becomes ready when its page arrives.
      * @param page  The missing page (wake key).
      */
-    void parkOnMiss(workload::Job &&job, std::uint64_t page,
+    void parkOnMiss(workload::Job &&job, mem::PageNum page,
                     sim::Ticks now);
 
     /**
      * A page arrived: move every job waiting on it to the ready list.
      * @return number of jobs woken.
      */
-    std::uint32_t pageReady(std::uint64_t page, sim::Ticks when);
+    std::uint32_t pageReady(mem::PageNum page, sim::Ticks when);
 
     /**
      * Record a measured flash-response time (miss-to-wake), updating
@@ -185,7 +186,8 @@ class SchedulerModel
             SIM_INVARIANT_MSG(chk,
                               w.job.pendingSince >= prev_halt,
                               "park order broken (page %llx)",
-                              static_cast<unsigned long long>(w.page));
+                              static_cast<unsigned long long>(
+                                  mem::pageAddr(w.page)));
             prev_halt = w.job.pendingSince;
         }
         SIM_INVARIANT(chk,
@@ -200,7 +202,7 @@ class SchedulerModel
   private:
     struct Waiting {
         workload::Job job;
-        std::uint64_t page;
+        mem::PageNum page{0};
         sim::Ticks wake = sim::kTickNever; ///< Set by pageReady.
     };
 

@@ -37,7 +37,7 @@ SimCore::kick()
 }
 
 void
-SimCore::pageReady(mem::Addr page, sim::Ticks when)
+SimCore::pageReady(mem::PageNum page, sim::Ticks when)
 {
     const sim::Ticks now = curTick();
     const sim::Ticks delta = when > now ? when - now : 0;
@@ -189,7 +189,7 @@ SimCore::memAccess(mem::Addr pa, bool write, sim::Ticks t)
         mo.kind = MemOutcome::Kind::Parked;
         mo.freeAt = res.ready + cfg.core.robFlushCost() +
                     cfg.core.handlerEntryCost() + cfg.threadSwitch;
-        mo.page = mem::pageBase(pa);
+        mo.page = mem::pageNumber(pa);
         statsData.switchOnMiss.inc();
         return mo;
       }
@@ -204,10 +204,10 @@ SimCore::memAccess(mem::Addr pa, bool write, sim::Ticks t)
         statsData.osFaults.inc();
         const os::FaultResult fr =
             os_model->pageFault(pa, write, t, coreId);
-        pageReady(mem::pageBase(pa), fr.runnable);
+        pageReady(mem::pageNumber(pa), fr.runnable);
         mo.kind = MemOutcome::Kind::Parked;
         mo.freeAt = fr.switchedOut;
-        mo.page = mem::pageBase(pa);
+        mo.page = mem::pageNumber(pa);
         return mo;
       }
     }
@@ -323,7 +323,7 @@ SimCore::run()
         current.reset();
         ++halted.misses;
         sim::traceEvent(sim::TracePoint::ThreadPark, t, coreId,
-                        mo.page, halted.id);
+                        mem::pageAddr(mo.page), halted.id);
         sched.parkOnMiss(std::move(halted), mo.page, t);
         if (sched.pendingFull()) {
             sched.notePendingOverflow();

@@ -66,7 +66,7 @@ class SimCore : public sim::SimObject
      * Notification that @p page will be ready at @p when (from the
      * DRAM cache fill path or the OS install path).
      */
-    void pageReady(mem::Addr page, sim::Ticks when);
+    void pageReady(mem::PageNum page, sim::Ticks when);
 
     SchedulerModel &scheduler() { return sched; }
     const SchedulerModel &scheduler() const { return sched; }
@@ -94,7 +94,7 @@ class SimCore : public sim::SimObject
         } kind = Kind::Done;
         sim::Ticks doneAt = 0;
         sim::Ticks freeAt = 0;
-        mem::Addr page = 0; ///< Parked: page the job waits on.
+        mem::PageNum page{0}; ///< Parked: page the job waits on.
     };
 
     /** Main execution event: run the current job for up to a quantum. */

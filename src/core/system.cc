@@ -22,7 +22,7 @@ System::System(const SystemConfig &config) : cfg(config)
 
     if (dcache) {
         dcache->setPageReadyCallback(
-            [this](mem::Addr page, sim::Ticks when,
+            [this](mem::PageNum page, sim::Ticks when,
                    const std::vector<WaiterCookie> &waiters) {
                 // Route the arrival to each waiting core once.
                 // (A bitmask over core&63 would alias cores >= 64

@@ -29,7 +29,7 @@ struct OoOConfig {
     /** Extra physical registers reserved for ASO snapshots (§IV-C4). */
     std::uint32_t asoExtraRegs = 128;
     /** Pipeline depth for redirect cost (fetch-to-issue). */
-    std::uint32_t redirectCycles = 12;
+    sim::Cycles redirectCycles{12};
 
     /** Clock domain for cycle/tick conversion. */
     sim::ClockDomain
@@ -48,8 +48,8 @@ struct OoOConfig {
     sim::Ticks
     robFlushCost() const
     {
-        const std::uint64_t refill_cycles =
-            robEntries / (2 * issueWidth) + redirectCycles;
+        const sim::Cycles refill_cycles =
+            sim::Cycles(robEntries / (2 * issueWidth)) + redirectCycles;
         return clock().cycles(refill_cycles);
     }
 

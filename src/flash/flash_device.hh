@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/address.hh"
 #include "sim/invariant.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
@@ -60,8 +61,8 @@ class FlashDevice
      *               partial transfers (footprint mode) only shorten
      *               the channel occupancy.
      */
-    FlashReadResult read(std::uint64_t lpn, sim::Ticks now,
-                         std::uint64_t bytes = 0);
+    FlashReadResult read(Lpn lpn, sim::Ticks now,
+                         mem::Bytes bytes = mem::Bytes{0});
 
     /**
      * Write logical page @p lpn arriving at @p now.
@@ -71,10 +72,10 @@ class FlashDevice
      * asynchronously afterwards.
      * @return tick when the device has accepted the page.
      */
-    sim::Ticks write(std::uint64_t lpn, sim::Ticks now);
+    sim::Ticks write(Lpn lpn, sim::Ticks now);
 
     /** First tick at which the plane serving @p lpn is free. */
-    sim::Ticks planeFreeAt(std::uint64_t lpn) const;
+    sim::Ticks planeFreeAt(Lpn lpn) const;
 
     const Ftl &ftl() const { return ftlModel; }
     const FlashConfig &config() const { return cfg; }

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Strong identifier types for the flash translation layer.
+ *
+ * An Lpn (logical page number, the host-visible index the address map
+ * produces) and a Ppn (physical page number, the FTL's packed
+ * plane/block/page location) are different namespaces entirely;
+ * keeping both as strong types means translate() cannot be fed its own
+ * output and a byte address cannot masquerade as either.
+ */
+
+#ifndef ASTRIFLASH_FLASH_FLASH_TYPES_HH
+#define ASTRIFLASH_FLASH_FLASH_TYPES_HH
+
+#include <cstdint>
+
+#include "sim/strong_types.hh"
+
+namespace astriflash::flash {
+
+/** Logical page number: dataset byte offset / page size. */
+using Lpn = sim::StrongId<struct LpnTag>;
+
+/** Packed physical page number: (plane << 40) | (block << 16) | page. */
+using Ppn = sim::StrongId<struct PpnTag>;
+
+/** Sentinel for "no logical page" (unmapped physical page owner). */
+inline constexpr Lpn kInvalidLpn{~std::uint64_t{0}};
+
+} // namespace astriflash::flash
+
+#endif // ASTRIFLASH_FLASH_FLASH_TYPES_HH

@@ -6,25 +6,24 @@
 
 namespace astriflash::flash {
 
-namespace {
-constexpr std::uint64_t kUnmapped = ~std::uint64_t{0};
-} // namespace
-
-std::uint64_t
+Ppn
 Ftl::pack(const PhysPage &p)
 {
-    return (static_cast<std::uint64_t>(p.plane) << 40) |
-           (static_cast<std::uint64_t>(p.block) << 16) |
-           static_cast<std::uint64_t>(p.page);
+    return Ppn((static_cast<std::uint64_t>(p.plane) << 40) |
+               (static_cast<std::uint64_t>(p.block) << 16) |
+               static_cast<std::uint64_t>(p.page));
 }
 
 PhysPage
-Ftl::unpack(std::uint64_t v) const
+Ftl::unpack(Ppn v) const
 {
+    // Ppn is defined as this packed encoding.
+    // aflint-allow-next-line(AF011)
+    const std::uint64_t raw = v.raw();
     PhysPage p;
-    p.plane = static_cast<std::uint32_t>(v >> 40);
-    p.block = static_cast<std::uint32_t>((v >> 16) & 0xffffff);
-    p.page = static_cast<std::uint32_t>(v & 0xffff);
+    p.plane = static_cast<std::uint32_t>(raw >> 40);
+    p.block = static_cast<std::uint32_t>((raw >> 16) & 0xffffff);
+    p.page = static_cast<std::uint32_t>(raw & 0xffff);
     return p;
 }
 
@@ -81,31 +80,36 @@ Ftl::Ftl(std::string name, const FlashConfig &config,
 }
 
 std::uint32_t
-Ftl::planeOf(std::uint64_t lpn) const
+Ftl::planeOf(Lpn lpn) const
 {
-    return static_cast<std::uint32_t>(lpn % cfg.totalPlanes());
+    // Plane striping is modular arithmetic on the logical page index.
+    // aflint-allow-next-line(AF011)
+    return static_cast<std::uint32_t>(lpn.raw() % cfg.totalPlanes());
 }
 
 PhysPage
-Ftl::translate(std::uint64_t lpn)
+Ftl::translate(Lpn lpn)
 {
     if (auto it = mapping.find(lpn); it != mapping.end())
         return unpack(it->second);
-    ASTRI_ASSERT_MSG(lpn < preloaded,
+    // Stripe math and diagnostics below.
+    // aflint-allow-next-line(AF011)
+    const std::uint64_t lpn_raw = lpn.raw();
+    ASTRI_ASSERT_MSG(lpn < Lpn(preloaded),
                      "read of unwritten lpn %llu beyond the preloaded "
                      "dataset",
-                     static_cast<unsigned long long>(lpn));
+                     static_cast<unsigned long long>(lpn_raw));
     // Static pre-load location.
     PhysPage p;
     p.plane = planeOf(lpn);
-    const std::uint64_t idx = lpn / cfg.totalPlanes();
+    const std::uint64_t idx = lpn_raw / cfg.totalPlanes();
     p.block = static_cast<std::uint32_t>(idx / cfg.pagesPerBlock);
     p.page = static_cast<std::uint32_t>(idx % cfg.pagesPerBlock);
     return p;
 }
 
 void
-Ftl::invalidateOld(std::uint64_t lpn)
+Ftl::invalidateOld(Lpn lpn)
 {
     const PhysPage old = translate(lpn);
     Plane &plane = planes[old.plane];
@@ -113,18 +117,18 @@ Ftl::invalidateOld(std::uint64_t lpn)
     if (blk.owners.empty()) {
         // Materialize the static block's owner list so individual
         // pages can be marked invalid.
-        blk.owners.assign(cfg.pagesPerBlock, kUnmapped);
+        blk.owners.assign(cfg.pagesPerBlock, kInvalidLpn);
         for (std::uint32_t pg = 0; pg < blk.writePtr; ++pg) {
-            const std::uint64_t static_lpn =
+            const Lpn static_lpn{
                 (static_cast<std::uint64_t>(old.block) *
                      cfg.pagesPerBlock + pg) * cfg.totalPlanes() +
-                old.plane;
-            if (static_lpn < preloaded)
+                old.plane};
+            if (static_lpn < Lpn(preloaded))
                 blk.owners[pg] = static_lpn;
         }
     }
-    if (blk.owners[old.page] != kUnmapped) {
-        blk.owners[old.page] = kUnmapped;
+    if (blk.owners[old.page] != kInvalidLpn) {
+        blk.owners[old.page] = kInvalidLpn;
         ASTRI_ASSERT(blk.validPages > 0);
         --blk.validPages;
     }
@@ -139,9 +143,12 @@ Ftl::allocate(std::uint32_t plane_idx)
                      ftlName.c_str(), plane_idx);
     Block *blk = &plane.blocks[plane.activeBlock];
     if (blk->writePtr >= cfg.pagesPerBlock) {
-        // Advance the frontier to the next free block.
-        std::uint32_t next = cfg.blocksPerPlane;
-        for (std::uint32_t b = 0; b < cfg.blocksPerPlane; ++b) {
+        // Advance the frontier to the next free block. Block indices
+        // within a plane fit 32 bits (config-bounded).
+        const auto num_blocks =
+            static_cast<std::uint32_t>(cfg.blocksPerPlane);
+        std::uint32_t next = num_blocks;
+        for (std::uint32_t b = 0; b < num_blocks; ++b) {
             const Block &cand = plane.blocks[b];
             if (cand.writePtr == 0 && cand.validPages == 0) {
                 next = b;
@@ -158,7 +165,7 @@ Ftl::allocate(std::uint32_t plane_idx)
         blk = &plane.blocks[next];
     }
     if (blk->owners.empty())
-        blk->owners.assign(cfg.pagesPerBlock, kUnmapped);
+        blk->owners.assign(cfg.pagesPerBlock, kInvalidLpn);
     PhysPage out;
     out.plane = plane_idx;
     out.block = plane.activeBlock;
@@ -213,19 +220,19 @@ Ftl::collectGarbage(std::uint32_t plane_idx)
         // Relocate valid pages within the local plane (the paper's
         // local-erasure policy keeps GC traffic off other planes).
         if (victim.owners.empty()) {
-            victim.owners.assign(cfg.pagesPerBlock, kUnmapped);
+            victim.owners.assign(cfg.pagesPerBlock, kInvalidLpn);
             for (std::uint32_t pg = 0; pg < victim.writePtr; ++pg) {
-                const std::uint64_t static_lpn =
+                const Lpn static_lpn{
                     (static_cast<std::uint64_t>(victim_idx) *
                          cfg.pagesPerBlock + pg) * cfg.totalPlanes() +
-                    plane_idx;
-                if (static_lpn < preloaded)
+                    plane_idx};
+                if (static_lpn < Lpn(preloaded))
                     victim.owners[pg] = static_lpn;
             }
         }
         for (std::uint32_t pg = 0; pg < cfg.pagesPerBlock; ++pg) {
-            const std::uint64_t lpn = victim.owners[pg];
-            if (lpn == kUnmapped)
+            const Lpn lpn = victim.owners[pg];
+            if (lpn == kInvalidLpn)
                 continue;
             const PhysPage dst = allocate(plane_idx);
             Block &dst_blk = plane.blocks[dst.block];
@@ -251,11 +258,13 @@ Ftl::collectGarbage(std::uint32_t plane_idx)
 }
 
 PhysPage
-Ftl::write(std::uint64_t lpn, GcWork *gc)
+Ftl::write(Lpn lpn, GcWork *gc)
 {
-    ASTRI_ASSERT_MSG(lpn < preloaded,
+    // aflint-allow-next-line(AF011): diagnostics formatting.
+    const unsigned long long lpn_raw = lpn.raw();
+    ASTRI_ASSERT_MSG(lpn < Lpn(preloaded),
                      "write of lpn %llu beyond the preloaded dataset",
-                     static_cast<unsigned long long>(lpn));
+                     lpn_raw);
     statsData.hostWrites.inc();
     invalidateOld(lpn);
 
@@ -285,32 +294,34 @@ void
 Ftl::checkInvariants(sim::InvariantChecker &chk) const
 {
     // Injective, in-bounds mapping with agreeing owner back-pointers.
-    std::unordered_set<std::uint64_t> targets;
+    std::unordered_set<Ppn> targets;
     for (const auto &[lpn, packed] : mapping) {
-        SIM_INVARIANT_MSG(chk, lpn < preloaded,
+        // aflint-allow-next-line(AF011): diagnostics formatting.
+        const unsigned long long lpn_raw = lpn.raw();
+        SIM_INVARIANT_MSG(chk, lpn < Lpn(preloaded),
                           "mapped lpn %llu beyond the dataset",
-                          static_cast<unsigned long long>(lpn));
+                          lpn_raw);
         SIM_INVARIANT_MSG(chk, targets.insert(packed).second,
                           "two logical pages map to physical %llx",
-                          static_cast<unsigned long long>(packed));
+                          static_cast<unsigned long long>(
+                              // aflint-allow-next-line(AF011)
+                              packed.raw()));
         const PhysPage p = unpack(packed);
         SIM_INVARIANT_MSG(chk,
                           p.plane < planes.size() &&
                               p.block < cfg.blocksPerPlane &&
                               p.page < cfg.pagesPerBlock,
                           "lpn %llu maps out of bounds (%u/%u/%u)",
-                          static_cast<unsigned long long>(lpn),
-                          p.plane, p.block, p.page);
+                          lpn_raw, p.plane, p.block, p.page);
         SIM_INVARIANT_MSG(chk, planeOf(lpn) == p.plane,
                           "lpn %llu mapped off its stripe plane %u",
-                          static_cast<unsigned long long>(lpn),
-                          p.plane);
+                          lpn_raw, p.plane);
         const Block &blk = planes[p.plane].blocks[p.block];
         SIM_INVARIANT_MSG(chk,
                           !blk.owners.empty() &&
                               blk.owners[p.page] == lpn,
                           "owner back-pointer disagrees for lpn %llu",
-                          static_cast<unsigned long long>(lpn));
+                          lpn_raw);
     }
 
     // Block-level consistency and per-plane free-space accounting.
@@ -328,8 +339,8 @@ Ftl::checkInvariants(sim::InvariantChecker &chk) const
                               cfg.pagesPerBlock);
             if (!blk.owners.empty()) {
                 std::uint32_t owned = 0;
-                for (const std::uint64_t owner : blk.owners) {
-                    if (owner != ~std::uint64_t{0})
+                for (const Lpn owner : blk.owners) {
+                    if (owner != kInvalidLpn)
                         ++owned;
                 }
                 SIM_INVARIANT_MSG(chk, owned == blk.validPages,

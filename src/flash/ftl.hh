@@ -22,6 +22,7 @@
 #include "sim/stats.hh"
 
 #include "flash_config.hh"
+#include "flash_types.hh"
 
 namespace astriflash::flash {
 
@@ -82,10 +83,10 @@ class Ftl
      * Unwritten pages are deterministically assigned a location on
      * first touch (datasets are "pre-loaded").
      */
-    PhysPage translate(std::uint64_t lpn);
+    PhysPage translate(Lpn lpn);
 
     /** Plane that serves logical page @p lpn. */
-    std::uint32_t planeOf(std::uint64_t lpn) const;
+    std::uint32_t planeOf(Lpn lpn) const;
 
     /**
      * Write logical page @p lpn out-of-place.
@@ -93,7 +94,7 @@ class Ftl
      *                 triggered garbage collection.
      * @return The new physical location.
      */
-    PhysPage write(std::uint64_t lpn, GcWork *gc);
+    PhysPage write(Lpn lpn, GcWork *gc);
 
     /** Free (never-written or erased) pages in a plane. */
     std::uint64_t freePagesInPlane(std::uint32_t plane) const;
@@ -136,7 +137,7 @@ class Ftl
         std::uint32_t validPages = 0;
         std::uint32_t writePtr = 0;   ///< Next free page index.
         std::uint32_t eraseCount = 0;
-        std::vector<std::uint64_t> owners; ///< LPN per page (or ~0).
+        std::vector<Lpn> owners; ///< LPN per page (or invalid).
     };
 
     struct Plane {
@@ -150,7 +151,7 @@ class Ftl
     PhysPage allocate(std::uint32_t plane);
 
     /** Invalidate the old location of @p lpn, if mapped. */
-    void invalidateOld(std::uint64_t lpn);
+    void invalidateOld(Lpn lpn);
 
     /** Run greedy GC in @p plane until free blocks recover. */
     GcWork collectGarbage(std::uint32_t plane);
@@ -164,11 +165,11 @@ class Ftl
     std::vector<Plane> planes;
     // Overridden (rewritten) lpns only; unmapped lpns resolve to their
     // static pre-load location, keeping host memory bounded at scale.
-    std::unordered_map<std::uint64_t, std::uint64_t> mapping;
+    std::unordered_map<Lpn, Ppn> mapping;
     Stats statsData;
 
-    static std::uint64_t pack(const PhysPage &p);
-    PhysPage unpack(std::uint64_t v) const;
+    static Ppn pack(const PhysPage &p);
+    PhysPage unpack(Ppn v) const;
 };
 
 } // namespace astriflash::flash

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "address.hh"
+#include "flash/flash_types.hh"
 
 namespace astriflash::mem {
 
@@ -69,17 +70,19 @@ class AddressMap
     }
 
     /** Flash logical page number for a flash-BAR address. */
-    std::uint64_t
+    flash::Lpn
     flashPage(Addr a) const
     {
-        return (a - flash.base) / kPageSize;
+        return flash::Lpn((a - flash.base) / kPageSize);
     }
 
     /** Physical address of flash logical page @p lpn. */
     Addr
-    flashPageAddr(std::uint64_t lpn) const
+    flashPageAddr(flash::Lpn lpn) const
     {
-        return flash.base + lpn * kPageSize;
+        // aflint-allow(AF011): sanctioned Lpn -> byte-address
+        // conversion (inverse of flashPage).
+        return flash.base + lpn.raw() * kPageSize;
     }
 
     const AddrRange &flatRange() const { return flat; }

@@ -19,8 +19,8 @@ MshrFile::MshrFile(std::string name, std::uint32_t entries,
 MshrAlloc
 MshrFile::allocate(Addr addr)
 {
-    const Addr aligned = alignDown(addr, line);
-    if (auto it = table.find(aligned); it != table.end()) {
+    const BlockNum key = blockNumber(addr, line);
+    if (auto it = table.find(key); it != table.end()) {
         ++it->second;
         statsData.merges.inc();
         return MshrAlloc::Merged;
@@ -29,7 +29,7 @@ MshrFile::allocate(Addr addr)
         statsData.fullStalls.inc();
         return MshrAlloc::Full;
     }
-    table.emplace(aligned, 1);
+    table.emplace(key, 1);
     statsData.allocations.inc();
     if (table.size() > statsData.peakOccupancy)
         statsData.peakOccupancy = table.size();
@@ -39,8 +39,7 @@ MshrFile::allocate(Addr addr)
 std::uint32_t
 MshrFile::release(Addr addr)
 {
-    const Addr aligned = alignDown(addr, line);
-    auto it = table.find(aligned);
+    auto it = table.find(blockNumber(addr, line));
     if (it == table.end())
         return 0;
     const std::uint32_t waiters = it->second;
@@ -52,7 +51,7 @@ MshrFile::release(Addr addr)
 bool
 MshrFile::contains(Addr addr) const
 {
-    return table.count(alignDown(addr, line)) != 0;
+    return table.count(blockNumber(addr, line)) != 0;
 }
 
 } // namespace astriflash::mem

@@ -31,7 +31,7 @@ enum class MshrAlloc {
     Full,   ///< No free entry; the cache must block.
 };
 
-/** Fixed-capacity MSHR file keyed by line-aligned address. */
+/** Fixed-capacity MSHR file keyed by line (block) number. */
 class MshrFile
 {
   public:
@@ -102,13 +102,14 @@ class MshrFile
         SIM_INVARIANT_MSG(chk, table.size() <= capacity,
                           "%zu entries exceed the %u-entry CAM",
                           table.size(), capacity);
-        for (const auto &[addr, waiters] : table) {
-            SIM_INVARIANT_MSG(chk, addr % line == 0,
-                              "entry %llx is not line-aligned",
-                              static_cast<unsigned long long>(addr));
+        for (const auto &[bn, waiters] : table) {
+            // A BlockNum key cannot be misaligned by construction;
+            // the remaining invariant is that every entry has at
+            // least one waiter.
             SIM_INVARIANT_MSG(chk, waiters >= 1,
                               "entry %llx has no waiters",
-                              static_cast<unsigned long long>(addr));
+                              static_cast<unsigned long long>(
+                                  blockAddr(bn, line)));
         }
         SIM_INVARIANT_MSG(
             chk,
@@ -126,7 +127,7 @@ class MshrFile
     std::string fileName;
     std::uint32_t capacity;
     std::uint64_t line;
-    std::unordered_map<Addr, std::uint32_t> table; // line addr -> waiters
+    std::unordered_map<BlockNum, std::uint32_t> table; // line -> waiters
     Stats statsData;
 };
 

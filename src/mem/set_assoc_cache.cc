@@ -27,17 +27,25 @@ SetAssocCache::SetAssocCache(std::string name, std::uint64_t capacity,
     arr.resize(sets * ways);
 }
 
-std::uint64_t
+SetIdx
 SetAssocCache::setIndex(Addr addr) const
 {
-    return (addr / line) % sets;
+    return SetIdx((addr / line) % sets);
+}
+
+SetAssocCache::Way &
+SetAssocCache::wayAt(SetIdx set, WayIdx way)
+{
+    // Row-major [set][way] flattening is the one sanctioned escape to
+    // raw indices for this array.
+    // aflint-allow-next-line(AF011)
+    return arr[set.raw() * waysPerSet + way.raw()];
 }
 
 SetAssocCache::Way *
 SetAssocCache::findWay(Addr aligned)
 {
-    const std::uint64_t set = setIndex(aligned);
-    Way *base = &arr[set * waysPerSet];
+    Way *base = &wayAt(setIndex(aligned), WayIdx(0));
     for (std::uint32_t w = 0; w < waysPerSet; ++w) {
         if (base[w].valid && base[w].tag == aligned)
             return &base[w];
@@ -86,25 +94,26 @@ SetAssocCache::contains(Addr addr) const
     return findWay(alignDown(addr, line)) != nullptr;
 }
 
-std::uint32_t
-SetAssocCache::victimWay(std::uint64_t set)
+WayIdx
+SetAssocCache::victimWay(SetIdx set)
 {
-    Way *base = &arr[set * waysPerSet];
+    Way *base = &wayAt(set, WayIdx(0));
     // Prefer an invalid way.
     for (std::uint32_t w = 0; w < waysPerSet; ++w) {
         if (!base[w].valid)
-            return w;
+            return WayIdx(w);
     }
     switch (policy) {
       case ReplacementPolicy::Random:
-        return static_cast<std::uint32_t>(rng.uniformInt(waysPerSet));
+        return WayIdx(
+            static_cast<std::uint32_t>(rng.uniformInt(waysPerSet)));
       case ReplacementPolicy::Fifo: {
         std::uint32_t oldest = 0;
         for (std::uint32_t w = 1; w < waysPerSet; ++w) {
             if (base[w].fillTime < base[oldest].fillTime)
                 oldest = w;
         }
-        return oldest;
+        return WayIdx(oldest);
       }
       case ReplacementPolicy::Lru:
       default: {
@@ -113,7 +122,7 @@ SetAssocCache::victimWay(std::uint64_t set)
             if (base[w].lastUse < base[lru].lastUse)
                 lru = w;
         }
-        return lru;
+        return WayIdx(lru);
       }
     }
 }
@@ -129,9 +138,8 @@ SetAssocCache::fill(Addr addr, bool dirty)
         w->dirty = w->dirty || dirty;
         return std::nullopt;
     }
-    const std::uint64_t set = setIndex(aligned);
-    const std::uint32_t victim = victimWay(set);
-    Way &w = arr[set * waysPerSet + victim];
+    const SetIdx set = setIndex(aligned);
+    Way &w = wayAt(set, victimWay(set));
     std::optional<CacheLine> evicted;
     if (w.valid) {
         evicted = CacheLine{w.tag, w.dirty};

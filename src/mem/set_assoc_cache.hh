@@ -168,7 +168,7 @@ class SetAssocCache
                                   cacheName.c_str(),
                                   static_cast<unsigned long long>(
                                       way.tag));
-                SIM_INVARIANT_MSG(chk, setIndex(way.tag) == s,
+                SIM_INVARIANT_MSG(chk, setIndex(way.tag) == SetIdx(s),
                                   "%s: tag %llx in wrong set %llu",
                                   cacheName.c_str(),
                                   static_cast<unsigned long long>(
@@ -200,10 +200,11 @@ class SetAssocCache
         std::uint64_t fillTime = 0; // insertion stamp (FIFO)
     };
 
-    std::uint64_t setIndex(Addr addr) const;
+    SetIdx setIndex(Addr addr) const;
+    Way &wayAt(SetIdx set, WayIdx way);
     Way *findWay(Addr aligned);
     const Way *findWay(Addr aligned) const;
-    std::uint32_t victimWay(std::uint64_t set);
+    WayIdx victimWay(SetIdx set);
 
     std::string cacheName;
     std::uint64_t totalCapacity;

@@ -11,6 +11,16 @@ namespace {
 std::atomic<bool> g_checks{ASTRIFLASH_CHECKS_ENABLED != 0};
 } // namespace
 
+namespace detail {
+
+void
+constexprCheckFailed(const char *expr, const char *file, int line)
+{
+    ASTRI_PANIC("SIM_CHECK failed: %s (%s:%d)", expr, file, line);
+}
+
+} // namespace detail
+
 bool
 checksEnabled()
 {

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -44,6 +45,19 @@
 #endif
 
 namespace astriflash::sim {
+
+namespace detail {
+
+/**
+ * Deliberately NOT constexpr: reaching this call inside a constant
+ * expression makes the whole evaluation ill-formed, so a SIM_CHECK_CE
+ * that fails at compile time is a compile error with this function's
+ * name in the diagnostic. At runtime it panics like SIM_CHECK.
+ */
+[[noreturn]] void constexprCheckFailed(const char *expr,
+                                       const char *file, int line);
+
+} // namespace detail
 
 /** True while simulator self-checks are armed. */
 bool checksEnabled();
@@ -233,6 +247,25 @@ class InvariantRegistry
     do {                                                                      \
         if (::astriflash::sim::checksEnabled() && !(cond)) {                  \
             ASTRI_PANIC(__VA_ARGS__);                                         \
+        }                                                                     \
+    } while (0)
+
+/**
+ * SIM_CHECK usable inside constexpr functions. In a constant
+ * evaluation a failing condition is a hard compile error (the branch
+ * calls a non-constexpr function); at runtime it behaves exactly like
+ * SIM_CHECK — gated, panicking with the failed expression.
+ */
+#define SIM_CHECK_CE(cond)                                                    \
+    do {                                                                      \
+        if (std::is_constant_evaluated()) {                                   \
+            if (!(cond)) {                                                    \
+                ::astriflash::sim::detail::constexprCheckFailed(              \
+                    #cond, __FILE__, __LINE__);                               \
+            }                                                                 \
+        } else if (::astriflash::sim::checksEnabled() && !(cond)) {           \
+            ::astriflash::sim::detail::constexprCheckFailed(                  \
+                #cond, __FILE__, __LINE__);                                   \
         }                                                                     \
     } while (0)
 

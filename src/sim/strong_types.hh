@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Zero-overhead strong identifier and quantity types.
+ *
+ * The simulator's address arithmetic funnels page numbers, block
+ * numbers, set/way indices, LPNs and cycle counts through what used to
+ * be bare `uint64_t`, so a swapped pageNumber/pageBase argument or a
+ * tick/cycle mix-up compiled clean and silently skewed results. The
+ * two templates here make each unit a distinct type:
+ *
+ * - StrongId<Tag, Rep>: identity semantics. Explicit construction,
+ *   full comparison and hashing, increment, id + offset and id - id
+ *   (difference), but no cross-unit arithmetic: adding a PageNum to a
+ *   BlockNum, or passing one where the other is expected, is a compile
+ *   error.
+ *
+ * - StrongCount<Tag, Rep>: quantity semantics for counts such as
+ *   Cycles. Counts of the same unit add, subtract, and scale by plain
+ *   integers; mixing units still refuses to compile.
+ *
+ * Both are trivially copyable wrappers around Rep with every operation
+ * constexpr, so optimized builds emit exactly the code the raw integer
+ * would have ("zero overhead"). Escaping to the underlying integer is
+ * explicit via raw(); aflint rule AF011 flags raw() calls outside the
+ * allowlisted conversion headers so escapes stay few and reviewed (see
+ * DESIGN.md §10 for the policy).
+ */
+
+#ifndef ASTRIFLASH_SIM_STRONG_TYPES_HH
+#define ASTRIFLASH_SIM_STRONG_TYPES_HH
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <type_traits>
+
+namespace astriflash::sim {
+
+/**
+ * An opaque identifier: names a thing, is not a quantity.
+ *
+ * @tparam TagT  Empty tag struct distinguishing the unit.
+ * @tparam RepT  Underlying unsigned integer representation.
+ */
+template <typename TagT, typename RepT = std::uint64_t>
+class StrongId
+{
+    static_assert(std::is_unsigned_v<RepT>,
+                  "StrongId wraps unsigned integer representations");
+
+  public:
+    using Tag = TagT;
+    using Rep = RepT;
+
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(Rep value) : val(value) {}
+
+    /** Explicit escape to the underlying integer (see AF011). */
+    [[nodiscard]] constexpr Rep raw() const { return val; }
+
+    constexpr auto operator<=>(const StrongId &) const = default;
+
+    /** Step to the next identifier (iteration over a dense range). */
+    constexpr StrongId &
+    operator++()
+    {
+        ++val;
+        return *this;
+    }
+
+    constexpr StrongId
+    operator++(int)
+    {
+        StrongId old = *this;
+        ++val;
+        return old;
+    }
+
+    /** Identifier plus an element offset is an identifier. */
+    friend constexpr StrongId
+    operator+(StrongId id, Rep offset)
+    {
+        return StrongId(id.val + offset);
+    }
+
+    /** Identifier minus an element offset is an identifier. */
+    friend constexpr StrongId
+    operator-(StrongId id, Rep offset)
+    {
+        return StrongId(id.val - offset);
+    }
+
+    /** Distance between two identifiers of the same unit. */
+    friend constexpr Rep
+    operator-(StrongId a, StrongId b)
+    {
+        return a.val - b.val;
+    }
+
+    /** Diagnostics/serialization print as the raw value. */
+    friend std::ostream &
+    operator<<(std::ostream &os, StrongId id)
+    {
+        return os << id.val;
+    }
+
+  private:
+    Rep val = 0;
+};
+
+/**
+ * A counted quantity of one unit (e.g. Cycles): supports the closed
+ * arithmetic a dimension allows — add/subtract same-unit counts, scale
+ * by dimensionless integers — and nothing else.
+ */
+template <typename TagT, typename RepT = std::uint64_t>
+class StrongCount
+{
+    static_assert(std::is_unsigned_v<RepT>,
+                  "StrongCount wraps unsigned integer representations");
+
+  public:
+    using Tag = TagT;
+    using Rep = RepT;
+
+    constexpr StrongCount() = default;
+    constexpr explicit StrongCount(Rep value) : val(value) {}
+
+    /** Explicit escape to the underlying integer (see AF011). */
+    [[nodiscard]] constexpr Rep raw() const { return val; }
+
+    constexpr auto operator<=>(const StrongCount &) const = default;
+
+    constexpr StrongCount &
+    operator+=(StrongCount other)
+    {
+        val += other.val;
+        return *this;
+    }
+
+    constexpr StrongCount &
+    operator-=(StrongCount other)
+    {
+        val -= other.val;
+        return *this;
+    }
+
+    friend constexpr StrongCount
+    operator+(StrongCount a, StrongCount b)
+    {
+        return StrongCount(a.val + b.val);
+    }
+
+    friend constexpr StrongCount
+    operator-(StrongCount a, StrongCount b)
+    {
+        return StrongCount(a.val - b.val);
+    }
+
+    /** Scaling by a dimensionless factor keeps the unit. */
+    friend constexpr StrongCount
+    operator*(StrongCount c, Rep factor)
+    {
+        return StrongCount(c.val * factor);
+    }
+
+    friend constexpr StrongCount
+    operator*(Rep factor, StrongCount c)
+    {
+        return StrongCount(factor * c.val);
+    }
+
+    friend constexpr StrongCount
+    operator/(StrongCount c, Rep divisor)
+    {
+        return StrongCount(c.val / divisor);
+    }
+
+    /** Ratio of two same-unit counts is dimensionless. */
+    friend constexpr Rep
+    operator/(StrongCount a, StrongCount b)
+    {
+        return a.val / b.val;
+    }
+
+    /** Diagnostics/serialization print as the raw value. */
+    friend std::ostream &
+    operator<<(std::ostream &os, StrongCount c)
+    {
+        return os << c.val;
+    }
+
+  private:
+    Rep val = 0;
+};
+
+} // namespace astriflash::sim
+
+// Hashing: strong ids key unordered containers exactly like their
+// representation would, preserving bucket placement (and therefore any
+// iteration-order-sensitive behaviour) across the raw->strong refactor.
+template <typename Tag, typename Rep>
+struct std::hash<astriflash::sim::StrongId<Tag, Rep>> {
+    std::size_t
+    operator()(astriflash::sim::StrongId<Tag, Rep> id) const noexcept
+    {
+        return std::hash<Rep>{}(id.raw());
+    }
+};
+
+template <typename Tag, typename Rep>
+struct std::hash<astriflash::sim::StrongCount<Tag, Rep>> {
+    std::size_t
+    operator()(astriflash::sim::StrongCount<Tag, Rep> c) const noexcept
+    {
+        return std::hash<Rep>{}(c.raw());
+    }
+};
+
+#endif // ASTRIFLASH_SIM_STRONG_TYPES_HH

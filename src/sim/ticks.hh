@@ -12,10 +12,27 @@
 
 #include <cstdint>
 
+#include "strong_types.hh"
+
 namespace astriflash::sim {
 
 /** Simulated time in picoseconds. */
 using Ticks = std::uint64_t;
+
+/**
+ * A count of clock cycles in some ClockDomain. Distinct from Ticks so
+ * a cycle count can never be passed where picoseconds are expected (or
+ * vice versa) without going through a ClockDomain conversion; aflint
+ * rule AF009 additionally flags suspicious mixing sites.
+ */
+using Cycles = StrongCount<struct CyclesTag, std::uint64_t>;
+
+/** Build a cycle count from a plain integer. */
+constexpr Cycles
+cycles(std::uint64_t n)
+{
+    return Cycles(n);
+}
 
 /** Signed tick difference (for latency arithmetic that may underflow). */
 using TickDelta = std::int64_t;
@@ -107,13 +124,26 @@ class ClockDomain
     constexpr std::uint64_t frequency() const { return freqHz; }
 
     /** Convert a cycle count to ticks. */
-    constexpr Ticks cycles(std::uint64_t n) const { return n * periodTicks; }
+    constexpr Ticks
+    cycles(Cycles n) const
+    {
+        // aflint-allow(AF011): the ClockDomain is the sanctioned
+        // Cycles<->Ticks conversion point.
+        return n.raw() * periodTicks;
+    }
+
+    /** Convert a plain integer cycle count to ticks. */
+    constexpr Ticks
+    cycles(std::uint64_t n) const
+    {
+        return n * periodTicks;
+    }
 
     /** Convert ticks to whole elapsed cycles (floor). */
-    constexpr std::uint64_t
+    constexpr Cycles
     ticksToCycles(Ticks t) const
     {
-        return t / periodTicks;
+        return Cycles(t / periodTicks);
     }
 
     /** Round a timestamp up to the next clock edge (inclusive). */

@@ -1,0 +1,43 @@
+# Byte-identical golden stats check, run as a ctest.
+#
+#   cmake -DTOOL=<golden_stats> -DCASE=<name> -DGOLDEN=<file>
+#         -DOUT_DIR=<dir> -P check_golden_stats.cmake
+#
+# Runs the fixed-seed case and requires the produced JSON to match the
+# committed golden byte for byte. Regenerate a golden deliberately with:
+#   ./build/tools/golden_stats --case=<name> --out=tests/golden/<name>.json
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(out "${OUT_DIR}/${CASE}.json")
+
+execute_process(
+    COMMAND "${TOOL}" --case=${CASE} --out=${out}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout_text
+    ERROR_VARIABLE stderr_text)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "golden_stats --case=${CASE} failed (rc=${rc}):\n"
+        "${stdout_text}\n${stderr_text}")
+endif()
+
+if(NOT EXISTS "${GOLDEN}")
+    message(FATAL_ERROR
+        "missing golden file ${GOLDEN}; capture it with\n"
+        "  ${TOOL} --case=${CASE} --out=${GOLDEN}")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${out}" "${GOLDEN}"
+    RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+    execute_process(
+        COMMAND diff -u "${GOLDEN}" "${out}"
+        OUTPUT_VARIABLE diff_text
+        ERROR_VARIABLE diff_text)
+    string(SUBSTRING "${diff_text}" 0 4000 diff_head)
+    message(FATAL_ERROR
+        "stats JSON for '${CASE}' diverged from the committed golden "
+        "(${GOLDEN}).\nIf the change is intentional, regenerate the "
+        "golden and explain the divergence in the PR.\n${diff_head}")
+endif()

@@ -26,7 +26,8 @@ struct Rig {
     flash::FlashConfig fcfg;
     std::unique_ptr<flash::FlashDevice> flash;
     std::unique_ptr<DramCache> dc;
-    std::vector<std::pair<mem::Addr, std::vector<WaiterCookie>>> ready;
+    std::vector<std::pair<mem::PageNum, std::vector<WaiterCookie>>>
+        ready;
 
     explicit Rig(std::uint32_t msr_sets = 16, std::uint32_t msr_ways = 4)
     {
@@ -39,7 +40,7 @@ struct Rig {
         cfg.msrEntriesPerSet = msr_ways;
         dc = std::make_unique<DramCache>(eq, "dc", cfg, *flash, amap);
         dc->setPageReadyCallback(
-            [this](mem::Addr page, Ticks,
+            [this](mem::PageNum page, Ticks,
                    const std::vector<WaiterCookie> &w) {
                 ready.emplace_back(page, w);
             });
@@ -82,7 +83,7 @@ TEST(DramCache, FillDeliversWaitersAfterFlashLatency)
     rig.dc->access(rig.pa(3), false, 0, 42);
     rig.eq.run();
     ASSERT_EQ(rig.ready.size(), 1u);
-    EXPECT_EQ(rig.ready[0].first, rig.pa(3));
+    EXPECT_EQ(rig.ready[0].first, mem::pageNumber(rig.pa(3)));
     ASSERT_EQ(rig.ready[0].second.size(), 1u);
     EXPECT_EQ(rig.ready[0].second[0], 42u);
     // Page now resident; next access hits.
@@ -196,7 +197,7 @@ struct FootprintRig : Rig {
         dc = std::make_unique<DramCache>(eq, "dcfp", cfg, *flash,
                                          amap);
         dc->setPageReadyCallback(
-            [this](mem::Addr page, Ticks,
+            [this](mem::PageNum page, Ticks,
                    const std::vector<WaiterCookie> &w) {
                 ready.emplace_back(page, w);
             });

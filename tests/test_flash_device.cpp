@@ -37,7 +37,7 @@ fastCfg()
 TEST(FlashDevice, UnloadedReadLatency)
 {
     FlashDevice dev("d", fastCfg());
-    const auto r = dev.read(0, 0);
+    const auto r = dev.read(Lpn(0), 0);
     // controller + tR + transfer = 5 + 40 + 3 us.
     EXPECT_EQ(r.complete, microseconds(48));
     EXPECT_EQ(r.queueing, 0u);
@@ -47,8 +47,8 @@ TEST(FlashDevice, UnloadedReadLatency)
 TEST(FlashDevice, SamePlaneReadsSerialize)
 {
     FlashDevice dev("d", fastCfg());
-    const auto a = dev.read(0, 0); // plane 0
-    const auto b = dev.read(4, 0); // lpn 4 -> plane 0 again
+    const auto a = dev.read(Lpn(0), 0); // plane 0
+    const auto b = dev.read(Lpn(4), 0); // lpn 4 -> plane 0 again
     EXPECT_GT(b.queueing, 0u);
     EXPECT_GE(b.complete, a.complete + microseconds(40));
 }
@@ -56,8 +56,8 @@ TEST(FlashDevice, SamePlaneReadsSerialize)
 TEST(FlashDevice, DifferentPlanesOverlap)
 {
     FlashDevice dev("d", fastCfg());
-    const auto a = dev.read(0, 0); // plane 0, channel 0
-    const auto b = dev.read(1, 0); // plane 1, channel 1
+    const auto a = dev.read(Lpn(0), 0); // plane 0, channel 0
+    const auto b = dev.read(Lpn(1), 0); // plane 1, channel 1
     EXPECT_EQ(a.complete, b.complete);
     EXPECT_EQ(b.queueing, 0u);
 }
@@ -66,8 +66,8 @@ TEST(FlashDevice, ChannelTransferSerializes)
 {
     FlashDevice dev("d", fastCfg());
     // Planes 0 and 2 share channel 0.
-    const auto a = dev.read(0, 0);
-    const auto b = dev.read(2, 0);
+    const auto a = dev.read(Lpn(0), 0);
+    const auto b = dev.read(Lpn(2), 0);
     // Array reads overlap; the 3 us transfers share the channel.
     EXPECT_EQ(b.complete, a.complete + microseconds(3));
 }
@@ -79,8 +79,8 @@ TEST(FlashDevice, ReadsPreemptQueuedPrograms)
     const FlashConfig cfg = fastCfg();
     FlashDevice dev("d", cfg, cfg.userPages() / 2);
     // Queue a program on plane 0, then read from it immediately.
-    dev.write(0, 0);
-    const auto r = dev.read(4, microseconds(1)); // plane 0
+    dev.write(Lpn(0), 0);
+    const auto r = dev.read(Lpn(4), microseconds(1)); // plane 0
     // The read must NOT wait out the 600 us program.
     EXPECT_LT(r.complete, microseconds(100));
 }
@@ -89,7 +89,7 @@ TEST(FlashDevice, WriteAckIsTransferOnly)
 {
     const FlashConfig wcfg = fastCfg();
     FlashDevice dev("d", wcfg, wcfg.userPages() / 2);
-    const Ticks acked = dev.write(0, 0);
+    const Ticks acked = dev.write(Lpn(0), 0);
     // controller + channel transfer; the program is asynchronous.
     EXPECT_EQ(acked, microseconds(8));
 }
@@ -102,13 +102,13 @@ TEST(FlashDevice, GcBlocksReadsOnItsPlane)
     Ticks t = 0;
     while (dev.ftl().stats().gcInvocations.value() == 0 &&
            gc_writes < 10000) {
-        dev.write(0 + 4 * (gc_writes % 8), t);
+        dev.write(Lpn(0 + 4 * (gc_writes % 8)), t);
         t += microseconds(10);
         ++gc_writes;
     }
     ASSERT_GT(dev.ftl().stats().gcInvocations.value(), 0u);
     // A read right after the GC-triggering write sees the plane busy.
-    const auto r = dev.read(0, t);
+    const auto r = dev.read(Lpn(0), t);
     EXPECT_TRUE(r.blockedByGc);
     EXPECT_GT(r.queueing, microseconds(100));
     EXPECT_EQ(dev.stats().gcBlockedReads.value(), 1u);
@@ -118,7 +118,7 @@ TEST(FlashDevice, LatencyHistogramsPopulate)
 {
     FlashDevice dev("d", fastCfg());
     for (std::uint64_t i = 0; i < 32; ++i)
-        dev.read(i % 16, i * microseconds(100));
+        dev.read(Lpn(i % 16), i * microseconds(100));
     EXPECT_EQ(dev.stats().reads.value(), 32u);
     EXPECT_GE(dev.stats().readLatency.percentile(0.5),
               microseconds(47));
@@ -127,8 +127,8 @@ TEST(FlashDevice, LatencyHistogramsPopulate)
 TEST(FlashDevice, ResetStatsKeepsFtlCounters)
 {
     FlashDevice dev("d", fastCfg());
-    dev.read(0, 0);
-    dev.write(0, 0);
+    dev.read(Lpn(0), 0);
+    dev.write(Lpn(0), 0);
     dev.resetStats();
     EXPECT_EQ(dev.stats().reads.value(), 0u);
     EXPECT_EQ(dev.stats().writes.value(), 0u);

@@ -41,15 +41,15 @@ TEST(Ftl, GeometryMath)
 TEST(Ftl, StaticTranslationIsStriped)
 {
     Ftl ftl("f", tinyCfg());
-    const PhysPage p0 = ftl.translate(0);
-    const PhysPage p1 = ftl.translate(1);
+    const PhysPage p0 = ftl.translate(Lpn(0));
+    const PhysPage p1 = ftl.translate(Lpn(1));
     EXPECT_EQ(p0.plane, 0u);
     EXPECT_EQ(p1.plane, 1u);
     // Same within-plane slot for consecutive stripes.
     EXPECT_EQ(p0.block, p1.block);
     EXPECT_EQ(p0.page, p1.page);
     // Consistent across calls.
-    const PhysPage again = ftl.translate(0);
+    const PhysPage again = ftl.translate(Lpn(0));
     EXPECT_EQ(again.block, p0.block);
     EXPECT_EQ(again.page, p0.page);
 }
@@ -57,13 +57,13 @@ TEST(Ftl, StaticTranslationIsStriped)
 TEST(Ftl, WriteRemapsOutOfPlace)
 {
     Ftl ftl("f", tinyCfg());
-    const PhysPage before = ftl.translate(5);
+    const PhysPage before = ftl.translate(Lpn(5));
     GcWork gc;
-    const PhysPage after = ftl.write(5, &gc);
+    const PhysPage after = ftl.write(Lpn(5), &gc);
     EXPECT_EQ(after.plane, before.plane); // plane-affine writes
     EXPECT_TRUE(after.block != before.block ||
                 after.page != before.page);
-    const PhysPage now = ftl.translate(5);
+    const PhysPage now = ftl.translate(Lpn(5));
     EXPECT_EQ(now.block, after.block);
     EXPECT_EQ(now.page, after.page);
 }
@@ -74,7 +74,7 @@ TEST(Ftl, RewritesInvalidateOldLocations)
     GcWork gc;
     // Rewriting the same lpn repeatedly must not leak valid pages.
     for (int i = 0; i < 50; ++i)
-        ftl.write(4, &gc); // lpn 4 -> plane 0
+        ftl.write(Lpn(4), &gc); // lpn 4 -> plane 0
     EXPECT_EQ(ftl.stats().hostWrites.value(), 50u);
     // All written copies except the live one are invalid; the FTL
     // must have GC'd rather than run out of space (plane 0 has
@@ -90,7 +90,7 @@ TEST(Ftl, GcRelocatesOnlyValidPages)
     GcWork gc;
     std::uint32_t total_reloc = 0;
     for (int i = 0; i < 200; ++i) {
-        ftl.write(static_cast<std::uint64_t>((i * 4) % preload), &gc);
+        ftl.write(Lpn((i * 4) % preload), &gc);
         total_reloc += gc.relocatedPages;
     }
     // Write amplification stays sane when rewriting a small set.
@@ -116,7 +116,7 @@ TEST(Ftl, WearLevelingBoundsEraseSpread)
     GcWork gc;
     // Hammer a few lpns; tie-break by erase count should spread wear.
     for (int i = 0; i < 3000; ++i)
-        ftl.write(static_cast<std::uint64_t>(i % 8), &gc);
+        ftl.write(Lpn(i % 8), &gc);
     EXPECT_GE(ftl.stats().erases.value(), 10u);
     // Spread stays well below the total erase count.
     EXPECT_LT(ftl.eraseCountSpread(),
@@ -128,7 +128,7 @@ TEST(Ftl, WriteAmplificationReported)
     const FlashConfig wcfg = tinyCfg();
     Ftl ftl("f", wcfg, wcfg.userPages() / 2);
     GcWork gc;
-    ftl.write(0, &gc);
+    ftl.write(Lpn(0), &gc);
     EXPECT_DOUBLE_EQ(ftl.stats().writeAmplification(), 1.0);
 }
 
@@ -136,7 +136,7 @@ TEST(FtlDeath, ReadBeyondPreloadPanics)
 {
     const FlashConfig c = tinyCfg();
     Ftl ftl("f", c, 8);
-    EXPECT_DEATH(ftl.translate(9), "beyond the preloaded");
+    EXPECT_DEATH(ftl.translate(Lpn(9)), "beyond the preloaded");
 }
 
 TEST(FtlDeath, PreloadBeyondCapacityIsFatal)

@@ -10,29 +10,36 @@
 
 using namespace astriflash::core;
 using astriflash::mem::kPageSize;
+using astriflash::mem::PageNum;
+using astriflash::mem::pageNumber;
+
+namespace {
+/** Page number of a byte address (tests use byte-address literals). */
+PageNum pn(astriflash::mem::Addr a) { return pageNumber(a); }
+} // namespace
 
 TEST(MissStatusRow, AllocateDuplicateFree)
 {
     MissStatusRow msr("m", 4, 2);
-    EXPECT_EQ(msr.allocate(0x1000), MsrAlloc::New);
-    EXPECT_EQ(msr.allocate(0x1000), MsrAlloc::Duplicate);
-    EXPECT_EQ(msr.allocate(0x1fff), MsrAlloc::Duplicate); // same page
-    EXPECT_TRUE(msr.contains(0x1000));
+    EXPECT_EQ(msr.allocate(pn(0x1000)), MsrAlloc::New);
+    EXPECT_EQ(msr.allocate(pn(0x1000)), MsrAlloc::Duplicate);
+    EXPECT_EQ(msr.allocate(pn(0x1fff)), MsrAlloc::Duplicate); // same page
+    EXPECT_TRUE(msr.contains(pn(0x1000)));
     EXPECT_EQ(msr.occupancy(), 1u);
-    msr.free(0x1000);
-    EXPECT_FALSE(msr.contains(0x1000));
+    msr.free(pn(0x1000));
+    EXPECT_FALSE(msr.contains(pn(0x1000)));
     EXPECT_EQ(msr.stats().duplicates.value(), 2u);
 }
 
 TEST(MissStatusRow, SetConflictStalls)
 {
     MissStatusRow msr("m", 1, 2); // single set of 2 entries
-    EXPECT_EQ(msr.allocate(0 * kPageSize), MsrAlloc::New);
-    EXPECT_EQ(msr.allocate(1 * kPageSize), MsrAlloc::New);
-    EXPECT_EQ(msr.allocate(2 * kPageSize), MsrAlloc::SetFull);
+    EXPECT_EQ(msr.allocate(pn(0 * kPageSize)), MsrAlloc::New);
+    EXPECT_EQ(msr.allocate(pn(1 * kPageSize)), MsrAlloc::New);
+    EXPECT_EQ(msr.allocate(pn(2 * kPageSize)), MsrAlloc::SetFull);
     EXPECT_EQ(msr.stats().setFullStalls.value(), 1u);
-    msr.free(0 * kPageSize);
-    EXPECT_EQ(msr.allocate(2 * kPageSize), MsrAlloc::New);
+    msr.free(pn(0 * kPageSize));
+    EXPECT_EQ(msr.allocate(pn(2 * kPageSize)), MsrAlloc::New);
 }
 
 TEST(MissStatusRow, CapacityAndPeakTracking)
@@ -41,7 +48,7 @@ TEST(MissStatusRow, CapacityAndPeakTracking)
     EXPECT_EQ(msr.capacity(), 64u);
     std::uint32_t placed = 0;
     for (std::uint64_t p = 0; p < 200 && placed < 40; ++p) {
-        if (msr.allocate(p * kPageSize) == MsrAlloc::New)
+        if (msr.allocate(pn(p * kPageSize)) == MsrAlloc::New)
             ++placed;
     }
     EXPECT_EQ(msr.occupancy(), placed);
@@ -51,20 +58,20 @@ TEST(MissStatusRow, CapacityAndPeakTracking)
 TEST(MissStatusRowDeath, FreeingAbsentEntryPanics)
 {
     MissStatusRow msr("m", 4, 2);
-    EXPECT_DEATH(msr.free(0x5000), "absent MSR entry");
+    EXPECT_DEATH(msr.free(pn(0x5000)), "absent MSR entry");
 }
 
 TEST(EvictBuffer, FifoOrderAndDirtyTracking)
 {
     EvictBuffer buf("e", 4);
-    EXPECT_TRUE(buf.insert(0x1000, true, 10));
-    EXPECT_TRUE(buf.insert(0x2000, false, 20));
+    EXPECT_TRUE(buf.insert(pn(0x1000), true, 10));
+    EXPECT_TRUE(buf.insert(pn(0x2000), false, 20));
     EXPECT_EQ(buf.occupancy(), 2u);
     const auto first = buf.pop();
-    EXPECT_EQ(first.page, 0x1000u);
+    EXPECT_EQ(first.page, pn(0x1000));
     EXPECT_TRUE(first.dirty);
     const auto second = buf.pop();
-    EXPECT_EQ(second.page, 0x2000u);
+    EXPECT_EQ(second.page, pn(0x2000));
     EXPECT_FALSE(second.dirty);
     EXPECT_EQ(buf.stats().dirtyInserts.value(), 1u);
 }
@@ -72,18 +79,18 @@ TEST(EvictBuffer, FifoOrderAndDirtyTracking)
 TEST(EvictBuffer, FullRejectsAndCounts)
 {
     EvictBuffer buf("e", 2);
-    EXPECT_TRUE(buf.insert(0x1000, false, 0));
-    EXPECT_TRUE(buf.insert(0x2000, false, 0));
-    EXPECT_FALSE(buf.insert(0x3000, false, 0));
+    EXPECT_TRUE(buf.insert(pn(0x1000), false, 0));
+    EXPECT_TRUE(buf.insert(pn(0x2000), false, 0));
+    EXPECT_FALSE(buf.insert(pn(0x3000), false, 0));
     EXPECT_EQ(buf.stats().fullStalls.value(), 1u);
     buf.pop();
-    EXPECT_TRUE(buf.insert(0x3000, false, 0));
+    EXPECT_TRUE(buf.insert(pn(0x3000), false, 0));
 }
 
 TEST(EvictBuffer, ContainsMatchesPageGranularity)
 {
     EvictBuffer buf("e", 4);
-    buf.insert(0x3000, false, 0);
-    EXPECT_TRUE(buf.contains(0x3fff));
-    EXPECT_FALSE(buf.contains(0x4000));
+    buf.insert(pn(0x3000), false, 0);
+    EXPECT_TRUE(buf.contains(pn(0x3fff)));
+    EXPECT_FALSE(buf.contains(pn(0x4000)));
 }

@@ -15,6 +15,13 @@ using astriflash::workload::Job;
 
 namespace {
 
+/** Park/wake key for a byte-address literal. */
+astriflash::mem::PageNum
+pg(astriflash::mem::Addr a)
+{
+    return astriflash::mem::pageNumber(a);
+}
+
 Job
 job(std::uint64_t id)
 {
@@ -54,10 +61,10 @@ TEST(SchedModel, NewJobsFifoAmongThemselves)
 TEST(SchedModel, ParkedJobNotRunnableUntilPageReady)
 {
     SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
-    s.parkOnMiss(job(1), 0x1000, 100);
+    s.parkOnMiss(job(1), pg(0x1000), 100);
     EXPECT_EQ(s.pendingCount(), 1u);
     EXPECT_FALSE(s.pickNext(200).has_value());
-    EXPECT_EQ(s.pageReady(0x1000, microseconds(50)), 1u);
+    EXPECT_EQ(s.pageReady(pg(0x1000), microseconds(50)), 1u);
     const auto j = s.pickNext(microseconds(50));
     ASSERT_TRUE(j.has_value());
     EXPECT_EQ(j->id, 1u);
@@ -66,10 +73,10 @@ TEST(SchedModel, ParkedJobNotRunnableUntilPageReady)
 TEST(SchedModel, PageReadyWakesAllWaitersOnPage)
 {
     SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
-    s.parkOnMiss(job(1), 0x1000, 0);
-    s.parkOnMiss(job(2), 0x1000, 0);
-    s.parkOnMiss(job(3), 0x2000, 0);
-    EXPECT_EQ(s.pageReady(0x1000, 100), 2u);
+    s.parkOnMiss(job(1), pg(0x1000), 0);
+    s.parkOnMiss(job(2), pg(0x1000), 0);
+    s.parkOnMiss(job(3), pg(0x2000), 0);
+    EXPECT_EQ(s.pageReady(pg(0x1000), 100), 2u);
     EXPECT_EQ(s.pendingCount(), 3u); // 2 ready + 1 waiting
 }
 
@@ -79,8 +86,8 @@ TEST(SchedModel, NotifiedReadyJobBeatsNewJob)
     // at the next pick even when new work is queued (§VI-B).
     SchedulerModel s(cfgFor(SchedPolicy::PriorityAging, true));
     s.enqueueNew(job(10));
-    s.parkOnMiss(job(1), 0x1000, 0);
-    s.pageReady(0x1000, microseconds(50));
+    s.parkOnMiss(job(1), pg(0x1000), 0);
+    s.pageReady(pg(0x1000), microseconds(50));
     EXPECT_EQ(s.pickNext(microseconds(50))->id, 1u);
     EXPECT_EQ(s.stats().scheduledPending.value(), 1u);
 }
@@ -92,10 +99,10 @@ TEST(SchedModel, ProxyModePromotesOnlyAgedJobs)
     for (int i = 0; i < 50; ++i)
         s.noteFlashResponse(microseconds(50));
     s.enqueueNew(job(10));
-    s.parkOnMiss(job(1), 0x1000, 0);
+    s.parkOnMiss(job(1), pg(0x1000), 0);
     // The page arrives quickly; head age (12 us) is below the 50 us
     // average, so the proxy assumes it has not arrived: new job wins.
-    s.pageReady(0x1000, microseconds(10));
+    s.pageReady(pg(0x1000), microseconds(10));
     EXPECT_EQ(s.pickNext(microseconds(12))->id, 10u);
     // Once aged beyond the average response, the pending job wins.
     s.enqueueNew(job(11));
@@ -106,8 +113,8 @@ TEST(SchedModel, ProxyModePromotesOnlyAgedJobs)
 TEST(SchedModel, FifoStarvesPendingWhileNewExists)
 {
     SchedulerModel s(cfgFor(SchedPolicy::Fifo));
-    s.parkOnMiss(job(1), 0x1000, 0);
-    s.pageReady(0x1000, 10);
+    s.parkOnMiss(job(1), pg(0x1000), 0);
+    s.pageReady(pg(0x1000), 10);
     s.enqueueNew(job(10));
     s.enqueueNew(job(11));
     EXPECT_EQ(s.pickNext(milliseconds(10))->id, 10u);
@@ -120,11 +127,11 @@ TEST(SchedModel, PendingFullDetection)
 {
     SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
     for (std::uint64_t i = 0; i < 4; ++i)
-        s.parkOnMiss(job(i), 0x1000 * (i + 1), 0);
+        s.parkOnMiss(job(i), pg(0x1000 * (i + 1)), 0);
     EXPECT_TRUE(s.pendingFull());
     s.notePendingOverflow();
     EXPECT_EQ(s.stats().pendingOverflows.value(), 1u);
-    s.pageReady(0x1000, 10);
+    s.pageReady(pg(0x1000), 10);
     const auto j = s.pickPendingReady();
     ASSERT_TRUE(j.has_value());
     EXPECT_EQ(j->id, 0u);
@@ -136,8 +143,8 @@ TEST(SchedModel, PickPendingReadyIgnoresNewJobs)
     SchedulerModel s(cfgFor(SchedPolicy::Fifo));
     s.enqueueNew(job(10));
     EXPECT_FALSE(s.pickPendingReady().has_value());
-    s.parkOnMiss(job(1), 0x1000, 0);
-    s.pageReady(0x1000, 10);
+    s.parkOnMiss(job(1), pg(0x1000), 0);
+    s.pageReady(pg(0x1000), 10);
     EXPECT_EQ(s.pickPendingReady()->id, 1u);
 }
 
@@ -154,10 +161,10 @@ TEST(SchedModel, FlashResponseEmaConverges)
 TEST(SchedModel, PeakPendingTracked)
 {
     SchedulerModel s(cfgFor(SchedPolicy::PriorityAging));
-    s.parkOnMiss(job(1), 0x1000, 0);
-    s.parkOnMiss(job(2), 0x2000, 0);
-    s.pageReady(0x1000, 1);
+    s.parkOnMiss(job(1), pg(0x1000), 0);
+    s.parkOnMiss(job(2), pg(0x2000), 0);
+    s.pageReady(pg(0x1000), 1);
     (void)s.pickPendingReady();
-    s.parkOnMiss(job(3), 0x3000, 2);
+    s.parkOnMiss(job(3), pg(0x3000), 2);
     EXPECT_EQ(s.stats().peakPending, 2u);
 }

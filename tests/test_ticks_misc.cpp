@@ -30,7 +30,7 @@ TEST(ClockDomain, PeriodAndCycles)
     const ClockDomain clk(2'500'000'000ull); // 2.5 GHz
     EXPECT_EQ(clk.period(), 400u);           // 0.4 ns in ps
     EXPECT_EQ(clk.cycles(10), 4000u);
-    EXPECT_EQ(clk.ticksToCycles(4400), 11u);
+    EXPECT_EQ(clk.ticksToCycles(4400), Cycles(11));
 }
 
 TEST(ClockDomain, NextEdgeRoundsUp)
@@ -53,13 +53,60 @@ TEST(Address, PowerOfTwoHelpers)
     EXPECT_EQ(alignUp(4096, 4096), 4096u);
 }
 
+TEST(Address, ConstantEvaluationAcceptsPowersOfTwo)
+{
+    // SIM_CHECK_CE admits valid inputs in constant expressions; a
+    // non-power-of-two there is a compile error (the failing branch
+    // calls the non-constexpr detail::constexprCheckFailed), so e.g.
+    // `constexpr auto bad = log2i(12);` does not build.
+    static_assert(log2i(4096) == 12);
+    static_assert(alignDown(4097, 4096) == 4096);
+    static_assert(alignUp(1, 64) == 64);
+}
+
+TEST(AddressDeath, Log2iRejectsNonPowerOfTwo)
+{
+    EXPECT_DEATH(
+        {
+            setChecksEnabled(true);
+            // aflint-allow-next-line(AF012): the rejection under test.
+            volatile unsigned sink = log2i(12);
+            (void)sink;
+        },
+        "SIM_CHECK failed: isPowerOfTwo");
+}
+
+TEST(AddressDeath, AlignDownRejectsNonPowerOfTwoAlignment)
+{
+    EXPECT_DEATH(
+        {
+            setChecksEnabled(true);
+            // aflint-allow-next-line(AF012): the rejection under test.
+            volatile Addr sink = alignDown(100, 12);
+            (void)sink;
+        },
+        "SIM_CHECK failed: isPowerOfTwo");
+}
+
+TEST(AddressDeath, AlignUpRejectsNonPowerOfTwoAlignment)
+{
+    EXPECT_DEATH(
+        {
+            setChecksEnabled(true);
+            // aflint-allow-next-line(AF012): the rejection under test.
+            volatile Addr sink = alignUp(100, 96);
+            (void)sink;
+        },
+        "SIM_CHECK failed: isPowerOfTwo");
+}
+
 TEST(Address, PageAndBlockMath)
 {
-    EXPECT_EQ(pageNumber(0x3fff), 3u);
+    EXPECT_EQ(pageNumber(0x3fff), PageNum(3));
     EXPECT_EQ(pageBase(0x3fff), 0x3000u);
-    EXPECT_EQ(blockNumber(0x7f), 1u);
+    EXPECT_EQ(blockNumber(0x7f), BlockNum(1));
     EXPECT_EQ(blockBase(0x7f), 0x40u);
-    EXPECT_EQ(pageNumber(0x5000, 8192), 2u);
+    EXPECT_EQ(pageNumber(0x5000, 8192), PageNum(2));
 }
 
 TEST(Logging, FormatProducesPrintfOutput)

@@ -135,7 +135,8 @@ TEST(AddressMap, FlashBarIsGigabyteAligned)
 TEST(AddressMap, FlashPageRoundTrip)
 {
     AddressMap amap(1ull << 20, 1ull << 30);
-    for (std::uint64_t lpn : {0ull, 1ull, 255ull, 262143ull}) {
+    for (std::uint64_t raw : {0ull, 1ull, 255ull, 262143ull}) {
+        const astriflash::flash::Lpn lpn{raw};
         const Addr pa = amap.flashPageAddr(lpn);
         EXPECT_EQ(amap.flashPage(pa), lpn);
         EXPECT_EQ(amap.flashPage(pa + 4095), lpn);

@@ -14,6 +14,22 @@
  *   AF006  no signed integer truncation of Tick values
  *   AF007  no bare assert() under src/ (use ASTRI_ASSERT / SIM_CHECK)
  *
+ * v2 adds a lightweight tokenizer over the stripped text so the unit-
+ * safety rules can reason about token sequences instead of raw lines:
+ *
+ *   AF008  raw-integer page/set/way/block/lpn parameters in public
+ *          headers under src/ (use the strong types from
+ *          sim/strong_types.hh)
+ *   AF009  implicit Ticks<->Cycles mixing: a Ticks variable
+ *          initialized from a bare cycle-count identifier (or vice
+ *          versa) without going through ClockDomain
+ *   AF010  pageNumber()/blockNumber() results stored into plain
+ *          uint64_t / Addr, erasing the unit the call just attached
+ *   AF011  strong-type .raw() escapes outside the allowlisted
+ *          conversion headers (see kRawEscapeAllowlist)
+ *   AF012  log2i()/alignDown()/alignUp() called with a literal that
+ *          is not a power of two (rejected at runtime by SIM_CHECK_CE)
+ *
  * Comments and string literals are stripped (newlines preserved)
  * before matching, so prose never trips a rule. Intentional
  * exceptions are annotated in a comment on the offending line:
@@ -31,6 +47,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -54,6 +74,7 @@ struct Finding {
 struct Options {
     std::string root = ".";
     std::vector<std::string> paths; ///< Scan roots relative to root.
+    std::string sinceRef;           ///< Diff mode: scan changed files.
     bool json = false;
     bool defaultExcludes = true;
 };
@@ -149,7 +170,16 @@ stripCommentsAndStrings(const std::string &in)
                 out.push_back('"');
                 ++i;
             }
-        } else if (c == '\'') {
+        } else if (c == '\'' &&
+                   !(i > 0 &&
+                     std::isalnum(static_cast<unsigned char>(
+                         in[i - 1])) &&
+                     i + 1 < n &&
+                     std::isalnum(static_cast<unsigned char>(
+                         in[i + 1])))) {
+            // The guard keeps digit separators (2'500'000ull) from
+            // opening a phantom char literal that would swallow
+            // newlines and skew every finding's line number.
             out.push_back('\'');
             ++i;
             while (i < n && in[i] != '\'') {
@@ -277,8 +307,7 @@ checkStatDescriptions(const std::string &stripped,
                                       call_re);
     for (auto it = begin; it != std::sregex_iterator(); ++it) {
         const std::size_t open =
-            static_cast<std::size_t>(it->position()) +
-            it->length() - 1;
+            static_cast<std::size_t>(it->position() + it->length()) - 1;
         int depth = 0;
         int args = 1;
         bool closed = false;
@@ -327,6 +356,370 @@ checkIncludeGuard(const std::string &stripped, const std::string &file,
                        "header has no include guard"});
 }
 
+
+/**
+ * Minimal token for the v2 semantic rules: identifiers, numeric
+ * literals, and punctuation (with `::` kept as one token), each tagged
+ * with its 1-based source line. Operates on the stripped text, so
+ * comments and literals are already blank.
+ */
+struct Token {
+    enum class Kind { Ident, Number, Punct };
+    Kind kind;
+    std::string text;
+    int line;
+};
+
+std::vector<Token>
+tokenize(const std::string &stripped)
+{
+    std::vector<Token> toks;
+    int line = 1;
+    const std::size_t n = stripped.size();
+    std::size_t i = 0;
+    auto isIdent = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    while (i < n) {
+        const char c = stripped[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+        } else if (std::isalpha(static_cast<unsigned char>(c)) ||
+                   c == '_') {
+            std::size_t j = i;
+            while (j < n && isIdent(stripped[j]))
+                ++j;
+            toks.push_back({Token::Kind::Ident,
+                            stripped.substr(i, j - i), line});
+            i = j;
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            // Numeric literal, including hex/binary digits, digit
+            // separators, and integer suffixes.
+            std::size_t j = i;
+            while (j < n && (isIdent(stripped[j]) ||
+                             stripped[j] == '\''))
+                ++j;
+            toks.push_back({Token::Kind::Number,
+                            stripped.substr(i, j - i), line});
+            i = j;
+        } else if (c == ':' && i + 1 < n && stripped[i + 1] == ':') {
+            toks.push_back({Token::Kind::Punct, "::", line});
+            i += 2;
+        } else {
+            toks.push_back({Token::Kind::Punct, std::string(1, c),
+                            line});
+            ++i;
+        }
+    }
+    return toks;
+}
+
+bool
+tokIs(const std::vector<Token> &t, std::size_t i, const char *text)
+{
+    return i < t.size() && t[i].text == text;
+}
+
+/** Parse an integer literal token (hex/dec, separators, suffixes). */
+bool
+literalValue(const std::string &text, std::uint64_t &out)
+{
+    std::string digits;
+    for (const char c : text) {
+        if (c != '\'')
+            digits.push_back(c);
+    }
+    while (!digits.empty()) {
+        const char back = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(digits.back())));
+        if (back == 'u' || back == 'l')
+            digits.pop_back();
+        else
+            break;
+    }
+    if (digits.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(digits.c_str(), &end, 0);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+/** Identifier names that denote page/set/way/block identities. */
+bool
+isIdentityParamName(const std::string &name)
+{
+    static const std::set<std::string> kNames = {
+        "page", "pn",  "lpn",      "ppn",       "set",
+        "way",  "bn",  "page_num", "block_num", "set_idx",
+        "way_idx"};
+    return kNames.count(name) != 0;
+}
+
+/** Raw integer type tokens AF008/AF010 refuse as unit carriers. */
+bool
+matchRawIntType(const std::vector<Token> &toks, std::size_t i,
+                std::size_t &after, bool &is_addr)
+{
+    std::size_t j = i;
+    if (tokIs(toks, j, "std") && tokIs(toks, j + 1, "::"))
+        j += 2;
+    else if (tokIs(toks, j, "mem") && tokIs(toks, j + 1, "::"))
+        j += 2;
+    if (tokIs(toks, j, "uint64_t") || tokIs(toks, j, "uint32_t")) {
+        after = j + 1;
+        is_addr = false;
+        return true;
+    }
+    if (tokIs(toks, j, "Addr")) {
+        after = j + 1;
+        is_addr = true;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * AF008: a public header declaring a parameter like
+ * `std::uint64_t page` hands out a unit-free identifier; the strong
+ * types exist so these cross component boundaries typed.
+ */
+void
+checkRawIdentityParams(const std::vector<Token> &toks,
+                       const std::string &file, const Suppressions &sup,
+                       std::vector<Finding> &out)
+{
+    int depth = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind == Token::Kind::Punct) {
+            if (t.text == "(")
+                ++depth;
+            else if (t.text == ")")
+                --depth;
+            continue;
+        }
+        if (depth <= 0 || t.kind != Token::Kind::Ident)
+            continue;
+        std::size_t after = 0;
+        bool is_addr = false;
+        if (!matchRawIntType(toks, i, after, is_addr))
+            continue;
+        if (after >= toks.size() ||
+            toks[after].kind != Token::Kind::Ident ||
+            !isIdentityParamName(toks[after].text))
+            continue;
+        const std::size_t next = after + 1;
+        if (!(tokIs(toks, next, ",") || tokIs(toks, next, ")") ||
+              tokIs(toks, next, "=")))
+            continue;
+        const int line = toks[after].line;
+        if (!sup.allows(line, "AF008")) {
+            out.push_back(
+                {file, line, "AF008",
+                 "raw integer parameter '" + toks[after].text +
+                     "' names a page/set/way identity; use the "
+                     "strong types (sim/strong_types.hh)"});
+        }
+    }
+}
+
+bool
+identContains(const std::string &ident, const char *needle)
+{
+    std::string lower;
+    for (const char c : ident)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    return lower.find(needle) != std::string::npos;
+}
+
+/**
+ * AF009: `Ticks t = ... someCycles ...` (or Cycles from ticks) mixes
+ * units without a ClockDomain conversion. Call expressions
+ * (`clk.cycles(...)`, `ticksToCycles(...)`) are the sanctioned
+ * converters and are skipped because the offending identifier must not
+ * be immediately called or qualified.
+ */
+void
+checkTickCycleMixing(const std::vector<Token> &toks,
+                     const std::string &file, const Suppressions &sup,
+                     std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        std::size_t j = i;
+        if (tokIs(toks, j, "sim") && tokIs(toks, j + 1, "::"))
+            j += 2;
+        const bool ticks_decl = tokIs(toks, j, "Ticks");
+        const bool cycles_decl = tokIs(toks, j, "Cycles");
+        if (!ticks_decl && !cycles_decl)
+            continue;
+        if (j + 2 >= toks.size() ||
+            toks[j + 1].kind != Token::Kind::Ident ||
+            !tokIs(toks, j + 2, "="))
+            continue;
+        const char *needle = ticks_decl ? "cycle" : "tick";
+        for (std::size_t k = j + 3; k < toks.size(); ++k) {
+            const Token &t = toks[k];
+            if (t.kind == Token::Kind::Punct &&
+                (t.text == ";" || t.text == "{"))
+                break;
+            if (t.kind != Token::Kind::Ident ||
+                !identContains(t.text, needle))
+                continue;
+            // A call or qualified name is a conversion, not a leak.
+            if (tokIs(toks, k + 1, "(") ||
+                (k > 0 && (toks[k - 1].text == "." ||
+                           toks[k - 1].text == "::")))
+                continue;
+            if (!sup.allows(t.line, "AF009")) {
+                out.push_back(
+                    {file, t.line, "AF009",
+                     std::string("implicit ") +
+                         (ticks_decl ? "Cycles->Ticks"
+                                     : "Ticks->Cycles") +
+                         " mix via '" + t.text +
+                         "'; convert through ClockDomain"});
+            }
+            break;
+        }
+        i = j + 2;
+    }
+}
+
+/**
+ * AF010: `std::uint64_t n = pageNumber(...)` throws away the unit the
+ * call just attached; keep the PageNum/BlockNum.
+ */
+void
+checkNumberErasure(const std::vector<Token> &toks,
+                   const std::string &file, const Suppressions &sup,
+                   std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        std::size_t after = 0;
+        bool is_addr = false;
+        if (toks[i].kind != Token::Kind::Ident ||
+            !matchRawIntType(toks, i, after, is_addr))
+            continue;
+        if (after + 1 >= toks.size() ||
+            toks[after].kind != Token::Kind::Ident ||
+            !tokIs(toks, after + 1, "="))
+            continue;
+        std::size_t k = after + 2;
+        if (tokIs(toks, k, "mem") && tokIs(toks, k + 1, "::"))
+            k += 2;
+        if (!(tokIs(toks, k, "pageNumber") ||
+              tokIs(toks, k, "blockNumber")) ||
+            !tokIs(toks, k + 1, "("))
+            continue;
+        const int line = toks[after].line;
+        if (!sup.allows(line, "AF010")) {
+            out.push_back({file, line, "AF010",
+                           toks[k].text + "() result stored into a "
+                           "plain integer; keep the strong " +
+                               (toks[k].text == "pageNumber"
+                                    ? "PageNum"
+                                    : "BlockNum")});
+        }
+    }
+}
+
+/**
+ * Headers that own the sanctioned strong->raw conversions; .raw()
+ * inside them is the escape hatch working as designed.
+ */
+bool
+rawEscapeAllowlisted(const std::string &rel)
+{
+    static const std::set<std::string> kRawEscapeAllowlist = {
+        "src/sim/strong_types.hh", "src/sim/ticks.hh",
+        "src/mem/address.hh",      "src/mem/address_map.hh",
+        "src/flash/flash_types.hh"};
+    return kRawEscapeAllowlist.count(rel) != 0;
+}
+
+/** AF011: .raw() escapes outside the conversion-owning headers. */
+void
+checkRawEscapes(const std::vector<Token> &toks, const std::string &file,
+                const Suppressions &sup, std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (!(tokIs(toks, i, ".") && tokIs(toks, i + 1, "raw") &&
+              tokIs(toks, i + 2, "(") && tokIs(toks, i + 3, ")")))
+            continue;
+        const int line = toks[i + 1].line;
+        if (!sup.allows(line, "AF011")) {
+            out.push_back(
+                {file, line, "AF011",
+                 "strong-type .raw() escape outside the conversion "
+                 "headers; convert via pageAddr()/blockAddr()/"
+                 "ClockDomain or annotate the reviewed escape"});
+        }
+    }
+}
+
+/**
+ * AF012: a literal argument to log2i()/alignDown()/alignUp() that is
+ * not a power of two fails SIM_CHECK_CE; catch it before it compiles.
+ */
+void
+checkPowerOfTwoLiterals(const std::vector<Token> &toks,
+                        const std::string &file,
+                        const Suppressions &sup,
+                        std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        const bool is_log2 = tokIs(toks, i, "log2i");
+        const bool is_align =
+            tokIs(toks, i, "alignDown") || tokIs(toks, i, "alignUp");
+        if ((!is_log2 && !is_align) || !tokIs(toks, i + 1, "("))
+            continue;
+        // Split top-level arguments.
+        std::vector<std::vector<const Token *>> args(1);
+        int depth = 1;
+        std::size_t k = i + 2;
+        for (; k < toks.size() && depth > 0; ++k) {
+            const Token &t = toks[k];
+            if (t.kind == Token::Kind::Punct) {
+                if (t.text == "(")
+                    ++depth;
+                else if (t.text == ")") {
+                    if (--depth == 0)
+                        break;
+                } else if (t.text == "," && depth == 1) {
+                    args.emplace_back();
+                    continue;
+                }
+            }
+            args.back().push_back(&t);
+        }
+        const std::size_t arg_idx = is_log2 ? 0 : 1;
+        if (arg_idx >= args.size() || args[arg_idx].size() != 1)
+            continue;
+        const Token &arg = *args[arg_idx][0];
+        std::uint64_t v = 0;
+        if (arg.kind != Token::Kind::Number ||
+            !literalValue(arg.text, v))
+            continue;
+        if (v != 0 && (v & (v - 1)) == 0)
+            continue;
+        if (!sup.allows(arg.line, "AF012")) {
+            out.push_back({file, arg.line, "AF012",
+                           toks[i].text +
+                               "() literal argument is not a power "
+                               "of two and will fail SIM_CHECK_CE"});
+        }
+    }
+}
+
 void
 scanFile(const fs::path &path, const std::string &rel,
          std::vector<Finding> &out)
@@ -361,6 +754,15 @@ scanFile(const fs::path &path, const std::string &rel,
     checkStatDescriptions(stripped, rel, sup, out);
     if (isHeader(path))
         checkIncludeGuard(stripped, rel, sup, out);
+
+    const std::vector<Token> toks = tokenize(stripped);
+    if (under_src && isHeader(path))
+        checkRawIdentityParams(toks, rel, sup, out);
+    checkTickCycleMixing(toks, rel, sup, out);
+    checkNumberErasure(toks, rel, sup, out);
+    if (under_src && !rawEscapeAllowlisted(rel))
+        checkRawEscapes(toks, rel, sup, out);
+    checkPowerOfTwoLiterals(toks, rel, sup, out);
 }
 
 std::string
@@ -384,6 +786,7 @@ usage(const char *argv0)
            "[--no-default-excludes] [paths...]\n"
            "Scans src tools bench tests under DIR (default: .) "
            "unless explicit paths are given.\n"
+           "--since REF scans only files changed since the git ref.\n"
            "Paths containing /fixtures/ are skipped unless "
            "--no-default-excludes is set.\n";
     return 2;
@@ -403,6 +806,8 @@ main(int argc, char **argv)
             opt.json = true;
         } else if (arg == "--format=text") {
             opt.json = false;
+        } else if (arg == "--since" && i + 1 < argc) {
+            opt.sinceRef = argv[++i];
         } else if (arg == "--no-default-excludes") {
             opt.defaultExcludes = false;
         } else if (arg == "--help" || arg == "-h") {
@@ -421,6 +826,44 @@ main(int argc, char **argv)
     if (!fs::is_directory(root)) {
         std::cerr << "aflint: no such directory: " << opt.root << "\n";
         return 2;
+    }
+
+    if (!opt.sinceRef.empty()) {
+        // Diff mode: replace the scan roots with the source files git
+        // reports as changed since the ref (pre-commit usage; the
+        // full-tree scan stays the CI gate).
+        const std::string cmd = "git -C '" + opt.root +
+                                "' diff --name-only '" +
+                                opt.sinceRef + "' --";
+        FILE *pipe = popen(cmd.c_str(), "r");
+        if (pipe == nullptr) {
+            std::cerr << "aflint: cannot run git diff\n";
+            return 2;
+        }
+        std::string listing;
+        char chunk[4096];
+        std::size_t got = 0;
+        while ((got = fread(chunk, 1, sizeof chunk, pipe)) > 0)
+            listing.append(chunk, got);
+        if (pclose(pipe) != 0) {
+            std::cerr << "aflint: git diff against '" << opt.sinceRef
+                      << "' failed\n";
+            return 2;
+        }
+        opt.paths.clear();
+        std::istringstream names(listing);
+        std::string name;
+        while (std::getline(names, name)) {
+            if (name.empty() || !isSourceFile(fs::path(name)))
+                continue;
+            if (fs::is_regular_file(root / name))
+                opt.paths.push_back(name);
+        }
+        if (opt.paths.empty()) {
+            std::cout << "aflint: no changed source files since "
+                      << opt.sinceRef << "\n";
+            return 0;
+        }
     }
 
     std::vector<Finding> findings;

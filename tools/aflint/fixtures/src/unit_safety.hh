@@ -1,0 +1,42 @@
+/**
+ * @file
+ * AF008-AF012 seeds: unit/identifier safety violations for the aflint
+ * negative tests. Lives under a fixture-local src/ so the src-scoped
+ * rules (AF008, AF011) fire when scanned with
+ * `aflint --root tools/aflint/fixtures src`. Never compiled.
+ */
+
+#ifndef AFLINT_FIXTURE_UNIT_SAFETY_HH
+#define AFLINT_FIXTURE_UNIT_SAFETY_HH
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Cache {
+    // AF008: raw-integer identity parameters in a public header.
+    void fill(std::uint64_t page, std::uint32_t way);
+    bool contains(std::uint64_t set, std::uint64_t lpn) const;
+};
+
+inline std::uint64_t
+erased(std::uint64_t addr)
+{
+    // AF010: the unit pageNumber() just attached is thrown away.
+    std::uint64_t page = pageNumber(addr);
+    // AF011: strong-type escape outside the conversion headers.
+    return page + PageNum(addr).raw();
+}
+
+inline std::uint64_t
+mixed(std::uint64_t busCycles)
+{
+    // AF009: a cycle count flows into a tick quantity unconverted.
+    Ticks deadline = busCycles + 5;
+    // AF012: 96 is not a power of two.
+    return deadline + alignUp(busCycles, 96);
+}
+
+} // namespace fixture
+
+#endif // AFLINT_FIXTURE_UNIT_SAFETY_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * golden_stats — fixed-seed golden stats-JSON driver.
+ *
+ * Runs one of the six invariant-torture configurations (the same set
+ * test_invariants.cpp sweeps, tatp closed- and open-loop included) at
+ * its fixed seed and writes the headline results plus the full
+ * hierarchical stats tree as JSON. The files under tests/golden/ were
+ * captured from the pre-strong-type tree; the golden_stats_* ctests
+ * re-run each case and require byte-identical output, so any refactor
+ * that changes simulated arithmetic — not just schema — fails loudly.
+ *
+ *   golden_stats --list
+ *   golden_stats --case=astriflash_tatp --out=stats.json
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/json.hh"
+#include "sim/option_parser.hh"
+
+#include "core/system.hh"
+
+using namespace astriflash;
+using namespace astriflash::core;
+
+namespace {
+
+struct GoldenCase {
+    const char *name;
+    SystemKind kind;
+    workload::Kind workload;
+    std::uint64_t seed;
+    bool footprint;
+    bool openLoop;
+};
+
+// Mirrors kTortureCases in tests/test_invariants.cpp: one case per
+// system-kind/workload mix, fixed seeds, tatp both closed and open.
+constexpr GoldenCase kCases[] = {
+    {"astriflash_tatp", SystemKind::AstriFlash, workload::Kind::Tatp, 1,
+     false, false},
+    {"astriflash_silo_footprint", SystemKind::AstriFlash,
+     workload::Kind::Silo, 2, true, false},
+    {"nops_tpcc", SystemKind::AstriFlashNoPS, workload::Kind::Tpcc, 3,
+     false, false},
+    {"nodp_hashtable", SystemKind::AstriFlashNoDP,
+     workload::Kind::HashTable, 4, false, false},
+    {"flashsync_arrayswap", SystemKind::FlashSync,
+     workload::Kind::ArraySwap, 5, false, false},
+    {"astriflash_tatp_openloop", SystemKind::AstriFlash,
+     workload::Kind::Tatp, 6, false, true},
+};
+
+/** The smallCfg used by the torture suite, verbatim. */
+SystemConfig
+caseConfig(const GoldenCase &gc)
+{
+    SystemConfig cfg;
+    cfg.kind = gc.kind;
+    cfg.cores = 2;
+    cfg.workloadKind = gc.workload;
+    cfg.workload.datasetBytes = 64ull << 20;
+    cfg.warmupJobs = 100;
+    cfg.measureJobs = 400;
+    cfg.invariantInterval = sim::microseconds(50);
+    cfg.seed = gc.seed;
+    if (gc.footprint)
+        cfg.dramCache.footprintEnabled = true;
+    if (gc.openLoop)
+        cfg.meanInterarrival = sim::microseconds(5);
+    return cfg;
+}
+
+void
+writeGoldenJson(std::ostream &os, const GoldenCase &gc,
+                const RunResults &r, const System &sys)
+{
+    sim::JsonWriter w(os);
+    w.beginObject();
+
+    w.key("config");
+    w.beginObject();
+    w.field("case", gc.name);
+    w.field("kind", systemKindName(gc.kind));
+    w.field("workload", workload::kindName(gc.workload));
+    w.field("seed", gc.seed);
+    w.endObject();
+
+    w.key("results");
+    w.beginObject();
+    w.field("jobs", r.jobs);
+    w.field("throughput_jobs_per_sec", r.throughputJobsPerSec);
+    w.field("avg_service_us", r.avgServiceUs());
+    w.field("p50_service_us", r.serviceUs(0.50));
+    w.field("p99_service_us", r.serviceUs(0.99));
+    w.field("p999_service_us", r.serviceUs(0.999));
+    w.field("avg_response_us", r.avgResponseUs());
+    w.field("p99_response_us", r.responseUs(0.99));
+    w.field("dram_cache_hit_ratio", r.dramCacheHitRatio);
+    w.field("avg_exec_between_misses_us", r.avgExecBetweenMissesUs);
+    w.field("flash_reads", r.flashReads);
+    w.field("flash_writes", r.flashWrites);
+    w.field("gc_blocked_reads", r.gcBlockedReads);
+    w.field("shootdowns", r.shootdowns);
+    w.field("peak_outstanding_misses", r.peakOutstandingMisses);
+    w.endObject();
+
+    w.key("stats");
+    sys.statsRegistry().writeJson(w);
+
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string case_name;
+    std::string out_file;
+    bool list = false;
+
+    sim::OptionParser opts(
+        "golden_stats",
+        "Run one fixed-seed torture configuration and write its full "
+        "stats tree as JSON for golden-file comparison.");
+    opts.addString("case", &case_name, "configuration name (--list)");
+    opts.addString("out", &out_file,
+                   "output JSON file (- for stdout)");
+    opts.addFlag("list", &list, "print the known case names");
+    opts.parseOrExit(argc, argv);
+
+    if (list) {
+        for (const GoldenCase &gc : kCases)
+            std::printf("%s\n", gc.name);
+        return 0;
+    }
+
+    const GoldenCase *chosen = nullptr;
+    for (const GoldenCase &gc : kCases) {
+        if (case_name == gc.name)
+            chosen = &gc;
+    }
+    if (chosen == nullptr) {
+        std::fprintf(stderr,
+                     "golden_stats: unknown --case '%s' (try --list)\n",
+                     case_name.c_str());
+        return 2;
+    }
+
+    System sys(caseConfig(*chosen));
+    const RunResults r = sys.run();
+
+    if (out_file.empty() || out_file == "-") {
+        writeGoldenJson(std::cout, *chosen, r, sys);
+    } else {
+        std::ofstream out(out_file);
+        if (!out) {
+            std::fprintf(stderr, "golden_stats: cannot open '%s'\n",
+                         out_file.c_str());
+            return 1;
+        }
+        writeGoldenJson(out, *chosen, r, sys);
+    }
+    return 0;
+}
