@@ -12,6 +12,12 @@
  *  5. Forward-progress bit off — the livelock demonstration: under
  *     deliberate cache thrash, runs without the bit fail to finish.
  *  6. Footprint-cache mode — flash refill bandwidth (§II-A).
+ *  7. BC work-queue depth — the fc_to_bc channel bound: shrinking the
+ *     backside controller's inbound queue below the outstanding-miss
+ *     window turns slot recycling into frontside stall cycles, the
+ *     §IV-D sizing argument for the BC queues. Runs standalone with
+ *     --only-bc-depth and exports JSON (--json) for the CI
+ *     perf-smoke artifact.
  *
  * Every run is an isolated simulation parameterized up front, so the
  * whole suite (reference run included) executes as one SweepRunner
@@ -20,9 +26,11 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <vector>
 
+#include "sim/json.hh"
 #include "sim/option_parser.hh"
 #include "sim/sweep_runner.hh"
 
@@ -86,13 +94,21 @@ int
 main(int argc, char **argv)
 {
     std::uint32_t host_jobs = 1;
+    bool only_bc_depth = false;
+    std::string json_out;
     sim::OptionParser opts(
         "ablation_astriflash",
         "Ablations of the §IV design choices (switch cost, pending "
-        "bound, MSR size, associativity, FP bit, footprint mode).");
+        "bound, MSR size, associativity, FP bit, footprint mode, BC "
+        "queue depth).");
     opts.addUint32("jobs", &host_jobs,
                    "host threads running ablation cells in parallel "
                    "(0 = all hardware threads)");
+    opts.addFlag("only-bc-depth", &only_bc_depth,
+                 "run only the BC work-queue depth sweep (ablation 7)");
+    opts.addString("json", &json_out,
+                   "write the BC-depth sweep rows as JSON to this "
+                   "file");
     opts.parseOrExit(argc, argv);
 
     const sim::Ticks switch_costs[] = {
@@ -103,77 +119,167 @@ main(int argc, char **argv)
     const std::uint32_t assoc_ways[] = {1, 2, 4, 8, 16};
     const bool fp_bits[] = {true, false};
     const bool footprint_modes[] = {false, true};
+    // Deepest first: 65536 is the timing-neutral default (never
+    // stalls); each halving below the outstanding-miss window must
+    // show monotonically non-decreasing frontside stall cycles.
+    const std::uint32_t bc_depths[] = {65536, 64, 32, 16, 8, 4};
 
     // Build the whole suite up front: task 0 is the DRAM-only
-    // reference every ablation normalizes against.
+    // reference every ablation normalizes against (skipped in the
+    // standalone BC-depth mode, which reports absolute numbers).
     std::vector<std::function<Cell()>> tasks;
-    {
+    if (!only_bc_depth) {
         SystemConfig cfg = baseCfg();
         cfg.kind = SystemKind::DramOnly;
         tasks.push_back(makeTask(cfg));
     }
-    for (sim::Ticks cost : switch_costs) {
-        SystemConfig cfg = baseCfg();
-        cfg.threadSwitch = cost;
-        tasks.push_back(makeTask(cfg));
+    if (!only_bc_depth) {
+        for (sim::Ticks cost : switch_costs) {
+            SystemConfig cfg = baseCfg();
+            cfg.threadSwitch = cost;
+            tasks.push_back(makeTask(cfg));
+        }
+        for (std::uint32_t cap : pending_caps) {
+            SystemConfig cfg = baseCfg();
+            cfg.sched.pendingCap = cap;
+            tasks.push_back(makeTask(cfg, [](System &sys,
+                                             Cell &cell) {
+                cell.a = sumCores(sys, sys.config().cores,
+                                  [](SimCore &core) {
+                                      return core.scheduler()
+                                          .stats()
+                                          .pendingOverflows.value();
+                                  });
+            }));
+        }
+        for (std::uint32_t sets : msr_sets) {
+            SystemConfig cfg = baseCfg();
+            cfg.dramCache.msrSets = sets;
+            cfg.dramCache.msrEntriesPerSet = 2;
+            tasks.push_back(makeTask(cfg, [](System &sys,
+                                             Cell &cell) {
+                cell.a = sys.dramCache()
+                             ->msr()
+                             .stats()
+                             .setFullStalls.value();
+            }));
+        }
+        for (std::uint32_t ways : assoc_ways) {
+            SystemConfig cfg = baseCfg();
+            cfg.dramCache.ways = ways;
+            tasks.push_back(makeTask(cfg));
+        }
+        for (bool fp : fp_bits) {
+            SystemConfig cfg = baseCfg();
+            cfg.kind = SystemKind::AstriFlashNoPS;
+            cfg.dramCacheRatio = 0.0002;
+            cfg.warmupJobs = 50;
+            cfg.measureJobs = 500;
+            cfg.maxSimTicks = sim::milliseconds(400);
+            cfg.forwardProgressBit = fp;
+            tasks.push_back(makeTask(cfg, [](System &sys,
+                                             Cell &cell) {
+                const std::uint64_t cores = sys.config().cores;
+                cell.a = sumCores(sys, cores, [](SimCore &core) {
+                    return core.stats().syncMissStalls.value();
+                });
+                cell.b = sumCores(sys, cores, [](SimCore &core) {
+                    return core.stats().switchOnMiss.value();
+                });
+            }));
+        }
+        for (bool fpc : footprint_modes) {
+            SystemConfig cfg = baseCfg();
+            cfg.dramCache.footprintEnabled = fpc;
+            tasks.push_back(makeTask(cfg, [](System &sys,
+                                             Cell &cell) {
+                cell.a =
+                    sys.dramCache()->bcStats().flashBytesRead.value();
+                cell.b =
+                    sys.dramCache()->fcStats().subPageMisses.value();
+            }));
+        }
     }
-    for (std::uint32_t cap : pending_caps) {
+    for (std::uint32_t depth : bc_depths) {
         SystemConfig cfg = baseCfg();
-        cfg.sched.pendingCap = cap;
+        cfg.dramCache.fcToBcDepth = depth;
         tasks.push_back(makeTask(cfg, [](System &sys, Cell &cell) {
-            cell.a = sumCores(sys, sys.config().cores,
-                              [](SimCore &core) {
-                                  return core.scheduler()
-                                      .stats()
-                                      .pendingOverflows.value();
-                              });
-        }));
-    }
-    for (std::uint32_t sets : msr_sets) {
-        SystemConfig cfg = baseCfg();
-        cfg.dramCache.msrSets = sets;
-        cfg.dramCache.msrEntriesPerSet = 2;
-        tasks.push_back(makeTask(cfg, [](System &sys, Cell &cell) {
-            cell.a =
-                sys.dramCache()->msr().stats().setFullStalls.value();
-        }));
-    }
-    for (std::uint32_t ways : assoc_ways) {
-        SystemConfig cfg = baseCfg();
-        cfg.dramCache.ways = ways;
-        tasks.push_back(makeTask(cfg));
-    }
-    for (bool fp : fp_bits) {
-        SystemConfig cfg = baseCfg();
-        cfg.kind = SystemKind::AstriFlashNoPS;
-        cfg.dramCacheRatio = 0.0002;
-        cfg.warmupJobs = 50;
-        cfg.measureJobs = 500;
-        cfg.maxSimTicks = sim::milliseconds(400);
-        cfg.forwardProgressBit = fp;
-        tasks.push_back(makeTask(cfg, [](System &sys, Cell &cell) {
-            const std::uint64_t cores = sys.config().cores;
-            cell.a = sumCores(sys, cores, [](SimCore &core) {
-                return core.stats().syncMissStalls.value();
-            });
-            cell.b = sumCores(sys, cores, [](SimCore &core) {
-                return core.stats().switchOnMiss.value();
-            });
-        }));
-    }
-    for (bool fpc : footprint_modes) {
-        SystemConfig cfg = baseCfg();
-        cfg.dramCache.footprintEnabled = fpc;
-        tasks.push_back(makeTask(cfg, [](System &sys, Cell &cell) {
-            cell.a =
-                sys.dramCache()->stats().flashBytesRead.value();
-            cell.b =
-                sys.dramCache()->stats().subPageMisses.value();
+            const auto &ch = sys.dramCache()->missChannel().stats();
+            cell.a = ch.fullStalls.value();
+            cell.b = ch.stallTicks.value();
         }));
     }
 
     const sim::SweepRunner runner(host_jobs);
     const std::vector<Cell> cells = runner.run(std::move(tasks));
+
+    // The BC-depth rows sit at the tail of the cell vector whichever
+    // mode ran; print them (and optionally export JSON) from there.
+    const std::size_t n_depths =
+        sizeof(bc_depths) / sizeof(bc_depths[0]);
+    const std::size_t bc_at = cells.size() - n_depths;
+
+    auto printBcDepth = [&] {
+        std::printf("%s# Ablation 7: BC work-queue depth (fc_to_bc "
+                    "channel bound, §IV-D)\n",
+                    only_bc_depth ? "" : "\n");
+        std::printf("%-10s %-14s %-14s %-16s %-14s\n", "depth",
+                    "thr jobs/s", "p99 svc us", "full stalls",
+                    "stall us");
+        for (std::size_t i = 0; i < n_depths; ++i) {
+            const Cell &cell = cells[bc_at + i];
+            std::printf("%-10u %-14.0f %-14.1f %-16llu %-14.1f\n",
+                        bc_depths[i], cell.r.throughputJobsPerSec,
+                        cell.r.serviceUs(0.99),
+                        static_cast<unsigned long long>(cell.a),
+                        sim::toMicroseconds(cell.b));
+        }
+        std::printf(
+            "# Expect: zero stalls at the default depth (the split "
+            "is timing-neutral there)\n"
+            "# and monotonically non-decreasing stall cycles as the "
+            "queue shrinks below the\n"
+            "# outstanding-miss window.\n");
+    };
+
+    auto writeBcJson = [&] {
+        if (json_out.empty())
+            return;
+        std::ofstream out(json_out);
+        if (!out) {
+            std::fprintf(stderr,
+                         "ablation_astriflash: cannot open '%s'\n",
+                         json_out.c_str());
+            std::exit(1);
+        }
+        sim::JsonWriter w(out);
+        w.beginObject();
+        w.field("benchmark", "bc_depth_sweep");
+        w.field("workload", "tatp");
+        w.field("cores", 4u);
+        w.key("rows");
+        w.beginArray();
+        for (std::size_t i = 0; i < n_depths; ++i) {
+            const Cell &cell = cells[bc_at + i];
+            w.beginObject();
+            w.field("depth", bc_depths[i]);
+            w.field("full_stalls", cell.a);
+            w.field("stall_ticks", cell.b);
+            w.field("throughput_jobs_per_sec",
+                    cell.r.throughputJobsPerSec);
+            w.field("p99_service_us", cell.r.serviceUs(0.99));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        out << "\n";
+    };
+
+    if (only_bc_depth) {
+        printBcDepth();
+        writeBcJson();
+        return 0;
+    }
 
     std::size_t at = 0;
     const double dram_thr = cells[at++].r.throughputJobsPerSec;
@@ -264,5 +370,8 @@ main(int argc, char **argv)
     std::printf("# Expect: footprint mode cuts refill bytes for "
                 "re-referenced pages at the cost of a\n"
                 "# small sub-page miss rate.\n");
+
+    printBcDepth();
+    writeBcJson();
     return 0;
 }

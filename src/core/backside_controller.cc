@@ -1,0 +1,419 @@
+#include "backside_controller.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+#include "sim/trace_events.hh"
+
+namespace {
+constexpr std::uint32_t kNoCore =
+    astriflash::sim::TraceRecord::kNoCore;
+} // namespace
+
+namespace astriflash::core {
+
+BacksideController::BacksideController(
+    sim::EventQueue &eq, std::string name,
+    const DramCacheConfig &config, const mem::AddressMap &amap,
+    mem::Dram &dram, mem::SetAssocCache &tags,
+    FootprintState &footprint,
+    sim::BoundedChannel<MissRequest> &in_channel,
+    sim::BoundedChannel<FlashCmdMsg> &to_flash,
+    sim::BoundedChannel<InstallComplete> &to_fc,
+    sim::Ticks flash_read_estimate)
+    : sim::SimObject(eq, std::move(name)), cfg(config), addrMap(amap),
+      dramModel(dram), pageTags(tags), fp(footprint),
+      inbox(in_channel), toFlash(to_flash), toFc(to_fc),
+      msrTable(SimObject::name() + ".msr", config.msrSets,
+               config.msrEntriesPerSet),
+      evictBuf(SimObject::name() + ".evictbuf",
+               config.evictBufferEntries),
+      flashReadEstimate(flash_read_estimate)
+{
+    const sim::ClockDomain clk(cfg.controllerFreqHz);
+    bcOpTicks = clk.cycles(cfg.bcCyclesPerOp);
+}
+
+BcReply
+BacksideController::service()
+{
+    ASTRI_ASSERT_MSG(!inbox.empty(),
+                     "%s: service() with an empty miss channel",
+                     name().c_str());
+    auto &st = inbox.front();
+    const MissRequest req = st.msg;
+    const sim::Ticks accept = st.acceptedAt;
+
+    BcReply rep;
+    if (!req.subPage && evictBuf.contains(req.page)) {
+        // The page is parked in the evict buffer awaiting writeback;
+        // serve the request from there. (Footprint sub-page refetches
+        // target a resident page, which cannot be parked here.)
+        rep.kind = BcReply::Kind::EvictBufferHit;
+        rep.ready = accept + bcOp();
+        inbox.dropFront(rep.ready);
+        return rep;
+    }
+
+    rep.kind = BcReply::Kind::MissStarted;
+    rep.merged = pending.count(req.page) != 0;
+    rep.ready = startMiss(req.page, accept, req.write, req.wantMask);
+    if (req.hasWaiter)
+        pending[req.page].waiters.push_back(req.waiter);
+    // Merged requests ride the original transaction's slot and only
+    // pay the BC's dequeue + MSR search; a new miss holds its slot
+    // until the page's install completes, making the channel depth
+    // the BC's outstanding-transaction window.
+    inbox.dropFront(rep.merged ? accept + 2 * bcOp()
+                               : pending[req.page].dataReady);
+    return rep;
+}
+
+sim::Ticks
+BacksideController::startMiss(mem::PageNum page, sim::Ticks now,
+                              bool write, std::uint64_t want_mask)
+{
+    auto it = pending.find(page);
+    if (it != pending.end()) {
+        it->second.anyWrite = it->second.anyWrite || write;
+        // Widen a not-yet-issued fetch to cover this request; an
+        // in-flight transfer cannot grow, in which case an uncovered
+        // block sub-page-misses again after the install.
+        if (!it->second.issued)
+            it->second.fetchMask |= want_mask;
+        sim::traceEvent(sim::TracePoint::MsrDedup, now, kNoCore,
+                        pageByteAddr(page), it->second.waiters.size());
+        return it->second.dataReady;
+    }
+
+    PendingMiss miss;
+    miss.anyWrite = write;
+    if (cfg.footprintEnabled) {
+        const auto hist = fp.history.find(page);
+        miss.fetchMask = hist != fp.history.end()
+            ? (hist->second | want_mask) : ~0ull;
+    } else {
+        miss.fetchMask = ~0ull;
+    }
+
+    // BC: one op to dequeue the request, one CAS-equivalent op to
+    // search the MSR.
+    const sim::Ticks bc_start = now + 2 * bcOp();
+    const MsrAlloc alloc = msrTable.allocate(page);
+    switch (alloc) {
+      case MsrAlloc::Duplicate:
+        // pending and the MSR mirror each other; a duplicate here is
+        // an invariant violation.
+        ASTRI_PANIC("MSR holds %llx but pending table does not",
+                    static_cast<unsigned long long>(
+                        pageByteAddr(page)));
+      case MsrAlloc::SetFull: {
+        // BC waits for an entry in this set to free; the request sits
+        // in the BC queue. dataReady is a conservative estimate used
+        // only by forced-synchronous requesters.
+        miss.issued = false;
+        miss.dataReady = bc_start + flashReadEstimate;
+        pending.emplace(page, std::move(miss));
+        msrStalled.push_back(page);
+        sim::traceEvent(sim::TracePoint::MsrStall, bc_start, kNoCore,
+                        pageByteAddr(page),
+                        msrTable.setOccupancy(page));
+        break;
+      }
+      case MsrAlloc::New: {
+        sim::traceEvent(sim::TracePoint::MsrInsert, bc_start, kNoCore,
+                        pageByteAddr(page), msrTable.occupancy());
+        const std::uint64_t fetch_bytes =
+            static_cast<std::uint64_t>(
+                std::popcount(miss.fetchMask)) * mem::kBlockSize;
+        pending.emplace(page, std::move(miss));
+        // The facade submits the command and reports back through
+        // flashReadIssued(), which stamps dataReady and schedules the
+        // arrival.
+        toFlash.push(
+            FlashCmdMsg{
+                flash::FlashCommand{flash::FlashCommand::Op::Read,
+                                    addrMap.flashPage(
+                                        pageByteAddr(page)),
+                                    mem::Bytes(fetch_bytes)},
+                page},
+            bc_start);
+        ASTRI_ASSERT_MSG(pending[page].issued,
+                         "flash read for %llx was not issued by the "
+                         "command channel drain",
+                         static_cast<unsigned long long>(
+                             pageByteAddr(page)));
+        break;
+      }
+    }
+    if (pending.size() > statsData.peakOutstanding)
+        statsData.peakOutstanding = pending.size();
+    return pending[page].dataReady;
+}
+
+void
+BacksideController::flashReadIssued(mem::PageNum page,
+                                    sim::Ticks issued_at,
+                                    sim::Ticks complete_at)
+{
+    auto it = pending.find(page);
+    ASTRI_ASSERT_MSG(it != pending.end() && !it->second.issued,
+                     "read completion for %llx without an un-issued "
+                     "pending miss",
+                     static_cast<unsigned long long>(
+                         pageByteAddr(page)));
+    const std::uint64_t fetch_bytes =
+        static_cast<std::uint64_t>(
+            std::popcount(it->second.fetchMask)) * mem::kBlockSize;
+    sim::traceEvent(sim::TracePoint::FlashReadIssue, issued_at,
+                    kNoCore, pageByteAddr(page), fetch_bytes);
+    it->second.issued = true;
+    it->second.dataReady = complete_at + bcOp() + installEstimate();
+    scheduleIn(complete_at - curTick(),
+               [this, page] { pageArrived(page); });
+}
+
+sim::Ticks
+BacksideController::installEstimate() const
+{
+    // Closed-row activate plus streaming the 4 KB page.
+    return cfg.dram.closedRowLatency() +
+           cfg.dram.tBurst * (cfg.pageBytes / mem::kBlockSize - 1) +
+           bcOp();
+}
+
+void
+BacksideController::pageArrived(mem::PageNum page)
+{
+    const sim::Ticks now = curTick();
+    sim::traceEvent(sim::TracePoint::FlashReadDone, now, kNoCore,
+                    pageByteAddr(page));
+
+    // Secure a frame: fill the tag array; a displaced victim parks in
+    // the evict buffer and drains to flash off the critical path.
+    auto pit = pending.find(page);
+    ASTRI_ASSERT_MSG(pit != pending.end(),
+                     "arrival for page %llx with no pending miss",
+                     static_cast<unsigned long long>(
+                         pageByteAddr(page)));
+    const bool dirty_install = pit->second.anyWrite;
+    const std::uint64_t fetch_mask = pit->second.fetchMask;
+    const std::uint64_t fetch_bytes =
+        static_cast<std::uint64_t>(std::popcount(fetch_mask)) *
+        mem::kBlockSize;
+    statsData.flashBytesRead.inc(
+        fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
+    if (cfg.footprintEnabled)
+        fp.fetched[page] |= fetch_mask;
+    auto victim = pageTags.fill(pageByteAddr(page), dirty_install);
+    statsData.fills.inc();
+    if (victim) {
+        const mem::PageNum vpage = pageNum(victim->tag_addr);
+        if (cfg.footprintEnabled) {
+            // Record the victim's footprint for its next residency
+            // and drop its residency masks.
+            const auto t = fp.touched.find(vpage);
+            if (t != fp.touched.end() && t->second != 0)
+                fp.history[vpage] = t->second;
+            fp.touched.erase(vpage);
+            fp.fetched.erase(vpage);
+        }
+        if (evictBuf.full()) {
+            // Backpressure: force-drain the oldest entry now (the
+            // install stalls behind the BC's emergency writeback).
+            drainEvictBuffer(now);
+        }
+        const bool ok = evictBuf.insert(vpage, victim->dirty, now);
+        ASTRI_ASSERT(ok);
+        sim::traceEvent(sim::TracePoint::PageEvict, now, kNoCore,
+                        victim->tag_addr, victim->dirty ? 1 : 0);
+        // Lazy drain keeps writes off the read path.
+        scheduleIn(bcOp() * 4, [this] {
+            drainEvictBuffer(curTick());
+        });
+    }
+
+    // Install: stream the fetched blocks into the frame.
+    const auto install = dramModel.access(
+        dcSetRowAddr(cfg, pageTags.numSets(), pageByteAddr(page)), now,
+        true, fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
+    const sim::Ticks ready = install.complete + bcOp();
+    statsData.missPenalty.sample(ready > now ? ready - now : 0);
+    sim::traceEvent(sim::TracePoint::PageFill, ready, kNoCore,
+                    pageByteAddr(page), ready > now ? ready - now : 0);
+
+    // Free the MSR entry and unblock any set-conflicted misses.
+    msrTable.free(page);
+    retryMsrStalled(now);
+
+    auto waiters = std::move(pit->second.waiters);
+    pending.erase(pit);
+    toFc.push(InstallComplete{page, ready, std::move(waiters)}, now);
+}
+
+void
+BacksideController::retryMsrStalled(sim::Ticks now)
+{
+    for (auto it = msrStalled.begin(); it != msrStalled.end();) {
+        const mem::PageNum page = *it;
+        auto pit = pending.find(page);
+        if (pit == pending.end() || pit->second.issued) {
+            it = msrStalled.erase(it);
+            continue;
+        }
+        const MsrAlloc alloc = msrTable.allocate(page);
+        if (alloc == MsrAlloc::SetFull) {
+            ++it;
+            continue;
+        }
+        ASTRI_ASSERT(alloc == MsrAlloc::New);
+        sim::traceEvent(sim::TracePoint::MsrInsert, now + bcOp(),
+                        kNoCore, pageByteAddr(page),
+                        msrTable.occupancy());
+        const std::uint64_t fetch_bytes =
+            static_cast<std::uint64_t>(
+                std::popcount(pit->second.fetchMask)) * mem::kBlockSize;
+        toFlash.push(
+            FlashCmdMsg{
+                flash::FlashCommand{flash::FlashCommand::Op::Read,
+                                    addrMap.flashPage(
+                                        pageByteAddr(page)),
+                                    mem::Bytes(fetch_bytes)},
+                page},
+            now + bcOp());
+        ASTRI_ASSERT(pit->second.issued);
+        it = msrStalled.erase(it);
+    }
+}
+
+void
+BacksideController::drainEvictBuffer(sim::Ticks now)
+{
+    if (evictBuf.empty())
+        return;
+    const EvictBuffer::Entry e = evictBuf.pop();
+    sim::traceEvent(sim::TracePoint::EvictDrain, now, kNoCore,
+                    pageByteAddr(e.page), e.dirty ? 1 : 0);
+    if (e.dirty) {
+        toFlash.push(
+            FlashCmdMsg{
+                flash::FlashCommand{flash::FlashCommand::Op::Write,
+                                    addrMap.flashPage(
+                                        pageByteAddr(e.page)),
+                                    mem::Bytes{0}},
+                e.page},
+            now);
+        statsData.dirtyWritebacks.inc();
+    }
+}
+
+void
+BacksideController::resetStats()
+{
+    statsData = Stats{};
+    // Misses in flight across the reset still count toward the
+    // measurement window's peak.
+    statsData.peakOutstanding = pending.size();
+}
+
+void
+BacksideController::regStats(sim::StatRegistry &reg) const
+{
+    reg.registerCounter("fills", &statsData.fills,
+                        "pages installed into the cache");
+    reg.registerCounter("dirty_writebacks", &statsData.dirtyWritebacks,
+                        "dirty victims programmed to flash");
+    reg.registerCounter("flash_bytes_read", &statsData.flashBytesRead,
+                        "refill bytes transferred from flash");
+    reg.registerHistogram("miss_penalty", &statsData.missPenalty,
+                          "miss-to-page-ready latency in ticks");
+    reg.registerUint("peak_outstanding", &statsData.peakOutstanding,
+                     "maximum concurrent outstanding misses");
+    msrTable.regStats(reg.subRegistry("msr"));
+    evictBuf.regStats(reg.subRegistry("evictbuf"));
+}
+
+void
+BacksideController::checkInvariants(sim::InvariantChecker &chk) const
+{
+    // The MSR and the pending table mirror each other: exactly the
+    // issued misses hold entries.
+    std::uint32_t issued = 0;
+    for (const auto &[page, miss] : pending) {
+        SIM_INVARIANT_MSG(chk, !miss.waiters.empty() || miss.issued,
+                          "un-issued miss %llx has no waiters",
+                          static_cast<unsigned long long>(
+                              pageByteAddr(page)));
+        if (miss.issued) {
+            ++issued;
+            SIM_INVARIANT_MSG(chk, msrTable.contains(page),
+                              "issued miss %llx lost its MSR entry",
+                              static_cast<unsigned long long>(
+                                  pageByteAddr(page)));
+        }
+        if (!cfg.footprintEnabled) {
+            // A full-page miss cannot coexist with a resident copy
+            // (footprint mode legitimately refetches absent blocks
+            // of resident pages).
+            SIM_INVARIANT_MSG(chk,
+                              !pageTags.contains(pageByteAddr(page)),
+                              "page %llx is both resident and pending",
+                              static_cast<unsigned long long>(
+                                  pageByteAddr(page)));
+        }
+    }
+    SIM_INVARIANT_MSG(chk, msrTable.occupancy() == issued,
+                      "MSR holds %u entries but %u misses are issued",
+                      msrTable.occupancy(), issued);
+
+    // The stall queue holds exactly the un-issued pending pages.
+    std::unordered_map<mem::PageNum, int> stalled;
+    for (const mem::PageNum page : msrStalled) {
+        SIM_INVARIANT_MSG(chk, ++stalled[page] == 1,
+                          "page %llx queued twice behind a full MSR set",
+                          static_cast<unsigned long long>(
+                              pageByteAddr(page)));
+        const auto it = pending.find(page);
+        SIM_INVARIANT_MSG(chk,
+                          it != pending.end() && !it->second.issued,
+                          "stall queue holds %llx which is not an "
+                          "un-issued pending miss",
+                          static_cast<unsigned long long>(
+                              pageByteAddr(page)));
+    }
+    SIM_INVARIANT_MSG(chk,
+                      stalled.size() == pending.size() - issued,
+                      "%zu stalled pages but %zu un-issued misses",
+                      stalled.size(), pending.size() - issued);
+
+    SIM_INVARIANT(chk, statsData.peakOutstanding >= pending.size());
+    // Every install freed exactly one MSR entry in the same event.
+    // The MSR counter is cumulative while fills resets at measurement
+    // start, so lifetime frees bound the windowed fill count.
+    SIM_INVARIANT_MSG(chk,
+                      msrTable.stats().frees.value() >=
+                          statsData.fills.value(),
+                      "%llu fills outnumber %llu MSR frees",
+                      static_cast<unsigned long long>(
+                          statsData.fills.value()),
+                      static_cast<unsigned long long>(
+                          msrTable.stats().frees.value()));
+
+    // Footprint residency masks exist only for resident pages.
+    if (cfg.footprintEnabled) {
+        for (const auto &[page, mask] : fp.fetched) {
+            (void)mask;
+            SIM_INVARIANT_MSG(chk,
+                              pageTags.contains(pageByteAddr(page)),
+                              "fetched mask for non-resident %llx",
+                              static_cast<unsigned long long>(
+                                  pageByteAddr(page)));
+        }
+    } else {
+        SIM_INVARIANT(chk, fp.fetched.empty());
+        SIM_INVARIANT(chk, fp.touched.empty());
+        SIM_INVARIANT(chk, fp.history.empty());
+    }
+}
+
+} // namespace astriflash::core

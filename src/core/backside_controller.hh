@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Backside controller (BC) of the DRAM cache (§IV-B, Fig. 5).
+ *
+ * The BC is the programmable (slower per operation) half of the
+ * controller pair: it pops MissRequests off the FC→BC channel,
+ * deduplicates them through the in-DRAM Miss Status Row, issues 4 KB
+ * flash reads, selects victims into the evict buffer, writes dirty
+ * victims back to flash off the critical path, and installs arriving
+ * pages.
+ *
+ * The BC never names the frontside controller or the flash device
+ * (aflint AF013): flash commands leave through the BC→flash channel
+ * as plain flash::FlashCommand messages (the facade submits them and
+ * reports read completions back via flashReadIssued()), and install
+ * completions leave through the BC→FC channel.
+ */
+
+#ifndef ASTRIFLASH_CORE_BACKSIDE_CONTROLLER_HH
+#define ASTRIFLASH_CORE_BACKSIDE_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "mem/dram.hh"
+#include "mem/set_assoc_cache.hh"
+#include "sim/bounded_channel.hh"
+#include "sim/invariant.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+#include "dc_messages.hh"
+#include "dram_cache_types.hh"
+#include "evict_buffer.hh"
+#include "miss_status_row.hh"
+
+namespace astriflash::core {
+
+/** The DRAM cache's programmable miss engine. */
+class BacksideController : public sim::SimObject
+{
+  public:
+    struct Stats {
+        sim::Counter fills;
+        sim::Counter dirtyWritebacks;
+        sim::Counter flashBytesRead; ///< Refill traffic (footprint
+                                     ///< mode transfers fewer bytes).
+        sim::Histogram missPenalty;  ///< Miss to page-ready, ticks.
+        std::uint64_t peakOutstanding = 0;
+    };
+
+    /**
+     * @param flash_read_estimate conservative whole-read latency used
+     *        for MSR-stalled misses' dataReady estimate; the facade
+     *        derives it from the flash config so the BC itself never
+     *        sees the device.
+     */
+    BacksideController(sim::EventQueue &eq, std::string name,
+                       const DramCacheConfig &config,
+                       const mem::AddressMap &amap, mem::Dram &dram,
+                       mem::SetAssocCache &tags,
+                       FootprintState &footprint,
+                       sim::BoundedChannel<MissRequest> &inbox,
+                       sim::BoundedChannel<FlashCmdMsg> &to_flash,
+                       sim::BoundedChannel<InstallComplete> &to_fc,
+                       sim::Ticks flash_read_estimate);
+
+    /**
+     * Service the MissRequest at the head of the FC→BC channel:
+     * evict-buffer short-circuit, MSR dedup/alloc, flash issue. The
+     * slot is released at the transaction's completion tick, so the
+     * channel depth bounds the BC's outstanding-transaction window.
+     */
+    BcReply service();
+
+    /**
+     * Completion report for a read command the facade submitted from
+     * the BC→flash channel: stamps the pending miss and schedules the
+     * page-arrival install.
+     */
+    void flashReadIssued(mem::PageNum page, sim::Ticks issued_at,
+                         sim::Ticks complete_at);
+
+    /** Outstanding (in-flight) misses right now. */
+    std::uint32_t
+    outstandingMisses() const
+    {
+        return static_cast<std::uint32_t>(pending.size());
+    }
+
+    /** Zero all statistics (end of warmup). */
+    void resetStats();
+
+    void regStats(sim::StatRegistry &reg) const;
+
+    /**
+     * Audit the miss-tracking machinery: every issued pending miss
+     * holds an MSR entry (and nothing else does), the stall queue
+     * mirrors the un-issued pending misses exactly, and footprint
+     * masks only exist for resident pages.
+     */
+    void checkInvariants(sim::InvariantChecker &chk) const;
+
+    const Stats &stats() const { return statsData; }
+    const MissStatusRow &msr() const { return msrTable; }
+    const EvictBuffer &evictBuffer() const { return evictBuf; }
+
+  private:
+    struct PendingMiss {
+        sim::Ticks dataReady = 0; ///< Install-complete estimate.
+        std::vector<WaiterCookie> waiters;
+        bool issued = false;   ///< Flash read issued (vs MSR-stalled).
+        bool anyWrite = false; ///< Install dirty (write-allocate).
+        std::uint64_t fetchMask = ~0ull; ///< Blocks to transfer.
+    };
+
+    /** Page number of @p pa at this cache's page granularity. */
+    mem::PageNum
+    pageNum(mem::Addr pa) const
+    {
+        return mem::pageNumber(pa, cfg.pageBytes);
+    }
+
+    /** Byte base address of page @p pn (trace payloads, flash LPN). */
+    mem::Addr
+    pageByteAddr(mem::PageNum pn) const
+    {
+        return mem::pageAddr(pn, cfg.pageBytes);
+    }
+
+    /**
+     * Miss handling: MSR dedup/alloc, flash read, arrival event.
+     * @return the tick the requester's data will be ready.
+     */
+    sim::Ticks startMiss(mem::PageNum page, sim::Ticks now, bool write,
+                         std::uint64_t want_mask);
+
+    /** Expected cost of installing one page into its frame. */
+    sim::Ticks installEstimate() const;
+
+    /** Install an arrived page, drain victims, notify the FC. */
+    void pageArrived(mem::PageNum page);
+
+    /** Issue queued misses that were blocked on a full MSR set. */
+    void retryMsrStalled(sim::Ticks now);
+
+    /** Drain one evict-buffer entry to flash. */
+    void drainEvictBuffer(sim::Ticks now);
+
+    sim::Ticks bcOp() const { return bcOpTicks; }
+
+    const DramCacheConfig &cfg;
+    const mem::AddressMap &addrMap;
+    mem::Dram &dramModel;
+    mem::SetAssocCache &pageTags;
+    FootprintState &fp;
+    sim::BoundedChannel<MissRequest> &inbox;
+    sim::BoundedChannel<FlashCmdMsg> &toFlash;
+    sim::BoundedChannel<InstallComplete> &toFc;
+    MissStatusRow msrTable;
+    EvictBuffer evictBuf;
+    std::unordered_map<mem::PageNum, PendingMiss> pending;
+    std::deque<mem::PageNum> msrStalled; ///< Waiting for MSR space.
+    sim::Ticks bcOpTicks;
+    sim::Ticks flashReadEstimate;
+    Stats statsData;
+};
+
+} // namespace astriflash::core
+
+#endif // ASTRIFLASH_CORE_BACKSIDE_CONTROLLER_HH

@@ -1,15 +1,5 @@
 #include "dram_cache.hh"
 
-#include <bit>
-
-#include "sim/logging.hh"
-#include "sim/trace_events.hh"
-
-namespace {
-constexpr std::uint32_t kNoCore =
-    astriflash::sim::TraceRecord::kNoCore;
-} // namespace
-
 namespace astriflash::core {
 
 DramCache::DramCache(sim::EventQueue &eq, std::string name,
@@ -17,363 +7,63 @@ DramCache::DramCache(sim::EventQueue &eq, std::string name,
                      flash::FlashDevice &flash,
                      const mem::AddressMap &amap)
     : sim::SimObject(eq, std::move(name)), cfg(config), flashDev(flash),
-      addrMap(amap), dramModel(SimObject::name() + ".dram", config.dram),
+      dramModel(SimObject::name() + ".dram", config.dram),
       pageTags(SimObject::name() + ".tags", config.capacityBytes,
                config.pageBytes, config.ways),
-      msrTable(SimObject::name() + ".msr", config.msrSets,
-               config.msrEntriesPerSet),
-      evictBuf(SimObject::name() + ".evictbuf",
-               config.evictBufferEntries)
+      fcToBc(SimObject::name() + ".fc_to_bc", config.fcToBcDepth),
+      bcToFlash(SimObject::name() + ".bc_to_flash",
+                config.bcToFlashDepth),
+      bcToFc(SimObject::name() + ".bc_to_fc", config.bcToFcDepth),
+      fcCtl(SimObject::name() + ".fc", cfg, dramModel, pageTags,
+            footprint, fcToBc, bcToFc),
+      bcCtl(eq, SimObject::name() + ".bc", cfg, amap, dramModel,
+            pageTags, footprint, fcToBc, bcToFlash, bcToFc,
+            // Conservative whole-read estimate for MSR-stalled misses,
+            // derived here so the BC never sees the device.
+            2 * (flash.config().tRead + flash.config().tController))
 {
-    const sim::ClockDomain clk(cfg.controllerFreqHz);
-    fcOpTicks = clk.cycles(cfg.fcCyclesPerOp);
-    bcOpTicks = clk.cycles(cfg.bcCyclesPerOp);
+    bcToFlash.setDrainHook([this] { pumpFlashCommands(); });
+    bcToFc.setDrainHook([this] { fcCtl.deliverInstalls(); });
 }
 
-mem::Addr
-DramCache::setRowAddr(mem::Addr pa) const
+void
+DramCache::pumpFlashCommands()
 {
-    // Each cache set occupies one DRAM row region: tags first, then
-    // the page frames. Mapping sets onto distinct rows gives the tag
-    // probe natural row-buffer locality for same-set access bursts.
-    const std::uint64_t set =
-        (pa / cfg.pageBytes) % pageTags.numSets();
-    return set * cfg.dram.rowBytes *
-           ((cfg.ways * cfg.pageBytes) / cfg.dram.rowBytes + 1);
-}
-
-sim::Ticks
-DramCache::tagProbe(mem::Addr pa, sim::Ticks now)
-{
-    // RAS to open the set's row + CAS for the 64 B tag column + one
-    // FC cycle for the compare.
-    const auto res =
-        dramModel.access(setRowAddr(pa), now, false, mem::kBlockSize);
-    return res.complete + fcOp();
+    while (!bcToFlash.empty()) {
+        auto &st = bcToFlash.front();
+        const FlashCmdMsg msg = st.msg;
+        // Backpressure from a full command channel delays the issue
+        // tick to the accept tick.
+        const sim::Ticks issued = st.acceptedAt;
+        const auto res = flashDev.submit(msg.cmd, issued);
+        // The slot models a device-queue entry: held until the read
+        // completes or the write is accepted into the device buffer.
+        bcToFlash.dropFront(res.complete);
+        if (msg.cmd.op == flash::FlashCommand::Op::Read)
+            bcCtl.flashReadIssued(msg.page, issued, res.complete);
+    }
 }
 
 DcAccess
 DramCache::access(mem::Addr pa, bool write, sim::Ticks now,
                   WaiterCookie waiter)
 {
-    const mem::PageNum page = pageNum(pa);
-    const sim::Ticks probe_done = tagProbe(pa, now);
-    const bool hit =
-        write ? pageTags.accessWrite(pa) : pageTags.access(pa);
-
-    DcAccess out;
-    if (hit) {
-        if (cfg.footprintEnabled) {
-            const std::uint64_t bit = blockBit(pa);
-            touchedMask[page] |= bit;
-            if (!(fetchedMask[page] & bit)) {
-                // Sub-page miss: the resident page was only partially
-                // transferred and this block is absent; fetch the
-                // remainder through the normal switch-on-miss path.
-                statsData.subPageMisses.inc();
-                out.hit = false;
-                out.ready = probe_done + fcOp();
-                if (pending.count(page))
-                    statsData.missesMerged.inc();
-                else
-                    statsData.misses.inc();
-                startMiss(page, probe_done, write,
-                          ~fetchedMask[page]);
-                pending[page].waiters.push_back(waiter);
-                return out;
-            }
-        }
-        // Data CAS in the (now open) row.
-        const auto data = dramModel.access(
-            setRowAddr(pa) + mem::kBlockSize, probe_done, write,
-            mem::kBlockSize);
-        out.hit = true;
-        out.ready = data.complete;
-        statsData.hits.inc();
-        statsData.hitLatency.sample(out.ready - now);
-        return out;
-    }
-
-    if (evictBuf.contains(page)) {
-        // The page is parked in the evict buffer awaiting writeback;
-        // the BC services the request from there.
-        out.hit = true;
-        out.ready = probe_done + bcOp();
-        statsData.hits.inc();
-        statsData.hitLatency.sample(out.ready - now);
-        return out;
-    }
-
-    // Miss: the FC replies with a miss response so on-chip MSHRs can
-    // be reclaimed, and hands the page request to the BC.
-    out.hit = false;
-    out.ready = probe_done + fcOp();
-    if (pending.count(page))
-        statsData.missesMerged.inc();
-    else
-        statsData.misses.inc();
-    if (cfg.footprintEnabled)
-        touchedMask[page] |= blockBit(pa); // the block will be used
-    const sim::Ticks data_ready =
-        startMiss(page, probe_done, write, blockBit(pa));
-    (void)data_ready;
-    pending[page].waiters.push_back(waiter);
-    return out;
+    FrontsideController::Probe probe =
+        fcCtl.access(pa, write, now, waiter);
+    if (probe.complete)
+        return probe.out;
+    const BcReply rep = bcCtl.service();
+    return fcCtl.finishMiss(probe, rep);
 }
 
 sim::Ticks
 DramCache::accessSync(mem::Addr pa, bool write, sim::Ticks now)
 {
-    const mem::PageNum page = pageNum(pa);
-    const sim::Ticks probe_done = tagProbe(pa, now);
-    const bool hit =
-        write ? pageTags.accessWrite(pa) : pageTags.access(pa);
-    statsData.syncAccesses.inc();
-
-    if (hit) {
-        bool sub_page_miss = false;
-        if (cfg.footprintEnabled) {
-            const std::uint64_t bit = blockBit(pa);
-            touchedMask[page] |= bit;
-            sub_page_miss = !(fetchedMask[page] & bit);
-        }
-        if (!sub_page_miss) {
-            const auto data = dramModel.access(
-                setRowAddr(pa) + mem::kBlockSize, probe_done, write,
-                mem::kBlockSize);
-            statsData.hits.inc();
-            statsData.hitLatency.sample(data.complete - now);
-            return data.complete;
-        }
-        statsData.subPageMisses.inc();
-        if (pending.count(page))
-            statsData.missesMerged.inc();
-        else
-            statsData.misses.inc();
-        const sim::Ticks ready =
-            startMiss(page, probe_done, write, ~fetchedMask[page]);
-        return ready + cfg.dram.tCas + cfg.dram.tBurst;
-    }
-    if (evictBuf.contains(page)) {
-        statsData.hits.inc();
-        return probe_done + bcOp();
-    }
-    if (pending.count(page))
-        statsData.missesMerged.inc();
-    else
-        statsData.misses.inc();
-    if (cfg.footprintEnabled)
-        touchedMask[page] |= blockBit(pa); // the block will be used
-    const sim::Ticks data_ready =
-        startMiss(page, probe_done, write, blockBit(pa));
-    // The requester spins until the page is installed, then reads it.
-    return data_ready + cfg.dram.tCas + cfg.dram.tBurst;
-}
-
-sim::Ticks
-DramCache::startMiss(mem::PageNum page, sim::Ticks now, bool write,
-                     std::uint64_t want_mask)
-{
-    auto it = pending.find(page);
-    if (it != pending.end()) {
-        it->second.anyWrite = it->second.anyWrite || write;
-        // Widen a not-yet-issued fetch to cover this request; an
-        // in-flight transfer cannot grow, in which case an uncovered
-        // block sub-page-misses again after the install.
-        if (!it->second.issued)
-            it->second.fetchMask |= want_mask;
-        sim::traceEvent(sim::TracePoint::MsrDedup, now, kNoCore,
-                        pageByteAddr(page), it->second.waiters.size());
-        return it->second.dataReady;
-    }
-
-    PendingMiss miss;
-    miss.anyWrite = write;
-    if (cfg.footprintEnabled) {
-        const auto hist = footprintHistory.find(page);
-        miss.fetchMask = hist != footprintHistory.end()
-            ? (hist->second | want_mask) : ~0ull;
-    } else {
-        miss.fetchMask = ~0ull;
-    }
-
-    // BC: one op to dequeue the request, one CAS-equivalent op to
-    // search the MSR.
-    const sim::Ticks bc_start = now + 2 * bcOp();
-    const MsrAlloc alloc = msrTable.allocate(page);
-    switch (alloc) {
-      case MsrAlloc::Duplicate:
-        // pending and the MSR mirror each other; a duplicate here is
-        // an invariant violation.
-        ASTRI_PANIC("MSR holds %llx but pending table does not",
-                    static_cast<unsigned long long>(
-                        pageByteAddr(page)));
-      case MsrAlloc::SetFull: {
-        // BC waits for an entry in this set to free; the request sits
-        // in the BC queue. dataReady is a conservative estimate used
-        // only by forced-synchronous requesters.
-        miss.issued = false;
-        miss.dataReady =
-            bc_start + 2 * (flashDev.config().tRead +
-                            flashDev.config().tController);
-        pending.emplace(page, std::move(miss));
-        msrStalled.push_back(page);
-        sim::traceEvent(sim::TracePoint::MsrStall, bc_start, kNoCore,
-                        pageByteAddr(page),
-                        msrTable.setOccupancy(page));
-        break;
-      }
-      case MsrAlloc::New: {
-        sim::traceEvent(sim::TracePoint::MsrInsert, bc_start, kNoCore,
-                        pageByteAddr(page), msrTable.occupancy());
-        const std::uint64_t fetch_bytes =
-            static_cast<std::uint64_t>(
-                std::popcount(miss.fetchMask)) * mem::kBlockSize;
-        const auto read = flashDev.read(
-            addrMap.flashPage(pageByteAddr(page)), bc_start,
-            mem::Bytes(fetch_bytes));
-        sim::traceEvent(sim::TracePoint::FlashReadIssue, bc_start,
-                        kNoCore, pageByteAddr(page), fetch_bytes);
-        miss.issued = true;
-        miss.dataReady = read.complete + bcOp() + installEstimate();
-        pending.emplace(page, std::move(miss));
-        scheduleIn(read.complete - curTick(),
-                   [this, page] { pageArrived(page); });
-        break;
-      }
-    }
-    if (pending.size() > statsData.peakOutstanding)
-        statsData.peakOutstanding = pending.size();
-    return pending[page].dataReady;
-}
-
-sim::Ticks
-DramCache::installEstimate() const
-{
-    // Closed-row activate plus streaming the 4 KB page.
-    return cfg.dram.closedRowLatency() +
-           cfg.dram.tBurst * (cfg.pageBytes / mem::kBlockSize - 1) +
-           bcOp();
-}
-
-void
-DramCache::pageArrived(mem::PageNum page)
-{
-    const sim::Ticks now = curTick();
-    sim::traceEvent(sim::TracePoint::FlashReadDone, now, kNoCore,
-                    pageByteAddr(page));
-
-    // Secure a frame: fill the tag array; a displaced victim parks in
-    // the evict buffer and drains to flash off the critical path.
-    auto pit = pending.find(page);
-    ASTRI_ASSERT_MSG(pit != pending.end(),
-                     "arrival for page %llx with no pending miss",
-                     static_cast<unsigned long long>(
-                         pageByteAddr(page)));
-    const bool dirty_install = pit->second.anyWrite;
-    const std::uint64_t fetch_mask = pit->second.fetchMask;
-    const std::uint64_t fetch_bytes =
-        static_cast<std::uint64_t>(std::popcount(fetch_mask)) *
-        mem::kBlockSize;
-    statsData.flashBytesRead.inc(
-        fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
-    if (cfg.footprintEnabled)
-        fetchedMask[page] |= fetch_mask;
-    auto victim = pageTags.fill(pageByteAddr(page), dirty_install);
-    statsData.fills.inc();
-    if (victim) {
-        const mem::PageNum vpage = pageNum(victim->tag_addr);
-        if (cfg.footprintEnabled) {
-            // Record the victim's footprint for its next residency
-            // and drop its residency masks.
-            const auto t = touchedMask.find(vpage);
-            if (t != touchedMask.end() && t->second != 0)
-                footprintHistory[vpage] = t->second;
-            touchedMask.erase(vpage);
-            fetchedMask.erase(vpage);
-        }
-        if (evictBuf.full()) {
-            // Backpressure: force-drain the oldest entry now (the
-            // install stalls behind the BC's emergency writeback).
-            drainEvictBuffer(now);
-        }
-        const bool ok = evictBuf.insert(vpage, victim->dirty, now);
-        ASTRI_ASSERT(ok);
-        sim::traceEvent(sim::TracePoint::PageEvict, now, kNoCore,
-                        victim->tag_addr, victim->dirty ? 1 : 0);
-        // Lazy drain keeps writes off the read path.
-        scheduleIn(bcOp() * 4, [this] {
-            drainEvictBuffer(curTick());
-        });
-    }
-
-    // Install: stream the fetched blocks into the frame.
-    const auto install = dramModel.access(
-        setRowAddr(pageByteAddr(page)), now, true,
-        fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
-    const sim::Ticks ready = install.complete + bcOp();
-    statsData.missPenalty.sample(ready > now ? ready - now : 0);
-    sim::traceEvent(sim::TracePoint::PageFill, ready, kNoCore,
-                    pageByteAddr(page), ready > now ? ready - now : 0);
-
-    // Free the MSR entry and unblock any set-conflicted misses.
-    msrTable.free(page);
-    retryMsrStalled(now);
-
-    auto waiters = std::move(pit->second.waiters);
-    pending.erase(pit);
-    if (onReady)
-        onReady(page, ready, waiters);
-}
-
-void
-DramCache::retryMsrStalled(sim::Ticks now)
-{
-    for (auto it = msrStalled.begin(); it != msrStalled.end();) {
-        const mem::PageNum page = *it;
-        auto pit = pending.find(page);
-        if (pit == pending.end() || pit->second.issued) {
-            it = msrStalled.erase(it);
-            continue;
-        }
-        const MsrAlloc alloc = msrTable.allocate(page);
-        if (alloc == MsrAlloc::SetFull) {
-            ++it;
-            continue;
-        }
-        ASTRI_ASSERT(alloc == MsrAlloc::New);
-        sim::traceEvent(sim::TracePoint::MsrInsert, now + bcOp(),
-                        kNoCore, pageByteAddr(page),
-                        msrTable.occupancy());
-        const std::uint64_t fetch_bytes =
-            static_cast<std::uint64_t>(
-                std::popcount(pit->second.fetchMask)) * mem::kBlockSize;
-        const auto read = flashDev.read(
-            addrMap.flashPage(pageByteAddr(page)), now + bcOp(),
-            mem::Bytes(fetch_bytes));
-        sim::traceEvent(sim::TracePoint::FlashReadIssue, now + bcOp(),
-                        kNoCore, pageByteAddr(page), fetch_bytes);
-        pit->second.issued = true;
-        pit->second.dataReady =
-            read.complete + bcOp() + installEstimate();
-        scheduleIn(read.complete - curTick(),
-                   [this, page] { pageArrived(page); });
-        it = msrStalled.erase(it);
-    }
-}
-
-void
-DramCache::drainEvictBuffer(sim::Ticks now)
-{
-    if (evictBuf.empty())
-        return;
-    const EvictBuffer::Entry e = evictBuf.pop();
-    sim::traceEvent(sim::TracePoint::EvictDrain, now, kNoCore,
-                    pageByteAddr(e.page), e.dirty ? 1 : 0);
-    if (e.dirty) {
-        flashDev.write(addrMap.flashPage(pageByteAddr(e.page)), now);
-        statsData.dirtyWritebacks.inc();
-    }
+    FrontsideController::Probe probe = fcCtl.accessSync(pa, write, now);
+    if (probe.complete)
+        return probe.out.ready;
+    const BcReply rep = bcCtl.service();
+    return fcCtl.finishSyncMiss(probe, rep);
 }
 
 bool
@@ -387,134 +77,33 @@ DramCache::prewarmPage(mem::Addr pa)
 {
     pageTags.fill(mem::pageBase(pa, cfg.pageBytes), false);
     if (cfg.footprintEnabled)
-        fetchedMask[pageNum(pa)] = ~0ull;
+        footprint.fetched[mem::pageNumber(pa, cfg.pageBytes)] = ~0ull;
 }
 
 void
 DramCache::resetStats()
 {
-    statsData = Stats{};
-    // Misses in flight across the reset still count toward the
-    // measurement window's peak.
-    statsData.peakOutstanding = pending.size();
+    fcCtl.resetStats();
+    bcCtl.resetStats();
 }
 
 void
 DramCache::regStats(sim::StatRegistry &reg) const
 {
-    auto &fc = reg.subRegistry("fc");
-    fc.registerCounter("hits", &statsData.hits,
-                       "frontside accesses served from the cache");
-    fc.registerCounter("misses", &statsData.misses,
-                       "accesses starting a new outstanding miss");
-    fc.registerCounter("misses_merged", &statsData.missesMerged,
-                       "accesses merged onto an in-flight miss");
-    fc.registerCounter("sync_accesses", &statsData.syncAccesses,
-                       "forced-synchronous (forward-progress) accesses");
-    fc.registerCounter("sub_page_misses", &statsData.subPageMisses,
-                       "footprint mispredictions on resident pages");
-    fc.registerHistogram("hit_latency", &statsData.hitLatency,
-                         "FC hit path latency in ticks");
-
-    auto &bc = reg.subRegistry("bc");
-    bc.registerCounter("fills", &statsData.fills,
-                       "pages installed into the cache");
-    bc.registerCounter("dirty_writebacks", &statsData.dirtyWritebacks,
-                       "dirty victims programmed to flash");
-    bc.registerCounter("flash_bytes_read", &statsData.flashBytesRead,
-                       "refill bytes transferred from flash");
-    bc.registerHistogram("miss_penalty", &statsData.missPenalty,
-                         "miss-to-page-ready latency in ticks");
-    bc.registerUint("peak_outstanding", &statsData.peakOutstanding,
-                    "maximum concurrent outstanding misses");
-    msrTable.regStats(bc.subRegistry("msr"));
-    evictBuf.regStats(bc.subRegistry("evictbuf"));
-
+    fcCtl.regStats(reg.subRegistry("fc"));
+    bcCtl.regStats(reg.subRegistry("bc"));
     dramModel.regStats(reg.subRegistry("dram"));
     pageTags.regStats(reg.subRegistry("tags"));
+    fcToBc.regStats(reg.subRegistry("fc_to_bc"));
+    bcToFlash.regStats(reg.subRegistry("bc_to_flash"));
+    bcToFc.regStats(reg.subRegistry("bc_to_fc"));
 }
 
 void
 DramCache::checkInvariants(sim::InvariantChecker &chk) const
 {
-    // The MSR and the pending table mirror each other: exactly the
-    // issued misses hold entries.
-    std::uint32_t issued = 0;
-    for (const auto &[page, miss] : pending) {
-        SIM_INVARIANT_MSG(chk, !miss.waiters.empty() || miss.issued,
-                          "un-issued miss %llx has no waiters",
-                          static_cast<unsigned long long>(
-                              pageByteAddr(page)));
-        if (miss.issued) {
-            ++issued;
-            SIM_INVARIANT_MSG(chk, msrTable.contains(page),
-                              "issued miss %llx lost its MSR entry",
-                              static_cast<unsigned long long>(
-                                  pageByteAddr(page)));
-        }
-        if (!cfg.footprintEnabled) {
-            // A full-page miss cannot coexist with a resident copy
-            // (footprint mode legitimately refetches absent blocks
-            // of resident pages).
-            SIM_INVARIANT_MSG(chk,
-                              !pageTags.contains(pageByteAddr(page)),
-                              "page %llx is both resident and pending",
-                              static_cast<unsigned long long>(
-                                  pageByteAddr(page)));
-        }
-    }
-    SIM_INVARIANT_MSG(chk, msrTable.occupancy() == issued,
-                      "MSR holds %u entries but %u misses are issued",
-                      msrTable.occupancy(), issued);
-
-    // The stall queue holds exactly the un-issued pending pages.
-    std::unordered_map<mem::PageNum, int> stalled;
-    for (const mem::PageNum page : msrStalled) {
-        SIM_INVARIANT_MSG(chk, ++stalled[page] == 1,
-                          "page %llx queued twice behind a full MSR set",
-                          static_cast<unsigned long long>(
-                              pageByteAddr(page)));
-        const auto it = pending.find(page);
-        SIM_INVARIANT_MSG(chk,
-                          it != pending.end() && !it->second.issued,
-                          "stall queue holds %llx which is not an "
-                          "un-issued pending miss",
-                          static_cast<unsigned long long>(
-                              pageByteAddr(page)));
-    }
-    SIM_INVARIANT_MSG(chk,
-                      stalled.size() == pending.size() - issued,
-                      "%zu stalled pages but %zu un-issued misses",
-                      stalled.size(), pending.size() - issued);
-
-    SIM_INVARIANT(chk, statsData.peakOutstanding >= pending.size());
-    // Every install freed exactly one MSR entry in the same event.
-    // The MSR counter is cumulative while fills resets at measurement
-    // start, so lifetime frees bound the windowed fill count.
-    SIM_INVARIANT_MSG(chk,
-                      msrTable.stats().frees.value() >=
-                          statsData.fills.value(),
-                      "%llu fills outnumber %llu MSR frees",
-                      static_cast<unsigned long long>(
-                          statsData.fills.value()),
-                      static_cast<unsigned long long>(
-                          msrTable.stats().frees.value()));
-
-    // Footprint residency masks exist only for resident pages.
-    if (cfg.footprintEnabled) {
-        for (const auto &[page, mask] : fetchedMask) {
-            (void)mask;
-            SIM_INVARIANT_MSG(chk,
-                              pageTags.contains(pageByteAddr(page)),
-                              "fetched mask for non-resident %llx",
-                              static_cast<unsigned long long>(
-                                  pageByteAddr(page)));
-        }
-    } else {
-        SIM_INVARIANT(chk, fetchedMask.empty());
-        SIM_INVARIANT(chk, touchedMask.empty());
-        SIM_INVARIANT(chk, footprintHistory.empty());
-    }
+    fcCtl.checkInvariants(chk);
+    bcCtl.checkInvariants(chk);
 }
 
 } // namespace astriflash::core

@@ -1,17 +1,26 @@
 /**
  * @file
- * Hardware-managed DRAM cache: frontside + backside controllers
- * (§IV-B, Fig. 5).
+ * Hardware-managed DRAM cache facade (§IV-B, Fig. 5).
  *
- * The frontside controller (FC) extends a conventional DRAM controller:
- * it RASes the set's row, CASes the tag column, compares tags, and
- * either CASes the data (hit) or hands the miss to the backside
- * controller (BC) and returns a miss response so the on-chip MSHRs can
- * be reclaimed. The BC is programmable (slower per operation): it
- * deduplicates misses through the in-DRAM Miss Status Row, issues 4 KB
- * flash reads, selects victims into the evict buffer, writes dirty
- * victims back to flash off the critical path, and installs arriving
- * pages.
+ * The cache is two separate components: a fast FSM frontside
+ * controller (frontside_controller.hh) and a programmable backside
+ * controller (backside_controller.hh) that exchange state ONLY
+ * through bounded, tick-stamped channels:
+ *
+ *   FC --MissRequest-->     BC      (fc_to_bc, the BC's work queue)
+ *   BC --FlashCmdMsg-->     device  (bc_to_flash, command queue)
+ *   BC --InstallComplete--> FC      (bc_to_fc, waiter wakeups)
+ *
+ * This facade owns the shared structures (DRAM device, tag array,
+ * footprint masks), the three channels, and the two controllers; it
+ * drives one access through FC→channel→BC→FC and pumps the flash
+ * command channel into FlashDevice::submit(). It is the single
+ * allowlisted place (aflint AF013) where both controllers and the
+ * device are visible at once. Public API and stat namespaces are
+ * unchanged from the pre-split monolith — at the default
+ * (effectively-unbounded) channel depths the decomposition is
+ * timing-neutral, which tests/test_fc_bc_split.cpp proves against
+ * the golden stats.
  *
  * Page arrivals are delivered through a callback carrying every waiter
  * cookie that merged onto the miss — the hook the switch-on-miss cores
@@ -22,101 +31,43 @@
 #define ASTRIFLASH_CORE_DRAM_CACHE_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
-#include <unordered_map>
-#include <vector>
+#include <utility>
 
 #include "flash/flash_device.hh"
 #include "mem/address_map.hh"
 #include "mem/dram.hh"
 #include "mem/set_assoc_cache.hh"
+#include "sim/bounded_channel.hh"
 #include "sim/invariant.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
+#include "backside_controller.hh"
+#include "dc_messages.hh"
+#include "dram_cache_types.hh"
 #include "evict_buffer.hh"
+#include "frontside_controller.hh"
 #include "miss_status_row.hh"
 
 namespace astriflash::core {
 
-/** Opaque identifier for whoever is waiting on a missing page. */
-using WaiterCookie = std::uint64_t;
-
-/** DRAM cache parameters. */
-struct DramCacheConfig {
-    std::uint64_t capacityBytes = std::uint64_t{64} << 20;
-    std::uint64_t pageBytes = mem::kPageSize;
-    std::uint32_t ways = 8; ///< One 64 B tag column maps 8 ways (§IV-B).
-    mem::DramConfig dram;
-    std::uint32_t msrSets = 128;
-    std::uint32_t msrEntriesPerSet = 8;
-    std::uint32_t evictBufferEntries = 32;
-    /** FC is a 1-cycle-per-op FSM; BC is programmable at 3 cycles/op
-     *  (§V-A), both at the memory-controller clock. */
-    std::uint64_t controllerFreqHz = 2'500'000'000ull;
-    sim::Cycles fcCyclesPerOp{1};
-    sim::Cycles bcCyclesPerOp{3};
-
-    /**
-     * Footprint-cache mode (§II-A's bandwidth optimization, after
-     * Jevdjic et al. [36]): on a refill of a previously-seen page,
-     * transfer only the blocks the page's last residency actually
-     * touched. Accesses to unfetched blocks of a resident page are
-     * sub-page misses that fetch the remainder via the normal
-     * switch-on-miss path. Trades a small extra miss rate for flash
-     * / PCIe bandwidth.
-     */
-    bool footprintEnabled = false;
-};
-
-/** Result of a frontside access. */
-struct DcAccess {
-    bool hit = false;
-    /** Hit: data-ready tick. Miss: miss-response tick (the miss signal
-     *  travels back to the core and MSHRs are reclaimed). */
-    sim::Ticks ready = 0;
-};
-
-/** The AstriFlash DRAM cache. */
+/** The AstriFlash DRAM cache: FC + BC over bounded channels. */
 class DramCache : public sim::SimObject
 {
   public:
-    using PageReadyFn = std::function<void(
-        mem::PageNum page, sim::Ticks when,
-        const std::vector<WaiterCookie> &waiters)>;
-
-    struct Stats {
-        sim::Counter hits;
-        sim::Counter misses;
-        sim::Counter missesMerged;   ///< Deduplicated by the MSR.
-        sim::Counter fills;
-        sim::Counter dirtyWritebacks;
-        sim::Counter syncAccesses;   ///< Forward-progress forced-sync.
-        sim::Counter subPageMisses;  ///< Footprint mispredictions.
-        sim::Counter flashBytesRead; ///< Refill traffic (footprint
-                                     ///< mode transfers fewer bytes).
-        sim::Histogram hitLatency;   ///< FC path, ticks.
-        sim::Histogram missPenalty;  ///< Miss to page-ready, ticks.
-        std::uint64_t peakOutstanding = 0;
-
-        double
-        hitRatio() const
-        {
-            const double t = static_cast<double>(hits.value() +
-                                                 misses.value() +
-                                                 missesMerged.value());
-            return t > 0 ? static_cast<double>(hits.value()) / t : 0.0;
-        }
-    };
+    using PageReadyFn = FrontsideController::PageReadyFn;
 
     DramCache(sim::EventQueue &eq, std::string name,
               const DramCacheConfig &config, flash::FlashDevice &flash,
               const mem::AddressMap &amap);
 
     /** Register the page-arrival notification hook. */
-    void setPageReadyCallback(PageReadyFn fn) { onReady = std::move(fn); }
+    void
+    setPageReadyCallback(PageReadyFn fn)
+    {
+        fcCtl.setPageReadyCallback(std::move(fn));
+    }
 
     /**
      * Frontside access from the LLC miss path.
@@ -155,115 +106,86 @@ class DramCache : public sim::SimObject
     }
 
     /** Outstanding (in-flight) misses right now. */
-    std::uint32_t outstandingMisses() const
+    std::uint32_t
+    outstandingMisses() const
     {
-        return static_cast<std::uint32_t>(pending.size());
+        return bcCtl.outstandingMisses();
     }
 
-    /** Zero all statistics (end of warmup). */
+    /** Zero all statistics (end of warmup). Channel counters are
+     *  lifetime (conservation laws must survive the reset). */
     void resetStats();
 
     /**
      * Register stats into @p reg following the controller split:
      * "fc" (frontside: hit/miss accounting), "bc" (backside: fills,
-     * writebacks, miss penalty) with "msr"/"evictbuf" children, plus
-     * the "dram" device and the "tags" array.
+     * writebacks, miss penalty) with "msr"/"evictbuf" children, the
+     * "dram" device and the "tags" array, plus the three channels
+     * ("fc_to_bc", "bc_to_flash", "bc_to_fc").
      */
     void regStats(sim::StatRegistry &reg) const;
 
-    /**
-     * Audit the miss-tracking machinery: every issued pending miss
-     * holds an MSR entry (and nothing else does), the stall queue
-     * mirrors the un-issued pending misses exactly, tag metadata stays
-     * coherent with the fill/evict traffic, and footprint masks only
-     * exist for resident pages.
-     */
+    /** Audit both controllers. The MSR, evict buffer, tag array, and
+     *  channels register their own invariant entries (see
+     *  System::registerInvariants). */
     void checkInvariants(sim::InvariantChecker &chk) const;
 
-    const Stats &stats() const { return statsData; }
-    const MissStatusRow &msr() const { return msrTable; }
-    const EvictBuffer &evictBuffer() const { return evictBuf; }
+    /** Frontside accounting (hits, misses, hit latency). */
+    const FrontsideController::Stats &
+    fcStats() const
+    {
+        return fcCtl.stats();
+    }
+
+    /** Backside accounting (fills, writebacks, miss penalty). */
+    const BacksideController::Stats &
+    bcStats() const
+    {
+        return bcCtl.stats();
+    }
+
+    double hitRatio() const { return fcCtl.stats().hitRatio(); }
+
+    const FrontsideController &frontside() const { return fcCtl; }
+    const BacksideController &backside() const { return bcCtl; }
+    const MissStatusRow &msr() const { return bcCtl.msr(); }
+    const EvictBuffer &evictBuffer() const { return bcCtl.evictBuffer(); }
     const mem::SetAssocCache &pageArray() const { return pageTags; }
     const mem::Dram &dram() const { return dramModel; }
     const DramCacheConfig &config() const { return cfg; }
 
+    const sim::BoundedChannel<MissRequest> &
+    missChannel() const
+    {
+        return fcToBc;
+    }
+
+    const sim::BoundedChannel<FlashCmdMsg> &
+    flashChannel() const
+    {
+        return bcToFlash;
+    }
+
+    const sim::BoundedChannel<InstallComplete> &
+    installChannel() const
+    {
+        return bcToFc;
+    }
+
   private:
-    struct PendingMiss {
-        sim::Ticks dataReady = 0; ///< Install-complete estimate.
-        std::vector<WaiterCookie> waiters;
-        bool issued = false;  ///< Flash read issued (vs MSR-stalled).
-        bool anyWrite = false; ///< Install dirty (write-allocate).
-        std::uint64_t fetchMask = ~0ull; ///< Blocks to transfer.
-    };
-
-    /** Bit for the 64 B block of @p pa within its page. */
-    static std::uint64_t
-    blockBit(mem::Addr pa)
-    {
-        return 1ull << ((pa / mem::kBlockSize) %
-                        (mem::kPageSize / mem::kBlockSize));
-    }
-
-    /** Page number of @p pa at this cache's page granularity. */
-    mem::PageNum
-    pageNum(mem::Addr pa) const
-    {
-        return mem::pageNumber(pa, cfg.pageBytes);
-    }
-
-    /** Byte base address of page @p pn (trace payloads, flash LPN). */
-    mem::Addr
-    pageByteAddr(mem::PageNum pn) const
-    {
-        return mem::pageAddr(pn, cfg.pageBytes);
-    }
-
-    /** FC tag probe: RAS + tag CAS at the set's row. */
-    sim::Ticks tagProbe(mem::Addr pa, sim::Ticks now);
-
-    /** Address of the set's row in the cached DRAM partition. */
-    mem::Addr setRowAddr(mem::Addr pa) const;
-
-    /**
-     * BC miss handling: MSR dedup/alloc, flash read, arrival event.
-     * @return the tick the requester's data will be ready.
-     */
-    sim::Ticks startMiss(mem::PageNum page, sim::Ticks now, bool write,
-                         std::uint64_t want_mask = ~std::uint64_t{0});
-
-    /** Expected cost of installing one page into its frame. */
-    sim::Ticks installEstimate() const;
-
-    /** Install an arrived page, drain victims, notify waiters. */
-    void pageArrived(mem::PageNum page);
-
-    /** Issue queued misses that were blocked on a full MSR set. */
-    void retryMsrStalled(sim::Ticks now);
-
-    /** Drain one evict-buffer entry to flash. */
-    void drainEvictBuffer(sim::Ticks now);
-
-    sim::Ticks fcOp() const { return fcOpTicks; }
-    sim::Ticks bcOp() const { return bcOpTicks; }
+    /** Drain bc_to_flash into FlashDevice::submit(). */
+    void pumpFlashCommands();
 
     DramCacheConfig cfg;
     flash::FlashDevice &flashDev;
-    const mem::AddressMap &addrMap;
     mem::Dram dramModel;
     mem::SetAssocCache pageTags;
-    MissStatusRow msrTable;
-    EvictBuffer evictBuf;
-    PageReadyFn onReady;
-    std::unordered_map<mem::PageNum, PendingMiss> pending;
-    std::deque<mem::PageNum> msrStalled; ///< Waiting for MSR space.
-    // Footprint mode: per-resident-page fetched/touched block masks
-    // and the per-page footprint history recorded at eviction.
-    std::unordered_map<mem::PageNum, std::uint64_t> fetchedMask;
-    std::unordered_map<mem::PageNum, std::uint64_t> touchedMask;
-    std::unordered_map<mem::PageNum, std::uint64_t> footprintHistory;
-    sim::Ticks fcOpTicks;
-    sim::Ticks bcOpTicks;
-    Stats statsData;
+    FootprintState footprint;
+    sim::BoundedChannel<MissRequest> fcToBc;
+    sim::BoundedChannel<FlashCmdMsg> bcToFlash;
+    sim::BoundedChannel<InstallComplete> bcToFc;
+    FrontsideController fcCtl;
+    BacksideController bcCtl;
 };
 
 } // namespace astriflash::core

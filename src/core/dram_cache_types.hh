@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared configuration and result types for the DRAM-cache controller
+ * pair (frontside_controller.hh / backside_controller.hh) and the
+ * DramCache facade that wires them together.
+ */
+
+#ifndef ASTRIFLASH_CORE_DRAM_CACHE_TYPES_HH
+#define ASTRIFLASH_CORE_DRAM_CACHE_TYPES_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/address.hh"
+#include "mem/dram.hh"
+#include "sim/ticks.hh"
+
+namespace astriflash::core {
+
+/** Opaque identifier for whoever is waiting on a missing page. */
+using WaiterCookie = std::uint64_t;
+
+/** DRAM cache parameters. */
+struct DramCacheConfig {
+    std::uint64_t capacityBytes = std::uint64_t{64} << 20;
+    std::uint64_t pageBytes = mem::kPageSize;
+    std::uint32_t ways = 8; ///< One 64 B tag column maps 8 ways (§IV-B).
+    mem::DramConfig dram;
+    std::uint32_t msrSets = 128;
+    std::uint32_t msrEntriesPerSet = 8;
+    std::uint32_t evictBufferEntries = 32;
+    /** FC is a 1-cycle-per-op FSM; BC is programmable at 3 cycles/op
+     *  (§V-A), both at the memory-controller clock. */
+    std::uint64_t controllerFreqHz = 2'500'000'000ull;
+    sim::Cycles fcCyclesPerOp{1};
+    sim::Cycles bcCyclesPerOp{3};
+
+    /**
+     * Depths of the three controller channels (FC→BC miss requests,
+     * BC→flash commands, BC→FC install completions). A slot is held
+     * for the lifetime of the transaction the message carries, so the
+     * miss-channel depth is effectively the BC's transaction window.
+     * The defaults are effectively unbounded — the decomposition is
+     * timing-neutral — while small depths turn backpressure into
+     * measured stall ticks (bench/ablation_astriflash sweeps this).
+     */
+    std::uint32_t fcToBcDepth = 65536;
+    std::uint32_t bcToFlashDepth = 65536;
+    std::uint32_t bcToFcDepth = 65536;
+
+    /**
+     * Footprint-cache mode (§II-A's bandwidth optimization, after
+     * Jevdjic et al. [36]): on a refill of a previously-seen page,
+     * transfer only the blocks the page's last residency actually
+     * touched. Accesses to unfetched blocks of a resident page are
+     * sub-page misses that fetch the remainder via the normal
+     * switch-on-miss path. Trades a small extra miss rate for flash
+     * / PCIe bandwidth.
+     */
+    bool footprintEnabled = false;
+};
+
+/** Result of a frontside access. */
+struct DcAccess {
+    bool hit = false;
+    /** Hit: data-ready tick. Miss: miss-response tick (the miss signal
+     *  travels back to the core and MSHRs are reclaimed). */
+    sim::Ticks ready = 0;
+};
+
+/** Bit for the 64 B block of @p pa within its 4 KB page. */
+inline std::uint64_t
+dcBlockBit(mem::Addr pa)
+{
+    return 1ull << ((pa / mem::kBlockSize) %
+                    (mem::kPageSize / mem::kBlockSize));
+}
+
+/**
+ * Address of a set's row in the cached DRAM partition. Each cache set
+ * occupies one DRAM row region: tags first, then the page frames.
+ * Mapping sets onto distinct rows gives the tag probe natural
+ * row-buffer locality for same-set access bursts. Both controllers
+ * address the same shared DRAM device through this layout.
+ */
+inline mem::Addr
+dcSetRowAddr(const DramCacheConfig &cfg, std::uint64_t num_sets,
+             mem::Addr pa)
+{
+    const std::uint64_t set = (pa / cfg.pageBytes) % num_sets;
+    return set * cfg.dram.rowBytes *
+           ((cfg.ways * cfg.pageBytes) / cfg.dram.rowBytes + 1);
+}
+
+/**
+ * Footprint-mode residency masks, shared between the controllers: the
+ * FC records touched blocks and detects sub-page misses; the BC seeds
+ * fetch masks from history and maintains the masks across
+ * install/evict. Owned by the facade (it also prewarms into it).
+ */
+struct FootprintState {
+    /** Blocks actually transferred for each resident page. */
+    std::unordered_map<mem::PageNum, std::uint64_t> fetched;
+    /** Blocks touched during the current residency. */
+    std::unordered_map<mem::PageNum, std::uint64_t> touched;
+    /** Footprint recorded at the page's last eviction. */
+    std::unordered_map<mem::PageNum, std::uint64_t> history;
+};
+
+} // namespace astriflash::core
+
+#endif // ASTRIFLASH_CORE_DRAM_CACHE_TYPES_HH

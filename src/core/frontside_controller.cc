@@ -1,0 +1,219 @@
+#include "frontside_controller.hh"
+
+namespace astriflash::core {
+
+FrontsideController::FrontsideController(
+    std::string name, const DramCacheConfig &config, mem::Dram &dram,
+    mem::SetAssocCache &tags, FootprintState &footprint,
+    sim::BoundedChannel<MissRequest> &to_bc,
+    sim::BoundedChannel<InstallComplete> &from_bc)
+    : fcName(std::move(name)), cfg(config), dramModel(dram),
+      pageTags(tags), fp(footprint), toBc(to_bc), fromBc(from_bc)
+{
+    const sim::ClockDomain clk(cfg.controllerFreqHz);
+    fcOpTicks = clk.cycles(cfg.fcCyclesPerOp);
+}
+
+sim::Ticks
+FrontsideController::tagProbe(mem::Addr pa, sim::Ticks now)
+{
+    // RAS to open the set's row + CAS for the 64 B tag column + one
+    // FC cycle for the compare.
+    const auto res = dramModel.access(
+        dcSetRowAddr(cfg, pageTags.numSets(), pa), now, false,
+        mem::kBlockSize);
+    return res.complete + fcOp();
+}
+
+FrontsideController::Probe
+FrontsideController::access(mem::Addr pa, bool write, sim::Ticks now,
+                            WaiterCookie waiter)
+{
+    Probe p;
+    p.page = mem::pageNumber(pa, cfg.pageBytes);
+    p.start = now;
+    p.bit = dcBlockBit(pa);
+    const sim::Ticks probe_done = tagProbe(pa, now);
+    const bool hit =
+        write ? pageTags.accessWrite(pa) : pageTags.access(pa);
+
+    if (hit) {
+        if (cfg.footprintEnabled) {
+            fp.touched[p.page] |= p.bit;
+            if (!(fp.fetched[p.page] & p.bit)) {
+                // Sub-page miss: the resident page was only partially
+                // transferred and this block is absent; fetch the
+                // remainder through the normal switch-on-miss path.
+                statsData.subPageMisses.inc();
+                p.subPage = true;
+                p.accepted = toBc.push(
+                    MissRequest{p.page, write, true, true, waiter,
+                                ~fp.fetched[p.page]},
+                    probe_done);
+                return p;
+            }
+        }
+        // Data CAS in the (now open) row.
+        const auto data = dramModel.access(
+            dcSetRowAddr(cfg, pageTags.numSets(), pa) + mem::kBlockSize,
+            probe_done, write, mem::kBlockSize);
+        p.complete = true;
+        p.out.hit = true;
+        p.out.ready = data.complete;
+        statsData.hits.inc();
+        statsData.hitLatency.sample(p.out.ready - now);
+        return p;
+    }
+
+    // Tag miss: hand the page request to the backside through the
+    // miss channel; the BcReply decides evict-buffer hit vs miss.
+    p.accepted = toBc.push(
+        MissRequest{p.page, write, false, true, waiter, p.bit},
+        probe_done);
+    return p;
+}
+
+DcAccess
+FrontsideController::finishMiss(const Probe &probe, const BcReply &rep)
+{
+    if (rep.kind == BcReply::Kind::EvictBufferHit) {
+        // The page was parked awaiting writeback; the backside served
+        // the request from there at BC speed.
+        statsData.hits.inc();
+        statsData.hitLatency.sample(rep.ready - probe.start);
+        return DcAccess{true, rep.ready};
+    }
+    if (rep.merged)
+        statsData.missesMerged.inc();
+    else
+        statsData.misses.inc();
+    if (cfg.footprintEnabled && !probe.subPage)
+        fp.touched[probe.page] |= probe.bit; // the block will be used
+    // Miss response: the FC replies as soon as the channel accepted
+    // the request so on-chip MSHRs can be reclaimed.
+    return DcAccess{false, probe.accepted + fcOp()};
+}
+
+FrontsideController::Probe
+FrontsideController::accessSync(mem::Addr pa, bool write,
+                                sim::Ticks now)
+{
+    Probe p;
+    p.page = mem::pageNumber(pa, cfg.pageBytes);
+    p.start = now;
+    p.bit = dcBlockBit(pa);
+    const sim::Ticks probe_done = tagProbe(pa, now);
+    const bool hit =
+        write ? pageTags.accessWrite(pa) : pageTags.access(pa);
+    statsData.syncAccesses.inc();
+
+    if (hit) {
+        bool sub_page_miss = false;
+        if (cfg.footprintEnabled) {
+            fp.touched[p.page] |= p.bit;
+            sub_page_miss = !(fp.fetched[p.page] & p.bit);
+        }
+        if (!sub_page_miss) {
+            const auto data = dramModel.access(
+                dcSetRowAddr(cfg, pageTags.numSets(), pa) +
+                    mem::kBlockSize,
+                probe_done, write, mem::kBlockSize);
+            statsData.hits.inc();
+            statsData.hitLatency.sample(data.complete - now);
+            p.complete = true;
+            p.out.hit = true;
+            p.out.ready = data.complete;
+            return p;
+        }
+        statsData.subPageMisses.inc();
+        p.subPage = true;
+        p.accepted = toBc.push(
+            MissRequest{p.page, write, true, false, 0,
+                        ~fp.fetched[p.page]},
+            probe_done);
+        return p;
+    }
+    p.accepted = toBc.push(
+        MissRequest{p.page, write, false, false, 0, p.bit},
+        probe_done);
+    return p;
+}
+
+sim::Ticks
+FrontsideController::finishSyncMiss(const Probe &probe,
+                                    const BcReply &rep)
+{
+    if (rep.kind == BcReply::Kind::EvictBufferHit) {
+        statsData.hits.inc();
+        return rep.ready;
+    }
+    if (rep.merged)
+        statsData.missesMerged.inc();
+    else
+        statsData.misses.inc();
+    if (cfg.footprintEnabled && !probe.subPage)
+        fp.touched[probe.page] |= probe.bit; // the block will be used
+    // The requester spins until the page is installed, then reads it.
+    return rep.ready + cfg.dram.tCas + cfg.dram.tBurst;
+}
+
+void
+FrontsideController::deliverInstalls()
+{
+    while (!fromBc.empty()) {
+        auto &st = fromBc.front();
+        const mem::PageNum page = st.msg.page;
+        const sim::Ticks ready = st.msg.ready;
+        std::vector<WaiterCookie> waiters = std::move(st.msg.waiters);
+        // The slot recycles once the notification lands.
+        fromBc.dropFront(ready > st.acceptedAt ? ready : st.acceptedAt);
+        if (onReady)
+            onReady(page, ready, waiters);
+    }
+}
+
+void
+FrontsideController::regStats(sim::StatRegistry &reg) const
+{
+    reg.registerCounter("hits", &statsData.hits,
+                        "frontside accesses served from the cache");
+    reg.registerCounter("misses", &statsData.misses,
+                        "accesses starting a new outstanding miss");
+    reg.registerCounter("misses_merged", &statsData.missesMerged,
+                        "accesses merged onto an in-flight miss");
+    reg.registerCounter("sync_accesses", &statsData.syncAccesses,
+                        "forced-synchronous (forward-progress) accesses");
+    reg.registerCounter("sub_page_misses", &statsData.subPageMisses,
+                        "footprint mispredictions on resident pages");
+    reg.registerHistogram("hit_latency", &statsData.hitLatency,
+                          "FC hit path latency in ticks");
+}
+
+void
+FrontsideController::checkInvariants(sim::InvariantChecker &chk) const
+{
+    // Sync evict-buffer hits count a hit without a latency sample, so
+    // samples can only undershoot the hit counter.
+    SIM_INVARIANT_MSG(chk,
+                      statsData.hitLatency.count() <=
+                          statsData.hits.value(),
+                      "%llu hit-latency samples for %llu hits",
+                      static_cast<unsigned long long>(
+                          statsData.hitLatency.count()),
+                      static_cast<unsigned long long>(
+                          statsData.hits.value()));
+    // Every sub-page miss also counted as a (new or merged) miss.
+    SIM_INVARIANT_MSG(chk,
+                      statsData.subPageMisses.value() <=
+                          statsData.misses.value() +
+                              statsData.missesMerged.value(),
+                      "%llu sub-page misses exceed the %llu total "
+                      "misses",
+                      static_cast<unsigned long long>(
+                          statsData.subPageMisses.value()),
+                      static_cast<unsigned long long>(
+                          statsData.misses.value() +
+                          statsData.missesMerged.value()));
+}
+
+} // namespace astriflash::core

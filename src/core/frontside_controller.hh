@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Frontside controller (FC) of the DRAM cache (§IV-B, Fig. 5).
+ *
+ * The FC extends a conventional DRAM controller: it RASes the set's
+ * row, CASes the tag column, compares tags, and either CASes the data
+ * (hit) or emits a MissRequest into the FC→BC channel and returns a
+ * miss response so the on-chip MSHRs can be reclaimed. It is a
+ * 1-cycle-per-op FSM; everything slower (MSR dedup, flash issue,
+ * installs) lives behind the channel in the BacksideController.
+ *
+ * The FC never names the backside controller, the MSR, the evict
+ * buffer, or the flash device (aflint AF013 enforces this): its only
+ * outputs are channel messages, and its only input from the backside
+ * is the BcReply returned by the facade's service call plus the
+ * InstallComplete messages it drains from the BC→FC channel.
+ */
+
+#ifndef ASTRIFLASH_CORE_FRONTSIDE_CONTROLLER_HH
+#define ASTRIFLASH_CORE_FRONTSIDE_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mem/dram.hh"
+#include "mem/set_assoc_cache.hh"
+#include "sim/bounded_channel.hh"
+#include "sim/invariant.hh"
+#include "sim/stats.hh"
+
+#include "dc_messages.hh"
+#include "dram_cache_types.hh"
+
+namespace astriflash::core {
+
+/** The DRAM cache's fast tag-compare FSM. */
+class FrontsideController
+{
+  public:
+    using PageReadyFn = std::function<void(
+        mem::PageNum page, sim::Ticks when,
+        const std::vector<WaiterCookie> &waiters)>;
+
+    struct Stats {
+        sim::Counter hits;
+        sim::Counter misses;
+        sim::Counter missesMerged;  ///< Deduplicated by the BC's MSR.
+        sim::Counter syncAccesses;  ///< Forward-progress forced-sync.
+        sim::Counter subPageMisses; ///< Footprint mispredictions.
+        sim::Histogram hitLatency;  ///< FC path, ticks.
+
+        double
+        hitRatio() const
+        {
+            const double t = static_cast<double>(hits.value() +
+                                                 misses.value() +
+                                                 missesMerged.value());
+            return t > 0 ? static_cast<double>(hits.value()) / t : 0.0;
+        }
+    };
+
+    /**
+     * One frontside access in flight across the controller split:
+     * either completed entirely inside the FC (hit), or parked with a
+     * MissRequest accepted into the channel, awaiting the BcReply.
+     */
+    struct Probe {
+        bool complete = false; ///< Hit path finished; @c out is valid.
+        DcAccess out;
+        mem::PageNum page{0};
+        sim::Ticks start = 0;    ///< Requester's tick.
+        sim::Ticks accepted = 0; ///< Miss-channel accept tick.
+        std::uint64_t bit = 0;   ///< Requested block's footprint bit.
+        bool subPage = false;    ///< Footprint refetch of a resident page.
+    };
+
+    FrontsideController(std::string name, const DramCacheConfig &config,
+                        mem::Dram &dram, mem::SetAssocCache &tags,
+                        FootprintState &footprint,
+                        sim::BoundedChannel<MissRequest> &to_bc,
+                        sim::BoundedChannel<InstallComplete> &from_bc);
+
+    /** Register the page-arrival notification hook. */
+    void setPageReadyCallback(PageReadyFn fn) { onReady = std::move(fn); }
+
+    /**
+     * Frontside access from the LLC miss path. If the probe misses,
+     * the MissRequest is already in the channel; the caller routes the
+     * consumer's BcReply back through finishMiss().
+     */
+    Probe access(mem::Addr pa, bool write, sim::Ticks now,
+                 WaiterCookie waiter);
+
+    /** Complete a missing access() probe from the backside's reply. */
+    DcAccess finishMiss(const Probe &probe, const BcReply &rep);
+
+    /** Forced-synchronous probe (forward-progress / Flash-Sync). */
+    Probe accessSync(mem::Addr pa, bool write, sim::Ticks now);
+
+    /** @return the tick the blocked requester's data is readable. */
+    sim::Ticks finishSyncMiss(const Probe &probe, const BcReply &rep);
+
+    /** Drain the BC→FC channel: fire page-ready callbacks. */
+    void deliverInstalls();
+
+    /** Zero all statistics (end of warmup). */
+    void resetStats() { statsData = Stats{}; }
+
+    void regStats(sim::StatRegistry &reg) const;
+
+    /** Audit the FC's accounting self-consistency. */
+    void checkInvariants(sim::InvariantChecker &chk) const;
+
+    const Stats &stats() const { return statsData; }
+    const std::string &name() const { return fcName; }
+
+  private:
+    /** FC tag probe: RAS + tag CAS at the set's row. */
+    sim::Ticks tagProbe(mem::Addr pa, sim::Ticks now);
+
+    sim::Ticks fcOp() const { return fcOpTicks; }
+
+    std::string fcName;
+    const DramCacheConfig &cfg;
+    mem::Dram &dramModel;
+    mem::SetAssocCache &pageTags;
+    FootprintState &fp;
+    sim::BoundedChannel<MissRequest> &toBc;
+    sim::BoundedChannel<InstallComplete> &fromBc;
+    PageReadyFn onReady;
+    sim::Ticks fcOpTicks;
+    Stats statsData;
+};
+
+} // namespace astriflash::core
+
+#endif // ASTRIFLASH_CORE_FRONTSIDE_CONTROLLER_HH

@@ -148,12 +148,15 @@ SimCore::memAccess(mem::Addr pa, bool write, sim::Ticks t)
     switch (cfg.kind) {
       case SystemKind::DramOnly:
         mo.doneAt = sys.flatDramAccess(pa, write, t);
+        mo.respondedAt = mo.doneAt;
         return mo;
 
       case SystemKind::FlashSync: {
-        // The core synchronously waits out the flash access.
+        // The core synchronously waits out the flash access — and the
+        // MSHR entry is pinned for the whole flash latency.
         const bool resident = sys.dramCache()->pageResident(pa);
         mo.doneAt = sys.dramCache()->accessSync(pa, write, t);
+        mo.respondedAt = mo.doneAt;
         if (!resident)
             statsData.syncMissStalls.inc();
         return mo;
@@ -168,6 +171,7 @@ SimCore::memAccess(mem::Addr pa, bool write, sim::Ticks t)
             // synchronously even on a miss.
             const bool resident = sys.dramCache()->pageResident(pa);
             mo.doneAt = sys.dramCache()->accessSync(pa, write, t);
+            mo.respondedAt = mo.doneAt;
             if (!resident)
                 statsData.syncMissStalls.inc();
             forceProgress = false;
@@ -178,6 +182,7 @@ SimCore::memAccess(mem::Addr pa, bool write, sim::Ticks t)
             sys.dramCache()->access(pa, write, t, coreId);
         if (res.hit) {
             mo.doneAt = res.ready;
+            mo.respondedAt = mo.doneAt;
             return mo;
         }
         // Switch-on-miss: the miss signal reaches the core, the ROB
@@ -187,6 +192,7 @@ SimCore::memAccess(mem::Addr pa, bool write, sim::Ticks t)
             storeAborted(pa);
         handlerRegs.recordMiss(current->id);
         mo.kind = MemOutcome::Kind::Parked;
+        mo.respondedAt = res.ready; // miss response frees the MSHR
         mo.freeAt = res.ready + cfg.core.robFlushCost() +
                     cfg.core.handlerEntryCost() + cfg.threadSwitch;
         mo.page = mem::pageNumber(pa);
@@ -199,6 +205,7 @@ SimCore::memAccess(mem::Addr pa, bool write, sim::Ticks t)
         if (os_model->pageResident(pa)) {
             os_model->touch(pa, write);
             mo.doneAt = sys.flatDramAccess(pa, write, t);
+            mo.respondedAt = mo.doneAt;
             return mo;
         }
         statsData.osFaults.inc();
@@ -206,6 +213,7 @@ SimCore::memAccess(mem::Addr pa, bool write, sim::Ticks t)
             os_model->pageFault(pa, write, t, coreId);
         pageReady(mem::pageNumber(pa), fr.runnable);
         mo.kind = MemOutcome::Kind::Parked;
+        mo.respondedAt = fr.switchedOut; // fault handler owns it now
         mo.freeAt = fr.switchedOut;
         mo.page = mem::pageNumber(pa);
         return mo;
@@ -306,7 +314,14 @@ SimCore::run()
         for (mem::Addr wb : hier.writebacks())
             sys.noteLlcWriteback(wb);
 
+        // MSHR occupancy accounting around the memory access: the
+        // entry is logically held from the LLC miss until the memory
+        // system answers (data, or the AstriFlash miss response). The
+        // release declares that future tick immediately — the file
+        // never stalls the timing model, it measures hold times.
+        hier.mshrs().allocate(pa, t);
         const MemOutcome mo = memAccess(pa, write, t);
+        hier.mshrs().release(pa, mo.respondedAt);
         if (mo.kind == MemOutcome::Kind::Done) {
             hier.fillFromMemory(pa, write);
             for (mem::Addr wb : hier.writebacks())

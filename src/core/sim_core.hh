@@ -94,6 +94,12 @@ class SimCore : public sim::SimObject
         } kind = Kind::Done;
         sim::Ticks doneAt = 0;
         sim::Ticks freeAt = 0;
+        /** Tick the memory system answered the core — data for Done,
+         *  the miss *response* for Parked. The LLC MSHR entry is held
+         *  exactly this long (§IV-B: the miss response exists to
+         *  reclaim it ns after the probe instead of pinning it for
+         *  the full flash access). */
+        sim::Ticks respondedAt = 0;
         mem::PageNum page{0}; ///< Parked: page the job waits on.
     };
 

@@ -137,6 +137,18 @@ System::registerInvariants()
                        [this](sim::InvariantChecker &chk) {
                            dcache->pageArray().checkInvariants(chk);
                        });
+        invariants.add("dcache.fc_to_bc",
+                       [this](sim::InvariantChecker &chk) {
+                           dcache->missChannel().checkInvariants(chk);
+                       });
+        invariants.add("dcache.bc_to_flash",
+                       [this](sim::InvariantChecker &chk) {
+                           dcache->flashChannel().checkInvariants(chk);
+                       });
+        invariants.add("dcache.bc_to_fc",
+                       [this](sim::InvariantChecker &chk) {
+                           dcache->installChannel().checkInvariants(chk);
+                       });
     }
     if (flashDev) {
         invariants.add("flash", [this](sim::InvariantChecker &chk) {
@@ -416,8 +428,8 @@ System::run()
     res.response = responseHist;
 
     if (dcache) {
-        res.dramCacheHitRatio = dcache->stats().hitRatio();
-        res.peakOutstandingMisses = dcache->stats().peakOutstanding;
+        res.dramCacheHitRatio = dcache->hitRatio();
+        res.peakOutstandingMisses = dcache->bcStats().peakOutstanding;
     }
     res.flashReads = flashDev->stats().reads.value();
     res.flashWrites = flashDev->stats().writes.value();

@@ -23,6 +23,7 @@
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 
+#include "flash_command.hh"
 #include "flash_config.hh"
 #include "ftl.hh"
 
@@ -73,6 +74,26 @@ class FlashDevice
      * @return tick when the device has accepted the page.
      */
     sim::Ticks write(Lpn lpn, sim::Ticks now);
+
+    /**
+     * Submit one typed command (the BC→flash channel payload) at
+     * @p now. Reads report completion and queueing; writes report
+     * the host-visible buffer-accept tick in @c complete.
+     */
+    FlashCommandResult
+    submit(const FlashCommand &cmd, sim::Ticks now)
+    {
+        FlashCommandResult res;
+        if (cmd.op == FlashCommand::Op::Read) {
+            const FlashReadResult r = read(cmd.lpn, now, cmd.bytes);
+            res.complete = r.complete;
+            res.queueing = r.queueing;
+            res.blockedByGc = r.blockedByGc;
+        } else {
+            res.complete = write(cmd.lpn, now);
+        }
+        return res;
+    }
 
     /** First tick at which the plane serving @p lpn is free. */
     sim::Ticks planeFreeAt(Lpn lpn) const;

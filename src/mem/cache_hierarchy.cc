@@ -19,8 +19,10 @@ defaultHierarchyConfig()
 }
 
 CacheHierarchy::CacheHierarchy(std::string name,
-                               const std::vector<CacheLevelConfig> &cfgs)
-    : hierName(std::move(name))
+                               const std::vector<CacheLevelConfig> &cfgs,
+                               std::uint32_t mshr_entries)
+    : hierName(std::move(name)), mshrFile(hierName + ".mshr",
+                                          mshr_entries)
 {
     if (cfgs.empty())
         ASTRI_FATAL("%s: hierarchy needs at least one level",
@@ -127,6 +129,7 @@ CacheHierarchy::regStats(sim::StatRegistry &reg) const
                         "accesses missing every on-chip level");
     reg.registerCounter("llc_writebacks", &statsData.llcWritebacks,
                         "dirty blocks written back below the LLC");
+    mshrFile.regStats(reg.subRegistry("mshr"));
     for (const auto &level : levels) {
         // Level instances are named "<hier>.<level>"; the child registry
         // only wants the trailing level component.

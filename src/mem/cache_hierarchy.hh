@@ -20,6 +20,7 @@
 #include "sim/ticks.hh"
 
 #include "address.hh"
+#include "mshr.hh"
 #include "set_assoc_cache.hh"
 
 namespace astriflash::mem {
@@ -57,8 +58,15 @@ class CacheHierarchy
         sim::Counter llcWritebacks; ///< Dirty blocks pushed to memory.
     };
 
+    /**
+     * @param mshr_entries  On-chip MSHR file size backing LLC misses.
+     *        The file tracks occupancy/hold-time only (the timing
+     *        model never blocks on it): the paper's §IV-B comparison
+     *        is how long entries stay pinned, not a stall model.
+     */
     CacheHierarchy(std::string name,
-                   const std::vector<CacheLevelConfig> &levels);
+                   const std::vector<CacheLevelConfig> &levels,
+                   std::uint32_t mshr_entries = 32);
 
     /**
      * Look up @p addr.
@@ -97,18 +105,23 @@ class CacheHierarchy
     SetAssocCache &level(std::size_t i) { return *levels[i]; }
     const Stats &stats() const { return statsData; }
 
+    /** The on-chip MSHR file backing this hierarchy's LLC misses. */
+    MshrFile &mshrs() { return mshrFile; }
+    const MshrFile &mshrs() const { return mshrFile; }
+
     /**
      * Register hierarchy stats into @p reg; each level lands in a child
      * registry named after it (l1d/l2/llc).
      */
     void regStats(sim::StatRegistry &reg) const;
 
-    /** Audit every level's tag array. */
+    /** Audit every level's tag array and the MSHR file. */
     void
     checkInvariants(sim::InvariantChecker &chk) const
     {
         for (const auto &level : levels)
             level->checkInvariants(chk);
+        mshrFile.checkInvariants(chk);
     }
 
   private:
@@ -120,6 +133,7 @@ class CacheHierarchy
     void cascadeVictim(std::size_t from_level, const CacheLine &victim);
 
     std::string hierName;
+    MshrFile mshrFile;
     std::vector<std::unique_ptr<SetAssocCache>> levels;
     std::vector<sim::Ticks> levelLatency;
     sim::Ticks missLatency = 0;

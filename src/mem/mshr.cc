@@ -17,11 +17,11 @@ MshrFile::MshrFile(std::string name, std::uint32_t entries,
 }
 
 MshrAlloc
-MshrFile::allocate(Addr addr)
+MshrFile::allocate(Addr addr, sim::Ticks now)
 {
     const BlockNum key = blockNumber(addr, line);
     if (auto it = table.find(key); it != table.end()) {
-        ++it->second;
+        ++it->second.waiters;
         statsData.merges.inc();
         return MshrAlloc::Merged;
     }
@@ -29,7 +29,7 @@ MshrFile::allocate(Addr addr)
         statsData.fullStalls.inc();
         return MshrAlloc::Full;
     }
-    table.emplace(key, 1);
+    table.emplace(key, Entry{1, now});
     statsData.allocations.inc();
     if (table.size() > statsData.peakOccupancy)
         statsData.peakOccupancy = table.size();
@@ -37,14 +37,18 @@ MshrFile::allocate(Addr addr)
 }
 
 std::uint32_t
-MshrFile::release(Addr addr)
+MshrFile::release(Addr addr, sim::Ticks now)
 {
     auto it = table.find(blockNumber(addr, line));
     if (it == table.end())
         return 0;
-    const std::uint32_t waiters = it->second;
+    const std::uint32_t waiters = it->second.waiters;
+    const sim::Ticks held =
+        now > it->second.allocatedAt ? now - it->second.allocatedAt : 0;
     table.erase(it);
     statsData.frees.inc();
+    statsData.heldTicks.inc(held);
+    statsData.holdTime.sample(held);
     return waiters;
 }
 

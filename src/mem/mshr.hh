@@ -19,6 +19,7 @@
 
 #include "sim/invariant.hh"
 #include "sim/stats.hh"
+#include "sim/ticks.hh"
 
 #include "address.hh"
 
@@ -40,6 +41,8 @@ class MshrFile
         sim::Counter merges;
         sim::Counter fullStalls;
         sim::Counter frees;
+        sim::Counter heldTicks;  ///< Total entry-hold time.
+        sim::Histogram holdTime; ///< Per-entry allocate-to-release.
         std::uint64_t peakOccupancy = 0;
     };
 
@@ -51,15 +54,26 @@ class MshrFile
     MshrFile(std::string name, std::uint32_t entries,
              std::uint64_t line_size = kBlockSize);
 
-    /** Try to allocate (or merge into) an entry for @p addr. */
-    MshrAlloc allocate(Addr addr);
+    /**
+     * Try to allocate (or merge into) an entry for @p addr.
+     * @param now  Allocation tick; a fresh entry records it so the
+     *             release can account the hold time. The paper's
+     *             argument (§IV-B) is exactly this interval: a miss
+     *             *response* frees the entry in nanoseconds, while
+     *             holding it to fill completion pins it for the whole
+     *             flash access.
+     */
+    MshrAlloc allocate(Addr addr, sim::Ticks now = 0);
 
     /**
-     * Release the entry for @p addr when its fill completes.
+     * Release the entry for @p addr.
+     * @param now  Release tick (may be a declared future tick: the
+     *             miss-response time); hold-time stats cover
+     *             now - allocation tick.
      * @return Number of merged requests that were waiting (>=1), or 0
      *         if no entry existed.
      */
-    std::uint32_t release(Addr addr);
+    std::uint32_t release(Addr addr, sim::Ticks now = 0);
 
     /** True if an entry for @p addr is outstanding. */
     bool contains(Addr addr) const;
@@ -88,6 +102,10 @@ class MshrFile
                             "allocation attempts rejected by a full file");
         reg.registerCounter("frees", &statsData.frees,
                             "entries released at fill completion");
+        reg.registerCounter("held_ticks", &statsData.heldTicks,
+                            "total allocate-to-release hold time");
+        reg.registerHistogram("hold_time", &statsData.holdTime,
+                              "per-entry hold time in ticks");
         reg.registerUint("peak_occupancy", &statsData.peakOccupancy,
                          "maximum live entries over the run");
     }
@@ -102,11 +120,11 @@ class MshrFile
         SIM_INVARIANT_MSG(chk, table.size() <= capacity,
                           "%zu entries exceed the %u-entry CAM",
                           table.size(), capacity);
-        for (const auto &[bn, waiters] : table) {
+        for (const auto &[bn, entry] : table) {
             // A BlockNum key cannot be misaligned by construction;
             // the remaining invariant is that every entry has at
             // least one waiter.
-            SIM_INVARIANT_MSG(chk, waiters >= 1,
+            SIM_INVARIANT_MSG(chk, entry.waiters >= 1,
                               "entry %llx has no waiters",
                               static_cast<unsigned long long>(
                                   blockAddr(bn, line)));
@@ -121,13 +139,27 @@ class MshrFile
             static_cast<unsigned long long>(statsData.frees.value()),
             table.size());
         SIM_INVARIANT(chk, statsData.peakOccupancy >= table.size());
+        // Every free samples the hold-time histogram exactly once.
+        SIM_INVARIANT_MSG(chk,
+                          statsData.holdTime.count() ==
+                              statsData.frees.value(),
+                          "%llu frees but %llu hold-time samples",
+                          static_cast<unsigned long long>(
+                              statsData.frees.value()),
+                          static_cast<unsigned long long>(
+                              statsData.holdTime.count()));
     }
 
   private:
+    struct Entry {
+        std::uint32_t waiters = 0;
+        sim::Ticks allocatedAt = 0;
+    };
+
     std::string fileName;
     std::uint32_t capacity;
     std::uint64_t line;
-    std::unordered_map<BlockNum, std::uint32_t> table; // line -> waiters
+    std::unordered_map<BlockNum, Entry> table;
     Stats statsData;
 };
 

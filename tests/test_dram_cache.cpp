@@ -63,7 +63,7 @@ TEST(DramCache, PrewarmedPageHits)
     EXPECT_TRUE(r.hit);
     // Tag probe + data CAS: tens of ns, far below flash latency.
     EXPECT_LT(r.ready - 1000, microseconds(1));
-    EXPECT_EQ(rig.dc->stats().hits.value(), 1u);
+    EXPECT_EQ(rig.dc->fcStats().hits.value(), 1u);
 }
 
 TEST(DramCache, MissReturnsEarlyMissResponse)
@@ -97,8 +97,8 @@ TEST(DramCache, ConcurrentMissesToSamePageMerge)
     rig.dc->access(rig.pa(5), false, 0, 1);
     rig.dc->access(rig.pa(5) + 64, false, 100, 2);
     rig.dc->access(rig.pa(5) + 128, true, 200, 3);
-    EXPECT_EQ(rig.dc->stats().misses.value(), 1u);
-    EXPECT_EQ(rig.dc->stats().missesMerged.value(), 2u);
+    EXPECT_EQ(rig.dc->fcStats().misses.value(), 1u);
+    EXPECT_EQ(rig.dc->fcStats().missesMerged.value(), 2u);
     rig.eq.run();
     // One flash read, one arrival with all three waiters.
     EXPECT_EQ(rig.flash->stats().reads.value(), 1u);
@@ -123,7 +123,7 @@ TEST(DramCache, WriteAllocateInstallsDirtyAndWritesBack)
         ++installed;
     }
     EXPECT_FALSE(rig.dc->pageResident(rig.pa(9)));
-    EXPECT_GE(rig.dc->stats().dirtyWritebacks.value(), 1u);
+    EXPECT_GE(rig.dc->bcStats().dirtyWritebacks.value(), 1u);
     EXPECT_GE(rig.flash->stats().writes.value(), 1u);
 }
 
@@ -134,7 +134,7 @@ TEST(DramCache, SyncAccessBlocksForMiss)
     EXPECT_GT(ready, microseconds(40)); // waited out the flash read
     rig.eq.run();
     EXPECT_TRUE(rig.dc->pageResident(rig.pa(11)));
-    EXPECT_EQ(rig.dc->stats().syncAccesses.value(), 1u);
+    EXPECT_EQ(rig.dc->fcStats().syncAccesses.value(), 1u);
 }
 
 TEST(DramCache, SyncAccessHitIsFast)
@@ -166,10 +166,10 @@ TEST(DramCache, MissPenaltyTracksFlashScale)
     Rig rig;
     rig.dc->access(rig.pa(30), false, 0, 1);
     rig.eq.run();
-    const auto p50 = rig.dc->stats().missPenalty.percentile(0.5);
+    const auto p50 = rig.dc->bcStats().missPenalty.percentile(0.5);
     // Penalty measured at arrival: install cost, sub-flash scale.
     EXPECT_LT(p50, microseconds(5));
-    EXPECT_EQ(rig.dc->stats().fills.value(), 1u);
+    EXPECT_EQ(rig.dc->bcStats().fills.value(), 1u);
 }
 
 TEST(DramCache, ResetStatsZeroes)
@@ -178,8 +178,8 @@ TEST(DramCache, ResetStatsZeroes)
     rig.dc->prewarmPage(rig.pa(1));
     rig.dc->access(rig.pa(1), false, 0, 1);
     rig.dc->resetStats();
-    EXPECT_EQ(rig.dc->stats().hits.value(), 0u);
-    EXPECT_EQ(rig.dc->stats().misses.value(), 0u);
+    EXPECT_EQ(rig.dc->fcStats().hits.value(), 0u);
+    EXPECT_EQ(rig.dc->fcStats().misses.value(), 0u);
 }
 
 // ---------------------------------------------------------------
@@ -212,13 +212,13 @@ TEST(DramCacheFootprint, FirstMissFetchesWholePage)
     rig.dc->access(rig.pa(3), false, 0, 1);
     rig.eq.run();
     // No history: full transfer; every block of the page hits.
-    EXPECT_EQ(rig.dc->stats().flashBytesRead.value(), 4096u);
+    EXPECT_EQ(rig.dc->bcStats().flashBytesRead.value(), 4096u);
     for (int b = 0; b < 64; ++b) {
         const auto r = rig.dc->access(rig.pa(3) + b * 64, false,
                                       rig.eq.curTick(), 1);
         EXPECT_TRUE(r.hit) << b;
     }
-    EXPECT_EQ(rig.dc->stats().subPageMisses.value(), 0u);
+    EXPECT_EQ(rig.dc->fcStats().subPageMisses.value(), 0u);
 }
 
 TEST(DramCacheFootprint, RefetchTransfersOnlyFootprint)
@@ -236,13 +236,13 @@ TEST(DramCacheFootprint, RefetchTransfersOnlyFootprint)
     }
     ASSERT_FALSE(rig.dc->pageResident(rig.pa(5)));
     const std::uint64_t before =
-        rig.dc->stats().flashBytesRead.value();
+        rig.dc->bcStats().flashBytesRead.value();
 
     // Refetch: only the recorded 2-block footprint (plus the
     // requested block, already in it) is transferred.
     rig.dc->access(rig.pa(5), false, rig.eq.curTick(), 1);
     rig.eq.run();
-    EXPECT_EQ(rig.dc->stats().flashBytesRead.value() - before,
+    EXPECT_EQ(rig.dc->bcStats().flashBytesRead.value() - before,
               2 * 64u);
 }
 
@@ -267,7 +267,7 @@ TEST(DramCacheFootprint, UnfetchedBlockIsSubPageMiss)
     const auto r =
         rig.dc->access(rig.pa(7) + 512, false, rig.eq.curTick(), 9);
     EXPECT_FALSE(r.hit);
-    EXPECT_EQ(rig.dc->stats().subPageMisses.value(), 1u);
+    EXPECT_EQ(rig.dc->fcStats().subPageMisses.value(), 1u);
     rig.eq.run();
     const auto again =
         rig.dc->access(rig.pa(7) + 512, false, rig.eq.curTick(), 9);
@@ -299,5 +299,5 @@ TEST(DramCache, HitRatioComputed)
     rig.dc->prewarmPage(rig.pa(0));
     rig.dc->access(rig.pa(0), false, 0, 1);
     rig.dc->access(rig.pa(99), false, 0, 1);
-    EXPECT_DOUBLE_EQ(rig.dc->stats().hitRatio(), 0.5);
+    EXPECT_DOUBLE_EQ(rig.dc->fcStats().hitRatio(), 0.5);
 }

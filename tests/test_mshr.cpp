@@ -52,6 +52,45 @@ TEST(Mshr, LineGranularityConfigurable)
     EXPECT_EQ(m.allocate(0x1000), MshrAlloc::New);
 }
 
+TEST(Mshr, HoldTimeMeasuredFromAllocateToRelease)
+{
+    MshrFile m("m", 4);
+    m.allocate(0x000, 100);
+    m.allocate(0x040, 250);
+    EXPECT_EQ(m.release(0x000, 160), 1u); // held 60 ticks
+    EXPECT_EQ(m.release(0x040, 290), 1u); // held 40 ticks
+    EXPECT_EQ(m.stats().heldTicks.value(), 100u);
+    EXPECT_EQ(m.stats().holdTime.count(), 2u);
+    EXPECT_EQ(m.stats().holdTime.min(), 40u);
+    EXPECT_EQ(m.stats().holdTime.max(), 60u);
+    EXPECT_DOUBLE_EQ(m.stats().holdTime.mean(), 50.0);
+}
+
+TEST(Mshr, HoldTimeKeepsAllocationTickAcrossMerges)
+{
+    // Merges ride the original entry: the hold time spans from the
+    // FIRST allocation to the release, whatever the merge ticks were.
+    MshrFile m("m", 4);
+    m.allocate(0x000, 10);
+    EXPECT_EQ(m.allocate(0x008, 500), MshrAlloc::Merged);
+    EXPECT_EQ(m.release(0x000, 70), 2u);
+    EXPECT_EQ(m.stats().heldTicks.value(), 60u);
+    EXPECT_EQ(m.stats().holdTime.count(), 1u);
+}
+
+TEST(Mshr, HoldTimeClampsReleaseBeforeAllocate)
+{
+    // The miss-response release path can carry a timestamp from a
+    // skewed core clock; an earlier release tick charges zero, never
+    // an underflowed duration.
+    MshrFile m("m", 4);
+    m.allocate(0x000, 1000);
+    m.release(0x000, 400);
+    EXPECT_EQ(m.stats().heldTicks.value(), 0u);
+    EXPECT_EQ(m.stats().holdTime.count(), 1u);
+    EXPECT_EQ(m.stats().holdTime.max(), 0u);
+}
+
 TEST(MshrDeath, RejectsZeroEntries)
 {
     EXPECT_EXIT(MshrFile("m", 0), ::testing::ExitedWithCode(1),

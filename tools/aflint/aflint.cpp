@@ -29,6 +29,14 @@
  *          conversion headers (see kRawEscapeAllowlist)
  *   AF012  log2i()/alignDown()/alignUp() called with a literal that
  *          is not a power of two (rejected at runtime by SIM_CHECK_CE)
+ *   AF013  direct cross-component reference inside the split DRAM
+ *          cache: the frontside and backside controllers may only
+ *          communicate through sim::BoundedChannel messages, so
+ *          naming the opposite controller (or a structure it owns,
+ *          or the flash device / system layers) from
+ *          frontside_controller.* / backside_controller.* bypasses
+ *          the channel contract. The DramCache facade is the one
+ *          allowlisted composition point.
  *
  * Comments and string literals are stripped (newlines preserved)
  * before matching, so prose never trips a rule. Intentional
@@ -720,6 +728,61 @@ checkPowerOfTwoLiterals(const std::vector<Token> &toks,
     }
 }
 
+/**
+ * AF013: the FC/BC decomposition of the DRAM cache communicates ONLY
+ * through bounded channels; a controller source file that names the
+ * opposite controller, a structure the opposite side owns, or the
+ * layers above/below (flash device, DramCache facade, System/SimCore)
+ * has re-grown a direct call path around the channel layer. Matching
+ * is by exact identifier token, so e.g. BcReply::Kind::EvictBufferHit
+ * in the frontside does not trip the EvictBuffer ban. The DramCache
+ * facade (dram_cache.*) is the allowlisted place where both
+ * controllers and the device are visible at once.
+ */
+void
+checkChannelBypass(const std::vector<Token> &toks,
+                   const std::string &rel, const Suppressions &sup,
+                   std::vector<Finding> &out)
+{
+    // Match the path segment rather than anchoring at the root so the
+    // rule fires whether the controllers are linted as src/core/... or
+    // through a fixture tree rooted higher up.
+    const auto inCore = [&rel](const char *stem) {
+        const auto pos = rel.find(stem);
+        return pos != std::string::npos &&
+               (pos == 0 || rel[pos - 1] == '/');
+    };
+    const bool fc = inCore("src/core/frontside_controller.");
+    const bool bc = inCore("src/core/backside_controller.");
+    if (!fc && !bc)
+        return;
+    // The MSR and evict buffer belong to the backside; the frontside
+    // must not reach into them (or past them to the device).
+    static const std::set<std::string> kFcForbidden = {
+        "BacksideController", "MissStatusRow", "EvictBuffer",
+        "FlashDevice",        "DramCache",     "System",
+        "SimCore"};
+    static const std::set<std::string> kBcForbidden = {
+        "FrontsideController", "FlashDevice", "DramCache", "System",
+        "SimCore"};
+    const std::set<std::string> &forbidden =
+        fc ? kFcForbidden : kBcForbidden;
+    const char *side = fc ? "frontside" : "backside";
+    for (const Token &t : toks) {
+        if (t.kind != Token::Kind::Ident ||
+            forbidden.count(t.text) == 0)
+            continue;
+        if (sup.allows(t.line, "AF013"))
+            continue;
+        out.push_back(
+            {rel, t.line, "AF013",
+             "direct reference to '" + t.text + "' from the " + side +
+                 " controller bypasses the channel layer; FC and BC "
+                 "talk only through sim::BoundedChannel messages "
+                 "(composition lives in the DramCache facade)"});
+    }
+}
+
 void
 scanFile(const fs::path &path, const std::string &rel,
          std::vector<Finding> &out)
@@ -763,6 +826,7 @@ scanFile(const fs::path &path, const std::string &rel,
     if (under_src && !rawEscapeAllowlisted(rel))
         checkRawEscapes(toks, rel, sup, out);
     checkPowerOfTwoLiterals(toks, rel, sup, out);
+    checkChannelBypass(toks, rel, sup, out);
 }
 
 std::string

@@ -240,9 +240,9 @@ main(int argc, char **argv)
         std::printf("flash refill bytes     %.2f MB"
                     " (sub-page misses %llu)\n",
                     static_cast<double>(
-                        dc->stats().flashBytesRead.value()) / 1e6,
+                        dc->bcStats().flashBytesRead.value()) / 1e6,
                     static_cast<unsigned long long>(
-                        dc->stats().subPageMisses.value()));
+                        dc->fcStats().subPageMisses.value()));
         std::printf("msr peak occupancy     %llu / %u\n",
                     static_cast<unsigned long long>(
                         dc->msr().stats().peakOccupancy),

@@ -10,6 +10,9 @@
  * re-run each case and require byte-identical output, so any refactor
  * that changes simulated arithmetic — not just schema — fails loudly.
  *
+ * The case table and serialisation live in golden_cases.hh, shared
+ * with the test_fcbc_suite in-process regression.
+ *
  *   golden_stats --list
  *   golden_stats --case=astriflash_tatp --out=stats.json
  */
@@ -19,104 +22,13 @@
 #include <iostream>
 #include <string>
 
-#include "sim/json.hh"
 #include "sim/option_parser.hh"
 
-#include "core/system.hh"
+#include "golden_cases.hh"
 
 using namespace astriflash;
 using namespace astriflash::core;
-
-namespace {
-
-struct GoldenCase {
-    const char *name;
-    SystemKind kind;
-    workload::Kind workload;
-    std::uint64_t seed;
-    bool footprint;
-    bool openLoop;
-};
-
-// Mirrors kTortureCases in tests/test_invariants.cpp: one case per
-// system-kind/workload mix, fixed seeds, tatp both closed and open.
-constexpr GoldenCase kCases[] = {
-    {"astriflash_tatp", SystemKind::AstriFlash, workload::Kind::Tatp, 1,
-     false, false},
-    {"astriflash_silo_footprint", SystemKind::AstriFlash,
-     workload::Kind::Silo, 2, true, false},
-    {"nops_tpcc", SystemKind::AstriFlashNoPS, workload::Kind::Tpcc, 3,
-     false, false},
-    {"nodp_hashtable", SystemKind::AstriFlashNoDP,
-     workload::Kind::HashTable, 4, false, false},
-    {"flashsync_arrayswap", SystemKind::FlashSync,
-     workload::Kind::ArraySwap, 5, false, false},
-    {"astriflash_tatp_openloop", SystemKind::AstriFlash,
-     workload::Kind::Tatp, 6, false, true},
-};
-
-/** The smallCfg used by the torture suite, verbatim. */
-SystemConfig
-caseConfig(const GoldenCase &gc)
-{
-    SystemConfig cfg;
-    cfg.kind = gc.kind;
-    cfg.cores = 2;
-    cfg.workloadKind = gc.workload;
-    cfg.workload.datasetBytes = 64ull << 20;
-    cfg.warmupJobs = 100;
-    cfg.measureJobs = 400;
-    cfg.invariantInterval = sim::microseconds(50);
-    cfg.seed = gc.seed;
-    if (gc.footprint)
-        cfg.dramCache.footprintEnabled = true;
-    if (gc.openLoop)
-        cfg.meanInterarrival = sim::microseconds(5);
-    return cfg;
-}
-
-void
-writeGoldenJson(std::ostream &os, const GoldenCase &gc,
-                const RunResults &r, const System &sys)
-{
-    sim::JsonWriter w(os);
-    w.beginObject();
-
-    w.key("config");
-    w.beginObject();
-    w.field("case", gc.name);
-    w.field("kind", systemKindName(gc.kind));
-    w.field("workload", workload::kindName(gc.workload));
-    w.field("seed", gc.seed);
-    w.endObject();
-
-    w.key("results");
-    w.beginObject();
-    w.field("jobs", r.jobs);
-    w.field("throughput_jobs_per_sec", r.throughputJobsPerSec);
-    w.field("avg_service_us", r.avgServiceUs());
-    w.field("p50_service_us", r.serviceUs(0.50));
-    w.field("p99_service_us", r.serviceUs(0.99));
-    w.field("p999_service_us", r.serviceUs(0.999));
-    w.field("avg_response_us", r.avgResponseUs());
-    w.field("p99_response_us", r.responseUs(0.99));
-    w.field("dram_cache_hit_ratio", r.dramCacheHitRatio);
-    w.field("avg_exec_between_misses_us", r.avgExecBetweenMissesUs);
-    w.field("flash_reads", r.flashReads);
-    w.field("flash_writes", r.flashWrites);
-    w.field("gc_blocked_reads", r.gcBlockedReads);
-    w.field("shootdowns", r.shootdowns);
-    w.field("peak_outstanding_misses", r.peakOutstandingMisses);
-    w.endObject();
-
-    w.key("stats");
-    sys.statsRegistry().writeJson(w);
-
-    w.endObject();
-    os << "\n";
-}
-
-} // namespace
+using namespace astriflash::tools;
 
 int
 main(int argc, char **argv)
@@ -136,13 +48,13 @@ main(int argc, char **argv)
     opts.parseOrExit(argc, argv);
 
     if (list) {
-        for (const GoldenCase &gc : kCases)
+        for (const GoldenCase &gc : kGoldenCases)
             std::printf("%s\n", gc.name);
         return 0;
     }
 
     const GoldenCase *chosen = nullptr;
-    for (const GoldenCase &gc : kCases) {
+    for (const GoldenCase &gc : kGoldenCases) {
         if (case_name == gc.name)
             chosen = &gc;
     }
@@ -153,7 +65,7 @@ main(int argc, char **argv)
         return 2;
     }
 
-    System sys(caseConfig(*chosen));
+    System sys(goldenCaseConfig(*chosen));
     const RunResults r = sys.run();
 
     if (out_file.empty() || out_file == "-") {
