@@ -18,6 +18,12 @@
  *     §IV-D sizing argument for the BC queues. Runs standalone with
  *     --only-bc-depth and exports JSON (--json) for the CI
  *     perf-smoke artifact.
+ *  8. BC shard × flash-device sweep — with the per-shard work queue
+ *     deliberately shrunk (fc_to_bc depth 16), interleaving misses
+ *     over more backside shards divides the queue pressure, so stall
+ *     cycles fall as shards grow. Runs standalone with --only-shards
+ *     and exports JSON (--json) for the CI perf-smoke artifact
+ *     (BENCH_shards.json).
  *
  * Every run is an isolated simulation parameterized up front, so the
  * whole suite (reference run included) executes as one SweepRunner
@@ -34,12 +40,15 @@
 #include "sim/option_parser.hh"
 #include "sim/sweep_runner.hh"
 
+#include "core/fabric_options.hh"
 #include "core/system.hh"
 
 using namespace astriflash;
 using namespace astriflash::core;
 
 namespace {
+
+FabricOptions fabric;
 
 /** RunResults plus two ablation-specific counters pulled from the
  *  component stats tree before the System is torn down. */
@@ -59,6 +68,7 @@ baseCfg()
     cfg.workload.datasetBytes = 1ull << 30;
     cfg.warmupJobs = 400;
     cfg.measureJobs = 5000;
+    fabric.apply(cfg);
     return cfg;
 }
 
@@ -95,21 +105,119 @@ main(int argc, char **argv)
 {
     std::uint32_t host_jobs = 1;
     bool only_bc_depth = false;
+    bool only_shards = false;
     std::string json_out;
     sim::OptionParser opts(
         "ablation_astriflash",
         "Ablations of the §IV design choices (switch cost, pending "
         "bound, MSR size, associativity, FP bit, footprint mode, BC "
-        "queue depth).");
+        "queue depth, BC shards x flash devices).");
     opts.addUint32("jobs", &host_jobs,
                    "host threads running ablation cells in parallel "
                    "(0 = all hardware threads)");
     opts.addFlag("only-bc-depth", &only_bc_depth,
                  "run only the BC work-queue depth sweep (ablation 7)");
+    opts.addFlag("only-shards", &only_shards,
+                 "run only the BC shard x flash-device sweep "
+                 "(ablation 8)");
     opts.addString("json", &json_out,
-                   "write the BC-depth sweep rows as JSON to this "
+                   "write the standalone sweep rows as JSON to this "
                    "file");
+    fabric.addTo(opts);
     opts.parseOrExit(argc, argv);
+
+    if (only_shards) {
+        // Ablation 8: interleave the miss stream over more backside
+        // shards while each shard's inbound queue is held at depth 16
+        // (well under the outstanding-miss window, so the unsharded
+        // cache visibly stalls). Devices stripe the same flash config
+        // behind the fabric.
+        const std::uint32_t shard_counts[] = {1, 2, 4, 8};
+        const std::uint32_t device_counts[] = {1, 2};
+        std::vector<std::function<Cell()>> tasks;
+        for (std::uint32_t devices : device_counts) {
+            for (std::uint32_t shards : shard_counts) {
+                SystemConfig cfg = baseCfg();
+                cfg.dramCache.bc.shards = shards;
+                cfg.dramCache.fabric.devices = devices;
+                cfg.dramCache.channels.fcToBcDepth = 16;
+                tasks.push_back(
+                    makeTask(cfg, [](System &sys, Cell &cell) {
+                        const auto *dc = sys.dramCache();
+                        for (std::uint32_t s = 0;
+                             s < dc->shardCount(); ++s) {
+                            const auto &ch =
+                                dc->missChannel(s).stats();
+                            cell.a += ch.fullStalls.value();
+                            cell.b += ch.stallTicks.value();
+                        }
+                    }));
+            }
+        }
+        const sim::SweepRunner runner(host_jobs);
+        const std::vector<Cell> cells = runner.run(std::move(tasks));
+
+        std::printf("# Ablation 8: BC shards x flash devices "
+                    "(fc_to_bc depth pinned to 16 per shard)\n");
+        std::printf("%-8s %-9s %-14s %-14s %-16s %-14s\n", "shards",
+                    "devices", "thr jobs/s", "p99 svc us",
+                    "full stalls", "stall us");
+        std::size_t at = 0;
+        for (std::uint32_t devices : device_counts) {
+            for (std::uint32_t shards : shard_counts) {
+                const Cell &cell = cells[at++];
+                std::printf(
+                    "%-8u %-9u %-14.0f %-14.1f %-16llu %-14.1f\n",
+                    shards, devices, cell.r.throughputJobsPerSec,
+                    cell.r.serviceUs(0.99),
+                    static_cast<unsigned long long>(cell.a),
+                    sim::toMicroseconds(cell.b));
+            }
+        }
+        std::printf("# Expect: stall cycles fall as the miss stream "
+                    "spreads over more shards; extra\n"
+                    "# devices shorten GC-blocked reads but leave "
+                    "the queueing story unchanged.\n");
+
+        if (!json_out.empty()) {
+            std::ofstream out(json_out);
+            if (!out) {
+                std::fprintf(stderr,
+                             "ablation_astriflash: cannot open "
+                             "'%s'\n",
+                             json_out.c_str());
+                return 1;
+            }
+            sim::JsonWriter w(out);
+            w.beginObject();
+            w.field("benchmark", "shard_fabric_sweep");
+            w.field("workload", "tatp");
+            w.field("cores", 4u);
+            w.field("fc_to_bc_depth", 16u);
+            w.key("rows");
+            w.beginArray();
+            at = 0;
+            for (std::uint32_t devices : device_counts) {
+                for (std::uint32_t shards : shard_counts) {
+                    const Cell &cell = cells[at++];
+                    w.beginObject();
+                    w.field("shards", shards);
+                    w.field("devices", devices);
+                    w.field("full_stalls", cell.a);
+                    w.field("stall_ticks", cell.b);
+                    w.field("throughput_jobs_per_sec",
+                            cell.r.throughputJobsPerSec);
+                    w.field("p99_service_us",
+                            cell.r.serviceUs(0.99));
+                    w.endObject();
+                }
+            }
+            w.endArray();
+            w.endObject();
+            out << "\n";
+        }
+        return 0;
+    }
 
     const sim::Ticks switch_costs[] = {
         sim::Ticks{0}, sim::nanoseconds(100), sim::nanoseconds(500),
@@ -154,8 +262,8 @@ main(int argc, char **argv)
         }
         for (std::uint32_t sets : msr_sets) {
             SystemConfig cfg = baseCfg();
-            cfg.dramCache.msrSets = sets;
-            cfg.dramCache.msrEntriesPerSet = 2;
+            cfg.dramCache.bc.msrSets = sets;
+            cfg.dramCache.bc.msrEntriesPerSet = 2;
             tasks.push_back(makeTask(cfg, [](System &sys,
                                              Cell &cell) {
                 cell.a = sys.dramCache()
@@ -202,7 +310,7 @@ main(int argc, char **argv)
     }
     for (std::uint32_t depth : bc_depths) {
         SystemConfig cfg = baseCfg();
-        cfg.dramCache.fcToBcDepth = depth;
+        cfg.dramCache.channels.fcToBcDepth = depth;
         tasks.push_back(makeTask(cfg, [](System &sys, Cell &cell) {
             const auto &ch = sys.dramCache()->missChannel().stats();
             cell.a = ch.fullStalls.value();

@@ -21,6 +21,7 @@
 #include "sim/option_parser.hh"
 #include "sim/sweep_runner.hh"
 
+#include "core/fabric_options.hh"
 #include "core/system.hh"
 
 using namespace astriflash;
@@ -30,6 +31,7 @@ namespace {
 
 std::uint64_t measure_jobs = 6000;
 std::uint32_t n_cores = 4;
+FabricOptions fabric;
 
 struct Point {
     double target; ///< Requested load (fraction of DRAM-only max).
@@ -47,6 +49,7 @@ baseCfg(SystemKind kind)
     cfg.workload.datasetBytes = 1ull << 30;
     cfg.warmupJobs = measure_jobs / 12 + 1;
     cfg.measureJobs = measure_jobs;
+    fabric.apply(cfg);
     return cfg;
 }
 
@@ -69,6 +72,7 @@ main(int argc, char **argv)
                    "(0 = all hardware threads)");
     opts.addString("stats-json", &stats_json,
                    "write the sweep as JSON to FILE");
+    fabric.addTo(opts);
     opts.parseOrExit(argc, argv);
 
     // Closed-loop references: maximum throughput and mean service of

@@ -27,6 +27,7 @@
 #include "sim/option_parser.hh"
 #include "sim/sweep_runner.hh"
 
+#include "core/fabric_options.hh"
 #include "core/system.hh"
 
 using namespace astriflash;
@@ -35,6 +36,7 @@ using namespace astriflash::core;
 namespace {
 
 std::uint64_t measure_jobs = 6000;
+FabricOptions fabric;
 
 SystemConfig
 cellCfg(SystemKind kind, workload::Kind wl)
@@ -46,6 +48,7 @@ cellCfg(SystemKind kind, workload::Kind wl)
     cfg.workload.datasetBytes = 1ull << 30;
     cfg.warmupJobs = 800;
     cfg.measureJobs = measure_jobs;
+    fabric.apply(cfg);
     return cfg;
 }
 
@@ -67,6 +70,7 @@ main(int argc, char **argv)
                    "(0 = all hardware threads)");
     opts.addString("stats-json", &stats_json,
                    "write the normalized grid as JSON to FILE");
+    fabric.addTo(opts);
     opts.parseOrExit(argc, argv);
 
     const SystemKind kinds[] = {

@@ -19,6 +19,7 @@
 #include "sim/option_parser.hh"
 #include "sim/sweep_runner.hh"
 
+#include "core/fabric_options.hh"
 #include "core/system.hh"
 
 using namespace astriflash;
@@ -28,6 +29,7 @@ namespace {
 
 std::uint64_t measure_jobs = 8000;
 std::uint32_t n_cores = 4;
+FabricOptions fabric;
 
 SystemConfig
 cellCfg(SystemKind kind, workload::Kind wl)
@@ -39,6 +41,7 @@ cellCfg(SystemKind kind, workload::Kind wl)
     cfg.workload.datasetBytes = 1ull << 30;
     cfg.warmupJobs = measure_jobs / 16 + 1;
     cfg.measureJobs = measure_jobs;
+    fabric.apply(cfg);
     return cfg;
 }
 
@@ -60,6 +63,7 @@ main(int argc, char **argv)
                    "(0 = all hardware threads)");
     opts.addString("stats-json", &stats_json,
                    "write the table as JSON to FILE");
+    fabric.addTo(opts);
     opts.parseOrExit(argc, argv);
 
     const SystemKind kinds[] = {SystemKind::AstriFlash,

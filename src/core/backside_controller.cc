@@ -20,18 +20,18 @@ BacksideController::BacksideController(
     sim::BoundedChannel<MissRequest> &in_channel,
     sim::BoundedChannel<FlashCmdMsg> &to_flash,
     sim::BoundedChannel<InstallComplete> &to_fc,
-    sim::Ticks flash_read_estimate)
+    std::uint32_t msr_sets, std::uint32_t msr_entries_per_set,
+    std::uint32_t evict_entries, sim::Ticks flash_read_estimate)
     : sim::SimObject(eq, std::move(name)), cfg(config), addrMap(amap),
       dramModel(dram), pageTags(tags), fp(footprint),
       inbox(in_channel), toFlash(to_flash), toFc(to_fc),
-      msrTable(SimObject::name() + ".msr", config.msrSets,
-               config.msrEntriesPerSet),
-      evictBuf(SimObject::name() + ".evictbuf",
-               config.evictBufferEntries),
+      msrTable(SimObject::name() + ".msr", msr_sets,
+               msr_entries_per_set),
+      evictBuf(SimObject::name() + ".evictbuf", evict_entries),
       flashReadEstimate(flash_read_estimate)
 {
     const sim::ClockDomain clk(cfg.controllerFreqHz);
-    bcOpTicks = clk.cycles(cfg.bcCyclesPerOp);
+    bcOpTicks = clk.cycles(cfg.bc.cyclesPerOp);
 }
 
 BcReply

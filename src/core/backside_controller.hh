@@ -54,9 +54,13 @@ class BacksideController : public sim::SimObject
     };
 
     /**
+     * @param msr_sets / @p msr_entries_per_set / @p evict_entries
+     *        this shard's slice of the cache-wide MSR and evict-buffer
+     *        capacities (the facade slices BcConfig's totals with
+     *        shardSlice()).
      * @param flash_read_estimate conservative whole-read latency used
      *        for MSR-stalled misses' dataReady estimate; the facade
-     *        derives it from the flash config so the BC itself never
+     *        derives it from the flash back-end so the BC itself never
      *        sees the device.
      */
     BacksideController(sim::EventQueue &eq, std::string name,
@@ -67,6 +71,9 @@ class BacksideController : public sim::SimObject
                        sim::BoundedChannel<MissRequest> &inbox,
                        sim::BoundedChannel<FlashCmdMsg> &to_flash,
                        sim::BoundedChannel<InstallComplete> &to_fc,
+                       std::uint32_t msr_sets,
+                       std::uint32_t msr_entries_per_set,
+                       std::uint32_t evict_entries,
                        sim::Ticks flash_read_estimate);
 
     /**

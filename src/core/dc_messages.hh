@@ -63,7 +63,8 @@ struct BcReply {
 
 /**
  * BC→flash: one device command. The facade pops, submits through
- * FlashDevice::submit(), and reports read completions back to the BC;
+ * flash::Backend::submit(), and reports read completions back to the
+ * BC;
  * the slot drains when the device finishes (reads) or accepts the
  * page (writes), so the depth models the device command queue.
  */

@@ -1,36 +1,106 @@
 #include "dram_cache.hh"
 
+#include "sim/logging.hh"
+
 namespace astriflash::core {
 
 DramCache::DramCache(sim::EventQueue &eq, std::string name,
                      const DramCacheConfig &config,
-                     flash::FlashDevice &flash,
+                     flash::Backend &flash,
                      const mem::AddressMap &amap)
     : sim::SimObject(eq, std::move(name)), cfg(config), flashDev(flash),
       dramModel(SimObject::name() + ".dram", config.dram),
       pageTags(SimObject::name() + ".tags", config.capacityBytes,
                config.pageBytes, config.ways),
-      fcToBc(SimObject::name() + ".fc_to_bc", config.fcToBcDepth),
-      bcToFlash(SimObject::name() + ".bc_to_flash",
-                config.bcToFlashDepth),
-      bcToFc(SimObject::name() + ".bc_to_fc", config.bcToFcDepth),
       fcCtl(SimObject::name() + ".fc", cfg, dramModel, pageTags,
-            footprint, fcToBc, bcToFc),
-      bcCtl(eq, SimObject::name() + ".bc", cfg, amap, dramModel,
-            pageTags, footprint, fcToBc, bcToFlash, bcToFc,
+            footprint, fcToBc, bcToFc)
+{
+    // Bad user configuration, not an invariant: SIM_CHECK compiles
+    // out in plain Release, and shards=0 would SIGFPE in the slice
+    // division below before any armed check could fire.
+    const std::uint32_t shards = cfg.bc.shards;
+    if (shards == 0)
+        ASTRI_FATAL("%s: at least one BC shard required",
+                    SimObject::name().c_str());
+
+    // Capacity conservation: the per-shard slices of the cache-wide
+    // MSR and evict-buffer capacities must sum exactly to the
+    // configured totals under any shard count — sharding repartitions
+    // buffering, it never creates or destroys it.
+    std::uint64_t msr_set_sum = 0;
+    std::uint64_t evict_sum = 0;
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        const std::uint32_t msr_sets =
+            shardSlice(cfg.bc.msrSets, shards, i);
+        const std::uint32_t evict_entries =
+            shardSlice(cfg.bc.evictBufferEntries, shards, i);
+        SIM_CHECK_MSG(msr_sets >= 1 && evict_entries >= 1,
+                      "%s: shard %u's slice is empty (%u MSR sets, %u "
+                      "evict entries) — fewer shards or more capacity",
+                      SimObject::name().c_str(), i, msr_sets,
+                      evict_entries);
+        msr_set_sum += msr_sets;
+        evict_sum += evict_entries;
+    }
+    SIM_CHECK_MSG(msr_set_sum == cfg.bc.msrSets &&
+                      evict_sum == cfg.bc.evictBufferEntries,
+                  "%s: shard slices sum to %llu MSR sets / %llu evict "
+                  "entries, configured %u / %u",
+                  SimObject::name().c_str(),
+                  static_cast<unsigned long long>(msr_set_sum),
+                  static_cast<unsigned long long>(evict_sum),
+                  cfg.bc.msrSets, cfg.bc.evictBufferEntries);
+
+    fcToBc.reserve(shards);
+    bcToFlash.reserve(shards);
+    bcToFc.reserve(shards);
+    bcCtls.reserve(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        const std::string tag = shardTag(i);
+        fcToBc.push_back(
+            std::make_unique<sim::BoundedChannel<MissRequest>>(
+                SimObject::name() + ".fc_to_bc" + tag,
+                cfg.channels.fcToBcDepth));
+        bcToFlash.push_back(
+            std::make_unique<sim::BoundedChannel<FlashCmdMsg>>(
+                SimObject::name() + ".bc_to_flash" + tag,
+                cfg.channels.bcToFlashDepth));
+        bcToFc.push_back(
+            std::make_unique<sim::BoundedChannel<InstallComplete>>(
+                SimObject::name() + ".bc_to_fc" + tag,
+                cfg.channels.bcToFcDepth));
+    }
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        bcCtls.push_back(std::make_unique<BacksideController>(
+            eq, SimObject::name() + ".bc" + shardTag(i), cfg, amap,
+            dramModel, pageTags, footprint, *fcToBc[i], *bcToFlash[i],
+            *bcToFc[i], shardSlice(cfg.bc.msrSets, shards, i),
+            cfg.bc.msrEntriesPerSet,
+            shardSlice(cfg.bc.evictBufferEntries, shards, i),
             // Conservative whole-read estimate for MSR-stalled misses,
             // derived here so the BC never sees the device.
-            2 * (flash.config().tRead + flash.config().tController))
+            flashDev.readEstimate()));
+        bcToFlash[i]->setDrainHook(
+            [this, i] { pumpFlashCommands(i); });
+        bcToFc[i]->setDrainHook([this] { fcCtl.deliverInstalls(); });
+    }
+}
+
+std::string
+DramCache::shardTag(std::uint32_t shard) const
 {
-    bcToFlash.setDrainHook([this] { pumpFlashCommands(); });
-    bcToFc.setDrainHook([this] { fcCtl.deliverInstalls(); });
+    // Unsharded names collapse to the pre-sharding spellings so the
+    // golden stat namespaces stay byte-identical.
+    return cfg.bc.shards == 1 ? std::string{}
+                              : std::to_string(shard);
 }
 
 void
-DramCache::pumpFlashCommands()
+DramCache::pumpFlashCommands(std::uint32_t shard)
 {
-    while (!bcToFlash.empty()) {
-        auto &st = bcToFlash.front();
+    auto &channel = *bcToFlash[shard];
+    while (!channel.empty()) {
+        auto &st = channel.front();
         const FlashCmdMsg msg = st.msg;
         // Backpressure from a full command channel delays the issue
         // tick to the accept tick.
@@ -38,9 +108,10 @@ DramCache::pumpFlashCommands()
         const auto res = flashDev.submit(msg.cmd, issued);
         // The slot models a device-queue entry: held until the read
         // completes or the write is accepted into the device buffer.
-        bcToFlash.dropFront(res.complete);
+        channel.dropFront(res.complete);
         if (msg.cmd.op == flash::FlashCommand::Op::Read)
-            bcCtl.flashReadIssued(msg.page, issued, res.complete);
+            bcCtls[shard]->flashReadIssued(msg.page, issued,
+                                           res.complete);
     }
 }
 
@@ -52,7 +123,7 @@ DramCache::access(mem::Addr pa, bool write, sim::Ticks now,
         fcCtl.access(pa, write, now, waiter);
     if (probe.complete)
         return probe.out;
-    const BcReply rep = bcCtl.service();
+    const BcReply rep = bcCtls[probe.shard]->service();
     return fcCtl.finishMiss(probe, rep);
 }
 
@@ -62,7 +133,7 @@ DramCache::accessSync(mem::Addr pa, bool write, sim::Ticks now)
     FrontsideController::Probe probe = fcCtl.accessSync(pa, write, now);
     if (probe.complete)
         return probe.out.ready;
-    const BcReply rep = bcCtl.service();
+    const BcReply rep = bcCtls[probe.shard]->service();
     return fcCtl.finishSyncMiss(probe, rep);
 }
 
@@ -84,26 +155,45 @@ void
 DramCache::resetStats()
 {
     fcCtl.resetStats();
-    bcCtl.resetStats();
+    for (auto &bc : bcCtls)
+        bc->resetStats();
+}
+
+DramCache::BcTotals
+DramCache::bcTotals() const
+{
+    BcTotals totals;
+    for (const auto &bc : bcCtls) {
+        totals.fills += bc->stats().fills.value();
+        totals.dirtyWritebacks += bc->stats().dirtyWritebacks.value();
+        totals.flashBytesRead += bc->stats().flashBytesRead.value();
+        totals.peakOutstanding += bc->stats().peakOutstanding;
+    }
+    return totals;
 }
 
 void
 DramCache::regStats(sim::StatRegistry &reg) const
 {
     fcCtl.regStats(reg.subRegistry("fc"));
-    bcCtl.regStats(reg.subRegistry("bc"));
+    for (std::uint32_t i = 0; i < shardCount(); ++i)
+        bcCtls[i]->regStats(reg.subRegistry("bc" + shardTag(i)));
     dramModel.regStats(reg.subRegistry("dram"));
     pageTags.regStats(reg.subRegistry("tags"));
-    fcToBc.regStats(reg.subRegistry("fc_to_bc"));
-    bcToFlash.regStats(reg.subRegistry("bc_to_flash"));
-    bcToFc.regStats(reg.subRegistry("bc_to_fc"));
+    for (std::uint32_t i = 0; i < shardCount(); ++i) {
+        const std::string tag = shardTag(i);
+        fcToBc[i]->regStats(reg.subRegistry("fc_to_bc" + tag));
+        bcToFlash[i]->regStats(reg.subRegistry("bc_to_flash" + tag));
+        bcToFc[i]->regStats(reg.subRegistry("bc_to_fc" + tag));
+    }
 }
 
 void
 DramCache::checkInvariants(sim::InvariantChecker &chk) const
 {
     fcCtl.checkInvariants(chk);
-    bcCtl.checkInvariants(chk);
+    for (const auto &bc : bcCtls)
+        bc->checkInvariants(chk);
 }
 
 } // namespace astriflash::core

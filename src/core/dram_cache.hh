@@ -2,25 +2,32 @@
  * @file
  * Hardware-managed DRAM cache facade (§IV-B, Fig. 5).
  *
- * The cache is two separate components: a fast FSM frontside
- * controller (frontside_controller.hh) and a programmable backside
- * controller (backside_controller.hh) that exchange state ONLY
- * through bounded, tick-stamped channels:
+ * The cache is a fast FSM frontside controller
+ * (frontside_controller.hh) and N page-interleaved backside-controller
+ * shards (backside_controller.hh) that exchange state ONLY through
+ * bounded, tick-stamped channels — one channel triple per shard:
  *
- *   FC --MissRequest-->     BC      (fc_to_bc, the BC's work queue)
- *   BC --FlashCmdMsg-->     device  (bc_to_flash, command queue)
- *   BC --InstallComplete--> FC      (bc_to_fc, waiter wakeups)
+ *   FC --MissRequest-->     BC<i>   (fc_to_bc<i>, the shard's queue)
+ *   BC<i> --FlashCmdMsg-->  fabric  (bc_to_flash<i>, command queue)
+ *   BC<i> --InstallComplete--> FC   (bc_to_fc<i>, waiter wakeups)
  *
- * This facade owns the shared structures (DRAM device, tag array,
- * footprint masks), the three channels, and the two controllers; it
- * drives one access through FC→channel→BC→FC and pumps the flash
- * command channel into FlashDevice::submit(). It is the single
- * allowlisted place (aflint AF013) where both controllers and the
- * device are visible at once. Public API and stat namespaces are
- * unchanged from the pre-split monolith — at the default
- * (effectively-unbounded) channel depths the decomposition is
- * timing-neutral, which tests/test_fc_bc_split.cpp proves against
- * the golden stats.
+ * A page's shard is mem::pageInterleave(page, shards); each shard owns
+ * an equal slice of the cache-wide MSR and evict-buffer capacity
+ * (shardSlice(), checked at construction to sum exactly to the
+ * configured totals). The facade owns the shared structures (DRAM
+ * device, tag array, footprint masks), the channels, and the
+ * controllers; it drives one access through FC→channel→BC→FC and pumps
+ * each shard's flash command channel into flash::Backend::submit().
+ * It is the single allowlisted place (aflint AF013) where the
+ * controllers and the flash back-end are visible at once — and the
+ * back-end is only ever the abstract flash::Backend (aflint AF014
+ * keeps the concrete device types out of src/core entirely).
+ *
+ * With one shard the channel, controller, and stat names collapse to
+ * the pre-sharding spellings ("bc", "fc_to_bc", ...) and the facade is
+ * cycle-for-cycle identical to the unsharded cache — the property the
+ * golden-stats byte-identity tests pin. With several, shard-scoped
+ * names ("bc<i>", "fc_to_bc<i>", ...) keep every stat addressable.
  *
  * Page arrivals are delivered through a callback carrying every waiter
  * cookie that merged onto the miss — the hook the switch-on-miss cores
@@ -31,10 +38,12 @@
 #define ASTRIFLASH_CORE_DRAM_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
-#include "flash/flash_device.hh"
+#include "flash/backend.hh"
 #include "mem/address_map.hh"
 #include "mem/dram.hh"
 #include "mem/set_assoc_cache.hh"
@@ -52,14 +61,24 @@
 
 namespace astriflash::core {
 
-/** The AstriFlash DRAM cache: FC + BC over bounded channels. */
+/** The AstriFlash DRAM cache: FC + sharded BCs over bounded channels. */
 class DramCache : public sim::SimObject
 {
   public:
     using PageReadyFn = FrontsideController::PageReadyFn;
 
+    /** Cache-wide backside totals summed across shards. */
+    struct BcTotals {
+        std::uint64_t fills = 0;
+        std::uint64_t dirtyWritebacks = 0;
+        std::uint64_t flashBytesRead = 0;
+        /** Sum of per-shard peaks (an upper bound on the true
+         *  simultaneous peak). */
+        std::uint64_t peakOutstanding = 0;
+    };
+
     DramCache(sim::EventQueue &eq, std::string name,
-              const DramCacheConfig &config, flash::FlashDevice &flash,
+              const DramCacheConfig &config, flash::Backend &flash,
               const mem::AddressMap &amap);
 
     /** Register the page-arrival notification hook. */
@@ -105,11 +124,48 @@ class DramCache : public sim::SimObject
         return cfg.capacityBytes / cfg.pageBytes;
     }
 
-    /** Outstanding (in-flight) misses right now. */
+    /** Backside-controller shards. */
+    std::uint32_t
+    shardCount() const
+    {
+        return static_cast<std::uint32_t>(bcCtls.size());
+    }
+
+    /** Shard serving @p page. */
+    std::uint32_t
+    shardOf(mem::PageNum page) const
+    {
+        return mem::pageInterleave(page, shardCount());
+    }
+
+    /** Outstanding (in-flight) misses right now, across shards. */
     std::uint32_t
     outstandingMisses() const
     {
-        return bcCtl.outstandingMisses();
+        std::uint32_t total = 0;
+        for (const auto &bc : bcCtls)
+            total += bc->outstandingMisses();
+        return total;
+    }
+
+    /** Cache-wide MSR capacity (sum of the shard slices). */
+    std::uint64_t
+    msrCapacity() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &bc : bcCtls)
+            total += bc->msr().capacity();
+        return total;
+    }
+
+    /** Sum of per-shard MSR peak occupancies. */
+    std::uint64_t
+    msrPeakOccupancy() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &bc : bcCtls)
+            total += bc->msr().stats().peakOccupancy;
+        return total;
     }
 
     /** Zero all statistics (end of warmup). Channel counters are
@@ -118,15 +174,16 @@ class DramCache : public sim::SimObject
 
     /**
      * Register stats into @p reg following the controller split:
-     * "fc" (frontside: hit/miss accounting), "bc" (backside: fills,
-     * writebacks, miss penalty) with "msr"/"evictbuf" children, the
-     * "dram" device and the "tags" array, plus the three channels
-     * ("fc_to_bc", "bc_to_flash", "bc_to_fc").
+     * "fc" (frontside: hit/miss accounting), one backside registry per
+     * shard ("bc" unsharded, "bc<i>" sharded) with "msr"/"evictbuf"
+     * children, the "dram" device and the "tags" array, plus each
+     * shard's channel triple ("fc_to_bc[<i>]", "bc_to_flash[<i>]",
+     * "bc_to_fc[<i>]").
      */
     void regStats(sim::StatRegistry &reg) const;
 
-    /** Audit both controllers. The MSR, evict buffer, tag array, and
-     *  channels register their own invariant entries (see
+    /** Audit the FC and every BC shard. The MSRs, evict buffers, tag
+     *  array, and channels register their own invariant entries (see
      *  System::registerInvariants). */
     void checkInvariants(sim::InvariantChecker &chk) const;
 
@@ -137,55 +194,80 @@ class DramCache : public sim::SimObject
         return fcCtl.stats();
     }
 
-    /** Backside accounting (fills, writebacks, miss penalty). */
+    /** One shard's backside accounting (fills, writebacks, penalty). */
     const BacksideController::Stats &
-    bcStats() const
+    bcStats(std::uint32_t shard = 0) const
     {
-        return bcCtl.stats();
+        return bcCtls[shard]->stats();
     }
+
+    /** Cache-wide backside totals (sums across shards). */
+    BcTotals bcTotals() const;
 
     double hitRatio() const { return fcCtl.stats().hitRatio(); }
 
     const FrontsideController &frontside() const { return fcCtl; }
-    const BacksideController &backside() const { return bcCtl; }
-    const MissStatusRow &msr() const { return bcCtl.msr(); }
-    const EvictBuffer &evictBuffer() const { return bcCtl.evictBuffer(); }
+
+    const BacksideController &
+    backside(std::uint32_t shard = 0) const
+    {
+        return *bcCtls[shard];
+    }
+
+    const MissStatusRow &
+    msr(std::uint32_t shard = 0) const
+    {
+        return bcCtls[shard]->msr();
+    }
+
+    const EvictBuffer &
+    evictBuffer(std::uint32_t shard = 0) const
+    {
+        return bcCtls[shard]->evictBuffer();
+    }
+
     const mem::SetAssocCache &pageArray() const { return pageTags; }
     const mem::Dram &dram() const { return dramModel; }
     const DramCacheConfig &config() const { return cfg; }
 
     const sim::BoundedChannel<MissRequest> &
-    missChannel() const
+    missChannel(std::uint32_t shard = 0) const
     {
-        return fcToBc;
+        return *fcToBc[shard];
     }
 
     const sim::BoundedChannel<FlashCmdMsg> &
-    flashChannel() const
+    flashChannel(std::uint32_t shard = 0) const
     {
-        return bcToFlash;
+        return *bcToFlash[shard];
     }
 
     const sim::BoundedChannel<InstallComplete> &
-    installChannel() const
+    installChannel(std::uint32_t shard = 0) const
     {
-        return bcToFc;
+        return *bcToFc[shard];
     }
 
   private:
-    /** Drain bc_to_flash into FlashDevice::submit(). */
-    void pumpFlashCommands();
+    /** Drain shard @p shard's bc_to_flash into Backend::submit(). */
+    void pumpFlashCommands(std::uint32_t shard);
+
+    /** Shard-scoped suffix: "" unsharded, "<i>" sharded. */
+    std::string shardTag(std::uint32_t shard) const;
 
     DramCacheConfig cfg;
-    flash::FlashDevice &flashDev;
+    flash::Backend &flashDev;
     mem::Dram dramModel;
     mem::SetAssocCache pageTags;
     FootprintState footprint;
-    sim::BoundedChannel<MissRequest> fcToBc;
-    sim::BoundedChannel<FlashCmdMsg> bcToFlash;
-    sim::BoundedChannel<InstallComplete> bcToFc;
+    std::vector<std::unique_ptr<sim::BoundedChannel<MissRequest>>>
+        fcToBc;
+    std::vector<std::unique_ptr<sim::BoundedChannel<FlashCmdMsg>>>
+        bcToFlash;
+    std::vector<std::unique_ptr<sim::BoundedChannel<InstallComplete>>>
+        bcToFc;
     FrontsideController fcCtl;
-    BacksideController bcCtl;
+    std::vector<std::unique_ptr<BacksideController>> bcCtls;
 };
 
 } // namespace astriflash::core

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "flash/backend.hh"
 #include "mem/address.hh"
 #include "mem/dram.hh"
 #include "sim/ticks.hh"
@@ -20,33 +21,56 @@ namespace astriflash::core {
 /** Opaque identifier for whoever is waiting on a missing page. */
 using WaiterCookie = std::uint64_t;
 
+/** Frontside-controller parameters (the 1-cycle-per-op FSM, §V-A). */
+struct FcConfig {
+    sim::Cycles cyclesPerOp{1};
+};
+
+/**
+ * Backside-controller parameters. `shards` page-interleaved BC
+ * instances share the miss-handling load; the MSR and evict-buffer
+ * capacities below are cache-wide totals that the facade slices
+ * evenly across shards (shardSlice()), so changing the shard count
+ * never changes aggregate buffering.
+ */
+struct BcConfig {
+    std::uint32_t shards = 1;
+    /** BC is programmable at 3 cycles/op (§V-A). */
+    sim::Cycles cyclesPerOp{3};
+    std::uint32_t msrSets = 128;
+    std::uint32_t msrEntriesPerSet = 8;
+    std::uint32_t evictBufferEntries = 32;
+};
+
+/**
+ * Depths of the three controller channels (FC→BC miss requests,
+ * BC→flash commands, BC→FC install completions), per BC shard. A slot
+ * is held for the lifetime of the transaction the message carries, so
+ * the miss-channel depth is effectively the BC's transaction window.
+ * The defaults are effectively unbounded — the decomposition is
+ * timing-neutral — while small depths turn backpressure into
+ * measured stall ticks (bench/ablation_astriflash sweeps this).
+ */
+struct ChannelConfig {
+    std::uint32_t fcToBcDepth = 65536;
+    std::uint32_t bcToFlashDepth = 65536;
+    std::uint32_t bcToFcDepth = 65536;
+};
+
 /** DRAM cache parameters. */
 struct DramCacheConfig {
     std::uint64_t capacityBytes = std::uint64_t{64} << 20;
     std::uint64_t pageBytes = mem::kPageSize;
     std::uint32_t ways = 8; ///< One 64 B tag column maps 8 ways (§IV-B).
     mem::DramConfig dram;
-    std::uint32_t msrSets = 128;
-    std::uint32_t msrEntriesPerSet = 8;
-    std::uint32_t evictBufferEntries = 32;
-    /** FC is a 1-cycle-per-op FSM; BC is programmable at 3 cycles/op
-     *  (§V-A), both at the memory-controller clock. */
+    /** Both controllers run at the memory-controller clock. */
     std::uint64_t controllerFreqHz = 2'500'000'000ull;
-    sim::Cycles fcCyclesPerOp{1};
-    sim::Cycles bcCyclesPerOp{3};
 
-    /**
-     * Depths of the three controller channels (FC→BC miss requests,
-     * BC→flash commands, BC→FC install completions). A slot is held
-     * for the lifetime of the transaction the message carries, so the
-     * miss-channel depth is effectively the BC's transaction window.
-     * The defaults are effectively unbounded — the decomposition is
-     * timing-neutral — while small depths turn backpressure into
-     * measured stall ticks (bench/ablation_astriflash sweeps this).
-     */
-    std::uint32_t fcToBcDepth = 65536;
-    std::uint32_t bcToFlashDepth = 65536;
-    std::uint32_t bcToFcDepth = 65536;
+    FcConfig fc;
+    BcConfig bc;
+    ChannelConfig channels;
+    /** Flash fan-out behind the BC shards (device count + model). */
+    flash::FlashFabricConfig fabric;
 
     /**
      * Footprint-cache mode (§II-A's bandwidth optimization, after
@@ -59,6 +83,18 @@ struct DramCacheConfig {
      */
     bool footprintEnabled = false;
 };
+
+/**
+ * Shard @p i's slice of a @p total-entry resource divided across
+ * @p shards shards: total/shards, with the remainder spread over the
+ * first (total % shards) shards so the slices always sum to total —
+ * the conservation the facade's construction-time SIM_CHECK pins.
+ */
+constexpr std::uint32_t
+shardSlice(std::uint32_t total, std::uint32_t shards, std::uint32_t i)
+{
+    return total / shards + (i < total % shards ? 1 : 0);
+}
 
 /** Result of a frontside access. */
 struct DcAccess {

@@ -5,13 +5,15 @@ namespace astriflash::core {
 FrontsideController::FrontsideController(
     std::string name, const DramCacheConfig &config, mem::Dram &dram,
     mem::SetAssocCache &tags, FootprintState &footprint,
-    sim::BoundedChannel<MissRequest> &to_bc,
-    sim::BoundedChannel<InstallComplete> &from_bc)
+    std::vector<std::unique_ptr<sim::BoundedChannel<MissRequest>>>
+        &to_bc,
+    std::vector<std::unique_ptr<sim::BoundedChannel<InstallComplete>>>
+        &from_bc)
     : fcName(std::move(name)), cfg(config), dramModel(dram),
       pageTags(tags), fp(footprint), toBc(to_bc), fromBc(from_bc)
 {
     const sim::ClockDomain clk(cfg.controllerFreqHz);
-    fcOpTicks = clk.cycles(cfg.fcCyclesPerOp);
+    fcOpTicks = clk.cycles(cfg.fc.cyclesPerOp);
 }
 
 sim::Ticks
@@ -33,6 +35,7 @@ FrontsideController::access(mem::Addr pa, bool write, sim::Ticks now,
     p.page = mem::pageNumber(pa, cfg.pageBytes);
     p.start = now;
     p.bit = dcBlockBit(pa);
+    p.shard = shardOf(p.page);
     const sim::Ticks probe_done = tagProbe(pa, now);
     const bool hit =
         write ? pageTags.accessWrite(pa) : pageTags.access(pa);
@@ -46,7 +49,7 @@ FrontsideController::access(mem::Addr pa, bool write, sim::Ticks now,
                 // remainder through the normal switch-on-miss path.
                 statsData.subPageMisses.inc();
                 p.subPage = true;
-                p.accepted = toBc.push(
+                p.accepted = toBc[p.shard]->push(
                     MissRequest{p.page, write, true, true, waiter,
                                 ~fp.fetched[p.page]},
                     probe_done);
@@ -66,8 +69,9 @@ FrontsideController::access(mem::Addr pa, bool write, sim::Ticks now,
     }
 
     // Tag miss: hand the page request to the backside through the
-    // miss channel; the BcReply decides evict-buffer hit vs miss.
-    p.accepted = toBc.push(
+    // shard's miss channel; the BcReply decides evict-buffer hit vs
+    // miss.
+    p.accepted = toBc[p.shard]->push(
         MissRequest{p.page, write, false, true, waiter, p.bit},
         probe_done);
     return p;
@@ -102,6 +106,7 @@ FrontsideController::accessSync(mem::Addr pa, bool write,
     p.page = mem::pageNumber(pa, cfg.pageBytes);
     p.start = now;
     p.bit = dcBlockBit(pa);
+    p.shard = shardOf(p.page);
     const sim::Ticks probe_done = tagProbe(pa, now);
     const bool hit =
         write ? pageTags.accessWrite(pa) : pageTags.access(pa);
@@ -127,13 +132,13 @@ FrontsideController::accessSync(mem::Addr pa, bool write,
         }
         statsData.subPageMisses.inc();
         p.subPage = true;
-        p.accepted = toBc.push(
+        p.accepted = toBc[p.shard]->push(
             MissRequest{p.page, write, true, false, 0,
                         ~fp.fetched[p.page]},
             probe_done);
         return p;
     }
-    p.accepted = toBc.push(
+    p.accepted = toBc[p.shard]->push(
         MissRequest{p.page, write, false, false, 0, p.bit},
         probe_done);
     return p;
@@ -160,15 +165,19 @@ FrontsideController::finishSyncMiss(const Probe &probe,
 void
 FrontsideController::deliverInstalls()
 {
-    while (!fromBc.empty()) {
-        auto &st = fromBc.front();
-        const mem::PageNum page = st.msg.page;
-        const sim::Ticks ready = st.msg.ready;
-        std::vector<WaiterCookie> waiters = std::move(st.msg.waiters);
-        // The slot recycles once the notification lands.
-        fromBc.dropFront(ready > st.acceptedAt ? ready : st.acceptedAt);
-        if (onReady)
-            onReady(page, ready, waiters);
+    for (auto &channel : fromBc) {
+        while (!channel->empty()) {
+            auto &st = channel->front();
+            const mem::PageNum page = st.msg.page;
+            const sim::Ticks ready = st.msg.ready;
+            std::vector<WaiterCookie> waiters =
+                std::move(st.msg.waiters);
+            // The slot recycles once the notification lands.
+            channel->dropFront(ready > st.acceptedAt ? ready
+                                                     : st.acceptedAt);
+            if (onReady)
+                onReady(page, ready, waiters);
+        }
     }
 }
 

@@ -13,7 +13,12 @@
  * buffer, or the flash device (aflint AF013 enforces this): its only
  * outputs are channel messages, and its only input from the backside
  * is the BcReply returned by the facade's service call plus the
- * InstallComplete messages it drains from the BC→FC channel.
+ * InstallComplete messages it drains from the BC→FC channels.
+ *
+ * With backside sharding (BcConfig::shards > 1) the FC holds one
+ * miss/install channel pair per shard and routes each miss by
+ * mem::pageInterleave(page, shards); the Probe records which shard
+ * accepted it so the facade can ask the right BC for the reply.
  */
 
 #ifndef ASTRIFLASH_CORE_FRONTSIDE_CONTROLLER_HH
@@ -21,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -75,13 +81,18 @@ class FrontsideController
         sim::Ticks accepted = 0; ///< Miss-channel accept tick.
         std::uint64_t bit = 0;   ///< Requested block's footprint bit.
         bool subPage = false;    ///< Footprint refetch of a resident page.
+        std::uint32_t shard = 0; ///< BC shard the miss routed to.
     };
 
-    FrontsideController(std::string name, const DramCacheConfig &config,
-                        mem::Dram &dram, mem::SetAssocCache &tags,
-                        FootprintState &footprint,
-                        sim::BoundedChannel<MissRequest> &to_bc,
-                        sim::BoundedChannel<InstallComplete> &from_bc);
+    FrontsideController(
+        std::string name, const DramCacheConfig &config,
+        mem::Dram &dram, mem::SetAssocCache &tags,
+        FootprintState &footprint,
+        std::vector<std::unique_ptr<sim::BoundedChannel<MissRequest>>>
+            &to_bc,
+        std::vector<
+            std::unique_ptr<sim::BoundedChannel<InstallComplete>>>
+            &from_bc);
 
     /** Register the page-arrival notification hook. */
     void setPageReadyCallback(PageReadyFn fn) { onReady = std::move(fn); }
@@ -103,7 +114,7 @@ class FrontsideController
     /** @return the tick the blocked requester's data is readable. */
     sim::Ticks finishSyncMiss(const Probe &probe, const BcReply &rep);
 
-    /** Drain the BC→FC channel: fire page-ready callbacks. */
+    /** Drain every BC→FC channel: fire page-ready callbacks. */
     void deliverInstalls();
 
     /** Zero all statistics (end of warmup). */
@@ -123,13 +134,23 @@ class FrontsideController
 
     sim::Ticks fcOp() const { return fcOpTicks; }
 
+    /** BC shard serving @p page (round-robin page interleave). */
+    std::uint32_t
+    shardOf(mem::PageNum page) const
+    {
+        return mem::pageInterleave(
+            page, static_cast<std::uint32_t>(toBc.size()));
+    }
+
     std::string fcName;
     const DramCacheConfig &cfg;
     mem::Dram &dramModel;
     mem::SetAssocCache &pageTags;
     FootprintState &fp;
-    sim::BoundedChannel<MissRequest> &toBc;
-    sim::BoundedChannel<InstallComplete> &fromBc;
+    std::vector<std::unique_ptr<sim::BoundedChannel<MissRequest>>>
+        &toBc;
+    std::vector<std::unique_ptr<sim::BoundedChannel<InstallComplete>>>
+        &fromBc;
     PageReadyFn onReady;
     sim::Ticks fcOpTicks;
     Stats statsData;

@@ -54,7 +54,7 @@ System::System(const SystemConfig &config) : cfg(config)
         64 + static_cast<std::size_t>(cfg.cores) *
                  (cfg.sched.pendingCap + 32);
     if (dcache)
-        expected_events += dcache->msr().capacity();
+        expected_events += dcache->msrCapacity();
     if (arrivals)
         expected_events += 64;
     eq.reserve(expected_events);
@@ -125,35 +125,63 @@ System::registerInvariants()
         invariants.add("dcache", [this](sim::InvariantChecker &chk) {
             dcache->checkInvariants(chk);
         });
-        invariants.add("dcache.bc.msr",
-                       [this](sim::InvariantChecker &chk) {
-                           dcache->msr().checkInvariants(chk);
-                       });
-        invariants.add("dcache.bc.evictbuf",
-                       [this](sim::InvariantChecker &chk) {
-                           dcache->evictBuffer().checkInvariants(chk);
-                       });
+        // Shard-scoped hook names collapse to the pre-sharding
+        // spellings ("dcache.bc.msr", "dcache.fc_to_bc", ...) when
+        // there is a single BC shard.
+        const std::uint32_t shards = dcache->shardCount();
+        for (std::uint32_t i = 0; i < shards; ++i) {
+            const std::string tag =
+                shards == 1 ? std::string{} : std::to_string(i);
+            invariants.add("dcache.bc" + tag + ".msr",
+                           [this, i](sim::InvariantChecker &chk) {
+                               dcache->msr(i).checkInvariants(chk);
+                           });
+            invariants.add(
+                "dcache.bc" + tag + ".evictbuf",
+                [this, i](sim::InvariantChecker &chk) {
+                    dcache->evictBuffer(i).checkInvariants(chk);
+                });
+        }
         invariants.add("dcache.tags",
                        [this](sim::InvariantChecker &chk) {
                            dcache->pageArray().checkInvariants(chk);
                        });
-        invariants.add("dcache.fc_to_bc",
-                       [this](sim::InvariantChecker &chk) {
-                           dcache->missChannel().checkInvariants(chk);
-                       });
-        invariants.add("dcache.bc_to_flash",
-                       [this](sim::InvariantChecker &chk) {
-                           dcache->flashChannel().checkInvariants(chk);
-                       });
-        invariants.add("dcache.bc_to_fc",
-                       [this](sim::InvariantChecker &chk) {
-                           dcache->installChannel().checkInvariants(chk);
-                       });
+        for (std::uint32_t i = 0; i < shards; ++i) {
+            const std::string tag =
+                shards == 1 ? std::string{} : std::to_string(i);
+            invariants.add(
+                "dcache.fc_to_bc" + tag,
+                [this, i](sim::InvariantChecker &chk) {
+                    dcache->missChannel(i).checkInvariants(chk);
+                });
+            invariants.add(
+                "dcache.bc_to_flash" + tag,
+                [this, i](sim::InvariantChecker &chk) {
+                    dcache->flashChannel(i).checkInvariants(chk);
+                });
+            invariants.add(
+                "dcache.bc_to_fc" + tag,
+                [this, i](sim::InvariantChecker &chk) {
+                    dcache->installChannel(i).checkInvariants(chk);
+                });
+        }
     }
     if (flashDev) {
-        invariants.add("flash", [this](sim::InvariantChecker &chk) {
-            flashDev->checkInvariants(chk);
-        });
+        if (flashDev->deviceCount() == 1) {
+            invariants.add("flash",
+                           [this](sim::InvariantChecker &chk) {
+                               flashDev->checkInvariants(chk);
+                           });
+        } else {
+            for (std::uint32_t j = 0; j < flashDev->deviceCount();
+                 ++j) {
+                invariants.add(
+                    "flash.dev" + std::to_string(j),
+                    [this, j](sim::InvariantChecker &chk) {
+                        flashDev->device(j).checkInvariants(chk);
+                    });
+            }
+        }
     }
     if (osModel) {
         invariants.add("os", [this](sim::InvariantChecker &chk) {
@@ -192,11 +220,19 @@ System::buildMemorySystem()
         mem::alignUp(dataset, mem::kPageSize), mem::kPageSize,
         pt_stride);
 
-    // Size the SSD with headroom above the dataset (spare blocks for
-    // out-of-place writes) and pre-load only the dataset + PT region.
-    cfg.flash = flash::FlashConfig::forCapacity(flash_bytes);
-    flashDev = std::make_unique<flash::FlashDevice>(
-        "flash", cfg.flash, flash_bytes / mem::kPageSize);
+    // Size each SSD with headroom above its slice of the dataset
+    // (spare blocks for out-of-place writes) and pre-load only the
+    // dataset + PT region, striped across the fabric's devices. With
+    // one device this reduces exactly to sizing the whole SSD for the
+    // whole dataset.
+    const std::uint32_t fabric_devices = cfg.dramCache.fabric.devices;
+    if (fabric_devices == 0)
+        ASTRI_FATAL("flash fabric needs at least one device");
+    cfg.flash = flash::FlashConfig::forCapacity(
+        (flash_bytes + fabric_devices - 1) / fabric_devices);
+    flashDev = std::make_unique<flash::FlashFabric>(
+        "flash", cfg.flash, cfg.dramCache.fabric,
+        flash_bytes / mem::kPageSize);
 
     flatDram = std::make_unique<mem::Dram>("flatdram",
                                            cfg.dramCache.dram);
@@ -429,11 +465,11 @@ System::run()
 
     if (dcache) {
         res.dramCacheHitRatio = dcache->hitRatio();
-        res.peakOutstandingMisses = dcache->bcStats().peakOutstanding;
+        res.peakOutstandingMisses = dcache->bcTotals().peakOutstanding;
     }
-    res.flashReads = flashDev->stats().reads.value();
-    res.flashWrites = flashDev->stats().writes.value();
-    res.gcBlockedReads = flashDev->stats().gcBlockedReads.value();
+    res.flashReads = flashDev->readsCompleted();
+    res.flashWrites = flashDev->writesAccepted();
+    res.gcBlockedReads = flashDev->gcBlockedReadCount();
     if (osModel)
         res.shootdowns = osModel->bus().stats().shootdowns.value();
     res.invariantSweeps = invariants.sweeps();

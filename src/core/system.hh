@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "flash/flash_device.hh"
+#include "flash/fabric.hh"
 #include "mem/address_map.hh"
 #include "mem/dram.hh"
 #include "mem/page_table.hh"
@@ -130,7 +130,7 @@ class System
     const SystemConfig &config() const { return cfg; }
     sim::EventQueue &eventQueue() { return eq; }
     DramCache *dramCache() { return dcache.get(); }
-    flash::FlashDevice &flash() { return *flashDev; }
+    flash::FlashFabric &flash() { return *flashDev; }
     const mem::AddressMap &addressMap() const { return *amap; }
     os::OsPagingModel *osPaging() { return osModel.get(); }
     SimCore &coreAt(std::uint32_t i) { return *cores[i]; }
@@ -185,7 +185,7 @@ class System
 
     std::unique_ptr<mem::AddressMap> amap;
     std::unique_ptr<mem::PageTableModel> ptModel;
-    std::unique_ptr<flash::FlashDevice> flashDev;
+    std::unique_ptr<flash::FlashFabric> flashDev;
     std::unique_ptr<DramCache> dcache;
     std::unique_ptr<mem::Dram> flatDram;
     std::unique_ptr<os::OsPagingModel> osModel;

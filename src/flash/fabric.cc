@@ -1,0 +1,135 @@
+#include "fabric.hh"
+
+#include "sim/logging.hh"
+
+#include "flash_device.hh"
+#include "zns_device.hh"
+
+namespace astriflash::flash {
+
+FlashFabric::FlashFabric(std::string name, const FlashConfig &dev_cfg,
+                         const FlashFabricConfig &fabric_cfg,
+                         std::uint64_t preload_pages)
+    : fabName(std::move(name)), cfg(dev_cfg), kind(fabric_cfg.backend)
+{
+    const std::uint32_t m = fabric_cfg.devices;
+    if (m == 0)
+        ASTRI_FATAL("%s: fabric needs at least one device",
+                    fabName.c_str());
+    devs.reserve(m);
+    for (std::uint32_t j = 0; j < m; ++j) {
+        // Round-robin striping hands device j the logical pages
+        // congruent to j mod M; of `preload_pages` dataset pages that
+        // is floor/ceil(preload / M) depending on j.
+        const std::uint64_t dev_preload =
+            preload_pages / m + (j < preload_pages % m ? 1 : 0);
+        ASTRI_ASSERT_MSG(dev_preload <= cfg.userPages(),
+                         "%s: device %u preload %llu exceeds per-device "
+                         "capacity %llu",
+                         fabName.c_str(), j,
+                         static_cast<unsigned long long>(dev_preload),
+                         static_cast<unsigned long long>(
+                             cfg.userPages()));
+        const std::string dev_name =
+            m == 1 ? fabName : fabName + ".dev" + std::to_string(j);
+        if (kind == BackendKind::Zns) {
+            devs.push_back(std::make_unique<ZnsDevice>(
+                dev_name, cfg, dev_preload));
+        } else {
+            devs.push_back(std::make_unique<FlashDevice>(
+                dev_name, cfg, dev_preload));
+        }
+    }
+}
+
+std::uint64_t
+FlashFabric::userPages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dev : devs)
+        total += dev->userPages();
+    return total;
+}
+
+std::uint64_t
+FlashFabric::readsCompleted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dev : devs)
+        total += dev->readsCompleted();
+    return total;
+}
+
+std::uint64_t
+FlashFabric::writesAccepted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dev : devs)
+        total += dev->writesAccepted();
+    return total;
+}
+
+std::uint64_t
+FlashFabric::gcBlockedReadCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dev : devs)
+        total += dev->gcBlockedReadCount();
+    return total;
+}
+
+std::uint64_t
+FlashFabric::hostWrites() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dev : devs)
+        total += dev->hostWrites();
+    return total;
+}
+
+std::uint64_t
+FlashFabric::mediaWrites() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dev : devs)
+        total += dev->mediaWrites();
+    return total;
+}
+
+std::uint32_t
+FlashFabric::wearSpread() const
+{
+    std::uint32_t worst = 0;
+    for (const auto &dev : devs) {
+        const std::uint32_t spread = dev->wearSpread();
+        worst = spread > worst ? spread : worst;
+    }
+    return worst;
+}
+
+void
+FlashFabric::resetStats()
+{
+    for (auto &dev : devs)
+        dev->resetStats();
+}
+
+void
+FlashFabric::regStats(sim::StatRegistry &reg) const
+{
+    if (devs.size() == 1) {
+        devs.front()->regStats(reg);
+        return;
+    }
+    for (std::size_t j = 0; j < devs.size(); ++j)
+        devs[j]->regStats(reg.subRegistry("dev" + std::to_string(j)));
+}
+
+void
+FlashFabric::checkInvariants(sim::InvariantChecker &chk) const
+{
+    for (const auto &dev : devs)
+        dev->checkInvariants(chk);
+}
+
+} // namespace astriflash::flash

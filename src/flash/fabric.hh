@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Multi-device flash fabric.
+ *
+ * Composes M concrete back-ends (all the same BackendKind) behind the
+ * single Backend interface the backside controllers and the OS paging
+ * model consume. Logical pages are striped round-robin across devices
+ * (lpnDevice/lpnLocal in flash_types.hh), so with M == 1 every command
+ * routes to device 0 with its LPN unchanged and the fabric is a
+ * zero-cost pass-through — the property the golden-stats byte-identity
+ * tests pin down.
+ *
+ * Stat naming: with one device its stats register directly under the
+ * fabric's registry (the legacy "flash.*" namespace); with more they
+ * land in "dev<j>" child registries ("flash.dev<j>.*").
+ */
+
+#ifndef ASTRIFLASH_FLASH_FABRIC_HH
+#define ASTRIFLASH_FLASH_FABRIC_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend.hh"
+#include "flash_command.hh"
+#include "flash_config.hh"
+#include "flash_types.hh"
+
+namespace astriflash::flash {
+
+/** M striped flash devices behind one Backend surface. */
+class FlashFabric : public Backend
+{
+  public:
+    /**
+     * @param dev_cfg        Geometry/timing applied to every device
+     *                       (the caller sizes it per device).
+     * @param fabric_cfg     Device count and concrete model kind.
+     * @param preload_pages  Fabric-wide logical pages pre-loaded as
+     *                       the dataset, split across devices by the
+     *                       same striping submit() routes with.
+     */
+    FlashFabric(std::string name, const FlashConfig &dev_cfg,
+                const FlashFabricConfig &fabric_cfg,
+                std::uint64_t preload_pages);
+
+    FlashCommandResult
+    submit(const FlashCommand &cmd, sim::Ticks now) override
+    {
+        const std::uint32_t dev = lpnDevice(cmd.lpn, deviceCount());
+        FlashCommand local = cmd;
+        local.lpn = lpnLocal(cmd.lpn, deviceCount());
+        return devs[dev]->submit(local, now);
+    }
+
+    sim::Ticks
+    readEstimate() const override
+    {
+        return devs.front()->readEstimate();
+    }
+
+    /** Fabric-wide user capacity: sum over devices. */
+    std::uint64_t userPages() const override;
+
+    std::uint64_t readsCompleted() const override;
+    std::uint64_t writesAccepted() const override;
+    std::uint64_t gcBlockedReadCount() const override;
+    std::uint64_t hostWrites() const override;
+    std::uint64_t mediaWrites() const override;
+
+    /** Worst per-device wear imbalance. */
+    std::uint32_t wearSpread() const override;
+
+    void resetStats() override;
+
+    /** One device: stats register directly (legacy names); several:
+     *  each device lands in a "dev<j>" child registry. */
+    void regStats(sim::StatRegistry &reg) const override;
+
+    void checkInvariants(sim::InvariantChecker &chk) const override;
+
+    std::uint32_t
+    deviceCount() const
+    {
+        return static_cast<std::uint32_t>(devs.size());
+    }
+
+    Backend &device(std::uint32_t j) { return *devs[j]; }
+    const Backend &device(std::uint32_t j) const { return *devs[j]; }
+
+    BackendKind backendKind() const { return kind; }
+    const FlashConfig &deviceConfig() const { return cfg; }
+
+  private:
+    std::string fabName;
+    FlashConfig cfg;
+    BackendKind kind;
+    std::vector<std::unique_ptr<Backend>> devs;
+};
+
+} // namespace astriflash::flash
+
+#endif // ASTRIFLASH_FLASH_FABRIC_HH

@@ -23,6 +23,7 @@
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 
+#include "backend.hh"
 #include "flash_command.hh"
 #include "flash_config.hh"
 #include "ftl.hh"
@@ -37,7 +38,7 @@ struct FlashReadResult {
 };
 
 /** 4 KB-page SSD with channel/plane parallelism. */
-class FlashDevice
+class FlashDevice : public Backend
 {
   public:
     struct Stats {
@@ -81,7 +82,7 @@ class FlashDevice
      * the host-visible buffer-accept tick in @c complete.
      */
     FlashCommandResult
-    submit(const FlashCommand &cmd, sim::Ticks now)
+    submit(const FlashCommand &cmd, sim::Ticks now) override
     {
         FlashCommandResult res;
         if (cmd.op == FlashCommand::Op::Read) {
@@ -102,13 +103,60 @@ class FlashDevice
     const FlashConfig &config() const { return cfg; }
     const Stats &stats() const { return statsData; }
 
+    /** Conservative whole-read latency: controller in/out + array. */
+    sim::Ticks
+    readEstimate() const override
+    {
+        return 2 * (cfg.tRead + cfg.tController);
+    }
+
     /** User capacity in pages (convenience passthrough). */
-    std::uint64_t userPages() const { return ftlModel.userPages(); }
+    std::uint64_t
+    userPages() const override
+    {
+        return ftlModel.userPages();
+    }
+
+    std::uint64_t
+    readsCompleted() const override
+    {
+        return statsData.reads.value();
+    }
+
+    std::uint64_t
+    writesAccepted() const override
+    {
+        return statsData.writes.value();
+    }
+
+    std::uint64_t
+    gcBlockedReadCount() const override
+    {
+        return statsData.gcBlockedReads.value();
+    }
+
+    std::uint64_t
+    hostWrites() const override
+    {
+        return ftlModel.stats().hostWrites.value();
+    }
+
+    std::uint64_t
+    mediaWrites() const override
+    {
+        return ftlModel.stats().flashPrograms.value();
+    }
+
+    std::uint32_t
+    wearSpread() const override
+    {
+        return ftlModel.eraseCountSpread();
+    }
 
     /** Zero device-level statistics (end of warmup). FTL counters
      *  (wear, write amplification) are cumulative and not reset. */
     void
-    resetStats()
+    resetStats() override
     {
         statsData = Stats{};
     }
@@ -118,7 +166,7 @@ class FlashDevice
      * child registry.
      */
     void
-    regStats(sim::StatRegistry &reg) const
+    regStats(sim::StatRegistry &reg) const override
     {
         reg.registerCounter("reads", &statsData.reads,
                             "page reads served by the device");
@@ -139,7 +187,7 @@ class FlashDevice
      * operation, and the FTL's own invariants.
      */
     void
-    checkInvariants(sim::InvariantChecker &chk) const
+    checkInvariants(sim::InvariantChecker &chk) const override
     {
         SIM_INVARIANT(chk, planes.size() == cfg.totalPlanes());
         SIM_INVARIANT(chk, channelBusy.size() == cfg.channels);

@@ -27,6 +27,25 @@ using Ppn = sim::StrongId<struct PpnTag>;
 /** Sentinel for "no logical page" (unmapped physical page owner). */
 inline constexpr Lpn kInvalidLpn{~std::uint64_t{0}};
 
+/**
+ * Index of the fabric device serving @p lpn when logical pages are
+ * striped round-robin across @p devices SSDs (fabric.hh). This is the
+ * sanctioned Lpn -> device-index conversion; with one device every
+ * page lands on device 0.
+ */
+constexpr std::uint32_t
+lpnDevice(Lpn lpn, std::uint32_t devices)
+{
+    return static_cast<std::uint32_t>(lpn.raw() % devices);
+}
+
+/** Device-local logical page number of @p lpn under that striping. */
+constexpr Lpn
+lpnLocal(Lpn lpn, std::uint32_t devices)
+{
+    return Lpn(lpn.raw() / devices);
+}
+
 } // namespace astriflash::flash
 
 #endif // ASTRIFLASH_FLASH_FLASH_TYPES_HH

@@ -1,0 +1,506 @@
+#include "zns_device.hh"
+
+#include "sim/logging.hh"
+#include "sim/trace_events.hh"
+
+namespace astriflash::flash {
+
+ZnsDevice::ZnsDevice(std::string name, const FlashConfig &config,
+                     std::uint64_t preload_pages)
+    : devName(std::move(name)), cfg(config),
+      preloaded(preload_pages == ~std::uint64_t{0}
+                    ? config.userPages()
+                    : preload_pages)
+{
+    if (cfg.pagesPerBlock == 0 || cfg.blocksPerPlane == 0)
+        ASTRI_FATAL("%s: empty flash geometry", devName.c_str());
+    if (preloaded > cfg.userPages())
+        ASTRI_FATAL("%s: preload %llu exceeds user capacity %llu",
+                    devName.c_str(),
+                    static_cast<unsigned long long>(preloaded),
+                    static_cast<unsigned long long>(cfg.userPages()));
+
+    const std::uint32_t nplanes = cfg.totalPlanes();
+    logPlanes.resize(nplanes);
+    planes.resize(nplanes);
+    channelBusy.resize(cfg.channels, 0);
+
+    // Pre-load the dataset exactly like the FTL device: the first
+    // zones of each plane are sealed full of statically-striped
+    // logical pages; the remainder start free.
+    for (std::uint32_t pl = 0; pl < nplanes; ++pl) {
+        PlaneLog &plane = logPlanes[pl];
+        plane.zones.resize(cfg.blocksPerPlane);
+        const std::uint64_t plane_pages =
+            preloaded / nplanes + (pl < preloaded % nplanes ? 1 : 0);
+        const std::uint64_t full_zones = plane_pages / cfg.pagesPerBlock;
+        const std::uint32_t partial = static_cast<std::uint32_t>(
+            plane_pages % cfg.pagesPerBlock);
+        for (std::uint64_t z = 0; z < cfg.blocksPerPlane; ++z) {
+            Zone &zone = plane.zones[z];
+            if (z < full_zones) {
+                zone.validPages = cfg.pagesPerBlock;
+                zone.writePtr = cfg.pagesPerBlock;
+            } else if (z == full_zones && partial > 0) {
+                zone.validPages = partial;
+                zone.writePtr = partial;
+            } else {
+                ++plane.freeZones;
+            }
+        }
+        // The partially-filled preload zone continues as the log
+        // head; a fully-struck plane opens the first empty zone.
+        plane.openZone = static_cast<std::uint32_t>(full_zones);
+        if (partial == 0 && full_zones < cfg.blocksPerPlane)
+            --plane.freeZones; // claimed an empty zone as the head
+    }
+}
+
+std::uint32_t
+ZnsDevice::planeOf(Lpn lpn) const
+{
+    // Plane striping is modular arithmetic on the logical page index.
+    // aflint-allow-next-line(AF011)
+    return static_cast<std::uint32_t>(lpn.raw() % cfg.totalPlanes());
+}
+
+std::uint32_t
+ZnsDevice::channelOf(std::uint32_t plane) const
+{
+    return plane % cfg.channels;
+}
+
+ZnsDevice::Loc
+ZnsDevice::translate(Lpn lpn) const
+{
+    if (auto it = mapping.find(lpn); it != mapping.end())
+        return it->second;
+    // Stripe math and diagnostics below.
+    // aflint-allow-next-line(AF011)
+    const std::uint64_t lpn_raw = lpn.raw();
+    ASTRI_ASSERT_MSG(lpn < Lpn(preloaded),
+                     "read of unwritten lpn %llu beyond the preloaded "
+                     "dataset",
+                     static_cast<unsigned long long>(lpn_raw));
+    Loc loc;
+    loc.plane = planeOf(lpn);
+    const std::uint64_t idx = lpn_raw / cfg.totalPlanes();
+    loc.zone = static_cast<std::uint32_t>(idx / cfg.pagesPerBlock);
+    loc.page = static_cast<std::uint32_t>(idx % cfg.pagesPerBlock);
+    return loc;
+}
+
+void
+ZnsDevice::materializeOwners(std::uint32_t plane_idx,
+                             std::uint32_t zone_idx)
+{
+    Zone &zone = logPlanes[plane_idx].zones[zone_idx];
+    if (!zone.owners.empty() || zone.writePtr == 0)
+        return;
+    zone.owners.assign(cfg.pagesPerBlock, kInvalidLpn);
+    for (std::uint32_t pg = 0; pg < zone.writePtr; ++pg) {
+        const Lpn static_lpn{
+            (static_cast<std::uint64_t>(zone_idx) * cfg.pagesPerBlock +
+             pg) * cfg.totalPlanes() + plane_idx};
+        if (static_lpn < Lpn(preloaded))
+            zone.owners[pg] = static_lpn;
+    }
+}
+
+void
+ZnsDevice::invalidateOld(Lpn lpn)
+{
+    const Loc old = translate(lpn);
+    materializeOwners(old.plane, old.zone);
+    Zone &zone = logPlanes[old.plane].zones[old.zone];
+    if (!zone.owners.empty() && zone.owners[old.page] != kInvalidLpn) {
+        zone.owners[old.page] = kInvalidLpn;
+        ASTRI_ASSERT(zone.validPages > 0);
+        --zone.validPages;
+    }
+}
+
+ZnsDevice::Loc
+ZnsDevice::append(std::uint32_t plane_idx)
+{
+    PlaneLog &plane = logPlanes[plane_idx];
+    ASTRI_ASSERT_MSG(plane.openZone < cfg.blocksPerPlane,
+                     "%s: plane %u has no open zone", devName.c_str(),
+                     plane_idx);
+    Zone *zone = &plane.zones[plane.openZone];
+    if (zone->writePtr >= cfg.pagesPerBlock) {
+        // Seal and advance to the next free zone.
+        const auto num_zones =
+            static_cast<std::uint32_t>(cfg.blocksPerPlane);
+        std::uint32_t next = num_zones;
+        for (std::uint32_t z = 0; z < num_zones; ++z) {
+            const Zone &cand = plane.zones[z];
+            if (cand.writePtr == 0 && cand.validPages == 0) {
+                next = z;
+                break;
+            }
+        }
+        ASTRI_ASSERT_MSG(next < cfg.blocksPerPlane,
+                         "%s: plane %u out of free zones "
+                         "(overprovisioning exhausted)",
+                         devName.c_str(), plane_idx);
+        plane.openZone = next;
+        ASTRI_ASSERT(plane.freeZones > 0);
+        --plane.freeZones;
+        zone = &plane.zones[next];
+    }
+    // A partially-preloaded zone serving as the log head must pin its
+    // static owners before the first append lands on top of them.
+    materializeOwners(plane_idx, plane.openZone);
+    if (zone->owners.empty())
+        zone->owners.assign(cfg.pagesPerBlock, kInvalidLpn);
+    Loc out;
+    out.plane = plane_idx;
+    out.zone = plane.openZone;
+    out.page = zone->writePtr;
+    ++zone->writePtr;
+    return out;
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+ZnsDevice::cleanPlane(std::uint32_t plane_idx)
+{
+    PlaneLog &plane = logPlanes[plane_idx];
+    std::uint32_t relocated = 0;
+    std::uint32_t zones_reset = 0;
+
+    while (plane.freeZones < cfg.gcFreeBlockLow) {
+        // Writable slots left: the open zone's tail plus the free
+        // pool. A victim is only safe if its valid pages fit —
+        // otherwise relocation itself would exhaust the free zones
+        // before the reset hands one back.
+        const Zone &head = plane.zones[plane.openZone];
+        const std::uint64_t avail =
+            (head.writePtr < cfg.pagesPerBlock
+                 ? cfg.pagesPerBlock - head.writePtr
+                 : 0) +
+            std::uint64_t{plane.freeZones} * cfg.pagesPerBlock;
+        // Greedy victim: the sealed, non-open zone with the fewest
+        // still-valid pages (ties break toward the least-worn zone).
+        std::uint32_t victim_idx = ~0u;
+        for (std::uint32_t z = 0; z < cfg.blocksPerPlane; ++z) {
+            const Zone &zone = plane.zones[z];
+            if (z == plane.openZone ||
+                zone.writePtr < cfg.pagesPerBlock ||
+                zone.validPages == cfg.pagesPerBlock ||
+                zone.validPages > avail) {
+                continue;
+            }
+            if (victim_idx == ~0u) {
+                victim_idx = z;
+                continue;
+            }
+            const Zone &cur = plane.zones[victim_idx];
+            if (zone.validPages < cur.validPages ||
+                (zone.validPages == cur.validPages &&
+                 zone.resetCount < cur.resetCount)) {
+                victim_idx = z;
+            }
+        }
+        if (victim_idx == ~0u)
+            break; // nothing reclaimable; appends will hit the wall
+
+        materializeOwners(plane_idx, victim_idx);
+        Zone &victim = plane.zones[victim_idx];
+        for (std::uint32_t pg = 0; pg < cfg.pagesPerBlock; ++pg) {
+            const Lpn lpn = victim.owners[pg];
+            if (lpn == kInvalidLpn) {
+                // A host overwrite left this copy stale; the reset
+                // reclaims it — the log's payoff for relocation work.
+                logData.gcInvalidations.inc();
+                continue;
+            }
+            const Loc dst = append(plane_idx);
+            Zone &dst_zone = plane.zones[dst.zone];
+            dst_zone.owners[dst.page] = lpn;
+            ++dst_zone.validPages;
+            mapping[lpn] = dst;
+            ++relocated;
+            logData.gcRelocations.inc();
+            logData.zoneAppends.inc();
+        }
+        victim.validPages = 0;
+        victim.writePtr = 0;
+        victim.owners.clear();
+        victim.owners.shrink_to_fit();
+        ++victim.resetCount;
+        ++plane.freeZones;
+        ++zones_reset;
+        logData.zoneResets.inc();
+    }
+    return {relocated, zones_reset};
+}
+
+FlashCommandResult
+ZnsDevice::read(Lpn lpn, sim::Ticks now, mem::Bytes xfer_bytes)
+{
+    statsData.reads.inc();
+    // aflint-allow-next-line(AF011): channel-occupancy arithmetic.
+    std::uint64_t bytes = xfer_bytes.raw();
+    if (bytes == 0 || bytes > cfg.pageBytes)
+        bytes = cfg.pageBytes;
+    const Loc loc = translate(lpn);
+    PlaneState &plane = planes[loc.plane];
+    sim::Ticks &channel = channelBusy[channelOf(loc.plane)];
+
+    FlashCommandResult res;
+    const sim::Ticks issue = now + cfg.tController;
+    res.blockedByGc = plane.gcUntil > issue;
+
+    sim::Ticks array_start =
+        issue > plane.readBusyUntil ? issue : plane.readBusyUntil;
+    if (plane.gcUntil > array_start)
+        array_start = plane.gcUntil;
+    const sim::Ticks array_done = array_start + cfg.tRead;
+    plane.readBusyUntil = array_done;
+
+    const sim::Ticks xfer_start =
+        array_done > channel ? array_done : channel;
+    const sim::Ticks xfer = cfg.tChannelXfer * bytes / cfg.pageBytes;
+    const sim::Ticks done = xfer_start + (xfer ? xfer : 1);
+    channel = done;
+
+    res.complete = done;
+    res.queueing = (array_start - issue) + (xfer_start - array_done);
+    if (res.blockedByGc) {
+        statsData.gcBlockedReads.inc();
+        sim::traceEvent(sim::TracePoint::GcBlocked, now,
+                        // aflint-allow-next-line(AF011)
+                        sim::TraceRecord::kNoCore, lpn.raw(),
+                        plane.gcUntil - issue);
+    }
+    statsData.readLatency.sample(res.complete - now);
+    return res;
+}
+
+FlashCommandResult
+ZnsDevice::write(Lpn lpn, sim::Ticks now)
+{
+    // aflint-allow-next-line(AF011): diagnostics formatting.
+    const unsigned long long lpn_raw = lpn.raw();
+    ASTRI_ASSERT_MSG(lpn < Lpn(preloaded),
+                     "write of lpn %llu beyond the preloaded dataset",
+                     lpn_raw);
+    statsData.writes.inc();
+    logData.hostWrites.inc();
+
+    invalidateOld(lpn);
+    const std::uint32_t plane_idx = planeOf(lpn);
+    std::uint32_t relocated = 0;
+    std::uint32_t zones_reset = 0;
+    {
+        // Emergency clean: the log head is full and the free pool is
+        // empty, so the append below would have nowhere to land. The
+        // invalidation above guarantees at least one stale page, so
+        // cleaning can make progress.
+        PlaneLog &pl_log = logPlanes[plane_idx];
+        if (pl_log.freeZones == 0 &&
+            pl_log.openZone < cfg.blocksPerPlane &&
+            pl_log.zones[pl_log.openZone].writePtr >=
+                cfg.pagesPerBlock) {
+            const auto work = cleanPlane(plane_idx);
+            relocated += work.first;
+            zones_reset += work.second;
+        }
+    }
+    const Loc dst = append(plane_idx);
+    Zone &zone = logPlanes[plane_idx].zones[dst.zone];
+    zone.owners[dst.page] = lpn;
+    ++zone.validPages;
+    mapping[lpn] = dst;
+    logData.zoneAppends.inc();
+
+    if (logPlanes[plane_idx].freeZones < cfg.gcFreeBlockLow) {
+        const auto work = cleanPlane(plane_idx);
+        relocated += work.first;
+        zones_reset += work.second;
+    }
+    writeAmpValue =
+        static_cast<double>(logData.zoneAppends.value()) /
+        static_cast<double>(logData.hostWrites.value());
+
+    // Host transfer into the device buffer is the visible latency;
+    // the append program and any cleaning burst occupy the plane
+    // asynchronously afterwards, blocking reads during the burst.
+    PlaneState &plane = planes[plane_idx];
+    sim::Ticks &channel = channelBusy[channelOf(plane_idx)];
+    const sim::Ticks issue = now + cfg.tController;
+    const sim::Ticks xfer_start = issue > channel ? issue : channel;
+    const sim::Ticks acked = xfer_start + cfg.tChannelXfer;
+    channel = acked;
+
+    const sim::Ticks prog_start =
+        acked > plane.writeBusyUntil ? acked : plane.writeBusyUntil;
+    sim::Ticks plane_work = cfg.tProgram;
+    if (relocated > 0 || zones_reset > 0) {
+        plane_work +=
+            static_cast<sim::Ticks>(relocated) *
+                (cfg.tRead + cfg.tProgram) +
+            static_cast<sim::Ticks>(zones_reset) * cfg.tErase;
+        plane.gcUntil = prog_start + plane_work;
+    }
+    plane.writeBusyUntil = prog_start + plane_work;
+
+    statsData.writeLatency.sample(acked - now);
+    FlashCommandResult res;
+    res.complete = acked;
+    return res;
+}
+
+FlashCommandResult
+ZnsDevice::submit(const FlashCommand &cmd, sim::Ticks now)
+{
+    if (cmd.op == FlashCommand::Op::Read)
+        return read(cmd.lpn, now, cmd.bytes);
+    return write(cmd.lpn, now);
+}
+
+std::uint32_t
+ZnsDevice::wearSpread() const
+{
+    std::uint32_t lo = ~0u, hi = 0;
+    for (const PlaneLog &plane : logPlanes) {
+        for (const Zone &zone : plane.zones) {
+            lo = zone.resetCount < lo ? zone.resetCount : lo;
+            hi = zone.resetCount > hi ? zone.resetCount : hi;
+        }
+    }
+    return hi >= lo ? hi - lo : 0;
+}
+
+void
+ZnsDevice::regStats(sim::StatRegistry &reg) const
+{
+    reg.registerCounter("reads", &statsData.reads,
+                        "page reads served by the device");
+    reg.registerCounter("writes", &statsData.writes,
+                        "page writes accepted by the device");
+    reg.registerCounter("gc_blocked_reads", &statsData.gcBlockedReads,
+                        "reads that queued behind zone cleaning");
+    reg.registerHistogram("read_latency", &statsData.readLatency,
+                          "end-to-end read latency in ticks");
+    reg.registerHistogram("write_latency", &statsData.writeLatency,
+                          "host-visible write-ack latency in ticks");
+    auto &log = reg.subRegistry("log");
+    log.registerCounter("host_writes", &logData.hostWrites,
+                        "page writes requested by the host");
+    log.registerCounter("zone_appends", &logData.zoneAppends,
+                        "media programs (host appends + relocations)");
+    log.registerCounter("gc_relocations", &logData.gcRelocations,
+                        "valid pages relocated by zone cleaning");
+    log.registerCounter("gc_invalidations", &logData.gcInvalidations,
+                        "stale pages reclaimed by zone resets");
+    log.registerCounter("zone_resets", &logData.zoneResets,
+                        "zones erased and returned to the free pool");
+    log.registerScalar("write_amplification", &writeAmpValue,
+                       "media programs per host write");
+}
+
+void
+ZnsDevice::checkInvariants(sim::InvariantChecker &chk) const
+{
+    SIM_INVARIANT(chk, planes.size() == cfg.totalPlanes());
+    SIM_INVARIANT(chk, logPlanes.size() == cfg.totalPlanes());
+    SIM_INVARIANT(chk, channelBusy.size() == cfg.channels);
+    SIM_INVARIANT(chk,
+                  statsData.gcBlockedReads.value() <=
+                      statsData.reads.value());
+    SIM_INVARIANT(chk,
+                  statsData.readLatency.count() ==
+                      statsData.reads.value());
+    SIM_INVARIANT(chk,
+                  statsData.writeLatency.count() ==
+                      statsData.writes.value());
+
+    // Append conservation: every media program is a host write or a
+    // GC relocation.
+    SIM_INVARIANT_MSG(
+        chk,
+        logData.zoneAppends.value() ==
+            logData.hostWrites.value() + logData.gcRelocations.value(),
+        "append conservation: %llu appends != %llu host + %llu GC",
+        static_cast<unsigned long long>(logData.zoneAppends.value()),
+        static_cast<unsigned long long>(logData.hostWrites.value()),
+        static_cast<unsigned long long>(
+            logData.gcRelocations.value()));
+    // Reclaim conservation: every page of every reset zone was either
+    // relocated or reclaimed as stale.
+    SIM_INVARIANT_MSG(
+        chk,
+        logData.gcRelocations.value() +
+                logData.gcInvalidations.value() ==
+            logData.zoneResets.value() * cfg.pagesPerBlock,
+        "reclaim conservation: %llu relocated + %llu invalidated != "
+        "%llu resets * %u pages",
+        static_cast<unsigned long long>(logData.gcRelocations.value()),
+        static_cast<unsigned long long>(
+            logData.gcInvalidations.value()),
+        static_cast<unsigned long long>(logData.zoneResets.value()),
+        cfg.pagesPerBlock);
+
+    // Mapping overrides stay in bounds, on their stripe plane, with
+    // agreeing owner back-pointers.
+    for (const auto &[lpn, loc] : mapping) {
+        // aflint-allow-next-line(AF011): diagnostics formatting.
+        const unsigned long long lpn_raw = lpn.raw();
+        SIM_INVARIANT_MSG(chk, lpn < Lpn(preloaded),
+                          "mapped lpn %llu beyond the dataset",
+                          lpn_raw);
+        SIM_INVARIANT_MSG(chk,
+                          loc.plane < logPlanes.size() &&
+                              loc.zone < cfg.blocksPerPlane &&
+                              loc.page < cfg.pagesPerBlock,
+                          "lpn %llu maps out of bounds (%u/%u/%u)",
+                          lpn_raw, loc.plane, loc.zone, loc.page);
+        SIM_INVARIANT_MSG(chk, planeOf(lpn) == loc.plane,
+                          "lpn %llu mapped off its stripe plane %u",
+                          lpn_raw, loc.plane);
+        const Zone &zone = logPlanes[loc.plane].zones[loc.zone];
+        SIM_INVARIANT_MSG(chk,
+                          !zone.owners.empty() &&
+                              zone.owners[loc.page] == lpn,
+                          "owner back-pointer disagrees for lpn %llu",
+                          lpn_raw);
+    }
+
+    // Zone-level consistency and the per-plane free-zone ledger.
+    for (std::size_t pl = 0; pl < logPlanes.size(); ++pl) {
+        const PlaneLog &plane = logPlanes[pl];
+        std::uint32_t free_zones = 0;
+        for (std::size_t z = 0; z < plane.zones.size(); ++z) {
+            const Zone &zone = plane.zones[z];
+            SIM_INVARIANT_MSG(chk,
+                              zone.validPages <= zone.writePtr &&
+                                  zone.writePtr <= cfg.pagesPerBlock,
+                              "plane %zu zone %zu: valid %u > "
+                              "written %u (cap %u)",
+                              pl, z, zone.validPages, zone.writePtr,
+                              cfg.pagesPerBlock);
+            if (!zone.owners.empty()) {
+                std::uint32_t owned = 0;
+                for (const Lpn owner : zone.owners) {
+                    if (owner != kInvalidLpn)
+                        ++owned;
+                }
+                SIM_INVARIANT_MSG(chk, owned == zone.validPages,
+                                  "plane %zu zone %zu: %u owners but "
+                                  "%u valid pages",
+                                  pl, z, owned, zone.validPages);
+            }
+            if (zone.writePtr == 0 && zone.validPages == 0 &&
+                z != plane.openZone) {
+                ++free_zones;
+            }
+        }
+        SIM_INVARIANT_MSG(chk, plane.freeZones == free_zones,
+                          "plane %zu counts %u free zones, found %u",
+                          pl, plane.freeZones, free_zones);
+    }
+}
+
+} // namespace astriflash::flash

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * ZNS/log-structured flash device (after Flashield/Nemo's
+ * log-structured flash stores).
+ *
+ * The second concrete flash::Backend: instead of a page-mapped FTL,
+ * the device is an array of append-only zones (one zone per physical
+ * block). Host overwrites invalidate the old copy in place and append
+ * the new one at the plane's open zone; when a plane runs low on free
+ * zones the device relocates the victim zone's still-valid pages and
+ * resets it. Write amplification and GC invalidations are first-class
+ * statistics — the log's cleaning cost is the whole point of modelling
+ * it — while the plane/channel timing (read priority over programs,
+ * GC bursts blocking reads) matches flash_device.hh so the two
+ * back-ends are timing-comparable.
+ */
+
+#ifndef ASTRIFLASH_FLASH_ZNS_DEVICE_HH
+#define ASTRIFLASH_FLASH_ZNS_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address.hh"
+#include "sim/invariant.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+#include "backend.hh"
+#include "flash_command.hh"
+#include "flash_config.hh"
+#include "flash_types.hh"
+
+namespace astriflash::flash {
+
+/** Append-only zoned SSD; zones map 1:1 onto physical blocks. */
+class ZnsDevice : public Backend
+{
+  public:
+    /** Windowed device-level counters (reset at end of warmup). */
+    struct Stats {
+        sim::Counter reads;
+        sim::Counter writes;
+        sim::Counter gcBlockedReads;
+        sim::Histogram readLatency;  ///< End-to-end ticks.
+        sim::Histogram writeLatency; ///< Host-visible (ack) ticks.
+    };
+
+    /** Lifetime log-cleaning ledger (never reset; wear/WA are
+     *  cumulative properties of the media). */
+    struct LogStats {
+        sim::Counter hostWrites;
+        sim::Counter zoneAppends;     ///< Media programs (host + GC).
+        sim::Counter gcRelocations;   ///< Valid pages moved by GC.
+        sim::Counter gcInvalidations; ///< Stale pages reclaimed by GC.
+        sim::Counter zoneResets;
+    };
+
+    /**
+     * @param preload_pages  Logical pages pre-loaded as the dataset
+     *                       (default: full user capacity).
+     */
+    ZnsDevice(std::string name, const FlashConfig &config,
+              std::uint64_t preload_pages = ~std::uint64_t{0});
+
+    FlashCommandResult submit(const FlashCommand &cmd,
+                              sim::Ticks now) override;
+
+    sim::Ticks
+    readEstimate() const override
+    {
+        return 2 * (cfg.tRead + cfg.tController);
+    }
+
+    std::uint64_t
+    userPages() const override
+    {
+        return cfg.userPages();
+    }
+
+    std::uint64_t
+    readsCompleted() const override
+    {
+        return statsData.reads.value();
+    }
+
+    std::uint64_t
+    writesAccepted() const override
+    {
+        return statsData.writes.value();
+    }
+
+    std::uint64_t
+    gcBlockedReadCount() const override
+    {
+        return statsData.gcBlockedReads.value();
+    }
+
+    std::uint64_t
+    hostWrites() const override
+    {
+        return logData.hostWrites.value();
+    }
+
+    std::uint64_t
+    mediaWrites() const override
+    {
+        return logData.zoneAppends.value();
+    }
+
+    /** Zone reset-count spread (the log's wear imbalance). */
+    std::uint32_t wearSpread() const override;
+
+    void
+    resetStats() override
+    {
+        statsData = Stats{};
+    }
+
+    /**
+     * Register device stats into @p reg; the cleaning ledger lands in
+     * a "log" child registry with write_amplification as a scalar.
+     */
+    void regStats(sim::StatRegistry &reg) const override;
+
+    /**
+     * Audit the log: append conservation (every media program is a
+     * host write or a GC relocation), reclaim conservation (every
+     * reset zone's pages were relocated or invalidated), the mapping's
+     * owner back-pointers, and the per-plane free-zone ledgers.
+     */
+    void checkInvariants(sim::InvariantChecker &chk) const override;
+
+    const Stats &stats() const { return statsData; }
+    const LogStats &logStats() const { return logData; }
+    const FlashConfig &config() const { return cfg; }
+
+  private:
+    /** Physical location of one logical page inside the zone array. */
+    struct Loc {
+        std::uint32_t plane = 0;
+        std::uint32_t zone = 0; ///< Block index within the plane.
+        std::uint32_t page = 0; ///< Append offset within the zone.
+    };
+
+    /** One zone = one physical block, written strictly in order. */
+    struct Zone {
+        std::uint32_t writePtr = 0;
+        std::uint32_t validPages = 0;
+        std::uint32_t resetCount = 0;
+        /** Owning LPN per written page; lazily materialized for the
+         *  statically pre-loaded zones (kInvalidLpn = stale). */
+        std::vector<Lpn> owners;
+    };
+
+    struct PlaneLog {
+        std::vector<Zone> zones;
+        std::uint32_t openZone = 0;
+        std::uint32_t freeZones = 0;
+    };
+
+    /** Busy-until timing, identical in structure to flash_device.hh:
+     *  reads suspend programs; GC bursts block the whole plane. */
+    struct PlaneState {
+        sim::Ticks readBusyUntil = 0;
+        sim::Ticks writeBusyUntil = 0;
+        sim::Ticks gcUntil = 0;
+    };
+
+    std::uint32_t planeOf(Lpn lpn) const;
+    std::uint32_t channelOf(std::uint32_t plane) const;
+    Loc translate(Lpn lpn) const;
+
+    /** Fill in a sealed static zone's owner list on first mutation. */
+    void materializeOwners(std::uint32_t plane_idx, std::uint32_t zone);
+
+    /** Mark @p lpn's current copy stale. */
+    void invalidateOld(Lpn lpn);
+
+    /** Append one page at @p plane_idx's open zone. */
+    Loc append(std::uint32_t plane_idx);
+
+    /** Reclaim zones in @p plane_idx until freeZones >= threshold.
+     *  @return pages relocated and zones reset (for the GC burst). */
+    std::pair<std::uint32_t, std::uint32_t>
+    cleanPlane(std::uint32_t plane_idx);
+
+    FlashCommandResult read(Lpn lpn, sim::Ticks now, mem::Bytes bytes);
+    FlashCommandResult write(Lpn lpn, sim::Ticks now);
+
+    std::string devName;
+    FlashConfig cfg;
+    std::uint64_t preloaded;
+    std::vector<PlaneLog> logPlanes;
+    std::vector<PlaneState> planes;
+    std::vector<sim::Ticks> channelBusy;
+    std::unordered_map<Lpn, Loc> mapping; ///< Overrides of the static
+                                          ///< pre-load layout.
+    Stats statsData;
+    LogStats logData;
+    double writeAmpValue = 1.0; ///< Registered scalar, kept current.
+};
+
+} // namespace astriflash::flash
+
+#endif // ASTRIFLASH_FLASH_ZNS_DEVICE_HH

@@ -105,6 +105,19 @@ pageAddr(PageNum pn, std::uint64_t page_size = kPageSize)
     return pn.raw() * page_size;
 }
 
+/**
+ * Shard index of page @p pn when pages are interleaved round-robin
+ * across @p shards equal slices (the backside-controller sharding in
+ * core/dram_cache.hh). This is the sanctioned PageNum -> shard-index
+ * conversion; with one shard every page lands on shard 0.
+ */
+constexpr std::uint32_t
+pageInterleave(PageNum pn, std::uint32_t shards)
+{
+    // aflint-allow(AF011): modular arithmetic on the page index.
+    return static_cast<std::uint32_t>(pn.raw() % shards);
+}
+
 /** Block number of an address (default 64 B blocks). */
 constexpr BlockNum
 blockNumber(Addr a, std::uint64_t block_size = kBlockSize)

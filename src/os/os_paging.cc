@@ -32,7 +32,7 @@ TlbShootdownBus::takeStolen(std::uint32_t core)
 
 OsPagingModel::OsPagingModel(std::string name, std::uint64_t capacity,
                              const OsCosts &costs, std::uint32_t cores,
-                             flash::FlashDevice &flash,
+                             flash::Backend &flash,
                              const mem::AddressMap &amap)
     : modelName(std::move(name)), costsData(costs), flashDev(flash),
       addrMap(amap),
@@ -69,8 +69,11 @@ OsPagingModel::pageFault(mem::Addr pa, bool write, sim::Ticks now,
     res.switchedOut = submitted + costsData.contextSwitch;
 
     // The flash read proceeds concurrently with the switch.
-    const auto read =
-        flashDev.read(addrMap.flashPage(mem::pageBase(pa)), submitted);
+    const auto read = flashDev.submit(
+        flash::FlashCommand{flash::FlashCommand::Op::Read,
+                            addrMap.flashPage(mem::pageBase(pa)),
+                            mem::Bytes{0}},
+        submitted);
 
     // Install on arrival; evicting a mapped victim forces a global
     // TLB shootdown before the new mapping is visible.
@@ -80,8 +83,12 @@ OsPagingModel::pageFault(mem::Addr pa, bool write, sim::Ticks now,
         statsData.evictions.inc();
         if (victim->dirty) {
             statsData.dirtyWritebacks.inc();
-            flashDev.write(addrMap.flashPage(victim->tag_addr),
-                           installed);
+            flashDev.submit(
+                flash::FlashCommand{
+                    flash::FlashCommand::Op::Write,
+                    addrMap.flashPage(victim->tag_addr),
+                    mem::Bytes{0}},
+                installed);
         }
         installed = shootdownBus.broadcast(installed, core);
     }

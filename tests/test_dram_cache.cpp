@@ -36,8 +36,8 @@ struct Rig {
             "flash", fcfg, (256 << 20) / kPageSize);
         DramCacheConfig cfg;
         cfg.capacityBytes = 2 << 20; // 512 page frames
-        cfg.msrSets = msr_sets;
-        cfg.msrEntriesPerSet = msr_ways;
+        cfg.bc.msrSets = msr_sets;
+        cfg.bc.msrEntriesPerSet = msr_ways;
         dc = std::make_unique<DramCache>(eq, "dc", cfg, *flash, amap);
         dc->setPageReadyCallback(
             [this](mem::PageNum page, Ticks,

@@ -37,6 +37,11 @@
  *          frontside_controller.* / backside_controller.* bypasses
  *          the channel contract. The DramCache facade is the one
  *          allowlisted composition point.
+ *   AF014  concrete flash device type (FlashDevice / ZnsDevice / Ftl)
+ *          named from src/core: core code talks to storage only
+ *          through the abstract flash::Backend interface; the model
+ *          is selected by flash::BackendKind and instantiated inside
+ *          the flash fabric.
  *
  * Comments and string literals are stripped (newlines preserved)
  * before matching, so prose never trips a rule. Intentional
@@ -783,6 +788,45 @@ checkChannelBypass(const std::vector<Token> &toks,
     }
 }
 
+/**
+ * AF014: src/core sees flash storage only through the abstract
+ * flash::Backend interface. Naming a concrete device model
+ * (FlashDevice, ZnsDevice, or the Ftl it wraps) from core re-couples
+ * the cache/system layer to one back-end and defeats the pluggable
+ * fabric: the model is chosen by flash::BackendKind and instantiated
+ * inside FlashFabric (src/flash/fabric.cc). Matching is by exact
+ * identifier token, so FlashFabricConfig or FlashCommand never trip
+ * the rule.
+ */
+void
+checkConcreteFlashTypes(const std::vector<Token> &toks,
+                        const std::string &rel,
+                        const Suppressions &sup,
+                        std::vector<Finding> &out)
+{
+    // Path-segment match, like AF013, so fixture trees rooted above
+    // src/core engage the rule too.
+    const auto pos = rel.find("src/core/");
+    if (pos == std::string::npos ||
+        (pos != 0 && rel[pos - 1] != '/'))
+        return;
+    static const std::set<std::string> kConcrete = {
+        "FlashDevice", "ZnsDevice", "Ftl"};
+    for (const Token &t : toks) {
+        if (t.kind != Token::Kind::Ident ||
+            kConcrete.count(t.text) == 0)
+            continue;
+        if (sup.allows(t.line, "AF014"))
+            continue;
+        out.push_back(
+            {rel, t.line, "AF014",
+             "concrete flash device type '" + t.text +
+                 "' named from src/core; core talks to storage only "
+                 "through flash::Backend (select the model with "
+                 "flash::BackendKind; the fabric instantiates it)"});
+    }
+}
+
 void
 scanFile(const fs::path &path, const std::string &rel,
          std::vector<Finding> &out)
@@ -827,6 +871,7 @@ scanFile(const fs::path &path, const std::string &rel,
         checkRawEscapes(toks, rel, sup, out);
     checkPowerOfTwoLiterals(toks, rel, sup, out);
     checkChannelBypass(toks, rel, sup, out);
+    checkConcreteFlashTypes(toks, rel, sup, out);
 }
 
 std::string

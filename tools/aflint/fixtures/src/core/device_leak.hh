@@ -1,0 +1,31 @@
+/**
+ * @file
+ * AF014 seeds: core-layer code that names concrete flash device
+ * models instead of going through the abstract flash::Backend.
+ * Never compiled.
+ */
+
+#ifndef AFLINT_FIXTURE_DEVICE_LEAK_HH
+#define AFLINT_FIXTURE_DEVICE_LEAK_HH
+
+namespace fixture {
+
+class FlashDevice;
+class ZnsDevice;
+class Ftl;
+
+struct CacheFacade {
+    // AF014: holding the FTL device by concrete type pins the cache
+    // to one back-end; the facade must hold a flash::Backend &.
+    FlashDevice *ftlDev = nullptr;
+
+    // AF014: same leak for the log-structured model.
+    ZnsDevice *znsDev = nullptr;
+
+    // AF014: reaching past the device into its mapping layer.
+    Ftl *mapping = nullptr;
+};
+
+} // namespace fixture
+
+#endif // AFLINT_FIXTURE_DEVICE_LEAK_HH

@@ -26,6 +26,7 @@
 #include "sim/option_parser.hh"
 #include "sim/trace_events.hh"
 
+#include "core/fabric_options.hh"
 #include "core/system.hh"
 
 using namespace astriflash;
@@ -172,7 +173,10 @@ main(int argc, char **argv)
                    "record miss-lifecycle events as JSONL to FILE");
     opts.addUint("trace-cap", &trace_cap,
                  "trace ring capacity in events");
+    FabricOptions fabric;
+    fabric.addTo(opts);
     opts.parseOrExit(argc, argv);
+    fabric.apply(cfg);
 
     if (no_fp_bit)
         cfg.forwardProgressBit = false;
@@ -240,17 +244,24 @@ main(int argc, char **argv)
         std::printf("flash refill bytes     %.2f MB"
                     " (sub-page misses %llu)\n",
                     static_cast<double>(
-                        dc->bcStats().flashBytesRead.value()) / 1e6,
+                        dc->bcTotals().flashBytesRead) / 1e6,
                     static_cast<unsigned long long>(
                         dc->fcStats().subPageMisses.value()));
-        std::printf("msr peak occupancy     %llu / %u\n",
+        std::printf("msr peak occupancy     %llu / %llu"
+                    " (%u bc shard%s)\n",
                     static_cast<unsigned long long>(
-                        dc->msr().stats().peakOccupancy),
-                    dc->msr().capacity());
+                        dc->msrPeakOccupancy()),
+                    static_cast<unsigned long long>(
+                        dc->msrCapacity()),
+                    dc->shardCount(),
+                    dc->shardCount() == 1 ? "" : "s");
     }
-    std::printf("flash write amp        %.2f, erase spread %u\n",
-                sys.flash().ftl().stats().writeAmplification(),
-                sys.flash().ftl().eraseCountSpread());
+    std::printf("flash write amp        %.2f, wear spread %u "
+                "(%u %s device%s)\n",
+                sys.flash().writeAmplification(),
+                sys.flash().wearSpread(), sys.flash().deviceCount(),
+                flash::backendKindName(sys.flash().backendKind()),
+                sys.flash().deviceCount() == 1 ? "" : "s");
 
     if (dump_stats)
         std::fputs(sys.statsRegistry().dump().c_str(), stdout);
