@@ -63,8 +63,10 @@ BacksideController::service()
     // Merged requests ride the original transaction's slot and only
     // pay the BC's dequeue + MSR search; a new miss holds its slot
     // until the page's install completes, making the channel depth
-    // the BC's outstanding-transaction window.
-    inbox.dropFront(rep.merged ? accept + 2 * bcOp()
+    // the BC's outstanding-transaction window. Either way the BC
+    // consumes the request after its dequeue + MSR-search ops.
+    inbox.dropFront(accept + 2 * bcOp(),
+                    rep.merged ? accept + 2 * bcOp()
                                : pending[req.page].dataReady);
     return rep;
 }
@@ -339,6 +341,8 @@ BacksideController::checkInvariants(sim::InvariantChecker &chk) const
     // The MSR and the pending table mirror each other: exactly the
     // issued misses hold entries.
     std::uint32_t issued = 0;
+    // Audit-only walk; every element is checked independently, so
+    // iteration order cannot matter. aflint-allow-next-line(AF015)
     for (const auto &[page, miss] : pending) {
         SIM_INVARIANT_MSG(chk, !miss.waiters.empty() || miss.issued,
                           "un-issued miss %llx has no waiters",
@@ -401,6 +405,7 @@ BacksideController::checkInvariants(sim::InvariantChecker &chk) const
 
     // Footprint residency masks exist only for resident pages.
     if (cfg.footprintEnabled) {
+        // aflint-allow-next-line(AF015): audit-only, order-insensitive.
         for (const auto &[page, mask] : fp.fetched) {
             (void)mask;
             SIM_INVARIANT_MSG(chk,

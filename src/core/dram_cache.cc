@@ -55,20 +55,33 @@ DramCache::DramCache(sim::EventQueue &eq, std::string name,
     bcToFlash.reserve(shards);
     bcToFc.reserve(shards);
     bcCtls.reserve(shards);
+    // The lookahead manifest, converted from BC-op multiples to
+    // ticks. fc_to_bc and bc_to_flash are fed at skewed core-local
+    // clocks through the FC's synchronous probe, so only bc_to_fc —
+    // pushed exclusively by the arrival event handler — declares
+    // monotone push ticks.
+    const sim::ClockDomain clk(cfg.controllerFreqHz);
+    const sim::Ticks op = clk.cycles(cfg.bc.cyclesPerOp);
+    const sim::ChannelContract miss_contract{
+        op * cfg.channels.fcToBcMinLatencyOps, false};
+    const sim::ChannelContract flash_contract{
+        op * cfg.channels.bcToFlashMinLatencyOps, false};
+    const sim::ChannelContract install_contract{
+        op * cfg.channels.bcToFcMinLatencyOps, true};
     for (std::uint32_t i = 0; i < shards; ++i) {
         const std::string tag = shardTag(i);
         fcToBc.push_back(
             std::make_unique<sim::BoundedChannel<MissRequest>>(
                 SimObject::name() + ".fc_to_bc" + tag,
-                cfg.channels.fcToBcDepth));
+                cfg.channels.fcToBcDepth, miss_contract));
         bcToFlash.push_back(
             std::make_unique<sim::BoundedChannel<FlashCmdMsg>>(
                 SimObject::name() + ".bc_to_flash" + tag,
-                cfg.channels.bcToFlashDepth));
+                cfg.channels.bcToFlashDepth, flash_contract));
         bcToFc.push_back(
             std::make_unique<sim::BoundedChannel<InstallComplete>>(
                 SimObject::name() + ".bc_to_fc" + tag,
-                cfg.channels.bcToFcDepth));
+                cfg.channels.bcToFcDepth, install_contract));
     }
     for (std::uint32_t i = 0; i < shards; ++i) {
         bcCtls.push_back(std::make_unique<BacksideController>(
@@ -106,9 +119,10 @@ DramCache::pumpFlashCommands(std::uint32_t shard)
         // tick to the accept tick.
         const sim::Ticks issued = st.acceptedAt;
         const auto res = flashDev.submit(msg.cmd, issued);
-        // The slot models a device-queue entry: held until the read
-        // completes or the write is accepted into the device buffer.
-        channel.dropFront(res.complete);
+        // Consumed at the issue tick; the slot models a device-queue
+        // entry, held until the read completes or the write is
+        // accepted into the device buffer.
+        channel.dropFront(issued, res.complete);
         if (msg.cmd.op == flash::FlashCommand::Op::Read)
             bcCtls[shard]->flashReadIssued(msg.page, issued,
                                            res.complete);

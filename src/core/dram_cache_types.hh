@@ -55,6 +55,26 @@ struct ChannelConfig {
     std::uint32_t fcToBcDepth = 65536;
     std::uint32_t bcToFlashDepth = 65536;
     std::uint32_t bcToFcDepth = 65536;
+
+    /**
+     * Lookahead manifest (DESIGN.md §14): each channel's declared
+     * minimum push-to-consume latency, in BC operations
+     * (BcConfig::cyclesPerOp at the controller clock), certified at
+     * runtime by sim::CausalityAuditor and inherited as conservative
+     * lookahead by the future parallel engine.
+     *
+     * - fc_to_bc: the BC spends at least one op dequeuing a request
+     *   before acting on it.
+     * - bc_to_flash: commands issue the moment the channel accepts
+     *   them (the facade's pump runs in the same call chain), so the
+     *   seam honestly declares zero lookahead.
+     * - bc_to_fc: an install completion is consumed no earlier than
+     *   the install's trailing BC op after the arrival event that
+     *   pushed it.
+     */
+    std::uint32_t fcToBcMinLatencyOps = 1;
+    std::uint32_t bcToFlashMinLatencyOps = 0;
+    std::uint32_t bcToFcMinLatencyOps = 1;
 };
 
 /** DRAM cache parameters. */

@@ -1,5 +1,7 @@
 #include "sim_core.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "sim/trace_events.hh"
 
@@ -24,7 +26,7 @@ void
 SimCore::start()
 {
     idle = false;
-    scheduleIn(0, [this] { run(); });
+    scheduleIn(0, [this] { run(); }, eventPrio(false));
 }
 
 void
@@ -32,7 +34,7 @@ SimCore::kick()
 {
     if (idle) {
         idle = false;
-        scheduleIn(0, [this] { run(); });
+        scheduleIn(0, [this] { run(); }, eventPrio(false));
     }
 }
 
@@ -41,10 +43,13 @@ SimCore::pageReady(mem::PageNum page, sim::Ticks when)
 {
     const sim::Ticks now = curTick();
     const sim::Ticks delta = when > now ? when - now : 0;
-    scheduleIn(delta, [this, page] {
-        sched.pageReady(page, curTick());
-        kick();
-    });
+    scheduleIn(
+        delta,
+        [this, page] {
+            sched.pageReady(page, curTick());
+            kick();
+        },
+        eventPrio(true));
 }
 
 bool
@@ -239,7 +244,10 @@ SimCore::run()
 {
     idle = false;
     const SystemConfig &cfg = sys.config();
-    sim::Ticks t = curTick();
+    // Never restart behind the local cursor: the core was busy
+    // (switching out, completing) until then, even if the waking
+    // event fired at an earlier global tick.
+    sim::Ticks t = std::max(curTick(), localCursor);
 
     // Absorb interruption time stolen by remote TLB shootdowns.
     if (cfg.kind == SystemKind::OsSwap)
@@ -247,6 +255,7 @@ SimCore::run()
 
     if (!current) {
         if (!pickJob(t)) {
+            localCursor = t;
             idle = true;
             return;
         }
@@ -261,8 +270,10 @@ SimCore::run()
         if (t - burst_start >= cfg.quantum) {
             // Yield to keep cross-core timing skew bounded.
             statsData.busyTicks += t - burst_start;
+            localCursor = t;
             const sim::Ticks now = curTick();
-            scheduleIn(t > now ? t - now : 0, [this] { run(); });
+            scheduleIn(t > now ? t - now : 0, [this] { run(); },
+                       eventPrio(false));
             return;
         }
 
@@ -271,6 +282,7 @@ SimCore::run()
             completeJob(t);
             if (!pickJob(t)) {
                 statsData.busyTicks += t - burst_start;
+                localCursor = t;
                 idle = true;
                 return;
             }
@@ -347,6 +359,7 @@ SimCore::run()
         t = mo.freeAt;
         if (!pickJob(t)) {
             statsData.busyTicks += t - burst_start;
+            localCursor = t;
             idle = true;
             return;
         }

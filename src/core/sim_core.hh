@@ -103,6 +103,23 @@ class SimCore : public sim::SimObject
         mem::PageNum page{0}; ///< Parked: page the job waits on.
     };
 
+    /**
+     * Fixed same-tick arbitration slot for this core's events
+     * (DESIGN.md §14). Cores arbitrate by id, and a core's page-ready
+     * delivery precedes its execution resume, so same-tick core events
+     * never share a (tick, priority) pair and their order can never
+     * depend on scheduling luck. The band sits above Default: memory-
+     * system and arrival events at the same tick complete before any
+     * core resumes.
+     */
+    sim::EventPriority
+    eventPrio(bool delivery) const
+    {
+        return static_cast<sim::EventPriority>(
+            static_cast<int>(sim::EventPriority::Default) + 1 +
+            static_cast<int>(coreId) * 2 + (delivery ? 0 : 1));
+    }
+
     /** Main execution event: run the current job for up to a quantum. */
     void run();
 
@@ -134,6 +151,16 @@ class SimCore : public sim::SimObject
     cpu::HandlerRegs handlerRegs;
 
     std::optional<workload::Job> current;
+    /**
+     * Monotone local time cursor: the last local tick this core
+     * simulated through. A core bursts ahead of the global clock, so
+     * a wake (page ready, new arrival) can fire at a global tick the
+     * core has already lived past — it was busy switching out until
+     * the cursor. run() clamps its start time here; resuming earlier
+     * would be local time travel and breaks the scheduler's
+     * park-order invariant (DESIGN.md §14).
+     */
+    sim::Ticks localCursor = 0;
     bool idle = true;
     bool blockedOnPendingFull = false;
     /** Set when resuming a previously-missed job: the next access

@@ -9,7 +9,17 @@ namespace astriflash::core {
 System::System(const SystemConfig &config) : cfg(config)
 {
     cfg.applyKindDefaults();
-    buildMemorySystem();
+    eq.setAuditor(&auditor);
+    // Perturbed same-tick ordering (tools/detshake); seed 0 is the
+    // exact production order, and nonzero seeds are fatal unless the
+    // hook is compiled in.
+    eq.setTiePerturbation(cfg.tieBreakSeed);
+    {
+        // Channels built anywhere below self-register with this
+        // system's auditor.
+        sim::CausalityAuditor::Scope audit_scope(auditor);
+        buildMemorySystem();
+    }
 
     for (std::uint32_t c = 0; c < cfg.cores; ++c) {
         workload::WorkloadConfig wc = cfg.workload;
@@ -100,6 +110,9 @@ System::registerInvariants()
 {
     invariants.add("eq", [this](sim::InvariantChecker &chk) {
         eq.checkInvariants(chk);
+    });
+    invariants.add("causality", [this](sim::InvariantChecker &chk) {
+        auditor.checkInvariants(chk);
     });
     for (std::size_t c = 0; c < cores.size(); ++c) {
         SimCore *core = cores[c].get();

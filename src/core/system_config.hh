@@ -101,6 +101,14 @@ struct SystemConfig {
 
     std::uint64_t seed = 1;
 
+    /**
+     * Nonzero: permute same-tick event tie-breaking with this seed
+     * (determinism shake-out, tools/detshake). Requires a checks
+     * build — the perturbation hook is compiled out of plain Release.
+     * 0 (the default) is the exact production ordering.
+     */
+    std::uint64_t tieBreakSeed = 0;
+
     /** Apply the per-kind knob settings (switch cost, policy, DP). */
     void applyKindDefaults();
 };

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "causality.hh"
 #include "invariant.hh"
 #include "logging.hh"
 #include "stats.hh"
@@ -51,6 +52,7 @@ class BoundedChannel
         Msg msg;
         Ticks pushedAt = 0;   ///< Producer's request tick.
         Ticks acceptedAt = 0; ///< After any full-queue stall.
+        std::uint64_t seq = 0; ///< Push order, 1-based (audit key).
     };
 
     struct Stats {
@@ -65,12 +67,25 @@ class BoundedChannel
     /** Invoked after every push; consumers drain synchronously. */
     using DrainHook = std::function<void()>;
 
-    BoundedChannel(std::string name, std::uint32_t capacity)
-        : chName(std::move(name)), cap(capacity)
+    /**
+     * @param name      Instance name (stats, audit reports).
+     * @param capacity  Slot count; >= 1.
+     * @param contract  Declared determinism contract (lookahead +
+     *                  push monotonicity). Channels inside src/ must
+     *                  declare it explicitly (aflint rule AF018); the
+     *                  default is the vacuous contract for tests.
+     */
+    BoundedChannel(std::string name, std::uint32_t capacity,
+                   ChannelContract contract = {})
+        : chName(std::move(name)), cap(capacity),
+          channelContract(contract)
     {
         if (capacity == 0)
             ASTRI_FATAL("%s: channel needs capacity >= 1",
                         chName.c_str());
+        if ((auditor = CausalityAuditor::current()) != nullptr)
+            auditId = auditor->registerChannel(chName,
+                                              channelContract);
     }
 
     BoundedChannel(const BoundedChannel &) = delete;
@@ -81,6 +96,9 @@ class BoundedChannel
 
     /** Configured slot count. */
     std::uint32_t capacity() const { return cap; }
+
+    /** Declared determinism contract. */
+    const ChannelContract &contract() const { return channelContract; }
 
     /** Messages pushed but not yet popped. */
     bool empty() const { return waiting.empty(); }
@@ -138,7 +156,10 @@ class BoundedChannel
         statsData.occupancy.sample(static_cast<double>(live));
         if (live > statsData.peakOccupancy)
             statsData.peakOccupancy = live;
-        waiting.push_back(Stamped{std::move(msg), now, accept});
+        const std::uint64_t seq = ++lastSeq;
+        waiting.push_back(Stamped{std::move(msg), now, accept, seq});
+        if (auditor)
+            auditor->onPush(auditId, seq, now, accept);
         if (drainHook)
             drainHook();
         return accept;
@@ -162,33 +183,69 @@ class BoundedChannel
     }
 
     /**
-     * Dequeue the front message; its slot stays occupied until
-     * @p release_at (the tick the carried transaction completes and
-     * the hardware queue entry is recycled).
+     * Dequeue the front message. @p consumed_at is the tick the
+     * consumer acts on the message (the delivery tick the causality
+     * auditor certifies against the declared lookahead); the slot
+     * stays occupied until @p release_at (the tick the carried
+     * transaction completes and the hardware queue entry is
+     * recycled).
      */
     void
-    dropFront(Ticks release_at)
+    dropFront(Ticks consumed_at, Ticks release_at)
     {
         ASTRI_ASSERT_MSG(!waiting.empty(), "%s: dropFront() on empty",
                          chName.c_str());
+        if (auditor) {
+            const Stamped &s = waiting.front();
+            auditor->onDeliver(auditId, s.seq, s.pushedAt,
+                               s.acceptedAt, consumed_at);
+        }
         waiting.pop_front();
         statsData.pops.inc();
         busyUntil.push_back(release_at);
     }
 
+    /** dropFront() where consumption and slot release coincide. */
+    void dropFront(Ticks release_at)
+    {
+        dropFront(release_at, release_at);
+    }
+
     /** Convenience: move the front message out and drop it. */
     Msg
-    pop(Ticks release_at)
+    pop(Ticks consumed_at, Ticks release_at)
     {
         Msg m = std::move(front().msg);
-        dropFront(release_at);
+        dropFront(consumed_at, release_at);
         return m;
     }
+
+    /** pop() where consumption and slot release coincide. */
+    Msg pop(Ticks release_at) { return pop(release_at, release_at); }
 
     /** Install the consumer's synchronous drain hook. */
     void setDrainHook(DrainHook hook) { drainHook = std::move(hook); }
 
     const Stats &stats() const { return statsData; }
+
+    /**
+     * Start a fresh measurement window mid-flight: counters restart
+     * with the conservation law re-based on the currently queued
+     * messages (pushes := queued, pops := 0) so the invariant audit
+     * holds across the reset, and the peak restarts at the current
+     * queue depth. In-flight slot release ticks are untouched.
+     */
+    void
+    resetStats()
+    {
+        statsData.pushes.reset();
+        statsData.pushes.inc(waiting.size());
+        statsData.pops.reset();
+        statsData.fullStalls.reset();
+        statsData.stallTicks.reset();
+        statsData.occupancy.reset();
+        statsData.peakOccupancy = waiting.size();
+    }
 
     /** Register channel stats into @p reg. */
     void
@@ -227,6 +284,7 @@ class BoundedChannel
                           static_cast<unsigned long long>(
                               statsData.pops.value()),
                           waiting.size());
+        std::uint64_t prev_seq = 0;
         for (const Stamped &s : waiting) {
             SIM_INVARIANT_MSG(chk, s.acceptedAt >= s.pushedAt,
                               "%s: message accepted at %llu before "
@@ -236,6 +294,15 @@ class BoundedChannel
                                   s.acceptedAt),
                               static_cast<unsigned long long>(
                                   s.pushedAt));
+            SIM_INVARIANT_MSG(chk,
+                              s.seq > prev_seq && s.seq <= lastSeq,
+                              "%s: queue order breaks push order "
+                              "(seq %llu after %llu)",
+                              chName.c_str(),
+                              static_cast<unsigned long long>(s.seq),
+                              static_cast<unsigned long long>(
+                                  prev_seq));
+            prev_seq = s.seq;
         }
         SIM_INVARIANT(chk, waiting.size() <= cap);
         SIM_INVARIANT_MSG(chk,
@@ -261,6 +328,10 @@ class BoundedChannel
 
     std::string chName;
     std::uint32_t cap;
+    ChannelContract channelContract;
+    CausalityAuditor *auditor = nullptr;
+    std::uint32_t auditId = 0;
+    std::uint64_t lastSeq = 0;
     std::deque<Stamped> waiting;    ///< Pushed, not yet popped.
     std::vector<Ticks> busyUntil;   ///< Popped slots' release ticks.
     DrainHook drainHook;

@@ -2,9 +2,36 @@
 
 #include <algorithm>
 
+#include "causality.hh"
 #include "logging.hh"
 
 namespace astriflash::sim {
+
+#if ASTRIFLASH_CHECKS_ENABLED
+namespace {
+/** splitmix64: uniform, invertible 64-bit mix for the tie keys. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+} // namespace
+#endif
+
+void
+EventQueue::setTiePerturbation(std::uint64_t seed)
+{
+    if (seed != 0 && !tiePerturbationCompiledIn()) {
+        ASTRI_FATAL("tie-break perturbation requested (seed %llu) but "
+                    "the hook is compiled out; rebuild with "
+                    "-DASTRIFLASH_CHECKS=ON",
+                    static_cast<unsigned long long>(seed));
+    }
+    tieSeed = seed;
+}
 
 EventId
 EventQueue::schedule(Ticks when, Callback fn, EventPriority prio)
@@ -27,8 +54,15 @@ EventQueue::schedule(Ticks when, Callback fn, EventPriority prio)
     s.fn = std::move(fn);
     s.busy = true;
     s.cancelled = false;
-    heapPush(Node{when, static_cast<std::int32_t>(prio), slot,
-                  nextSeq++});
+    const std::uint64_t seq = nextSeq++;
+#if ASTRIFLASH_CHECKS_ENABLED
+    // Seed 0 keeps tie == seq, bit-for-bit the unperturbed order.
+    const std::uint64_t tie = tieSeed ? mix64(seq ^ tieSeed) : seq;
+    heapPush(Node{when, static_cast<std::int32_t>(prio), slot, seq,
+                  tie});
+#else
+    heapPush(Node{when, static_cast<std::int32_t>(prio), slot, seq});
+#endif
     return packId(slot, s.gen);
 }
 
@@ -123,6 +157,8 @@ EventQueue::runUntil(Ticks limit)
             break;
         const Node node = heapPop();
         ASTRI_ASSERT(node.when >= now);
+        if (auditor)
+            auditor->onEventFired(now, node.when);
         now = node.when;
         // Move the callback out and release the slot *before* running:
         // the callback may schedule (reusing this slot) or grow the
@@ -151,6 +187,8 @@ EventQueue::runSteps(std::uint64_t max_events)
         }
         const Node node = heapPop();
         ASTRI_ASSERT(node.when >= now);
+        if (auditor)
+            auditor->onEventFired(now, node.when);
         now = node.when;
         Callback fn = std::move(slots[node.slot].fn);
         releaseSlot(node.slot);

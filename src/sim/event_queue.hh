@@ -33,6 +33,8 @@
 
 namespace astriflash::sim {
 
+class CausalityAuditor;
+
 /**
  * Opaque handle identifying a scheduled event (for cancellation).
  * Packs a slot index and a generation tag; a handle goes stale the
@@ -148,6 +150,32 @@ class EventQueue
     void checkInvariants(InvariantChecker &chk) const;
 
     /**
+     * True when the same-tick perturbation hook is compiled in
+     * (checks builds only; plain Release compiles it out so the hot
+     * comparator stays two branches).
+     */
+    static constexpr bool
+    tiePerturbationCompiledIn()
+    {
+        return ASTRIFLASH_CHECKS_ENABLED != 0;
+    }
+
+    /**
+     * Perturb same-tick tie-breaking (tools/detshake): events at
+     * equal (when, prio) are ordered by a seeded permutation of
+     * their insertion sequence instead of the sequence itself. Seed
+     * 0 restores the exact unperturbed order. A correct simulation
+     * produces byte-identical stats under every seed; any divergence
+     * is an order-dependence bug.
+     *
+     * Fatal if @p seed is nonzero and the hook is compiled out.
+     */
+    void setTiePerturbation(std::uint64_t seed);
+
+    /** Attach the causality auditor (null detaches). */
+    void setAuditor(CausalityAuditor *a) { auditor = a; }
+
+    /**
      * Compaction policy: compact when more than kCompactDenominator-th
      * of a heap larger than kCompactMinHeap nodes is tombstones.
      * Exposed for tests and the invariant audit.
@@ -162,6 +190,11 @@ class EventQueue
         std::int32_t prio;
         std::uint32_t slot;
         std::uint64_t seq; ///< Insertion order, tie-break of last resort.
+#if ASTRIFLASH_CHECKS_ENABLED
+        /** Perturbed tie key: equals seq at seed 0, a seeded
+         *  permutation of it otherwise (see setTiePerturbation). */
+        std::uint64_t tie;
+#endif
     };
 
     /** Callback owner + liveness state for one in-flight event. */
@@ -180,6 +213,10 @@ class EventQueue
             return a.when > b.when;
         if (a.prio != b.prio)
             return a.prio > b.prio;
+#if ASTRIFLASH_CHECKS_ENABLED
+        if (a.tie != b.tie)
+            return a.tie > b.tie;
+#endif
         return a.seq > b.seq;
     }
 
@@ -211,6 +248,8 @@ class EventQueue
 
     Ticks now = 0;
     std::uint64_t nextSeq = 1;
+    std::uint64_t tieSeed = 0;
+    CausalityAuditor *auditor = nullptr;
     std::uint64_t executedCount = 0;
     std::uint64_t compactionCount = 0;
     std::size_t cancelledCount = 0;

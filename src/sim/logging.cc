@@ -7,6 +7,8 @@
 namespace astriflash::sim {
 
 namespace {
+// Log verbosity only; never read by a timing model, so it cannot
+// leak state between simulated systems. aflint-allow-next-line(AF017)
 bool g_quiet = false;
 } // namespace
 

@@ -223,7 +223,7 @@ UScheduler::checkInvariants(sim::InvariantChecker &chk) const
 
     // Queue membership: each live thread in exactly one queue, with a
     // block key iff it is (or was) parked on one.
-    std::unordered_map<const Thread *, int> queued;
+    std::unordered_map<std::uint64_t, int> queued; // keyed by thread id
     auto tally = [&](const std::deque<Thread *> &q, const char *qname,
                      bool want_key) {
         for (const Thread *t : q) {
@@ -233,7 +233,7 @@ UScheduler::checkInvariants(sim::InvariantChecker &chk) const
             }
             SIM_INVARIANT_MSG(chk, !t->finished,
                               "%s holds a finished thread", qname);
-            SIM_INVARIANT_MSG(chk, ++queued[t] == 1,
+            SIM_INVARIANT_MSG(chk, ++queued[t->id] == 1,
                               "thread %llu queued more than once",
                               static_cast<unsigned long long>(
                                   t ? t->id : 0));

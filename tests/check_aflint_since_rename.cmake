@@ -1,0 +1,77 @@
+# Regression test for `aflint --since <ref>` rename handling, run as
+# a ctest.
+#
+#   cmake -DAFLINT=<aflint> -DOUT_DIR=<dir>
+#         -P check_aflint_since_rename.cmake
+#
+# Builds a scratch git repository in which a file with a pre-existing
+# lint violation is committed and then renamed without any content
+# change. A diff-scoped scan over the rename-only range must NOT
+# re-report the moved file's pre-existing findings (git reports it as
+# R100 and aflint skips it), while a range that includes the commit
+# that introduced the violation must still report it.
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}/src")
+
+function(run_git)
+    execute_process(
+        COMMAND git -C "${OUT_DIR}" ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out_text
+        ERROR_VARIABLE err_text)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "git ${ARGN} failed (rc=${rc}):\n${out_text}\n${err_text}")
+    endif()
+endfunction()
+
+run_git(init --quiet --initial-branch=main)
+run_git(config user.email aflint-test@localhost)
+run_git(config user.name "aflint test")
+run_git(config commit.gpgsign false)
+
+# Commit 0: empty base, so a range exists that predates the
+# violation's introduction.
+run_git(commit --quiet --allow-empty -m "base")
+
+# Commit 1: a src/ file whose only finding is a pre-existing AF001.
+file(WRITE "${OUT_DIR}/src/legacy_timer.cc"
+"int jitter() { return rand() % 7; }\n")
+run_git(add src/legacy_timer.cc)
+run_git(commit --quiet -m "add legacy timer")
+
+# Commit 2: pure rename, byte-identical content (git sees R100).
+run_git(mv src/legacy_timer.cc src/legacy_clock.cc)
+run_git(commit --quiet -m "rename timer to clock")
+
+# A rename-only diff must not re-report the moved file's findings.
+execute_process(
+    COMMAND "${AFLINT}" --root "${OUT_DIR}" --since HEAD~1
+    RESULT_VARIABLE rc_rename
+    OUTPUT_VARIABLE out_rename
+    ERROR_VARIABLE err_rename)
+if(NOT rc_rename EQUAL 0)
+    message(FATAL_ERROR
+        "aflint --since over a rename-only diff re-reported "
+        "pre-existing findings (rc=${rc_rename}):\n"
+        "${out_rename}\n${err_rename}")
+endif()
+
+# The range that introduced the violation must still report it.
+execute_process(
+    COMMAND "${AFLINT}" --root "${OUT_DIR}" --since
+            "HEAD~2" --format=json
+    RESULT_VARIABLE rc_intro
+    OUTPUT_VARIABLE out_intro
+    ERROR_VARIABLE err_intro)
+if(NOT rc_intro EQUAL 1)
+    message(FATAL_ERROR
+        "aflint --since missed the violation introduced inside the "
+        "range (rc=${rc_intro}):\n${out_intro}\n${err_intro}")
+endif()
+if(NOT out_intro MATCHES "\"rule\":\"AF001\"")
+    message(FATAL_ERROR
+        "expected an AF001 finding for the renamed file, got:\n"
+        "${out_intro}")
+endif()

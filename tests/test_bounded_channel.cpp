@@ -234,3 +234,109 @@ TEST(BoundedChannelDeath, FullWithUndrainedMessagesPanics)
     ch.push(1, 0); // occupies the only slot, never popped
     EXPECT_DEATH(ch.push(2, 0), "un-drained");
 }
+
+// --------------------------------------------------------------------
+// Edge cases: depth-1, same-tick turnaround, exact-full boundary,
+// and mid-flight stats reset.
+// --------------------------------------------------------------------
+
+TEST(BoundedChannel, DepthOneSerializesEveryTransaction)
+{
+    sim::BoundedChannel<int> ch("ch", 1);
+
+    // The single slot round-trips each message: with the slot held to
+    // tick 50, the next push stalls to exactly that release.
+    EXPECT_EQ(ch.push(1, 0), 0u);
+    ch.dropFront(50);
+    EXPECT_EQ(ch.push(2, 10), 50u);
+    EXPECT_EQ(ch.stats().fullStalls.value(), 1u);
+    EXPECT_EQ(ch.stats().stallTicks.value(), 40u);
+    ch.dropFront(120);
+
+    // A push after the release flows without a stall.
+    EXPECT_EQ(ch.push(3, 130), 130u);
+    ch.dropFront(130);
+    EXPECT_EQ(ch.stats().fullStalls.value(), 1u);
+    EXPECT_EQ(ch.stats().peakOccupancy, 1u);
+    EXPECT_EQ(auditFailures(ch), 0u);
+}
+
+TEST(BoundedChannel, SameTickSendAndReceive)
+{
+    sim::BoundedChannel<int> ch("ch", 4);
+
+    // Push and consume at the identical tick: legal (a zero-lookahead
+    // channel), stamps all equal, nothing charged as a stall.
+    EXPECT_EQ(ch.push(1, 42), 42u);
+    EXPECT_EQ(ch.front().pushedAt, 42u);
+    EXPECT_EQ(ch.front().acceptedAt, 42u);
+    EXPECT_EQ(ch.pop(42), 1);
+    EXPECT_TRUE(ch.empty());
+    // A slot released at tick 42 is already free to a tick-42 push.
+    EXPECT_EQ(ch.inFlight(42), 0u);
+    EXPECT_EQ(ch.stats().fullStalls.value(), 0u);
+    EXPECT_EQ(ch.stats().stallTicks.value(), 0u);
+    EXPECT_EQ(auditFailures(ch), 0u);
+}
+
+TEST(BoundedChannel, BackpressureExactlyAtFullOccupancy)
+{
+    sim::BoundedChannel<int> ch("ch", 2);
+
+    // One of two slots in flight: one below capacity, no backpressure.
+    ch.push(1, 0);
+    ch.dropFront(100);
+    EXPECT_EQ(ch.inFlight(10), 1u);
+    EXPECT_FALSE(ch.wouldStall(10));
+
+    // Exactly at capacity: the boundary push must stall, and must be
+    // accepted exactly at the earliest release tick, not one later.
+    ch.push(2, 0);
+    ch.dropFront(200);
+    EXPECT_EQ(ch.inFlight(10), 2u);
+    EXPECT_TRUE(ch.wouldStall(10));
+    EXPECT_EQ(ch.push(3, 10), 100u);
+    EXPECT_EQ(ch.stats().fullStalls.value(), 1u);
+    EXPECT_EQ(ch.stats().stallTicks.value(), 90u);
+
+    // At the release tick itself the freed slot is usable: occupancy
+    // is back below capacity from the consumer's viewpoint.
+    ch.dropFront(300);
+    EXPECT_EQ(ch.inFlight(200), 1u);
+    EXPECT_FALSE(ch.wouldStall(200));
+    EXPECT_EQ(auditFailures(ch), 0u);
+}
+
+TEST(BoundedChannel, ResetStatsMidFlightRebasesConservation)
+{
+    sim::BoundedChannel<int> ch("ch", 4);
+    ch.push(1, 0);
+    ch.push(2, 5);
+    ch.push(3, 9);
+    ch.dropFront(500); // one slot in flight far into the future
+    EXPECT_EQ(auditFailures(ch), 0u);
+
+    // Reset mid-flight: conservation re-bases on the two queued
+    // messages, the peak restarts at the current depth, and the
+    // in-flight slot keeps its release tick.
+    ch.resetStats();
+    EXPECT_EQ(ch.stats().pushes.value(), 2u);
+    EXPECT_EQ(ch.stats().pops.value(), 0u);
+    EXPECT_EQ(ch.stats().fullStalls.value(), 0u);
+    EXPECT_EQ(ch.stats().stallTicks.value(), 0u);
+    EXPECT_EQ(ch.stats().peakOccupancy, 2u);
+    EXPECT_EQ(auditFailures(ch), 0u);
+
+    // The queue keeps draining consistently after the reset.
+    EXPECT_EQ(ch.pop(20), 2);
+    EXPECT_EQ(ch.pop(30), 3);
+    EXPECT_EQ(ch.stats().pops.value(), 2u);
+    EXPECT_EQ(auditFailures(ch), 0u);
+
+    // The pre-reset in-flight slot (release tick 500) still occupies
+    // capacity after the reset; the tick-20/30 slots have drained.
+    ch.push(4, 40);
+    ch.push(5, 40);
+    EXPECT_EQ(ch.inFlight(40), 3u); // 2 queued + the tick-500 slot
+    EXPECT_EQ(auditFailures(ch), 0u);
+}

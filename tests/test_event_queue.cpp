@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -380,4 +381,94 @@ TEST(EventQueue, ReserveDoesNotDisturbSemantics)
     EXPECT_EQ(order.front(), 499);
     EXPECT_EQ(order.back(), 0);
     EXPECT_EQ(eq.executed(), 500u);
+}
+
+// --------------------------------------------------------------------
+// Same-tick tie-break perturbation (the detshake hook).
+// --------------------------------------------------------------------
+
+TEST(EventQueuePerturbation, SeedZeroIsExactlyProductionOrder)
+{
+    // Seed 0 must be bit-for-bit the unperturbed insertion order,
+    // whether or not the hook is compiled in.
+    EventQueue eq;
+    eq.setTiePerturbation(0);
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueuePerturbation, NonzeroSeedPermutesSameTickTies)
+{
+    if (!EventQueue::tiePerturbationCompiledIn())
+        GTEST_SKIP() << "perturbation hook compiled out (Release)";
+
+    auto runWithSeed = [](std::uint64_t seed) {
+        EventQueue eq;
+        eq.setTiePerturbation(seed);
+        std::vector<int> order;
+        for (int i = 0; i < 16; ++i)
+            eq.schedule(5, [&order, i] { order.push_back(i); });
+        eq.run();
+        return order;
+    };
+
+    std::vector<int> identity(16);
+    for (int i = 0; i < 16; ++i)
+        identity[i] = i;
+
+    bool permuted = false;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        std::vector<int> order = runWithSeed(seed);
+        // Always a permutation: every event fires exactly once.
+        std::vector<int> sorted = order;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(sorted, identity);
+        if (order != identity)
+            permuted = true;
+        // The same seed replays the same permutation.
+        EXPECT_EQ(runWithSeed(seed), order);
+    }
+    EXPECT_TRUE(permuted)
+        << "no seed in 1..4 moved any same-tick tie";
+}
+
+TEST(EventQueuePerturbation, PerturbationRespectsTimeAndPriority)
+{
+    if (!EventQueue::tiePerturbationCompiledIn())
+        GTEST_SKIP() << "perturbation hook compiled out (Release)";
+
+    // Shaking ties must never reorder across ticks or priorities:
+    // only the order WITHIN a (when, prio) group may move.
+    EventQueue eq;
+    eq.setTiePerturbation(12345);
+    std::vector<int> order;
+    eq.schedule(20, [&] { order.push_back(200); });
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(10, [&order, i] { order.push_back(100 + i); });
+    eq.schedule(10, [&] { order.push_back(99); },
+                EventPriority::ClockEdge);
+    eq.schedule(10, [&] { order.push_back(150); },
+                EventPriority::Stats);
+    eq.run();
+    ASSERT_EQ(order.size(), 11u);
+    EXPECT_EQ(order.front(), 99);   // tick 10, ClockEdge
+    EXPECT_EQ(order[9], 150);       // tick 10, Stats
+    EXPECT_EQ(order.back(), 200);   // tick 20
+    for (std::size_t i = 1; i <= 8; ++i) {
+        EXPECT_GE(order[i], 100);
+        EXPECT_LT(order[i], 108);
+    }
+}
+
+TEST(EventQueuePerturbationDeath, NonzeroSeedFatalWhenCompiledOut)
+{
+    if (EventQueue::tiePerturbationCompiledIn())
+        GTEST_SKIP() << "hook compiled in; the seed is honored";
+    EventQueue eq;
+    EXPECT_EXIT(eq.setTiePerturbation(1),
+                ::testing::ExitedWithCode(1), "compiled out");
 }

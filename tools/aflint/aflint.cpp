@@ -43,6 +43,33 @@
  *          is selected by flash::BackendKind and instantiated inside
  *          the flash fabric.
  *
+ * v3 adds the nondeterminism rules backing the detshake determinism
+ * contract (DESIGN.md §14): the simulation must produce byte-identical
+ * stats under any same-tick event permutation, so no model may consult
+ * an ordering accident:
+ *
+ *   AF015  range-for iteration over a std::unordered_* container in
+ *          src/: hash-table iteration order is
+ *          implementation-defined, so any model decision made inside
+ *          such a loop depends on hashing accidents. Iterate a sorted
+ *          copy, keep a side order, or annotate walks whose body is
+ *          provably order-insensitive (pure audits / commutative
+ *          accumulation).
+ *   AF016  pointer-keyed associative container in src/: ordering (and
+ *          unordered hashing) over raw addresses varies run to run
+ *          with the allocator; key on a stable identity (id, page
+ *          number) instead.
+ *   AF017  mutable namespace-scope / static-storage state in src/:
+ *          hidden globals leak simulation state across Systems and
+ *          break SweepRunner's isolated-replica byte-identity. The
+ *          reviewed owners (checks arming flag, tracer, uthread
+ *          current pointer) are allowlisted in kStateOwners.
+ *   AF018  sim::BoundedChannel constructed without a declared
+ *          ChannelContract: every channel must state its minimum
+ *          push-to-consume latency (the lookahead manifest) so the
+ *          causality auditor can certify it and a conservative
+ *          parallel engine could schedule against it.
+ *
  * Comments and string literals are stripped (newlines preserved)
  * before matching, so prose never trips a rule. Intentional
  * exceptions are annotated in a comment on the offending line:
@@ -827,6 +854,416 @@ checkConcreteFlashTypes(const std::vector<Token> &toks,
     }
 }
 
+/**
+ * AF015 is resolved across the whole scan: container names are
+ * declared in headers and iterated in implementation files, so the
+ * declared-as-unordered name set is accumulated globally while files
+ * are scanned and the recorded range-for sites are judged afterwards
+ * (resolveUnorderedIteration). Over-approximate by name on purpose: a
+ * name declared unordered anywhere flags its iteration everywhere,
+ * and reviewed order-insensitive walks carry an annotation.
+ */
+struct UnorderedIterationState {
+    std::set<std::string> declaredUnordered;
+    struct Site {
+        std::string file;
+        int line;
+        std::string name;
+        bool suppressed;
+    };
+    std::vector<Site> sites;
+};
+
+UnorderedIterationState g_af015;
+
+/** Skip to the token after a balanced <...> opening at @p open. */
+std::size_t
+skipAngles(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t k = open; k < toks.size(); ++k) {
+        if (toks[k].text == "<") {
+            ++depth;
+        } else if (toks[k].text == ">") {
+            if (--depth == 0)
+                return k + 1;
+        }
+    }
+    return toks.size();
+}
+
+/** AF015 collection: declared std::unordered_* names + range-fors. */
+void
+collectUnorderedIteration(const std::vector<Token> &toks,
+                          const std::string &file,
+                          const Suppressions &sup)
+{
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (!(tokIs(toks, i, "std") && tokIs(toks, i + 1, "::")))
+            continue;
+        if (toks[i + 2].text.rfind("unordered_", 0) != 0 ||
+            !tokIs(toks, i + 3, "<"))
+            continue;
+        const std::size_t after = skipAngles(toks, i + 3);
+        // `std::unordered_map<K,V> name` declares; `...>::iterator`
+        // or a bare type mention does not.
+        if (after < toks.size() &&
+            toks[after].kind == Token::Kind::Ident)
+            g_af015.declaredUnordered.insert(toks[after].text);
+    }
+
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!tokIs(toks, i, "for") || !tokIs(toks, i + 1, "("))
+            continue;
+        int depth = 1;
+        std::size_t colon = 0, close = 0;
+        for (std::size_t k = i + 2; k < toks.size(); ++k) {
+            const std::string &x = toks[k].text;
+            if (x == "(") {
+                ++depth;
+            } else if (x == ")") {
+                if (--depth == 0) {
+                    close = k;
+                    break;
+                }
+            } else if (x == ":" && depth == 1 && colon == 0) {
+                colon = k;
+            }
+        }
+        if (colon == 0 || close == 0)
+            continue;
+        // The last identifier of the range expression names the
+        // container (`bc.pending` -> pending). A trailing call is a
+        // factory, not a container name.
+        std::string name;
+        int line = 0;
+        for (std::size_t k = colon + 1; k < close; ++k) {
+            if (toks[k].kind == Token::Kind::Ident &&
+                !tokIs(toks, k + 1, "(")) {
+                name = toks[k].text;
+                line = toks[k].line;
+            }
+        }
+        if (!name.empty()) {
+            g_af015.sites.push_back({file, line, name,
+                                     sup.allows(line, "AF015")});
+        }
+    }
+}
+
+/** AF015 resolution, after every file contributed declarations. */
+void
+resolveUnorderedIteration(std::vector<Finding> &out)
+{
+    for (const UnorderedIterationState::Site &s : g_af015.sites) {
+        if (s.suppressed ||
+            g_af015.declaredUnordered.count(s.name) == 0)
+            continue;
+        out.push_back(
+            {s.file, s.line, "AF015",
+             "range-for over unordered container '" + s.name +
+                 "': hash iteration order is nondeterministic; "
+                 "iterate a sorted copy or keep a side order"});
+    }
+}
+
+/**
+ * AF016: an associative container keyed on a raw pointer orders (or
+ * hashes) by address, which varies run to run with the allocator.
+ */
+void
+checkPointerKeyedContainers(const std::vector<Token> &toks,
+                            const std::string &file,
+                            const Suppressions &sup,
+                            std::vector<Finding> &out)
+{
+    static const std::set<std::string> kAssoc = {
+        "map",           "set",
+        "multimap",      "multiset",
+        "unordered_map", "unordered_set",
+        "unordered_multimap", "unordered_multiset"};
+    for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Ident ||
+            kAssoc.count(toks[i].text) == 0 ||
+            !tokIs(toks, i + 1, "<"))
+            continue;
+        if (!(tokIs(toks, i - 2, "std") && tokIs(toks, i - 1, "::")))
+            continue;
+        // Scan the first template argument (the key type) only.
+        int depth = 0;
+        bool pointer_key = false;
+        for (std::size_t k = i + 1; k < toks.size(); ++k) {
+            const std::string &x = toks[k].text;
+            if (x == "<") {
+                ++depth;
+            } else if (x == ">") {
+                if (--depth == 0)
+                    break;
+            } else if (x == "," && depth == 1) {
+                break;
+            } else if (x == "*" && depth == 1) {
+                pointer_key = true;
+            }
+        }
+        const int line = toks[i].line;
+        if (pointer_key && !sup.allows(line, "AF016")) {
+            out.push_back(
+                {file, line, "AF016",
+                 "std::" + toks[i].text +
+                     " keyed on a raw pointer orders by address, "
+                     "which varies run to run; key on a stable "
+                     "identity (id / page number) instead"});
+        }
+    }
+}
+
+/**
+ * AF017: mutable static-storage state. Two passes over the
+ * preprocessor-free token stream: (a) `static` / `thread_local`
+ * declarations that are neither const-qualified nor functions, and
+ * (b) keyword-less namespace-scope definitions with an initializer
+ * (caught by a brace-scope classifier, so `int g_checks = 1;` at
+ * namespace scope is found even without a storage keyword).
+ */
+void
+checkMutableStaticState(const std::vector<Token> &all_toks,
+                        const std::vector<std::string> &lines,
+                        const std::string &file, const Suppressions &sup,
+                        std::vector<Finding> &out)
+{
+    // Reviewed global-state owners: the checks arming flag, the
+    // tracer's install point, and the uthread current pointer.
+    static const std::set<std::string> kStateOwners = {
+        "src/sim/invariant.cc", "src/sim/trace_events.cc",
+        "src/uthread/uthread.cc"};
+    if (kStateOwners.count(file) != 0)
+        return;
+
+    // Drop tokens on preprocessor-directive lines: macro definitions
+    // are not runtime state.
+    std::vector<char> pp(lines.size() + 1, 0);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        for (const char c : lines[i]) {
+            if (std::isspace(static_cast<unsigned char>(c)))
+                continue;
+            pp[i + 1] = c == '#';
+            break;
+        }
+    }
+    std::vector<Token> toks;
+    toks.reserve(all_toks.size());
+    for (const Token &t : all_toks) {
+        if (static_cast<std::size_t>(t.line) >= pp.size() ||
+            !pp[static_cast<std::size_t>(t.line)])
+            toks.push_back(t);
+    }
+
+    static const std::set<std::string> kConstQual = {
+        "const", "constexpr", "constinit"};
+
+    // Pass (a): static / thread_local declarations.
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!(tokIs(toks, i, "static") ||
+              tokIs(toks, i, "thread_local")))
+            continue;
+        bool const_qual = false, function = false;
+        int depth = 0;
+        for (std::size_t k = i + 1; k < toks.size(); ++k) {
+            const Token &x = toks[k];
+            if (x.kind == Token::Kind::Punct) {
+                if (x.text == "(") {
+                    if (depth == 0 && k > 0 &&
+                        toks[k - 1].kind == Token::Kind::Ident)
+                        function = true;
+                    ++depth;
+                } else if (x.text == ")") {
+                    --depth;
+                } else if (depth == 0 &&
+                           (x.text == ";" || x.text == "=" ||
+                            x.text == "{")) {
+                    break;
+                }
+            } else if (depth == 0 &&
+                       kConstQual.count(x.text) != 0) {
+                const_qual = true;
+            }
+        }
+        const int line = toks[i].line;
+        if (!const_qual && !function && !sup.allows(line, "AF017")) {
+            out.push_back(
+                {file, line, "AF017",
+                 std::string(toks[i].text) +
+                     " mutable state: hidden static storage leaks "
+                     "simulation state across Systems and breaks "
+                     "SweepRunner replica isolation"});
+        }
+    }
+
+    // Pass (b): namespace-scope definitions without a storage keyword.
+    static const std::set<std::string> kStmtSkip = {
+        "static",  "thread_local", "using",    "typedef",
+        "template", "extern",      "operator", "friend",
+        "namespace", "class",      "struct",   "union",
+        "enum"};
+    int paren = 0;
+    int non_ns_scopes = 0;
+    std::vector<char> scope_is_ns;
+    std::size_t stmt = 0; ///< First token of the current statement.
+    auto stmtFlags = [&](std::size_t from, std::size_t to,
+                         bool &skip, bool &call, int &line) {
+        skip = false;
+        call = false;
+        line = 0;
+        int d = 0;
+        for (std::size_t k = from; k < to; ++k) {
+            const Token &x = toks[k];
+            if (x.kind == Token::Kind::Ident) {
+                if (kStmtSkip.count(x.text) != 0 ||
+                    kConstQual.count(x.text) != 0)
+                    skip = true;
+                line = x.line;
+            } else if (x.text == "(") {
+                if (d == 0)
+                    call = true;
+                ++d;
+            } else if (x.text == ")") {
+                --d;
+            }
+        }
+    };
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Token::Kind::Punct) {
+            continue;
+        } else if (t.text == "(") {
+            ++paren;
+        } else if (t.text == ")") {
+            --paren;
+        } else if (t.text == "{" && paren == 0) {
+            bool skip = false, call = false;
+            int line = 0;
+            stmtFlags(stmt, i, skip, call, line);
+            // `T name{init};` at namespace scope: flag before the
+            // brace opens an (ignored) inner scope.
+            if (non_ns_scopes == 0 && !skip && !call && line != 0 &&
+                i > stmt && toks[i - 1].kind == Token::Kind::Ident &&
+                i - stmt >= 2 && !sup.allows(line, "AF017")) {
+                out.push_back(
+                    {file, line, "AF017",
+                     "mutable namespace-scope state '" +
+                         toks[i - 1].text +
+                         "': hidden globals leak simulation state "
+                         "across Systems"});
+            }
+            bool ns = false;
+            for (std::size_t k = stmt; k < i; ++k) {
+                if (tokIs(toks, k, "namespace"))
+                    ns = true;
+            }
+            scope_is_ns.push_back(ns);
+            if (!ns)
+                ++non_ns_scopes;
+            stmt = i + 1;
+        } else if (t.text == "}" && paren == 0) {
+            if (!scope_is_ns.empty()) {
+                if (!scope_is_ns.back())
+                    --non_ns_scopes;
+                scope_is_ns.pop_back();
+            }
+            stmt = i + 1;
+        } else if (t.text == ";" && paren == 0) {
+            if (non_ns_scopes == 0) {
+                // Namespace scope: a statement with a top-level `=`
+                // and no call parens before it defines a mutable
+                // variable.
+                std::size_t eq = 0;
+                int d = 0;
+                for (std::size_t k = stmt; k < i && eq == 0; ++k) {
+                    if (toks[k].text == "(")
+                        ++d;
+                    else if (toks[k].text == ")")
+                        --d;
+                    else if (toks[k].text == "=" && d == 0)
+                        eq = k;
+                }
+                if (eq != 0) {
+                    bool skip = false, call = false;
+                    int line = 0;
+                    stmtFlags(stmt, eq, skip, call, line);
+                    if (!skip && !call && line != 0 &&
+                        toks[eq - 1].kind == Token::Kind::Ident &&
+                        !sup.allows(line, "AF017")) {
+                        out.push_back(
+                            {file, line, "AF017",
+                             "mutable namespace-scope state '" +
+                                 toks[eq - 1].text +
+                                 "': hidden globals leak simulation "
+                                 "state across Systems"});
+                    }
+                }
+            }
+            stmt = i + 1;
+        }
+    }
+}
+
+/**
+ * AF018: every sim::BoundedChannel construction must declare its
+ * ChannelContract (the lookahead manifest): a two-argument
+ * construction takes the default contract of zero minimum latency,
+ * which certifies nothing and would stall a conservative parallel
+ * engine. Matches direct `BoundedChannel<T>(...)` constructions and
+ * `make_unique<...BoundedChannel<T>>(...)`.
+ */
+void
+checkChannelContractDeclared(const std::vector<Token> &toks,
+                             const std::string &file,
+                             const Suppressions &sup,
+                             std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!tokIs(toks, i, "BoundedChannel") ||
+            !tokIs(toks, i + 1, "<"))
+            continue;
+        std::size_t k = skipAngles(toks, i + 1);
+        // Close any enclosing template (make_unique<...>) before the
+        // call parens; a declaration or parameter never follows its
+        // '>' with '('.
+        while (tokIs(toks, k, ">"))
+            ++k;
+        if (!tokIs(toks, k, "("))
+            continue;
+        int depth = 0, commas = 0;
+        bool any = false, closed = false;
+        for (std::size_t p = k; p < toks.size(); ++p) {
+            const std::string &x = toks[p].text;
+            if (x == "(") {
+                ++depth;
+            } else if (x == ")") {
+                if (--depth == 0) {
+                    closed = true;
+                    break;
+                }
+            } else if (x == "," && depth == 1) {
+                ++commas;
+            } else {
+                any = true;
+            }
+        }
+        const int nargs = any ? commas + 1 : 0;
+        const int line = toks[i].line;
+        if (closed && nargs >= 1 && nargs < 3 &&
+            !sup.allows(line, "AF018")) {
+            out.push_back(
+                {file, line, "AF018",
+                 "BoundedChannel constructed without a declared "
+                 "ChannelContract; state the channel's minimum "
+                 "push-to-consume latency (lookahead manifest, "
+                 "DESIGN.md §14)"});
+        }
+    }
+}
+
 void
 scanFile(const fs::path &path, const std::string &rel,
          std::vector<Finding> &out)
@@ -872,6 +1309,12 @@ scanFile(const fs::path &path, const std::string &rel,
     checkPowerOfTwoLiterals(toks, rel, sup, out);
     checkChannelBypass(toks, rel, sup, out);
     checkConcreteFlashTypes(toks, rel, sup, out);
+    if (under_src) {
+        collectUnorderedIteration(toks, rel, sup);
+        checkPointerKeyedContainers(toks, rel, sup, out);
+        checkMutableStaticState(toks, lines, rel, sup, out);
+        checkChannelContractDeclared(toks, rel, sup, out);
+    }
 }
 
 std::string
@@ -941,8 +1384,13 @@ main(int argc, char **argv)
         // Diff mode: replace the scan roots with the source files git
         // reports as changed since the ref (pre-commit usage; the
         // full-tree scan stays the CI gate).
+        // --name-status -M so renames are recognized as renames: a
+        // pure rename (R100) carries no new code and is skipped
+        // outright instead of re-reporting every pre-existing finding
+        // under the moved path; a rename with edits (R0xx) scans the
+        // new path like any modification.
         const std::string cmd = "git -C '" + opt.root +
-                                "' diff --name-only '" +
+                                "' diff --name-status -M '" +
                                 opt.sinceRef + "' --";
         FILE *pipe = popen(cmd.c_str(), "r");
         if (pipe == nullptr) {
@@ -961,8 +1409,23 @@ main(int argc, char **argv)
         }
         opt.paths.clear();
         std::istringstream names(listing);
-        std::string name;
-        while (std::getline(names, name)) {
+        std::string entry;
+        while (std::getline(names, entry)) {
+            // Each line is "STATUS\tpath" or "Rnnn\told\tnew".
+            const std::size_t tab = entry.find('\t');
+            if (tab == std::string::npos)
+                continue;
+            const std::string status = entry.substr(0, tab);
+            std::string name = entry.substr(tab + 1);
+            if (status.empty() || status[0] == 'D' ||
+                status == "R100" || status == "C100")
+                continue;
+            if (status[0] == 'R' || status[0] == 'C') {
+                const std::size_t tab2 = name.find('\t');
+                if (tab2 == std::string::npos)
+                    continue;
+                name = name.substr(tab2 + 1);
+            }
             if (name.empty() || !isSourceFile(fs::path(name)))
                 continue;
             if (fs::is_regular_file(root / name))
@@ -1006,6 +1469,7 @@ main(int argc, char **argv)
             scanFile(f, rel, findings);
         }
     }
+    resolveUnorderedIteration(findings);
 
     for (const Finding &f : findings) {
         if (opt.json) {
