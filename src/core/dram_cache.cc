@@ -7,7 +7,8 @@ namespace astriflash::core {
 DramCache::DramCache(sim::EventQueue &eq, std::string name,
                      const DramCacheConfig &config,
                      flash::Backend &flash,
-                     const mem::AddressMap &amap)
+                     const mem::AddressMap &amap,
+                     const std::vector<sim::EventQueue *> &bc_queues)
     : sim::SimObject(eq, std::move(name)), cfg(config), flashDev(flash),
       dramModel(SimObject::name() + ".dram", config.dram),
       pageTags(SimObject::name() + ".tags", config.capacityBytes,
@@ -83,9 +84,15 @@ DramCache::DramCache(sim::EventQueue &eq, std::string name,
                 SimObject::name() + ".bc_to_fc" + tag,
                 cfg.channels.bcToFcDepth, install_contract));
     }
+    if (!bc_queues.empty() && bc_queues.size() != shards) {
+        ASTRI_FATAL("%s: %zu domain queues for %u BC shards",
+                    SimObject::name().c_str(), bc_queues.size(),
+                    shards);
+    }
     for (std::uint32_t i = 0; i < shards; ++i) {
         bcCtls.push_back(std::make_unique<BacksideController>(
-            eq, SimObject::name() + ".bc" + shardTag(i), cfg, amap,
+            bc_queues.empty() ? eq : *bc_queues[i],
+            SimObject::name() + ".bc" + shardTag(i), cfg, amap,
             dramModel, pageTags, footprint, *fcToBc[i], *bcToFlash[i],
             *bcToFc[i], shardSlice(cfg.bc.msrSets, shards, i),
             cfg.bc.msrEntriesPerSet,

@@ -77,9 +77,19 @@ class DramCache : public sim::SimObject
         std::uint64_t peakOutstanding = 0;
     };
 
+    /**
+     * @param bc_queues  Optional per-shard event queues (one per BC
+     *                   shard) for sim::ParallelEngine domain
+     *                   partitioning; empty keeps every controller on
+     *                   @p eq. The queues must share @p eq's
+     *                   EventQueueGroup — the controllers exchange
+     *                   synchronous state through the facade, so their
+     *                   domains form one exec group (DESIGN.md §15).
+     */
     DramCache(sim::EventQueue &eq, std::string name,
               const DramCacheConfig &config, flash::Backend &flash,
-              const mem::AddressMap &amap);
+              const mem::AddressMap &amap,
+              const std::vector<sim::EventQueue *> &bc_queues = {});
 
     /** Register the page-arrival notification hook. */
     void

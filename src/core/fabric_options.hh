@@ -3,11 +3,13 @@
  * Shared CLI binding for the shard/fabric knobs.
  *
  * Every binary that builds a System (astriflash_sim, the figure
- * benches, the ablation) exposes the same three flags:
+ * benches, the ablation) exposes the same four flags:
  *
  *   --bc-shards=N       backside-controller shards
  *   --flash-devices=M   flash devices behind the fabric
  *   --flash-backend=K   concrete device model ("ftl" or "zns")
+ *   --host-jobs=N       host worker threads per run (conservative
+ *                       parallel engine; stats byte-identical at any N)
  *
  * This helper holds the parsed values (defaulted from the config
  * structs so the flags are optional), registers the flags on a
@@ -29,14 +31,16 @@
 
 namespace astriflash::core {
 
-/** Parsed --bc-shards / --flash-devices / --flash-backend values. */
+/** Parsed --bc-shards / --flash-devices / --flash-backend /
+ *  --host-jobs values. */
 struct FabricOptions {
     std::uint32_t bcShards = BcConfig{}.shards;
     std::uint32_t flashDevices = flash::FlashFabricConfig{}.devices;
     flash::BackendKind flashBackend =
         flash::FlashFabricConfig{}.backend;
+    std::uint32_t hostJobs = SystemConfig{}.hostJobs;
 
-    /** Register the three flags on @p opts. */
+    /** Register the four flags on @p opts. */
     void
     addTo(sim::OptionParser &opts)
     {
@@ -50,6 +54,9 @@ struct FabricOptions {
             [this](const std::string &value) {
                 return flash::parseBackendKind(value, &flashBackend);
             });
+        opts.addUint32("host-jobs", &hostJobs,
+                       "host worker threads per run (1 = legacy "
+                       "single-queue loop; stats identical at any N)");
     }
 
     /** Copy the parsed values into @p cfg. */
@@ -59,6 +66,7 @@ struct FabricOptions {
         cfg.dramCache.bc.shards = bcShards;
         cfg.dramCache.fabric.devices = flashDevices;
         cfg.dramCache.fabric.backend = flashBackend;
+        cfg.hostJobs = hostJobs == 0 ? 1 : hostJobs;
     }
 };
 

@@ -25,6 +25,7 @@
 #include "sim/causality.hh"
 #include "sim/event_queue.hh"
 #include "sim/invariant.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/stats.hh"
 #include "workload/workload.hh"
 
@@ -142,6 +143,33 @@ class System
 
     const SystemConfig &config() const { return cfg; }
     sim::EventQueue &eventQueue() { return eq; }
+
+    /** Per-BC-shard domain queues (empty unless hostJobs > 1 built a
+     *  partitioned system). */
+    std::size_t domainQueueCount() const { return bcQueues.size(); }
+
+    /** Events executed across every domain queue (== the single
+     *  queue's count when unpartitioned). */
+    std::uint64_t
+    eventsExecuted() const
+    {
+        std::uint64_t total = eq.executed();
+        for (const auto &q : bcQueues)
+            total += q->executed();
+        return total;
+    }
+
+    /**
+     * Engine telemetry from the last run() (zeroes when the legacy
+     * hostJobs=1 loop ran). Deliberately NOT in the stats tree:
+     * host-parallelism bookkeeping must never move golden bytes, the
+     * same rule the causality auditor follows.
+     */
+    const sim::ParallelEngine::Stats &
+    engineStats() const
+    {
+        return engineStatsData;
+    }
     DramCache *dramCache() { return dcache.get(); }
     flash::FlashFabric &flash() { return *flashDev; }
     const mem::AddressMap &addressMap() const { return *amap; }
@@ -187,6 +215,9 @@ class System
     void scheduleNextArrival();
     void beginMeasurement(sim::Ticks now);
 
+    /** Engine-driven event loop for hostJobs > 1 (see run()). */
+    void runParallel(sim::Ticks next_check);
+
     /** Build the component stat tree (end of construction). */
     void registerStats();
 
@@ -197,7 +228,15 @@ class System
     /** Declared before the event queue and every channel owner so it
      *  outlives all components that hold hooks into it. */
     sim::CausalityAuditor auditor;
+    /** Shared clock/sequence state for the partitioned run: the main
+     *  queue and every BC shard queue join it when hostJobs > 1, so
+     *  the merged execution is bit-identical to one queue. */
+    sim::EventQueueGroup eqGroup;
     sim::EventQueue eq;
+    /** Per-BC-shard domain queues (hostJobs > 1 only). Built before
+     *  the DramCache so the shards schedule onto them. */
+    std::vector<std::unique_ptr<sim::EventQueue>> bcQueues;
+    sim::ParallelEngine::Stats engineStatsData;
 
     std::unique_ptr<mem::AddressMap> amap;
     std::unique_ptr<mem::PageTableModel> ptModel;

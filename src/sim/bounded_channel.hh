@@ -27,6 +27,7 @@
 #define ASTRIFLASH_SIM_BOUNDED_CHANNEL_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -119,6 +120,21 @@ class BoundedChannel
     bool wouldStall(Ticks now) const { return inFlight(now) >= cap; }
 
     /**
+     * Stamp watermark: accept tick of the oldest un-popped message,
+     * or kTickNever when the channel is idle. Lock-free — a single
+     * atomic load — so a domain scheduler (sim::ParallelEngine
+     * horizon computation) on another host thread can read "earliest
+     * undelivered stamp" without taking the channel's mutation path.
+     * Combined with the declared lookahead it bounds the earliest
+     * consumer-side work this channel can still cause.
+     */
+    Ticks
+    stampWatermark() const
+    {
+        return watermark.load(std::memory_order_acquire);
+    }
+
+    /**
      * Enqueue @p msg at @p now.
      *
      * @return the accept tick: @p now if a slot is free, else the tick
@@ -158,6 +174,7 @@ class BoundedChannel
             statsData.peakOccupancy = live;
         const std::uint64_t seq = ++lastSeq;
         waiting.push_back(Stamped{std::move(msg), now, accept, seq});
+        publishWatermark();
         if (auditor)
             auditor->onPush(auditId, seq, now, accept);
         if (drainHook)
@@ -201,6 +218,7 @@ class BoundedChannel
                                s.acceptedAt, consumed_at);
         }
         waiting.pop_front();
+        publishWatermark();
         statsData.pops.inc();
         busyUntil.push_back(release_at);
     }
@@ -315,6 +333,14 @@ class BoundedChannel
         SIM_INVARIANT(chk,
                       statsData.peakOccupancy <=
                           statsData.pushes.value());
+        SIM_INVARIANT_MSG(chk,
+                          stampWatermark() ==
+                              (waiting.empty()
+                                   ? kTickNever
+                                   : waiting.front().acceptedAt),
+                          "%s: stamp watermark out of sync with the "
+                          "queue front",
+                          chName.c_str());
     }
 
   private:
@@ -326,6 +352,15 @@ class BoundedChannel
                       [now](Ticks t) { return t <= now; });
     }
 
+    /** Mirror the front stamp after every queue mutation. */
+    void
+    publishWatermark()
+    {
+        watermark.store(waiting.empty() ? kTickNever
+                                        : waiting.front().acceptedAt,
+                        std::memory_order_release);
+    }
+
     std::string chName;
     std::uint32_t cap;
     ChannelContract channelContract;
@@ -334,6 +369,7 @@ class BoundedChannel
     std::uint64_t lastSeq = 0;
     std::deque<Stamped> waiting;    ///< Pushed, not yet popped.
     std::vector<Ticks> busyUntil;   ///< Popped slots' release ticks.
+    std::atomic<Ticks> watermark{kTickNever};
     DrainHook drainHook;
     Stats statsData;
 };

@@ -7,8 +7,11 @@
 
 namespace astriflash::sim {
 
-SweepRunner::SweepRunner(unsigned jobs)
-    : jobCount(jobs == 0 ? hardwareJobs() : jobs)
+SweepRunner::SweepRunner(unsigned jobs, HostClamp clamp)
+    : jobCount(jobs == 0 ? hardwareJobs()
+               : clamp == HostClamp::ToHardware
+                   ? std::min(jobs, hardwareJobs())
+                   : jobs)
 {
 }
 

@@ -35,11 +35,24 @@ class SweepRunner
 {
   public:
     /**
-     * @param jobs  Worker threads for each run() batch; 0 picks the
-     *              host's hardware concurrency, 1 runs inline on the
-     *              calling thread (no threads spawned).
+     * Whether a requested job count is clamped to the host's hardware
+     * concurrency. Oversubscribing whole-simulation tasks only adds
+     * context-switch overhead (the 0.81x "speedup" once recorded in
+     * BENCH_sweep.json on a 1-CPU runner), so clamping is the default;
+     * Unbounded exists for tests that deliberately exercise the
+     * thread pool on hosts with fewer cores than workers.
      */
-    explicit SweepRunner(unsigned jobs = 1);
+    enum class HostClamp { ToHardware, Unbounded };
+
+    /**
+     * @param jobs   Worker threads for each run() batch; 0 picks the
+     *               host's hardware concurrency, 1 runs inline on the
+     *               calling thread (no threads spawned).
+     * @param clamp  ToHardware (default) caps @p jobs at
+     *               hardwareJobs(); Unbounded takes it verbatim.
+     */
+    explicit SweepRunner(unsigned jobs = 1,
+                         HostClamp clamp = HostClamp::ToHardware);
 
     /** Worker threads a batch will use. */
     unsigned jobs() const { return jobCount; }

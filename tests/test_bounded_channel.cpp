@@ -340,3 +340,44 @@ TEST(BoundedChannel, ResetStatsMidFlightRebasesConservation)
     EXPECT_EQ(ch.inFlight(40), 3u); // 2 queued + the tick-500 slot
     EXPECT_EQ(auditFailures(ch), 0u);
 }
+
+// --------------------------------------------------------------------
+// Stamp watermark: the lock-free "earliest undelivered stamp" the
+// parallel engine's horizon computation reads from another thread.
+// --------------------------------------------------------------------
+
+TEST(BoundedChannel, WatermarkTracksTheFrontAcceptStamp)
+{
+    sim::BoundedChannel<int> ch("ch", 4);
+    EXPECT_EQ(ch.stampWatermark(), sim::kTickNever); // idle
+
+    ch.push(1, 10);
+    EXPECT_EQ(ch.stampWatermark(), 10u);
+
+    // A later push does not move the watermark: it mirrors the OLDEST
+    // undelivered message, which bounds the earliest consumer work.
+    ch.push(2, 25);
+    EXPECT_EQ(ch.stampWatermark(), 10u);
+
+    ch.dropFront(30);
+    EXPECT_EQ(ch.stampWatermark(), 25u);
+    ch.dropFront(40);
+    EXPECT_EQ(ch.stampWatermark(), sim::kTickNever); // idle again
+    EXPECT_EQ(auditFailures(ch), 0u);
+}
+
+TEST(BoundedChannel, WatermarkCarriesTheStalledAcceptTick)
+{
+    sim::BoundedChannel<int> ch("ch", 1);
+    ch.push(1, 0);
+    ch.dropFront(50); // slot busy to tick 50
+
+    // The stalled push is accepted at 50, and it is the accept stamp —
+    // not the push tick — the watermark must publish: no consumer-side
+    // work can precede the tick the message actually entered.
+    EXPECT_EQ(ch.push(2, 10), 50u);
+    EXPECT_EQ(ch.stampWatermark(), 50u);
+    ch.dropFront(60);
+    EXPECT_EQ(ch.stampWatermark(), sim::kTickNever);
+    EXPECT_EQ(auditFailures(ch), 0u);
+}

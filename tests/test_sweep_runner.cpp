@@ -35,7 +35,8 @@ TEST(SweepRunner, ResultsComeBackInSubmissionOrder)
             return i;
         });
     }
-    const sim::SweepRunner runner(4);
+    const sim::SweepRunner runner(
+        4, sim::SweepRunner::HostClamp::Unbounded);
     const std::vector<int> out = runner.run(std::move(tasks));
     ASSERT_EQ(out.size(), 32u);
     for (int i = 0; i < 32; ++i)
@@ -47,6 +48,24 @@ TEST(SweepRunner, JobsZeroMeansHardwareConcurrency)
     const sim::SweepRunner runner(0);
     EXPECT_EQ(runner.jobs(), sim::SweepRunner::hardwareJobs());
     EXPECT_GE(runner.jobs(), 1u);
+}
+
+TEST(SweepRunner, OversubscribedJobsClampToHardwareByDefault)
+{
+    const unsigned hw = sim::SweepRunner::hardwareJobs();
+    const sim::SweepRunner clamped(hw + 64);
+    EXPECT_EQ(clamped.jobs(), hw);
+    // A request within the host's budget is taken verbatim.
+    const sim::SweepRunner inBudget(1);
+    EXPECT_EQ(inBudget.jobs(), 1u);
+}
+
+TEST(SweepRunner, UnboundedClampTakesJobsVerbatim)
+{
+    const unsigned hw = sim::SweepRunner::hardwareJobs();
+    const sim::SweepRunner runner(
+        hw + 7, sim::SweepRunner::HostClamp::Unbounded);
+    EXPECT_EQ(runner.jobs(), hw + 7);
 }
 
 TEST(SweepRunner, SingleJobRunsInline)
@@ -70,7 +89,8 @@ TEST(SweepRunner, FirstSubmittedExceptionWins)
             return i;
         });
     }
-    const sim::SweepRunner runner(4);
+    const sim::SweepRunner runner(
+        4, sim::SweepRunner::HostClamp::Unbounded);
     try {
         runner.run(std::move(tasks));
         FAIL() << "expected the sweep to rethrow";
@@ -82,7 +102,8 @@ TEST(SweepRunner, FirstSubmittedExceptionWins)
 TEST(SweepRunner, RunIndexedVisitsEveryIndexOnce)
 {
     std::vector<std::atomic<int>> hits(64);
-    const sim::SweepRunner runner(4);
+    const sim::SweepRunner runner(
+        4, sim::SweepRunner::HostClamp::Unbounded);
     runner.runIndexed(hits.size(), [&](std::size_t i) {
         hits[i].fetch_add(1, std::memory_order_relaxed);
     });
@@ -116,7 +137,11 @@ statsBatch(unsigned host_jobs)
             });
         }
     }
-    return sim::SweepRunner(host_jobs).run(std::move(tasks));
+    // Unbounded: the point is exercising real worker threads even on
+    // a single-core CI host.
+    return sim::SweepRunner(host_jobs,
+                            sim::SweepRunner::HostClamp::Unbounded)
+        .run(std::move(tasks));
 }
 
 } // namespace

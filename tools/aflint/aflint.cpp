@@ -69,6 +69,14 @@
  *          push-to-consume latency (the lookahead manifest) so the
  *          causality auditor can certify it and a conservative
  *          parallel engine could schedule against it.
+ *   AF019  scheduling through another component's eventQueue()
+ *          accessor in src/ (outside src/sim/): under the domain
+ *          partition (DESIGN.md §15) each EventQueue belongs to one
+ *          domain, so `other.eventQueue().schedule(...)` injects
+ *          work into a queue that may be executing on a different
+ *          host thread. Components schedule only on their own held
+ *          queue reference; cross-domain work crosses a contracted
+ *          BoundedChannel (or ParallelEngine::post).
  *
  * Comments and string literals are stripped (newlines preserved)
  * before matching, so prose never trips a rule. Intentional
@@ -1264,6 +1272,44 @@ checkChannelContractDeclared(const std::vector<Token> &toks,
     }
 }
 
+/**
+ * AF019: `<expr>.eventQueue().schedule(...)` (or -> forms) from src/
+ * outside src/sim/. The accessor names SOMEBODY's queue — under the
+ * domain partition possibly one executing on another host thread —
+ * so scheduling through it bypasses both the channel seam and the
+ * engine's deterministic post mailbox. The kernel layer itself
+ * (src/sim/, which implements queues, engines, and SimObject) is
+ * exempt.
+ */
+void
+checkCrossDomainScheduling(const std::vector<Token> &toks,
+                           const std::string &file,
+                           const Suppressions &sup,
+                           std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+        if (!tokIs(toks, i, "eventQueue") || !tokIs(toks, i + 1, "(") ||
+            !tokIs(toks, i + 2, ")"))
+            continue;
+        if (!tokIs(toks, i + 3, ".") && !tokIs(toks, i + 3, "->"))
+            continue;
+        if (!tokIs(toks, i + 4, "schedule") &&
+            !tokIs(toks, i + 4, "scheduleIn"))
+            continue;
+        if (!tokIs(toks, i + 5, "("))
+            continue;
+        const int line = toks[i].line;
+        if (sup.allows(line, "AF019"))
+            continue;
+        out.push_back(
+            {file, line, "AF019",
+             "scheduling through an eventQueue() accessor injects "
+             "work into another domain's queue; schedule on the "
+             "component's own queue reference, and cross domains "
+             "only via a contracted channel (DESIGN.md §15)"});
+    }
+}
+
 void
 scanFile(const fs::path &path, const std::string &rel,
          std::vector<Finding> &out)
@@ -1314,6 +1360,8 @@ scanFile(const fs::path &path, const std::string &rel,
         checkPointerKeyedContainers(toks, rel, sup, out);
         checkMutableStaticState(toks, lines, rel, sup, out);
         checkChannelContractDeclared(toks, rel, sup, out);
+        if (rel.rfind("src/sim/", 0) != 0)
+            checkCrossDomainScheduling(toks, rel, sup, out);
     }
 }
 

@@ -19,7 +19,13 @@
  *     -DASTRIFLASH_CHECKS=ON build), and
  *  2. seeded channel-depth jitter inside the timing-neutral band
  *     (every depth stays far above the peak occupancy any config can
- *     reach, so accept ticks cannot move),
+ *     reach, so accept ticks cannot move), and
+ *
+ *  3. a sweep over --host-jobs values (the conservative parallel
+ *     engine, sim::ParallelEngine): partitioned domain execution must
+ *     reproduce the single-queue bytes exactly, alone and combined
+ *     with the perturbations above (works in any build — the engine
+ *     is not gated on checks),
  *
  * and byte-compares the full stats JSON against the committed golden
  * file. Exit 0: every ordering reproduced the goldens. Exit 1: a
@@ -31,10 +37,12 @@
  *   detshake --golden-dir=tests/golden --seeds=8
  *   detshake --golden-dir=tests/golden --seeds=4 --jitter-only
  *   detshake --case=astriflash_tatp --seeds=2 --out-dir=/tmp/shake
+ *   detshake --golden-dir=tests/golden --seeds=2 --host-jobs=1,2,4
  */
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -78,13 +86,14 @@ struct Mismatch {
     std::string variant;
 };
 
-/** Render one (case, tie seed, jitter seed) run to JSON. */
+/** Render one (case, tie seed, jitter seed, host jobs) run to JSON. */
 std::string
 renderRun(const GoldenCase &gc, std::uint64_t tie_seed,
-          std::uint64_t jitter_seed)
+          std::uint64_t jitter_seed, unsigned host_jobs)
 {
     SystemConfig cfg = goldenCaseConfig(gc);
     cfg.tieBreakSeed = tie_seed;
+    cfg.hostJobs = host_jobs;
     if (jitter_seed != 0) {
         ChannelConfig &ch = cfg.dramCache.channels;
         ch.fcToBcDepth = jitterDepth(jitter_seed * 3 + 0);
@@ -96,6 +105,25 @@ renderRun(const GoldenCase &gc, std::uint64_t tie_seed,
     std::ostringstream os;
     writeGoldenJson(os, gc, r, sys);
     return os.str();
+}
+
+/** Parse a comma-separated --host-jobs list ("1,2,4"). */
+bool
+parseJobsList(const std::string &value, std::vector<unsigned> *out)
+{
+    out->clear();
+    std::istringstream in(value);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (item.empty())
+            return false;
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(item.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || v == 0)
+            return false;
+        out->push_back(static_cast<unsigned>(v));
+    }
+    return !out->empty();
 }
 
 /** Report the first differing byte between @p got and @p want. */
@@ -128,6 +156,7 @@ main(int argc, char **argv)
     std::uint64_t seeds = 8;
     bool jitter_only = false;
     bool list = false;
+    std::vector<unsigned> jobs_list{1};
 
     sim::OptionParser opts(
         "detshake",
@@ -143,6 +172,12 @@ main(int argc, char **argv)
                  "perturbation seeds per case (1..N, 0 = baseline only)");
     opts.addFlag("jitter-only", &jitter_only,
                  "skip tie-break perturbation (works in any build)");
+    opts.addCustom("host-jobs", "LIST",
+                   "comma-separated host-jobs values to sweep "
+                   "(default 1; e.g. 1,2,4)",
+                   [&jobs_list](const std::string &value) {
+                       return parseJobsList(value, &jobs_list);
+                   });
     opts.addFlag("list", &list, "print the known case names");
     opts.parseOrExit(argc, argv);
 
@@ -179,34 +214,45 @@ main(int argc, char **argv)
         slurp << in.rdbuf();
         const std::string want = slurp.str();
 
-        for (std::uint64_t s = 0; s <= seeds; ++s) {
-            // s == 0 is the unperturbed baseline (also proves the
-            // harness itself reproduces the golden); s >= 1 shakes
-            // the tie-breaking and the channel depths together.
-            const std::uint64_t tie = perturb ? s : 0;
-            const std::string variant =
-                s == 0 ? std::string("baseline")
-                       : (perturb ? "tie+jitter seed " : "jitter seed ")
-                             + std::to_string(s);
-            const std::string got = renderRun(gc, tie, s);
-            ++runs;
-            if (got == want) {
-                std::printf("ok   %-28s %s\n", gc.name,
+        for (const unsigned hj : jobs_list) {
+            for (std::uint64_t s = 0; s <= seeds; ++s) {
+                // s == 0 is the unperturbed baseline (also proves the
+                // harness itself reproduces the golden); s >= 1 shakes
+                // the tie-breaking and the channel depths together.
+                // Each host-jobs value reruns the whole ladder: the
+                // partitioned engine must survive every perturbation
+                // the single-queue path does.
+                const std::uint64_t tie = perturb ? s : 0;
+                std::string variant =
+                    s == 0 ? std::string("baseline")
+                           : (perturb ? "tie+jitter seed "
+                                      : "jitter seed ") +
+                                 std::to_string(s);
+                if (hj != 1)
+                    variant += " @ host-jobs " + std::to_string(hj);
+                const std::string got = renderRun(gc, tie, s, hj);
+                ++runs;
+                if (got == want) {
+                    std::printf("ok   %-28s %s\n", gc.name,
+                                variant.c_str());
+                    continue;
+                }
+                std::printf("FAIL %-28s %s\n", gc.name,
                             variant.c_str());
-                continue;
+                reportDiff(got, want);
+                if (!out_dir.empty()) {
+                    const std::string path =
+                        out_dir + "/" + gc.name + ".seed" +
+                        std::to_string(s) + ".hj" +
+                        std::to_string(hj) + ".json";
+                    std::ofstream out(path, std::ios::binary);
+                    out << got;
+                    std::fprintf(stderr,
+                                 "  actual output kept at %s\n",
+                                 path.c_str());
+                }
+                bad.push_back(Mismatch{gc.name, variant});
             }
-            std::printf("FAIL %-28s %s\n", gc.name, variant.c_str());
-            reportDiff(got, want);
-            if (!out_dir.empty()) {
-                const std::string path = out_dir + "/" + gc.name +
-                                         ".seed" + std::to_string(s) +
-                                         ".json";
-                std::ofstream out(path, std::ios::binary);
-                out << got;
-                std::fprintf(stderr, "  actual output kept at %s\n",
-                             path.c_str());
-            }
-            bad.push_back(Mismatch{gc.name, variant});
         }
     }
 
