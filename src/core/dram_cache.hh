@@ -49,6 +49,7 @@
 #include "mem/set_assoc_cache.hh"
 #include "sim/bounded_channel.hh"
 #include "sim/invariant.hh"
+#include "sim/ownership.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -265,6 +266,18 @@ class DramCache : public sim::SimObject
     /** Shard-scoped suffix: "" unsharded, "<i>" sharded. */
     std::string shardTag(std::uint32_t shard) const;
 
+    /** "Not a registered crossing" sentinel (same-domain facade). */
+    static constexpr std::uint32_t kNoCrossing =
+        static_cast<std::uint32_t>(-1);
+
+    /** Count one exercise of a pre-registered facade crossing. */
+    void
+    noteCrossing(std::uint32_t id, sim::Ticks now)
+    {
+        if (ownAudit && id != kNoCrossing)
+            ownAudit->onCrossing(id, now);
+    }
+
     DramCacheConfig cfg;
     flash::Backend &flashDev;
     mem::Dram dramModel;
@@ -278,6 +291,17 @@ class DramCache : public sim::SimObject
         bcToFc;
     FrontsideController fcCtl;
     std::vector<std::unique_ptr<BacksideController>> bcCtls;
+
+    /** Ownership auditor attached at construction (or null). The
+     *  facade is THE allowlisted place where FC↔BC state crosses
+     *  synchronously; each deliberate crossing is pre-registered per
+     *  shard and counted (never a violation) so the static coupling
+     *  report (aflint --ownership-report) can be certified against
+     *  what actually runs. */
+    sim::OwnershipAuditor *ownAudit = nullptr;
+    std::vector<std::uint32_t> serviceCrossings; ///< FC -> BC<i>.
+    std::vector<std::uint32_t> submitCrossings;  ///< BC<i> -> fabric.
+    std::vector<std::uint32_t> installCrossings; ///< BC<i> -> FC.
 };
 
 } // namespace astriflash::core

@@ -22,6 +22,13 @@ System::System(const SystemConfig &config) : cfg(config)
     // exact production order, and nonzero seeds are fatal unless the
     // hook is compiled in.
     eq.setTiePerturbation(cfg.tieBreakSeed);
+    // The frontside domain owns the main queue: FC, cores, arrivals
+    // and the (passive) flash fabric all execute on it. BC shard
+    // domains are added as their queues are built (hostJobs > 1).
+    ownership.addDomain("fc", &eq);
+    // SimObjects constructed anywhere below resolve their owning
+    // domain from the queue they schedule on and declare themselves.
+    sim::OwnershipAuditor::Scope own_scope(ownAuditor);
     {
         // Channels built anywhere below self-register with this
         // system's auditor.
@@ -127,6 +134,9 @@ System::registerInvariants()
     }
     invariants.add("causality", [this](sim::InvariantChecker &chk) {
         auditor.checkInvariants(chk);
+    });
+    invariants.add("ownership", [this](sim::InvariantChecker &chk) {
+        ownAuditor.checkInvariants(chk);
     });
     for (std::size_t c = 0; c < cores.size(); ++c) {
         SimCore *core = cores[c].get();
@@ -289,6 +299,7 @@ System::buildMemorySystem()
             q->joinGroup(eqGroup);
             q->setAuditor(&auditor);
             q->setTiePerturbation(cfg.tieBreakSeed);
+            ownership.addDomain("bc" + std::to_string(i), q.get());
             bc_queues.push_back(q.get());
             bcQueues.push_back(std::move(q));
         }
@@ -472,6 +483,9 @@ System::runParallel(sim::Ticks next_check)
     // accumulating until the boundary is reached.
     ec.roundEvents = 20000;
     sim::ParallelEngine engine(ec);
+    // Publish the executing domain thread-locally while the engine
+    // runs so instrumented callbacks can certify their ownership.
+    engine.setOwnership(&ownAuditor);
 
     const auto fc_dom = engine.addDomain("fc", eq, 0);
     if (dcache) {
@@ -542,6 +556,10 @@ System::run()
     if (cfg.hostJobs > 1) {
         runParallel(next_check);
     } else {
+        // The legacy loop runs everything in the frontside domain
+        // (the only one that exists when the system is unpartitioned).
+        sim::OwnershipAuditor::ExecScope exec_scope(
+            ownership.domainOf(&eq));
         while (phase != Phase::Done && !eq.empty() &&
                eq.curTick() < cfg.maxSimTicks) {
             eq.runSteps(20000);

@@ -25,6 +25,7 @@
 #include "sim/causality.hh"
 #include "sim/event_queue.hh"
 #include "sim/invariant.hh"
+#include "sim/ownership.hh"
 #include "sim/parallel_engine.hh"
 #include "sim/stats.hh"
 #include "workload/workload.hh"
@@ -133,6 +134,32 @@ class System
     }
 
     /**
+     * Domain-ownership vocabulary (DESIGN.md §16): the partition
+     * table ("fc" = frontside + cores + fabric; "bc<i>" = one BC
+     * shard when hostJobs > 1 builds per-shard queues) plus every
+     * component and channel-endpoint declaration made against it.
+     */
+    sim::OwnershipRegistry &ownershipRegistry() { return ownership; }
+    const sim::OwnershipRegistry &ownershipRegistry() const
+    {
+        return ownership;
+    }
+
+    /**
+     * Ownership auditor certifying that instrumented callbacks run
+     * only in their owning domain, with cross-domain touches
+     * permitted only at barriers, through channels, or via the
+     * facade's pre-registered crossings. Armed with the checks gate;
+     * registered as the "ownership" invariant component. Counters are
+     * NOT in the stats tree (same rule as the causality auditor).
+     */
+    sim::OwnershipAuditor &ownershipAuditor() { return ownAuditor; }
+    const sim::OwnershipAuditor &ownershipAuditor() const
+    {
+        return ownAuditor;
+    }
+
+    /**
      * Replace the built-in generators with an external job source
      * (e.g. a workload::TraceReader). Must be set before run(); the
      * source is shared across cores and called in a deterministic
@@ -228,6 +255,10 @@ class System
     /** Declared before the event queue and every channel owner so it
      *  outlives all components that hold hooks into it. */
     sim::CausalityAuditor auditor;
+    /** Ownership vocabulary + runtime auditor, declared before the
+     *  queues and components for the same lifetime reason. */
+    sim::OwnershipRegistry ownership;
+    sim::OwnershipAuditor ownAuditor{ownership};
     /** Shared clock/sequence state for the partitioned run: the main
      *  queue and every BC shard queue join it when hostJobs > 1, so
      *  the merged execution is bit-identical to one queue. */

@@ -296,7 +296,7 @@ Ftl::checkInvariants(sim::InvariantChecker &chk) const
     // Injective, in-bounds mapping with agreeing owner back-pointers.
     std::unordered_set<Ppn> targets;
     // Audit-only walk; the injectivity check via `targets` passes or
-    // fails regardless of order. aflint-allow-next-line(AF015)
+    // fails regardless of order (baselined AF015).
     for (const auto &[lpn, packed] : mapping) {
         // aflint-allow-next-line(AF011): diagnostics formatting.
         const unsigned long long lpn_raw = lpn.raw();

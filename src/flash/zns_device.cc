@@ -445,7 +445,7 @@ ZnsDevice::checkInvariants(sim::InvariantChecker &chk) const
 
     // Mapping overrides stay in bounds, on their stripe plane, with
     // agreeing owner back-pointers.
-    // aflint-allow-next-line(AF015): audit-only, order-insensitive.
+    // Audit-only, order-insensitive walk (baselined AF015).
     for (const auto &[lpn, loc] : mapping) {
         // aflint-allow-next-line(AF011): diagnostics formatting.
         const unsigned long long lpn_raw = lpn.raw();

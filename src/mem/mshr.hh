@@ -120,7 +120,7 @@ class MshrFile
         SIM_INVARIANT_MSG(chk, table.size() <= capacity,
                           "%zu entries exceed the %u-entry CAM",
                           table.size(), capacity);
-        // aflint-allow-next-line(AF015): audit-only, order-insensitive.
+        // Audit-only, order-insensitive walk (baselined AF015).
         for (const auto &[bn, entry] : table) {
             // A BlockNum key cannot be misaligned by construction;
             // the remaining invariant is that every entry has at

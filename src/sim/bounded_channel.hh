@@ -38,6 +38,7 @@
 #include "causality.hh"
 #include "invariant.hh"
 #include "logging.hh"
+#include "ownership.hh"
 #include "stats.hh"
 #include "ticks.hh"
 
@@ -100,6 +101,28 @@ class BoundedChannel
 
     /** Declared determinism contract. */
     const ChannelContract &contract() const { return channelContract; }
+
+    /**
+     * Declare the endpoint domains alongside the ChannelContract
+     * (DESIGN.md §16): messages are pushed from @p producer and
+     * consumed in @p consumer. Reported to the attached
+     * OwnershipAuditor's registry so the channel seam is enumerable
+     * in the domain-coupling report.
+     */
+    void
+    declareEndpoints(DomainId producer, DomainId consumer)
+    {
+        producerDomain = producer;
+        consumerDomain = consumer;
+        if (OwnershipAuditor *a = OwnershipAuditor::current())
+            a->registry().declareChannel(chName, producer, consumer);
+    }
+
+    /** Declared producer domain (kNoDomain if undeclared). */
+    DomainId producerEndpoint() const { return producerDomain; }
+
+    /** Declared consumer domain (kNoDomain if undeclared). */
+    DomainId consumerEndpoint() const { return consumerDomain; }
 
     /** Messages pushed but not yet popped. */
     bool empty() const { return waiting.empty(); }
@@ -366,6 +389,8 @@ class BoundedChannel
     ChannelContract channelContract;
     CausalityAuditor *auditor = nullptr;
     std::uint32_t auditId = 0;
+    DomainId producerDomain = kNoDomain;
+    DomainId consumerDomain = kNoDomain;
     std::uint64_t lastSeq = 0;
     std::deque<Stamped> waiting;    ///< Pushed, not yet popped.
     std::vector<Ticks> busyUntil;   ///< Popped slots' release ticks.

@@ -8,8 +8,8 @@ namespace {
 // Construction-time attach point; SweepRunner builds one System per
 // worker thread, so thread-local scoping keeps auditors disjoint.
 // The attach scope is the sanctioned pattern for threading the
-// per-system auditor through deep construction chains.
-// aflint-allow-next-line(AF017)
+// per-system auditor through deep construction chains (baselined
+// AF017).
 thread_local CausalityAuditor *g_current = nullptr;
 } // namespace
 

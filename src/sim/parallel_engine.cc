@@ -93,6 +93,13 @@ ParallelEngine::prepare()
         }
     }
 
+    // Resolve each domain's ownership-registry id from its queue so
+    // runGroupRound can publish it while executing (DESIGN.md §16).
+    if (ownershipAuditor) {
+        for (Domain &d : domains)
+            d.ownerTag = ownershipAuditor->registry().domainOf(d.q);
+    }
+
     for (Domain &d : domains) {
         for (Link &l : d.inbound) {
             l.crossGroup = domains[l.src].group != d.group;
@@ -173,6 +180,7 @@ ParallelEngine::runGroupRound(Group &g)
     std::uint64_t executed = 0;
     while (executed < cfg.roundEvents) {
         EventQueue *best = nullptr;
+        std::uint32_t best_owner = kNoDomain;
         EventQueue::HeadKey best_key{};
         for (const DomainId m : g.members) {
             Domain &d = domains[m];
@@ -181,12 +189,20 @@ ParallelEngine::runGroupRound(Group &g)
                 continue;
             if (!best || k < best_key) {
                 best = d.q;
+                best_owner = d.ownerTag;
                 best_key = k;
             }
         }
         if (!best)
             break;
-        best->runSteps(1);
+        if (ownershipAuditor && checksEnabled()) {
+            // Publish the executing domain for the ownership audit;
+            // thread-local only, so goldens are unaffected.
+            OwnershipAuditor::ExecScope scope(best_owner);
+            best->runSteps(1);
+        } else {
+            best->runSteps(1);
+        }
         ++executed;
     }
     g.ranThisRound = executed > 0;

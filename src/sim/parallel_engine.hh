@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "event_queue.hh"
+#include "ownership.hh"
 #include "ticks.hh"
 
 namespace astriflash::sim {
@@ -129,6 +130,15 @@ class ParallelEngine
               EventPriority prio = EventPriority::Default);
 
     /**
+     * Attach the system's ownership auditor (DESIGN.md §16): each
+     * engine domain resolves its registry domain id from its queue,
+     * and runGroupRound publishes it through
+     * OwnershipAuditor::ExecScope while executing that domain's
+     * events. Thread-local publication only — never touches stats.
+     */
+    void setOwnership(OwnershipAuditor *a) { ownershipAuditor = a; }
+
+    /**
      * Run rounds until every queue and mailbox drains or hooks.stop
      * returns true. May be called once per engine instance.
      */
@@ -155,6 +165,8 @@ class ParallelEngine
         Ticks committed = 0; ///< Null-message fixpoint clock.
         Ticks horizon = kTickNever;
         std::uint64_t postSeq = 0; ///< Orders this domain's posts.
+        /** Ownership-registry domain id (resolved in prepare()). */
+        std::uint32_t ownerTag = kNoDomain;
     };
 
     struct Group {
@@ -185,6 +197,7 @@ class ParallelEngine
     std::vector<Domain> domains;
     std::vector<Group> groups;
     Stats statsData;
+    OwnershipAuditor *ownershipAuditor = nullptr;
     bool prepared = false;
     unsigned spawnedWorkers = 0;
 

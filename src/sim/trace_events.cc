@@ -43,7 +43,6 @@ tracePointName(TracePoint p)
 
 namespace {
 // Per-thread redirect target (see Tracer::redirectThread).
-// aflint-allow-next-line(AF017)
 thread_local Tracer *g_redirect = nullptr;
 } // namespace
 

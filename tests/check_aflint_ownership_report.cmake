@@ -1,0 +1,54 @@
+# Regression test for `aflint --ownership-report=PREFIX`, run as a
+# ctest.
+#
+#   cmake -DAFLINT=<aflint> -DROOT=<repo root> -DOUT_DIR=<dir>
+#         -P check_aflint_ownership_report.cmake
+#
+# The report is the measured domain-coupling graph (DESIGN.md §16):
+# generating it over the real tree must exit cleanly and the JSON must
+# enumerate the facade's synchronous FC<->BC edges — the BC service
+# call on the miss path, the FC install delivery under the channel
+# drain, and the backside's mutable references into the fc-owned
+# shared structures (the baselined AF022 worklist).
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+    COMMAND "${AFLINT}" --root "${ROOT}"
+            --ownership-report=${OUT_DIR}/ownership-report
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out_text
+    ERROR_VARIABLE err_text)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "aflint --ownership-report failed (rc=${rc}):\n"
+        "${out_text}\n${err_text}")
+endif()
+
+foreach(artifact ownership-report.json ownership-report.dot)
+    if(NOT EXISTS "${OUT_DIR}/${artifact}")
+        message(FATAL_ERROR "missing report artifact ${artifact}")
+    endif()
+endforeach()
+
+file(READ "${OUT_DIR}/ownership-report.json" report)
+foreach(edge
+        "BacksideController::service"
+        "BacksideController::flashReadIssued"
+        "FrontsideController::deliverInstalls"
+        "FrontsideController::finishMiss"
+        "BacksideController::dramModel"
+        "BacksideController::pageTags"
+        "BacksideController::fp")
+    if(NOT report MATCHES "${edge}")
+        message(FATAL_ERROR
+            "ownership report lost the measured coupling "
+            "'${edge}':\n${report}")
+    endif()
+endforeach()
+
+file(READ "${OUT_DIR}/ownership-report.dot" graph)
+if(NOT graph MATCHES "digraph ownership")
+    message(FATAL_ERROR "DOT report is not a digraph:\n${graph}")
+endif()

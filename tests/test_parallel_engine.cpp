@@ -155,6 +155,44 @@ TEST(ParallelEngine, RelayLogsAreIdenticalAtEveryHostJobs)
     }
 }
 
+TEST(ParallelEngine, RelayTelemetryIsDeterministicAcrossHostJobs)
+{
+    // The horizon-round and mailbox counters are part of the
+    // deterministic contract: they describe the event structure, not
+    // the host schedule, so the same relay must report the same
+    // telemetry no matter how many workers execute it.
+    const auto statsFor = [](unsigned hj) {
+        TriDomain t(hj);
+        for (unsigned i = 0; i < 3; ++i)
+            t.q[i].schedule(i + 1, Relay{&t, i, i + 1, 40});
+        t.engine.run();
+        return t.engine.stats();
+    };
+
+    const sim::ParallelEngine::Stats s2 = statsFor(2);
+    // Three chains of 41 relay hops plus 40 local follow-ups each.
+    EXPECT_EQ(s2.events, 3u * (41u + 40u));
+    // Every hop but the last of each chain crosses a group boundary
+    // through a mailbox post.
+    EXPECT_EQ(s2.postsDelivered, 3u * 40u);
+    EXPECT_GT(s2.rounds, 0u);
+    EXPECT_GT(s2.barriers, 0u);
+    // Rounds aggregate per-group work items across barriers.
+    EXPECT_GE(s2.rounds, s2.barriers);
+    // Hops spaced exactly one lookahead apart drain each round before
+    // the horizon bites (nonzero-stall coverage lives in
+    // EventExactlyAtTheQuantumEdgeRuns); the stall count still must
+    // be bounded and schedule-independent.
+    EXPECT_LE(s2.horizonStalls, s2.rounds);
+
+    const sim::ParallelEngine::Stats s4 = statsFor(4);
+    EXPECT_EQ(s4.rounds, s2.rounds);
+    EXPECT_EQ(s4.barriers, s2.barriers);
+    EXPECT_EQ(s4.events, s2.events);
+    EXPECT_EQ(s4.postsDelivered, s2.postsDelivered);
+    EXPECT_EQ(s4.horizonStalls, s2.horizonStalls);
+}
+
 TEST(ParallelEngine, EventExactlyAtTheQuantumEdgeRuns)
 {
     // Source group: empty queue, but its (modeled) channel holds an
@@ -427,7 +465,22 @@ TEST(ParallelSystem, PartitionedRunReportsDomainQueues)
     const sim::ParallelEngine::Stats &es = sys.engineStats();
     EXPECT_GT(es.events, 0u);
     EXPECT_GT(es.barriers, 0u);
+    EXPECT_GE(es.rounds, es.barriers);
     EXPECT_EQ(es.events, sys.eventsExecuted());
+
+    // Engine telemetry lives outside the stats tree, so it is free to
+    // (and must) be identical across host-jobs: the round structure is
+    // a property of the partition, not of the worker count.
+    SystemConfig cfg4 = smallCfg();
+    cfg4.hostJobs = 4;
+    System sys4(cfg4);
+    sys4.run();
+    const sim::ParallelEngine::Stats &es4 = sys4.engineStats();
+    EXPECT_EQ(es4.rounds, es.rounds);
+    EXPECT_EQ(es4.barriers, es.barriers);
+    EXPECT_EQ(es4.events, es.events);
+    EXPECT_EQ(es4.postsDelivered, es.postsDelivered);
+    EXPECT_EQ(es4.horizonStalls, es.horizonStalls);
 
     // The legacy path leaves the engine telemetry zeroed.
     SystemConfig legacy = smallCfg();

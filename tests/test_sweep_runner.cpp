@@ -15,8 +15,10 @@
 #include <thread>
 #include <vector>
 
+#include "sim/option_parser.hh"
 #include "sim/sweep_runner.hh"
 
+#include "core/fabric_options.hh"
 #include "core/system.hh"
 
 using namespace astriflash;
@@ -151,6 +153,47 @@ statsBatch(unsigned host_jobs)
  * pure function of each cell's config — byte-identical whether the
  * batch runs on one host thread or eight.
  */
+/**
+ * Smoke test for the shared CLI binding the figure benches (fig9,
+ * fig10, table2, ablation) use: --host-jobs must parse and land in
+ * SystemConfig::hostJobs, so every bench can drive the partitioned
+ * engine without its own flag plumbing.
+ */
+TEST(SweepRunner, FabricOptionsPropagateHostJobs)
+{
+    FabricOptions fabric;
+    sim::OptionParser opts("bench", "host-jobs smoke");
+    fabric.addTo(opts);
+
+    const char *argv[] = {"bench", "--host-jobs=4", "--bc-shards=2"};
+    ASSERT_EQ(opts.parse(3, argv), sim::OptionParser::Status::Ok);
+
+    SystemConfig cfg;
+    fabric.apply(cfg);
+    EXPECT_EQ(cfg.hostJobs, 4u);
+    EXPECT_EQ(cfg.dramCache.bc.shards, 2u);
+}
+
+TEST(SweepRunner, FabricOptionsClampHostJobsZeroToLegacyLoop)
+{
+    FabricOptions fabric;
+    sim::OptionParser opts("bench", "host-jobs smoke");
+    fabric.addTo(opts);
+
+    const char *argv[] = {"bench", "--host-jobs=0"};
+    ASSERT_EQ(opts.parse(2, argv), sim::OptionParser::Status::Ok);
+
+    SystemConfig cfg;
+    fabric.apply(cfg);
+    EXPECT_EQ(cfg.hostJobs, 1u); // 0 means "no partitioning".
+
+    // Absent flag: the config default survives apply().
+    FabricOptions untouched;
+    SystemConfig dflt;
+    untouched.apply(dflt);
+    EXPECT_EQ(dflt.hostJobs, SystemConfig{}.hostJobs);
+}
+
 TEST(SweepRunner, StatsJsonIsByteIdenticalAcrossJobCounts)
 {
     const std::vector<std::string> serial = statsBatch(1);

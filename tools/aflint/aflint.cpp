@@ -78,6 +78,43 @@
  *          queue reference; cross-domain work crosses a contracted
  *          BoundedChannel (or ParallelEngine::post).
  *
+ * v4 adds cross-TU domain-ownership rules (DESIGN.md §16). A second
+ * global pass builds a member/call access map from the class bodies in
+ * src/ headers, assigns each known component class to its execution
+ * domain ("fc" = frontside + cores + facade + fabric, "bc" = backside
+ * shard), and flags state and call paths that escape the domain
+ * partition — the exact couplings that force System to fuse every
+ * domain into one exec group:
+ *
+ *   AF020  a component class holding a raw pointer/reference to a
+ *          component owned by a different domain. The channel seam
+ *          (sim::BoundedChannel members) and the DramCache facade
+ *          (dram_cache.*, the allowlisted composition point) are
+ *          exempt.
+ *   AF021  a direct call of a method attributable to exactly one
+ *          controller (FrontsideController / BacksideController)
+ *          from outside that controller's own files and outside
+ *          dram_cache.*'s allowlisted pump: such calls cross the
+ *          FC<->BC domain boundary synchronously, bypassing the
+ *          channels.
+ *   AF022  mutable shared state reachable from two domains without an
+ *          owning declaration: a non-component type held by value or
+ *          reference from classes in more than one domain, where a
+ *          mutable reference holder's domain differs from the value
+ *          owner's (page tags, DRAM model, footprint masks — the
+ *          measured worklist of the exec-group split).
+ *   AF023  a ParallelEngine::addLink watermark lambda capturing
+ *          foreign-domain state by reference: the sanctioned pattern
+ *          reads a channel's lock-free stamp watermark (acquire
+ *          load), never a by-reference capture of mutable state.
+ *
+ * `--ownership-report=PREFIX` additionally writes the measured
+ * domain-coupling graph (PREFIX.json + PREFIX.dot) enumerating every
+ * synchronous FC<->BC edge: allowlisted facade calls, cross-domain
+ * shared-state holders (including baselined ones), channel-seam
+ * members, and watermark lambdas. DESIGN.md §16 commits this as the
+ * exec-group-split worklist.
+ *
  * Comments and string literals are stripped (newlines preserved)
  * before matching, so prose never trips a rule. Intentional
  * exceptions are annotated in a comment on the offending line:
@@ -87,6 +124,14 @@
  * or for a whole file, anywhere in it:
  *
  *     // aflint-allow-file(AF001): <reason>
+ *
+ * Reviewed long-lived exceptions live in tools/aflint/baseline.json
+ * instead of inline annotations: findings keyed by (rule, file,
+ * token) are suppressed when the baseline (auto-loaded from
+ * <root>/tools/aflint/baseline.json, or --baseline=FILE) lists them.
+ * --write-baseline regenerates the file from the current findings;
+ * --check additionally fails on stale entries that no longer match
+ * anything; --no-baseline disables suppression entirely.
  *
  * Exit status: 0 when clean, 1 when findings were reported, 2 on
  * usage or I/O errors. --format=json emits one JSON object per
@@ -102,6 +147,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -117,14 +163,29 @@ struct Finding {
     int line = 0;
     std::string rule;
     std::string message;
+    /** Stable identity inside the file (a declared name, member, or
+     *  method) — the baseline key, so entries survive line drift. */
+    std::string token;
+
+    Finding(std::string f, int l, std::string r, std::string m,
+            std::string t = {})
+        : file(std::move(f)), line(l), rule(std::move(r)),
+          message(std::move(m)), token(std::move(t))
+    {
+    }
 };
 
 struct Options {
     std::string root = ".";
     std::vector<std::string> paths; ///< Scan roots relative to root.
     std::string sinceRef;           ///< Diff mode: scan changed files.
+    std::string baselinePath;       ///< Override baseline location.
+    std::string reportPrefix;       ///< --ownership-report=PREFIX.
     bool json = false;
     bool defaultExcludes = true;
+    bool noBaseline = false;
+    bool writeBaseline = false;
+    bool checkBaseline = false; ///< Stale baseline entries fail.
 };
 
 /** One lint rule: a regex applied per line of the stripped source. */
@@ -971,7 +1032,8 @@ resolveUnorderedIteration(std::vector<Finding> &out)
             {s.file, s.line, "AF015",
              "range-for over unordered container '" + s.name +
                  "': hash iteration order is nondeterministic; "
-                 "iterate a sorted copy or keep a side order"});
+                 "iterate a sorted copy or keep a side order",
+             s.name});
     }
 }
 
@@ -1075,6 +1137,7 @@ checkMutableStaticState(const std::vector<Token> &all_toks,
               tokIs(toks, i, "thread_local")))
             continue;
         bool const_qual = false, function = false;
+        std::string name;
         int depth = 0;
         for (std::size_t k = i + 1; k < toks.size(); ++k) {
             const Token &x = toks[k];
@@ -1094,6 +1157,11 @@ checkMutableStaticState(const std::vector<Token> &all_toks,
             } else if (depth == 0 &&
                        kConstQual.count(x.text) != 0) {
                 const_qual = true;
+            } else if (depth == 0 &&
+                       x.kind == Token::Kind::Ident) {
+                // Last identifier before the terminator names the
+                // declared variable (the baseline token).
+                name = x.text;
             }
         }
         const int line = toks[i].line;
@@ -1103,7 +1171,8 @@ checkMutableStaticState(const std::vector<Token> &all_toks,
                  std::string(toks[i].text) +
                      " mutable state: hidden static storage leaks "
                      "simulation state across Systems and breaks "
-                     "SweepRunner replica isolation"});
+                     "SweepRunner replica isolation",
+                 name});
         }
     }
 
@@ -1161,7 +1230,8 @@ checkMutableStaticState(const std::vector<Token> &all_toks,
                      "mutable namespace-scope state '" +
                          toks[i - 1].text +
                          "': hidden globals leak simulation state "
-                         "across Systems"});
+                         "across Systems",
+                     toks[i - 1].text});
             }
             bool ns = false;
             for (std::size_t k = stmt; k < i; ++k) {
@@ -1206,7 +1276,8 @@ checkMutableStaticState(const std::vector<Token> &all_toks,
                              "mutable namespace-scope state '" +
                                  toks[eq - 1].text +
                                  "': hidden globals leak simulation "
-                                 "state across Systems"});
+                                 "state across Systems",
+                             toks[eq - 1].text});
                     }
                 }
             }
@@ -1291,12 +1362,18 @@ checkCrossDomainScheduling(const std::vector<Token> &toks,
         if (!tokIs(toks, i, "eventQueue") || !tokIs(toks, i + 1, "(") ||
             !tokIs(toks, i + 2, ")"))
             continue;
-        if (!tokIs(toks, i + 3, ".") && !tokIs(toks, i + 3, "->"))
+        // `.` is one token; `->` tokenizes as `-` `>`.
+        std::size_t callee = 0;
+        if (tokIs(toks, i + 3, "."))
+            callee = i + 4;
+        else if (tokIs(toks, i + 3, "-") && tokIs(toks, i + 4, ">"))
+            callee = i + 5;
+        if (callee == 0)
             continue;
-        if (!tokIs(toks, i + 4, "schedule") &&
-            !tokIs(toks, i + 4, "scheduleIn"))
+        if (!tokIs(toks, callee, "schedule") &&
+            !tokIs(toks, callee, "scheduleIn"))
             continue;
-        if (!tokIs(toks, i + 5, "("))
+        if (!tokIs(toks, callee + 1, "("))
             continue;
         const int line = toks[i].line;
         if (sup.allows(line, "AF019"))
@@ -1307,6 +1384,504 @@ checkCrossDomainScheduling(const std::vector<Token> &toks,
              "work into another domain's queue; schedule on the "
              "component's own queue reference, and cross domains "
              "only via a contracted channel (DESIGN.md §15)"});
+    }
+}
+
+/*
+ * ---------------------------------------------------------------------
+ * Domain-ownership analysis (AF020..AF023, DESIGN.md §16).
+ *
+ * Resolved across the whole scan, like AF015: class bodies in src/
+ * headers contribute members and method declarations, every src/ file
+ * contributes call sites and addLink lambdas, and the rules are judged
+ * after the file loop (resolveOwnership). The component→domain table
+ * mirrors the runtime partition System builds: the frontside queue
+ * owns the cores, the FC, the facade's value-owned shared structures
+ * and the flash fabric; each backside shard's queue owns one BC with
+ * its MSR and evict buffer.
+ * ---------------------------------------------------------------------
+ */
+
+/** Execution domain of a known component class (nullptr otherwise). */
+const char *
+componentDomain(const std::string &cls)
+{
+    static const std::map<std::string, const char *> kTable = {
+        {"FrontsideController", "fc"}, {"SimCore", "fc"},
+        {"DramCache", "fc"},           {"FlashFabric", "fc"},
+        {"BacksideController", "bc"},  {"MissStatusRow", "bc"},
+        {"EvictBuffer", "bc"}};
+    const auto it = kTable.find(cls);
+    return it == kTable.end() ? nullptr : it->second;
+}
+
+/** True when @p rel's basename starts with @p stem. */
+bool
+baseStartsWith(const std::string &rel, const char *stem)
+{
+    const std::size_t slash = rel.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? rel : rel.substr(slash + 1);
+    return base.rfind(stem, 0) == 0;
+}
+
+/** Execution domain of a src/ file (nullptr when not attributable). */
+const char *
+fileDomain(const std::string &rel)
+{
+    if (baseStartsWith(rel, "frontside_controller.") ||
+        baseStartsWith(rel, "sim_core.") ||
+        baseStartsWith(rel, "system.") ||
+        baseStartsWith(rel, "dram_cache.") ||
+        rel.find("src/flash/") != std::string::npos)
+        return "fc";
+    if (baseStartsWith(rel, "backside_controller.") ||
+        baseStartsWith(rel, "miss_status_row.") ||
+        baseStartsWith(rel, "evict_buffer."))
+        return "bc";
+    return nullptr;
+}
+
+struct OwnershipState {
+    /** A data member of a component class (from a src/ header). */
+    struct Member {
+        std::string cls, file, name, type;
+        int line = 0;
+        bool isRef = false;   ///< Top-level & or * declarator.
+        bool isConst = false; ///< Any top-level const qualifier.
+        bool isChannel = false; ///< Mentions sim::BoundedChannel.
+        bool sup20 = false, sup22 = false;
+    };
+    std::vector<Member> members;
+
+    /** Method name → every class declaring it; a method is
+     *  attributable only when exactly one class declares it. */
+    std::map<std::string, std::set<std::string>> methodOwners;
+
+    /** A `.` / `->` call site anywhere under src/. */
+    struct Call {
+        std::string file, method;
+        int line = 0;
+        bool suppressed = false;
+    };
+    std::vector<Call> calls;
+
+    /** An addLink(...) lambda argument (the watermark provider). */
+    struct Watermark {
+        std::string file;
+        int line = 0;
+        bool refCapture = false;    ///< Capture list contains '&'.
+        bool usesWatermark = false; ///< Body calls stampWatermark().
+        bool suppressed = false;
+    };
+    std::vector<Watermark> watermarks;
+
+    // Report-side edges, filled during resolution (deliberately
+    // including baselined findings: the report is the worklist).
+    struct SyncEdge {
+        std::string method, callee, file;
+        int line = 0;
+    };
+    std::vector<SyncEdge> syncEdges; ///< Facade-allowlisted calls.
+    struct SharedEdge {
+        std::string type, holder, member, domain, owner, file;
+        int line = 0;
+    };
+    std::vector<SharedEdge> sharedEdges; ///< Cross-domain mutable refs.
+};
+
+OwnershipState g_own;
+
+/** Skip from a '{' at @p open to just past its matching '}'. */
+std::size_t
+skipBraces(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t k = open; k < toks.size(); ++k) {
+        if (toks[k].text == "{") {
+            ++depth;
+        } else if (toks[k].text == "}") {
+            if (--depth == 0)
+                return k + 1;
+        }
+    }
+    return toks.size();
+}
+
+/** Record the method declared by the statement ending at '(' @p paren. */
+void
+recordOwnershipMethod(const std::vector<Token> &toks, std::size_t stmt,
+                      std::size_t paren, const std::string &cls)
+{
+    static const std::set<std::string> kNotMethods = {
+        "if",     "for",    "while",  "switch", "return", "sizeof",
+        "new",    "delete", "throw",  "catch",  "void",   "bool",
+        "int",    "auto",   "static_assert",    "decltype",
+        "alignof", "noexcept"};
+    if (paren <= stmt || toks[paren - 1].kind != Token::Kind::Ident)
+        return;
+    const std::string &name = toks[paren - 1].text;
+    if (name == cls || kNotMethods.count(name) != 0)
+        return; // constructor / control keyword / builtin type
+    if (paren >= 2 && toks[paren - 2].text == "~")
+        return; // destructor
+    g_own.methodOwners[name].insert(cls);
+}
+
+/** Record the member declared by the statement [stmt, end). */
+void
+recordOwnershipMember(const std::vector<Token> &toks, std::size_t stmt,
+                      std::size_t end, const std::string &cls,
+                      const std::string &rel, const Suppressions &sup)
+{
+    if (end <= stmt || componentDomain(cls) == nullptr)
+        return;
+    static const std::set<std::string> kNotMembers = {
+        "using",   "typedef", "friend",    "template", "static",
+        "enum",    "class",   "struct",    "union",    "public",
+        "private", "protected", "operator", "virtual",  "return",
+        "case",    "default", "goto",      "break",    "continue"};
+    OwnershipState::Member m;
+    m.cls = cls;
+    m.file = rel;
+    std::size_t name_end = end;
+    int angle = 0;
+    for (std::size_t k = stmt; k < end; ++k) {
+        const Token &t = toks[k];
+        if (t.kind == Token::Kind::Ident &&
+            kNotMembers.count(t.text) != 0)
+            return;
+        if (t.text == "<") {
+            ++angle;
+        } else if (t.text == ">") {
+            --angle;
+        } else if (t.text == "=" && angle == 0) {
+            name_end = k;
+            break;
+        } else if (t.text == "BoundedChannel") {
+            m.isChannel = true;
+        } else if (t.text == "const" && angle == 0) {
+            m.isConst = true;
+        } else if ((t.text == "&" || t.text == "*") && angle == 0) {
+            m.isRef = true;
+        }
+    }
+    // Last identifier names the member; the identifier before it (in
+    // declaration order, possibly inside template angles) is the best
+    // single-token guess at the held type.
+    std::size_t name_at = 0;
+    for (std::size_t k = stmt; k < name_end; ++k) {
+        if (toks[k].kind == Token::Kind::Ident) {
+            if (name_at != 0)
+                m.type = toks[name_at].text;
+            name_at = k;
+        }
+    }
+    if (name_at == 0 || m.type.empty())
+        return;
+    m.name = toks[name_at].text;
+    m.line = toks[name_at].line;
+    m.sup20 = sup.allows(m.line, "AF020");
+    m.sup22 = sup.allows(m.line, "AF022");
+    g_own.members.push_back(std::move(m));
+}
+
+/** Walk one class body: member declarations + declared methods. */
+void
+parseOwnershipClassBody(const std::vector<Token> &toks,
+                        std::size_t open, const std::string &cls,
+                        const std::string &rel, const Suppressions &sup)
+{
+    int depth = 0;
+    std::size_t close = toks.size();
+    for (std::size_t k = open; k < toks.size(); ++k) {
+        if (toks[k].text == "{") {
+            ++depth;
+        } else if (toks[k].text == "}") {
+            if (--depth == 0) {
+                close = k;
+                break;
+            }
+        }
+    }
+    std::size_t stmt = open + 1;
+    std::size_t k = open + 1;
+    while (k < close) {
+        const std::string &x = toks[k].text;
+        if (x == "(") {
+            recordOwnershipMethod(toks, stmt, k, cls);
+            // Skip the parameter list, then the declaration tail:
+            // a body / ctor-init braces are opaque, a ';' ends it.
+            int d = 0;
+            for (; k < close; ++k) {
+                if (toks[k].text == "(") {
+                    ++d;
+                } else if (toks[k].text == ")" && --d == 0) {
+                    ++k;
+                    break;
+                }
+            }
+            int pd = 0;
+            while (k < close) {
+                const std::string &y = toks[k].text;
+                if (y == "(") {
+                    ++pd;
+                } else if (y == ")") {
+                    --pd;
+                } else if (y == "{" && pd == 0) {
+                    k = skipBraces(toks, k);
+                    break;
+                } else if (y == ";" && pd == 0) {
+                    ++k;
+                    break;
+                }
+                ++k;
+            }
+            stmt = k;
+        } else if (x == "{") {
+            // Brace-initialised member or nested type body.
+            recordOwnershipMember(toks, stmt, k, cls, rel, sup);
+            k = skipBraces(toks, k);
+            if (k < close && toks[k].text == ";")
+                ++k;
+            stmt = k;
+        } else if (x == ";") {
+            recordOwnershipMember(toks, stmt, k, cls, rel, sup);
+            stmt = ++k;
+        } else if (x == ":" && k == stmt + 1 &&
+                   (tokIs(toks, stmt, "public") ||
+                    tokIs(toks, stmt, "private") ||
+                    tokIs(toks, stmt, "protected"))) {
+            stmt = ++k;
+        } else {
+            ++k;
+        }
+    }
+}
+
+/** Phase-1 collection over src/ headers: class bodies. */
+void
+collectOwnershipClasses(const std::vector<Token> &toks,
+                        const std::string &rel, const Suppressions &sup)
+{
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!tokIs(toks, i, "class") && !tokIs(toks, i, "struct"))
+            continue;
+        if (toks[i + 1].kind != Token::Kind::Ident)
+            continue;
+        // The body '{' must come before any ';' / '(' — otherwise a
+        // forward declaration or an elaborated-type mention.
+        std::size_t open = 0;
+        for (std::size_t k = i + 2; k < toks.size(); ++k) {
+            const std::string &x = toks[k].text;
+            if (x == "{") {
+                open = k;
+                break;
+            }
+            if (x == ";" || x == "(" || x == ")" || x == "}")
+                break;
+        }
+        if (open != 0) {
+            parseOwnershipClassBody(toks, open, toks[i + 1].text, rel,
+                                    sup);
+        }
+    }
+}
+
+/** Phase-1 collection over every src/ file: calls + addLink lambdas. */
+void
+collectOwnershipUses(const std::vector<Token> &toks,
+                     const std::string &rel, const Suppressions &sup)
+{
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        // `.` is one token; `->` tokenizes as `-` `>`.
+        std::size_t callee = 0;
+        if (tokIs(toks, i, "."))
+            callee = i + 1;
+        else if (tokIs(toks, i, "-") && tokIs(toks, i + 1, ">"))
+            callee = i + 2;
+        if (callee != 0 && callee + 1 < toks.size() &&
+            toks[callee].kind == Token::Kind::Ident &&
+            tokIs(toks, callee + 1, "(")) {
+            g_own.calls.push_back(
+                {rel, toks[callee].text, toks[callee].line,
+                 sup.allows(toks[callee].line, "AF021")});
+        }
+        if (!tokIs(toks, i, "addLink") || !tokIs(toks, i + 1, "("))
+            continue;
+        int d = 0;
+        for (std::size_t k = i + 1; k < toks.size(); ++k) {
+            const std::string &x = toks[k].text;
+            if (x == "(") {
+                ++d;
+            } else if (x == ")") {
+                if (--d == 0)
+                    break;
+            } else if (x == "[" && d == 1) {
+                // A lambda argument: the watermark provider.
+                OwnershipState::Watermark w;
+                w.file = rel;
+                w.line = toks[k].line;
+                w.suppressed = sup.allows(w.line, "AF023");
+                std::size_t p = k + 1;
+                for (; p < toks.size() && toks[p].text != "]"; ++p) {
+                    if (toks[p].text == "&")
+                        w.refCapture = true;
+                }
+                while (p < toks.size() && toks[p].text != "{")
+                    ++p;
+                int bd = 0;
+                for (; p < toks.size(); ++p) {
+                    if (toks[p].text == "{") {
+                        ++bd;
+                    } else if (toks[p].text == "}") {
+                        if (--bd == 0)
+                            break;
+                    } else if (tokIs(toks, p, "stampWatermark")) {
+                        w.usesWatermark = true;
+                    }
+                }
+                g_own.watermarks.push_back(w);
+                k = p; // parens inside the body were consumed with it
+            }
+        }
+    }
+}
+
+/** AF020..AF023 resolution, after every file contributed. */
+void
+resolveOwnership(std::vector<Finding> &out)
+{
+    // AF020: a component holding a raw pointer/reference into a
+    // component of the OTHER domain. Channels and the facade are the
+    // sanctioned seams.
+    for (const OwnershipState::Member &m : g_own.members) {
+        const char *holder_dom = componentDomain(m.cls);
+        const char *type_dom = componentDomain(m.type);
+        if (holder_dom == nullptr || type_dom == nullptr)
+            continue;
+        if (!m.isRef || m.isConst || m.isChannel)
+            continue;
+        if (std::string(holder_dom) == type_dom)
+            continue;
+        if (baseStartsWith(m.file, "dram_cache."))
+            continue; // the allowlisted composition point
+        if (m.sup20)
+            continue;
+        out.push_back(
+            {m.file, m.line, "AF020",
+             "'" + m.cls + "::" + m.name + "' holds a raw " +
+                 std::string(holder_dom) + "-side reference to " +
+                 m.type + " (" + type_dom + "-owned); cross the "
+                 "domain boundary through a BoundedChannel or the "
+                 "DramCache facade (DESIGN.md §16)",
+             m.name});
+    }
+
+    // AF021: direct calls of methods attributable to exactly one
+    // controller, outside its own files and outside the facade.
+    std::map<std::string, std::string> attributable;
+    for (const auto &mo : g_own.methodOwners) {
+        if (mo.second.size() != 1)
+            continue;
+        const std::string &cls = *mo.second.begin();
+        if (cls == "FrontsideController" ||
+            cls == "BacksideController")
+            attributable[mo.first] = cls;
+    }
+    for (const OwnershipState::Call &c : g_own.calls) {
+        const auto it = attributable.find(c.method);
+        if (it == attributable.end())
+            continue;
+        const std::string &cls = it->second;
+        const char *home = cls == "FrontsideController"
+                               ? "frontside_controller."
+                               : "backside_controller.";
+        if (baseStartsWith(c.file, home))
+            continue; // the controller's own files
+        if (baseStartsWith(c.file, "dram_cache.")) {
+            // The allowlisted pump: recorded as a measured sync edge
+            // for the ownership report, never flagged.
+            g_own.syncEdges.push_back({c.method, cls, c.file, c.line});
+            continue;
+        }
+        const char *caller_dom = fileDomain(c.file);
+        if (caller_dom != nullptr &&
+            std::string(caller_dom) == componentDomain(cls))
+            continue; // same-domain call, no boundary crossed
+        if (c.suppressed)
+            continue;
+        out.push_back(
+            {c.file, c.line, "AF021",
+             "direct call of " + cls + "::" + c.method + " crosses "
+             "the FC<->BC domain boundary synchronously; route it "
+             "through the channel seam or the DramCache facade's "
+             "allowlisted pump (DESIGN.md §16)",
+             c.method});
+    }
+
+    // AF022: a non-component type held mutably from two domains.
+    // The owning domain is the one holding it by value (the facade's
+    // shared structures); mutable references from the other domain
+    // are the measured exec-group-split worklist.
+    std::map<std::string,
+             std::vector<const OwnershipState::Member *>> shared;
+    for (const OwnershipState::Member &m : g_own.members) {
+        if (componentDomain(m.type) != nullptr || m.isChannel)
+            continue;
+        if (m.type.empty() ||
+            !std::isupper(static_cast<unsigned char>(m.type[0])))
+            continue; // class-ish types only
+        shared[m.type].push_back(&m);
+    }
+    for (const auto &entry : shared) {
+        std::set<std::string> domains;
+        std::string owner;
+        for (const OwnershipState::Member *m : entry.second) {
+            domains.insert(componentDomain(m->cls));
+            if (!m->isRef && owner.empty())
+                owner = componentDomain(m->cls);
+        }
+        if (domains.size() < 2)
+            continue;
+        for (const OwnershipState::Member *m : entry.second) {
+            if (!m->isRef || m->isConst)
+                continue;
+            const std::string dom = componentDomain(m->cls);
+            if (!owner.empty() && dom == owner)
+                continue;
+            g_own.sharedEdges.push_back({entry.first, m->cls, m->name,
+                                         dom, owner, m->file,
+                                         m->line});
+            if (m->sup22)
+                continue;
+            out.push_back(
+                {m->file, m->line, "AF022",
+                 "'" + m->cls + "::" + m->name + "' mutably shares " +
+                     entry.first + " across domains (" +
+                     (owner.empty() ? std::string("no value owner")
+                                    : owner + "-owned by value") +
+                     ", referenced from " + dom + ") without an "
+                     "owning declaration — a synchronous coupling "
+                     "the exec-group split must break (DESIGN.md "
+                     "§16)",
+                 m->name});
+        }
+    }
+
+    // AF023: addLink watermark lambdas capturing by reference. The
+    // sanctioned provider copies its bindings and reads the channel's
+    // acquire-stamped watermark.
+    for (const OwnershipState::Watermark &w : g_own.watermarks) {
+        if (!w.refCapture || w.suppressed)
+            continue;
+        out.push_back(
+            {w.file, w.line, "AF023",
+             "addLink watermark lambda captures by reference; a "
+             "conservative-engine watermark runs on the consumer's "
+             "thread, so capture by value and read the producer "
+             "channel's stampWatermark() (acquire) instead",
+             "watermark-lambda"});
     }
 }
 
@@ -1357,6 +1932,9 @@ scanFile(const fs::path &path, const std::string &rel,
     checkConcreteFlashTypes(toks, rel, sup, out);
     if (under_src) {
         collectUnorderedIteration(toks, rel, sup);
+        collectOwnershipUses(toks, rel, sup);
+        if (isHeader(path))
+            collectOwnershipClasses(toks, rel, sup);
         checkPointerKeyedContainers(toks, rel, sup, out);
         checkMutableStaticState(toks, lines, rel, sup, out);
         checkChannelContractDeclared(toks, rel, sup, out);
@@ -1377,18 +1955,196 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/**
+ * The measured domain-coupling graph (--ownership-report=PREFIX):
+ * PREFIX.json + PREFIX.dot from the resolution-time edge lists. The
+ * report deliberately includes baselined couplings — it is the
+ * exec-group-split worklist (DESIGN.md §16), not the violation list.
+ */
+bool
+writeOwnershipReport(const std::string &prefix)
+{
+    std::ofstream js(prefix + ".json");
+    std::ofstream dot(prefix + ".dot");
+    if (!js || !dot) {
+        std::cerr << "aflint: cannot write ownership report to '"
+                  << prefix << ".{json,dot}'\n";
+        return false;
+    }
+
+    // Facade sync calls run FC-side when the callee is the BC
+    // (service on the miss path) and BC-side when the callee is the
+    // FC (install delivery under a channel drain).
+    auto edgeDir = [](const std::string &callee) {
+        return callee == "BacksideController" ? "fc->bc" : "bc->fc";
+    };
+
+    js << "{\n  \"domains\": [\"fc\", \"bc\"],\n";
+    js << "  \"sync_calls\": [\n";
+    for (std::size_t i = 0; i < g_own.syncEdges.size(); ++i) {
+        const OwnershipState::SyncEdge &e = g_own.syncEdges[i];
+        js << "    {\"method\": \"" << jsonEscape(e.callee)
+           << "::" << jsonEscape(e.method) << "\", \"direction\": \""
+           << edgeDir(e.callee) << "\", \"site\": \""
+           << jsonEscape(e.file) << ":" << e.line << "\"}"
+           << (i + 1 < g_own.syncEdges.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"shared_state\": [\n";
+    for (std::size_t i = 0; i < g_own.sharedEdges.size(); ++i) {
+        const OwnershipState::SharedEdge &e = g_own.sharedEdges[i];
+        js << "    {\"type\": \"" << jsonEscape(e.type)
+           << "\", \"holder\": \"" << jsonEscape(e.holder)
+           << "::" << jsonEscape(e.member) << "\", \"holder_domain\": \""
+           << jsonEscape(e.domain) << "\", \"owner_domain\": \""
+           << jsonEscape(e.owner) << "\", \"site\": \""
+           << jsonEscape(e.file) << ":" << e.line << "\"}"
+           << (i + 1 < g_own.sharedEdges.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"channels\": [\n";
+    std::vector<const OwnershipState::Member *> channels;
+    for (const OwnershipState::Member &m : g_own.members) {
+        if (m.isChannel)
+            channels.push_back(&m);
+    }
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+        const OwnershipState::Member *m = channels[i];
+        js << "    {\"holder\": \"" << jsonEscape(m->cls)
+           << "::" << jsonEscape(m->name) << "\", \"domain\": \""
+           << componentDomain(m->cls) << "\", \"site\": \""
+           << jsonEscape(m->file) << ":" << m->line << "\"}"
+           << (i + 1 < channels.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"watermarks\": [\n";
+    for (std::size_t i = 0; i < g_own.watermarks.size(); ++i) {
+        const OwnershipState::Watermark &w = g_own.watermarks[i];
+        js << "    {\"site\": \"" << jsonEscape(w.file) << ":"
+           << w.line << "\", \"by_ref_capture\": "
+           << (w.refCapture ? "true" : "false")
+           << ", \"reads_stamp_watermark\": "
+           << (w.usesWatermark ? "true" : "false") << "}"
+           << (i + 1 < g_own.watermarks.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+
+    dot << "digraph ownership {\n  rankdir=LR;\n"
+        << "  fc [label=\"fc (frontside: cores + FC + facade + "
+           "fabric)\"];\n"
+        << "  bc [label=\"bc (backside shard: BC + MSR + evict "
+           "buffer)\"];\n";
+    for (const OwnershipState::SyncEdge &e : g_own.syncEdges) {
+        const bool to_bc = e.callee == "BacksideController";
+        dot << "  " << (to_bc ? "fc -> bc" : "bc -> fc")
+            << " [label=\"" << e.callee << "::" << e.method << " ("
+            << e.file << ":" << e.line << ")\"];\n";
+    }
+    for (const OwnershipState::SharedEdge &e : g_own.sharedEdges) {
+        dot << "  " << e.domain << " -> "
+            << (e.owner.empty() ? std::string("fc") : e.owner)
+            << " [style=dashed, label=\"" << e.holder
+            << "::" << e.member << " : " << e.type << "\"];\n";
+    }
+    for (const OwnershipState::Watermark &w : g_own.watermarks) {
+        dot << "  fc -> bc [style=dotted, label=\"watermark "
+            << w.file << ":" << w.line << "\"];\n";
+    }
+    dot << "}\n";
+    return js.good() && dot.good();
+}
+
+/**
+ * Baseline: reviewed long-lived findings keyed (rule, file, token) in
+ * tools/aflint/baseline.json, replacing inline annotation noise for
+ * couplings the roadmap already owns (the AF022 worklist, the
+ * thread-local auditor attach points).
+ */
+struct BaselineEntry {
+    std::string rule, file, token;
+    int hits = 0;
+};
+
+bool
+loadBaseline(const fs::path &path, std::vector<BaselineEntry> &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    static const std::regex obj("\\{[^{}]*\\}");
+    static const std::regex kv(
+        "\"(rule|file|token)\"\\s*:\\s*\"((?:\\\\.|[^\"\\\\])*)\"");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), obj);
+         it != std::sregex_iterator(); ++it) {
+        const std::string o = it->str();
+        BaselineEntry e;
+        for (auto k = std::sregex_iterator(o.begin(), o.end(), kv);
+             k != std::sregex_iterator(); ++k) {
+            std::string value = (*k)[2].str();
+            std::string plain;
+            for (std::size_t p = 0; p < value.size(); ++p) {
+                if (value[p] == '\\' && p + 1 < value.size())
+                    ++p;
+                plain.push_back(value[p]);
+            }
+            const std::string key = (*k)[1].str();
+            if (key == "rule")
+                e.rule = plain;
+            else if (key == "file")
+                e.file = plain;
+            else
+                e.token = plain;
+        }
+        if (!e.rule.empty() && !e.file.empty())
+            out.push_back(std::move(e));
+    }
+    return true;
+}
+
+bool
+writeBaseline(const fs::path &path,
+              const std::vector<Finding> &findings)
+{
+    std::set<std::string> seen;
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n  \"entries\": [\n";
+    std::string sep;
+    for (const Finding &f : findings) {
+        const std::string key = f.rule + "\n" + f.file + "\n" + f.token;
+        if (!seen.insert(key).second)
+            continue;
+        out << sep << "    {\"rule\": \"" << jsonEscape(f.rule)
+            << "\", \"file\": \"" << jsonEscape(f.file)
+            << "\", \"token\": \"" << jsonEscape(f.token) << "\"}";
+        sep = ",\n";
+    }
+    out << "\n  ]\n}\n";
+    return out.good();
+}
+
 int
 usage(const char *argv0)
 {
     std::cerr
         << "usage: " << argv0
         << " [--root DIR] [--format=text|json] "
-           "[--no-default-excludes] [paths...]\n"
+           "[--no-default-excludes] [baseline/report flags] "
+           "[paths...]\n"
            "Scans src tools bench tests under DIR (default: .) "
            "unless explicit paths are given.\n"
            "--since REF scans only files changed since the git ref.\n"
            "Paths containing /fixtures/ are skipped unless "
-           "--no-default-excludes is set.\n";
+           "--no-default-excludes is set.\n"
+           "--baseline=FILE reads reviewed findings keyed "
+           "(rule,file,token) [default: ROOT/tools/aflint/"
+           "baseline.json]; --no-baseline disables it;\n"
+           "--write-baseline regenerates the file from the current "
+           "findings; --check fails on stale entries.\n"
+           "--ownership-report=PREFIX writes the measured "
+           "domain-coupling graph to PREFIX.json and PREFIX.dot "
+           "(DESIGN.md §16).\n";
     return 2;
 }
 
@@ -1410,6 +2166,17 @@ main(int argc, char **argv)
             opt.sinceRef = argv[++i];
         } else if (arg == "--no-default-excludes") {
             opt.defaultExcludes = false;
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            opt.baselinePath = arg.substr(std::string("--baseline=").size());
+        } else if (arg == "--no-baseline") {
+            opt.noBaseline = true;
+        } else if (arg == "--write-baseline") {
+            opt.writeBaseline = true;
+        } else if (arg == "--check") {
+            opt.checkBaseline = true;
+        } else if (arg.rfind("--ownership-report=", 0) == 0) {
+            opt.reportPrefix =
+                arg.substr(std::string("--ownership-report=").size());
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -1518,12 +2285,70 @@ main(int argc, char **argv)
         }
     }
     resolveUnorderedIteration(findings);
+    resolveOwnership(findings);
 
-    for (const Finding &f : findings) {
+    if (!opt.reportPrefix.empty() &&
+        !writeOwnershipReport(opt.reportPrefix))
+        return 2;
+
+    const fs::path baseline_path =
+        opt.baselinePath.empty()
+            ? root / "tools" / "aflint" / "baseline.json"
+            : fs::path(opt.baselinePath);
+    if (opt.writeBaseline) {
+        if (!writeBaseline(baseline_path, findings)) {
+            std::cerr << "aflint: cannot write baseline '"
+                      << baseline_path.string() << "'\n";
+            return 2;
+        }
+        std::cout << "aflint: baseline written to "
+                  << baseline_path.string() << " ("
+                  << findings.size() << " finding(s))\n";
+        return 0;
+    }
+    std::vector<BaselineEntry> baseline;
+    if (!opt.noBaseline && fs::is_regular_file(baseline_path)) {
+        if (!loadBaseline(baseline_path, baseline)) {
+            std::cerr << "aflint: cannot read baseline '"
+                      << baseline_path.string() << "'\n";
+            return 2;
+        }
+    } else if (!opt.baselinePath.empty() && !opt.noBaseline) {
+        std::cerr << "aflint: no such baseline: " << opt.baselinePath
+                  << "\n";
+        return 2;
+    }
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding &f : findings) {
+        bool matched = false;
+        for (BaselineEntry &e : baseline) {
+            if (e.rule == f.rule && e.file == f.file &&
+                e.token == f.token) {
+                ++e.hits;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            kept.push_back(std::move(f));
+    }
+    int stale = 0;
+    for (const BaselineEntry &e : baseline) {
+        if (e.hits != 0)
+            continue;
+        ++stale;
+        std::cerr << "aflint: stale baseline entry: " << e.rule << " "
+                  << e.file << " '" << e.token << "'"
+                  << (opt.checkBaseline ? "" : " (warning)") << "\n";
+    }
+
+    for (const Finding &f : kept) {
         if (opt.json) {
             std::cout << "{\"file\":\"" << jsonEscape(f.file)
                       << "\",\"line\":" << f.line << ",\"rule\":\""
-                      << f.rule << "\",\"message\":\""
+                      << f.rule << "\",\"token\":\""
+                      << jsonEscape(f.token) << "\",\"message\":\""
                       << jsonEscape(f.message) << "\"}\n";
         } else {
             std::cout << f.file << ":" << f.line << ": " << f.rule
@@ -1532,7 +2357,14 @@ main(int argc, char **argv)
     }
     if (!opt.json) {
         std::cout << "aflint: " << files_scanned << " files, "
-                  << findings.size() << " finding(s)\n";
+                  << kept.size() << " finding(s)";
+        if (!baseline.empty()) {
+            std::cout << ", " << findings.size() - kept.size()
+                      << " baselined";
+        }
+        std::cout << "\n";
     }
-    return findings.empty() ? 0 : 1;
+    if (opt.checkBaseline && stale != 0)
+        return 1;
+    return kept.empty() ? 0 : 1;
 }

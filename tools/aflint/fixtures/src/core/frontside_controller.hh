@@ -13,11 +13,16 @@ namespace fixture {
 
 class BacksideController;
 class EvictBuffer;
+class Dram;
 
 struct FrontsideController {
-    // AF013: the frontside holding a backside reference is a direct
-    // call path around fc_to_bc.
+    // AF013 + AF020: the frontside holding a backside reference is a
+    // direct call path around fc_to_bc, and a raw cross-domain edge.
     BacksideController *bc = nullptr;
+
+    // AF022 (with the backside's copy): mutable state reachable from
+    // both domains with no value owner declaring ownership.
+    Dram &sharedDram;
 
     // AF013: peeking into the backside-owned evict buffer.
     bool probe(const EvictBuffer &buf) const;
