@@ -99,7 +99,7 @@ struct Cell {
 
 Cell
 runCell(unsigned cores, unsigned host_jobs, std::uint64_t measure_jobs,
-        std::uint32_t bc_shards)
+        std::uint32_t bc_shards, bool fc_pipeline)
 {
     SystemConfig cfg;
     cfg.kind = SystemKind::AstriFlash;
@@ -109,6 +109,13 @@ runCell(unsigned cores, unsigned host_jobs, std::uint64_t measure_jobs,
     cfg.warmupJobs = measure_jobs / 16 + 1;
     cfg.measureJobs = measure_jobs;
     cfg.dramCache.bc.shards = bc_shards;
+    if (fc_pipeline) {
+        // Pipelined miss path: each shard's domain lands in its own
+        // exec group, so host-jobs > 1 actually runs concurrently.
+        // Shards must divide the flash device count for the split.
+        cfg.dramCache.fc.pipeline = true;
+        cfg.dramCache.fabric.devices = bc_shards;
+    }
     cfg.hostJobs = host_jobs;
 
     System sys(cfg);
@@ -137,6 +144,8 @@ main(int argc, char **argv)
     std::uint64_t measure_jobs = 2000;
     std::uint32_t bc_shards = 4;
     std::string out_file = "BENCH_parallel.json";
+    std::string partition_file;
+    bool fused = false;
     bool quick = false;
 
     sim::OptionParser opts(
@@ -160,6 +169,11 @@ main(int argc, char **argv)
                    "backside-controller shards (= extra domains)");
     opts.addString("out", &out_file,
                    "write results to FILE (empty: skip)");
+    opts.addString("partition-out", &partition_file,
+                   "write the exec-group partition dump to FILE");
+    opts.addFlag("fused", &fused,
+                 "measure the fused (synchronous, merged-group) miss "
+                 "path instead of the pipelined split");
     opts.addFlag("quick", &quick,
                  "CI smoke: 64 cores only, fewer measured jobs");
     opts.parseOrExit(argc, argv);
@@ -181,16 +195,18 @@ main(int argc, char **argv)
     for (const unsigned cores : core_counts) {
         std::string baseline;
         for (const unsigned hj : jobs_list) {
-            Cell c = runCell(cores, hj, measure_jobs, bc_shards);
+            Cell c = runCell(cores, hj, measure_jobs, bc_shards,
+                             !fused);
             const bool first = baseline.empty();
             const bool match = first || baseline == c.statsJson;
             std::printf("cores=%-4u host-jobs=%-2u  %10llu events  "
                         "%7.3f s  %12.0f ev/s  %8.1f jobs/s  "
-                        "barriers=%llu posts=%llu  stats %s\n",
+                        "groups=%u barriers=%llu posts=%llu  "
+                        "stats %s\n",
                         cores, hj,
                         static_cast<unsigned long long>(c.events),
                         c.wallSeconds, c.eventsPerHostSec(),
-                        c.jobsPerHostSec(),
+                        c.jobsPerHostSec(), c.engine.groups,
                         static_cast<unsigned long long>(
                             c.engine.barriers),
                         static_cast<unsigned long long>(
@@ -199,8 +215,35 @@ main(int argc, char **argv)
                               : (match ? "byte-identical"
                                        : "DIVERGED"));
             std::fflush(stdout);
-            if (!match)
+            if (!match) {
                 identical = false;
+                // Print the first differing stat lines: a determinism
+                // failure without the offending counters is
+                // undebuggable from a CI log.
+                std::istringstream base_in(baseline);
+                std::istringstream cell_in(c.statsJson);
+                std::string bl, cl;
+                unsigned shown = 0;
+                while (shown < 8) {
+                    const bool b_ok = static_cast<bool>(
+                        std::getline(base_in, bl));
+                    const bool c_ok = static_cast<bool>(
+                        std::getline(cell_in, cl));
+                    if (!b_ok && !c_ok)
+                        break;
+                    if (!b_ok)
+                        bl.clear();
+                    if (!c_ok)
+                        cl.clear();
+                    if (bl == cl)
+                        continue;
+                    std::fprintf(stderr,
+                                 "  diverged: hj=1 %s\n"
+                                 "            hj=%u %s\n",
+                                 bl.c_str(), hj, cl.c_str());
+                    ++shown;
+                }
+            }
             if (first)
                 baseline = c.statsJson;
             c.statsJson.clear();
@@ -222,6 +265,7 @@ main(int argc, char **argv)
         w.field("measure_jobs", measure_jobs);
         w.field("bc_shards",
                 static_cast<std::uint64_t>(bc_shards));
+        w.field("fc_pipeline", !fused);
         w.field("stats_identical", identical);
         w.key("cells");
         w.beginArray();
@@ -239,12 +283,70 @@ main(int argc, char **argv)
             w.field("engine_barriers", c.engine.barriers);
             w.field("engine_posts", c.engine.postsDelivered);
             w.field("engine_horizon_stalls", c.engine.horizonStalls);
+            w.field("exec_groups",
+                    static_cast<std::uint64_t>(c.engine.groups));
+            w.key("group_events");
+            w.beginArray();
+            for (const std::uint64_t ev : c.engine.groupEvents)
+                w.value(ev);
+            w.endArray();
             w.endObject();
         }
         w.endArray();
         w.endObject();
         out << "\n";
         std::printf("# wrote %s\n", out_file.c_str());
+    }
+
+    if (!partition_file.empty()) {
+        // Exec-group partition dump (the perf-smoke artifact): the
+        // layout is config-determined — group 0 carries the cores,
+        // the FC, and the arrival process; each further group one BC
+        // shard's domain — and the per-group event totals come from
+        // the deepest measured cell.
+        std::ofstream out(partition_file);
+        if (!out) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         partition_file.c_str());
+            return 1;
+        }
+        const Cell *deepest = nullptr;
+        for (const Cell &c : cells)
+            if (deepest == nullptr || c.engine.groups > deepest->engine.groups ||
+                (c.engine.groups == deepest->engine.groups &&
+                 c.events > deepest->events))
+                deepest = &c;
+        sim::JsonWriter w(out);
+        w.beginObject();
+        w.field("fc_pipeline", !fused);
+        w.field("bc_shards", static_cast<std::uint64_t>(bc_shards));
+        if (deepest != nullptr) {
+            w.field("cores",
+                    static_cast<std::uint64_t>(deepest->cores));
+            w.field("host_jobs",
+                    static_cast<std::uint64_t>(deepest->hostJobs));
+            w.field("exec_groups", static_cast<std::uint64_t>(
+                                       deepest->engine.groups));
+            w.key("groups");
+            w.beginArray();
+            for (std::uint32_t g = 0; g < deepest->engine.groups;
+                 ++g) {
+                w.beginObject();
+                w.field("group", static_cast<std::uint64_t>(g));
+                w.field("domains",
+                        g == 0 ? std::string("cores+fc+arrivals")
+                               : "dcache.bc" + std::to_string(g - 1));
+                w.field("events",
+                        g < deepest->engine.groupEvents.size()
+                            ? deepest->engine.groupEvents[g]
+                            : 0);
+                w.endObject();
+            }
+            w.endArray();
+        }
+        w.endObject();
+        out << "\n";
+        std::printf("# wrote %s\n", partition_file.c_str());
     }
 
     if (!identical) {

@@ -15,49 +15,134 @@ namespace astriflash::core {
 BacksideController::BacksideController(
     sim::EventQueue &eq, std::string name,
     const DramCacheConfig &config, const mem::AddressMap &amap,
-    mem::Dram &dram, mem::SetAssocCache &tags,
-    FootprintState &footprint,
+    flash::Backend &flash_dev,
     sim::BoundedChannel<MissRequest> &in_channel,
     sim::BoundedChannel<FlashCmdMsg> &to_flash,
     sim::BoundedChannel<InstallComplete> &to_fc,
+    sim::BoundedChannel<BcNotice> &to_fc_rsp,
+    sim::BoundedChannel<InstallGrant> &from_fc_ctl,
     std::uint32_t msr_sets, std::uint32_t msr_entries_per_set,
-    std::uint32_t evict_entries, sim::Ticks flash_read_estimate)
+    std::uint32_t evict_entries)
     : sim::SimObject(eq, std::move(name)), cfg(config), addrMap(amap),
-      dramModel(dram), pageTags(tags), fp(footprint),
-      inbox(in_channel), toFlash(to_flash), toFc(to_fc),
+      flashDev(flash_dev), inbox(in_channel), toFlash(to_flash),
+      toFc(to_fc), toFcRsp(to_fc_rsp), fromFcCtl(from_fc_ctl),
       msrTable(SimObject::name() + ".msr", msr_sets,
                msr_entries_per_set),
       evictBuf(SimObject::name() + ".evictbuf", evict_entries),
-      flashReadEstimate(flash_read_estimate)
+      flashReadEstimate(flash_dev.readEstimate())
 {
     const sim::ClockDomain clk(cfg.controllerFreqHz);
     bcOpTicks = clk.cycles(cfg.bc.cyclesPerOp);
 }
 
-BcReply
-BacksideController::service()
+void
+BacksideController::bindChannels()
+{
+    // The submit path is bc-owned, so the command channel always
+    // drains inside the push that filled it, both modes: startMiss's
+    // issued-assertions depend on it and the seam honestly declares
+    // zero lookahead.
+    toFlash.setDrainHook([this] { pumpFlash(); });
+
+    if (!cfg.fc.pipeline) {
+        // Fused mode: service the whole miss chain nested inside the
+        // producer's push, exactly like the pre-split facade pump.
+        inbox.setDrainHook([this] {
+            if (serviceNote)
+                serviceNote(curTick());
+            pumpInbox(sim::kTickNever);
+        });
+        fromFcCtl.setDrainHook([this] { pumpCtl(sim::kTickNever); });
+        return;
+    }
+
+    // Pipeline mode: the producer's push only schedules this
+    // controller's pump at accept + the declared channel lookahead.
+    // The notify hook runs in the producer's context and touches no
+    // bc-owned state; the pump event re-enters this domain.
+    inbox.setNotifyHook([this](sim::Ticks accept) {
+        requestPump(accept + inbox.contract().minLatency, [this] {
+            auditDomain(); // event-queue entry point
+            pumpInbox(curTick());
+        });
+    });
+    fromFcCtl.setNotifyHook([this](sim::Ticks accept) {
+        requestPump(accept + fromFcCtl.contract().minLatency, [this] {
+            auditDomain(); // event-queue entry point
+            pumpCtl(curTick());
+        });
+    });
+}
+
+void
+BacksideController::requestPump(sim::Ticks when,
+                                std::function<void()> fn)
+{
+    if (postFn) {
+        postFn(when, std::move(fn));
+        return;
+    }
+    // Single-queue fallback: the producer shares this queue, so a
+    // relative schedule from its current tick lands at `when`.
+    scheduleIn(when > curTick() ? when - curTick() : 0,
+               std::move(fn));
+}
+
+void
+BacksideController::pumpInbox(sim::Ticks eligible_until)
+{
+    const sim::Ticks lat = inbox.contract().minLatency;
+    while (!inbox.empty()) {
+        // Entries pushed after the round's barrier wait for their own
+        // pump: the frozen window keeps the drain set independent of
+        // worker interleaving.
+        if (inbox.frontHeldByFreeze())
+            break;
+        if (eligible_until != sim::kTickNever &&
+            inbox.front().acceptedAt + lat > eligible_until) {
+            // Not yet past the declared lookahead; the push's own
+            // notify pump revisits it.
+            break;
+        }
+        // Pipeline mode floors the reply stamps at this pump's bound
+        // (the miss channel's core-skewed pushes are not monotone, so
+        // a late-drained request must not ack into the past).
+        serviceHead(eligible_until == sim::kTickNever
+                        ? 0 : eligible_until);
+    }
+}
+
+void
+BacksideController::serviceHead(sim::Ticks at_least)
 {
     ASTRI_ASSERT_MSG(!inbox.empty(),
-                     "%s: service() with an empty miss channel",
+                     "%s: serviceHead() with an empty miss channel",
                      name().c_str());
     auto &st = inbox.front();
     const MissRequest req = st.msg;
     const sim::Ticks accept = st.acceptedAt;
 
-    BcReply rep;
+    BcNotice ack;
+    ack.kind = BcNotice::Kind::MissAck;
+    ack.page = req.page;
+    ack.hasWaiter = req.hasWaiter;
+    ack.waiter = req.waiter;
+
     if (!req.subPage && evictBuf.contains(req.page)) {
         // The page is parked in the evict buffer awaiting writeback;
         // serve the request from there. (Footprint sub-page refetches
         // target a resident page, which cannot be parked here.)
-        rep.kind = BcReply::Kind::EvictBufferHit;
-        rep.ready = accept + bcOp();
-        inbox.dropFront(rep.ready);
-        return rep;
+        ack.reply.kind = BcReply::Kind::EvictBufferHit;
+        ack.reply.ready = accept + bcOp();
+        inbox.dropFront(ack.reply.ready);
+        toFcRsp.push(ack, ack.reply.ready > at_least
+                              ? ack.reply.ready : at_least);
+        return;
     }
 
-    rep.kind = BcReply::Kind::MissStarted;
-    rep.merged = pending.count(req.page) != 0;
-    rep.ready = startMiss(req.page, accept, req.write, req.wantMask);
+    ack.reply.kind = BcReply::Kind::MissStarted;
+    ack.reply.merged = pending.count(req.page) != 0;
+    ack.reply.ready = startMiss(req, accept);
     if (req.hasWaiter)
         pending[req.page].waiters.push_back(req.waiter);
     // Merged requests ride the original transaction's slot and only
@@ -65,35 +150,37 @@ BacksideController::service()
     // until the page's install completes, making the channel depth
     // the BC's outstanding-transaction window. Either way the BC
     // consumes the request after its dequeue + MSR-search ops.
-    inbox.dropFront(accept + 2 * bcOp(),
-                    rep.merged ? accept + 2 * bcOp()
-                               : pending[req.page].dataReady);
-    return rep;
+    const sim::Ticks consumed = accept + 2 * bcOp();
+    inbox.dropFront(consumed, ack.reply.merged
+                                  ? consumed
+                                  : pending[req.page].dataReady);
+    toFcRsp.push(ack, consumed > at_least ? consumed : at_least);
 }
 
 sim::Ticks
-BacksideController::startMiss(mem::PageNum page, sim::Ticks now,
-                              bool write, std::uint64_t want_mask)
+BacksideController::startMiss(const MissRequest &req, sim::Ticks now)
 {
+    const mem::PageNum page = req.page;
     auto it = pending.find(page);
     if (it != pending.end()) {
-        it->second.anyWrite = it->second.anyWrite || write;
+        it->second.anyWrite = it->second.anyWrite || req.write;
         // Widen a not-yet-issued fetch to cover this request; an
         // in-flight transfer cannot grow, in which case an uncovered
         // block sub-page-misses again after the install.
         if (!it->second.issued)
-            it->second.fetchMask |= want_mask;
+            it->second.fetchMask |= req.wantMask;
         sim::traceEvent(sim::TracePoint::MsrDedup, now, kNoCore,
                         pageByteAddr(page), it->second.waiters.size());
         return it->second.dataReady;
     }
 
     PendingMiss miss;
-    miss.anyWrite = write;
+    miss.anyWrite = req.write;
     if (cfg.footprintEnabled) {
-        const auto hist = fp.history.find(page);
-        miss.fetchMask = hist != fp.history.end()
-            ? (hist->second | want_mask) : ~0ull;
+        // Footprint history is fc-owned; the producer snapshotted the
+        // page's recorded footprint into the request at push time.
+        miss.fetchMask = req.histValid
+            ? (req.histMask | req.wantMask) : ~0ull;
     } else {
         miss.fetchMask = ~0ull;
     }
@@ -129,9 +216,9 @@ BacksideController::startMiss(mem::PageNum page, sim::Ticks now,
             static_cast<std::uint64_t>(
                 std::popcount(miss.fetchMask)) * mem::kBlockSize;
         pending.emplace(page, std::move(miss));
-        // The facade submits the command and reports back through
-        // flashReadIssued(), which stamps dataReady and schedules the
-        // arrival.
+        // The command channel's drain submits the read and reports
+        // back through flashReadIssued(), which stamps dataReady and
+        // schedules the arrival.
         toFlash.push(
             FlashCmdMsg{
                 flash::FlashCommand{flash::FlashCommand::Op::Read,
@@ -154,6 +241,25 @@ BacksideController::startMiss(mem::PageNum page, sim::Ticks now,
 }
 
 void
+BacksideController::pumpFlash()
+{
+    while (!toFlash.empty()) {
+        auto &st = toFlash.front();
+        const FlashCmdMsg msg = st.msg;
+        const sim::Ticks issued = st.acceptedAt;
+        const flash::FlashCommandResult res =
+            flashDev.submit(msg.cmd, issued);
+        // The slot drains when the device finishes the read or
+        // accepts the write, so the depth models the device command
+        // queue; the declared zero lookahead matches the synchronous
+        // submit (the seam never leaves this domain).
+        toFlash.dropFront(issued, res.complete);
+        if (msg.cmd.op == flash::FlashCommand::Op::Read)
+            flashReadIssued(msg.page, issued, res.complete);
+    }
+}
+
+void
 BacksideController::flashReadIssued(mem::PageNum page,
                                     sim::Ticks issued_at,
                                     sim::Ticks complete_at)
@@ -171,7 +277,7 @@ BacksideController::flashReadIssued(mem::PageNum page,
                     kNoCore, pageByteAddr(page), fetch_bytes);
     it->second.issued = true;
     it->second.dataReady = complete_at + bcOp() + installEstimate();
-    scheduleIn(complete_at - curTick(),
+    scheduleIn(complete_at > curTick() ? complete_at - curTick() : 0,
                [this, page] { pageArrived(page); });
 }
 
@@ -193,67 +299,110 @@ BacksideController::pageArrived(mem::PageNum page)
     sim::traceEvent(sim::TracePoint::FlashReadDone, now, kNoCore,
                     pageByteAddr(page));
 
-    // Secure a frame: fill the tag array; a displaced victim parks in
-    // the evict buffer and drains to flash off the critical path.
     auto pit = pending.find(page);
     ASTRI_ASSERT_MSG(pit != pending.end(),
                      "arrival for page %llx with no pending miss",
                      static_cast<unsigned long long>(
                          pageByteAddr(page)));
-    const bool dirty_install = pit->second.anyWrite;
     const std::uint64_t fetch_mask = pit->second.fetchMask;
     const std::uint64_t fetch_bytes =
         static_cast<std::uint64_t>(std::popcount(fetch_mask)) *
         mem::kBlockSize;
     statsData.flashBytesRead.inc(
         fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
-    if (cfg.footprintEnabled)
-        fp.fetched[page] |= fetch_mask;
-    auto victim = pageTags.fill(pageByteAddr(page), dirty_install);
-    statsData.fills.inc();
-    if (victim) {
-        const mem::PageNum vpage = pageNum(victim->tag_addr);
-        if (cfg.footprintEnabled) {
-            // Record the victim's footprint for its next residency
-            // and drop its residency masks.
-            const auto t = fp.touched.find(vpage);
-            if (t != fp.touched.end() && t->second != 0)
-                fp.history[vpage] = t->second;
-            fp.touched.erase(vpage);
-            fp.fetched.erase(vpage);
+
+    // Securing a frame needs the tag array, the DRAM model, and the
+    // footprint masks — all fc-owned. Request the install across the
+    // seam; the grant comes back on the ctl channel and finishes the
+    // miss in finishInstall().
+    BcNotice n;
+    n.kind = BcNotice::Kind::InstallReq;
+    n.page = page;
+    n.fetchMask = fetch_mask;
+    n.dirty = pit->second.anyWrite;
+    pit->second.installing = true;
+    toFcRsp.push(n, now);
+}
+
+void
+BacksideController::pumpCtl(sim::Ticks eligible_until)
+{
+    const sim::Ticks lat = fromFcCtl.contract().minLatency;
+    while (!fromFcCtl.empty()) {
+        if (fromFcCtl.frontHeldByFreeze())
+            break;
+        const auto &st = fromFcCtl.front();
+        if (eligible_until != sim::kTickNever &&
+            st.acceptedAt + lat > eligible_until)
+            break;
+        const InstallGrant grant = st.msg;
+        // Fused mode finishes the miss at the grant's accept tick —
+        // the whole install chain is one nested call at the arrival
+        // tick, byte-identical to the pre-split controller. Pipeline
+        // mode acts at the entry's eligibility, clamped to this
+        // pump's bound: the ctl channel is not monotone, so a
+        // late-drained entry's stale act tick would otherwise stamp
+        // the install-complete push (and the bc_to_fc cross-post)
+        // into the past. The clamp is deterministic — each entry's
+        // draining pump is fixed by channel content and pump order.
+        sim::Ticks act = st.acceptedAt;
+        if (cfg.fc.pipeline) {
+            act = st.acceptedAt + lat > eligible_until
+                      ? st.acceptedAt + lat : eligible_until;
         }
+        fromFcCtl.dropFront(st.acceptedAt + lat);
+        finishInstall(grant, act);
+    }
+}
+
+void
+BacksideController::finishInstall(const InstallGrant &grant,
+                                  sim::Ticks now)
+{
+    auto pit = pending.find(grant.page);
+    ASTRI_ASSERT_MSG(pit != pending.end(),
+                     "install grant for page %llx with no pending miss",
+                     static_cast<unsigned long long>(
+                         pageByteAddr(grant.page)));
+    statsData.fills.inc();
+
+    // A displaced victim parks in the evict buffer and drains to
+    // flash off the critical path.
+    if (grant.hasVictim) {
         if (evictBuf.full()) {
             // Backpressure: force-drain the oldest entry now (the
             // install stalls behind the BC's emergency writeback).
             drainEvictBuffer(now);
         }
-        const bool ok = evictBuf.insert(vpage, victim->dirty, now);
+        const bool ok =
+            evictBuf.insert(grant.victim, grant.victimDirty, now);
         ASTRI_ASSERT(ok);
         sim::traceEvent(sim::TracePoint::PageEvict, now, kNoCore,
-                        victim->tag_addr, victim->dirty ? 1 : 0);
+                        pageByteAddr(grant.victim),
+                        grant.victimDirty ? 1 : 0);
         // Lazy drain keeps writes off the read path.
-        scheduleIn(bcOp() * 4, [this] {
-            auditDomain(); // event-queue entry point
-            drainEvictBuffer(curTick());
-        });
+        const sim::Ticks drain_at = now + bcOp() * 4;
+        scheduleIn(drain_at > curTick() ? drain_at - curTick() : 0,
+                   [this] {
+                       auditDomain(); // event-queue entry point
+                       drainEvictBuffer(curTick());
+                   });
     }
 
-    // Install: stream the fetched blocks into the frame.
-    const auto install = dramModel.access(
-        dcSetRowAddr(cfg, pageTags.numSets(), pageByteAddr(page)), now,
-        true, fetch_bytes > cfg.pageBytes ? cfg.pageBytes : fetch_bytes);
-    const sim::Ticks ready = install.complete + bcOp();
+    const sim::Ticks ready = grant.installComplete + bcOp();
     statsData.missPenalty.sample(ready > now ? ready - now : 0);
     sim::traceEvent(sim::TracePoint::PageFill, ready, kNoCore,
-                    pageByteAddr(page), ready > now ? ready - now : 0);
+                    pageByteAddr(grant.page),
+                    ready > now ? ready - now : 0);
 
     // Free the MSR entry and unblock any set-conflicted misses.
-    msrTable.free(page);
+    msrTable.free(grant.page);
     retryMsrStalled(now);
 
     auto waiters = std::move(pit->second.waiters);
     pending.erase(pit);
-    toFc.push(InstallComplete{page, ready, std::move(waiters)}, now);
+    toFc.push(InstallComplete{grant.page, ready, std::move(waiters)},
+              now);
 }
 
 void
@@ -358,16 +507,6 @@ BacksideController::checkInvariants(sim::InvariantChecker &chk) const
                               static_cast<unsigned long long>(
                                   pageByteAddr(page)));
         }
-        if (!cfg.footprintEnabled) {
-            // A full-page miss cannot coexist with a resident copy
-            // (footprint mode legitimately refetches absent blocks
-            // of resident pages).
-            SIM_INVARIANT_MSG(chk,
-                              !pageTags.contains(pageByteAddr(page)),
-                              "page %llx is both resident and pending",
-                              static_cast<unsigned long long>(
-                                  pageByteAddr(page)));
-        }
     }
     SIM_INVARIANT_MSG(chk, msrTable.occupancy() == issued,
                       "MSR holds %u entries but %u misses are issued",
@@ -405,22 +544,32 @@ BacksideController::checkInvariants(sim::InvariantChecker &chk) const
                           statsData.fills.value()),
                       static_cast<unsigned long long>(
                           msrTable.stats().frees.value()));
+}
 
-    // Footprint residency masks exist only for resident pages.
+void
+BacksideController::auditShared(sim::InvariantChecker &chk,
+                                const mem::SetAssocCache &tags) const
+{
     if (cfg.footprintEnabled) {
-        // Audit-only, order-insensitive walk (baselined AF015).
-        for (const auto &[page, mask] : fp.fetched) {
-            (void)mask;
-            SIM_INVARIANT_MSG(chk,
-                              pageTags.contains(pageByteAddr(page)),
-                              "fetched mask for non-resident %llx",
-                              static_cast<unsigned long long>(
-                                  pageByteAddr(page)));
-        }
-    } else {
-        SIM_INVARIANT(chk, fp.fetched.empty());
-        SIM_INVARIANT(chk, fp.touched.empty());
-        SIM_INVARIANT(chk, fp.history.empty());
+        // Footprint mode legitimately refetches absent blocks of
+        // resident pages, so residency and pending can coexist.
+        return;
+    }
+    // Cross-domain audit at a quiesce point: a full-page miss cannot
+    // coexist with a resident copy. The tag array is fc-owned and
+    // passed by const reference — the BC never holds it.
+    // Audit-only, order-insensitive walk (baselined AF015). Entries
+    // whose install grant is in flight are exempt: the frontside has
+    // already filled the tags but the completion that retires the
+    // entry is still crossing the ctl channel.
+    for (const auto &[page, miss] : pending) {
+        if (miss.installing)
+            continue;
+        SIM_INVARIANT_MSG(chk,
+                          !tags.contains(pageByteAddr(page)),
+                          "page %llx is both resident and pending",
+                          static_cast<unsigned long long>(
+                              pageByteAddr(page)));
     }
 }
 

@@ -3,17 +3,30 @@
  * Backside controller (BC) of the DRAM cache (§IV-B, Fig. 5).
  *
  * The BC is the programmable (slower per operation) half of the
- * controller pair: it pops MissRequests off the FC→BC channel,
+ * controller pair: it drains MissRequests off the FC→BC channel,
  * deduplicates them through the in-DRAM Miss Status Row, issues 4 KB
- * flash reads, selects victims into the evict buffer, writes dirty
- * victims back to flash off the critical path, and installs arriving
- * pages.
+ * flash reads through its own flash::Backend submit path, parks
+ * victims in the evict buffer, and writes dirty victims back to flash
+ * off the critical path.
  *
- * The BC never names the frontside controller or the flash device
- * (aflint AF013): flash commands leave through the BC→flash channel
- * as plain flash::FlashCommand messages (the facade submits them and
- * reports read completions back via flashReadIssued()), and install
- * completions leave through the BC→FC channel.
+ * Single-owner seam (DESIGN.md §17): the BC owns the MSR, the evict
+ * buffer, the pending-miss table, and the flash submit path — and
+ * nothing else. The page tags, the DRAM model, and the footprint
+ * state are fc-owned; whenever the BC needs them (seeding a fetch
+ * mask from footprint history, installing an arrived page) the data
+ * crosses the seam as message fields: MissRequest::histMask inbound,
+ * a BcNotice::InstallReq outbound answered by an InstallGrant. The BC
+ * never names the frontside controller or a concrete flash device
+ * (aflint AF013/AF014); all its inputs and outputs are channels plus
+ * the abstract flash::Backend.
+ *
+ * The BC drains its own inbound channels: in fused mode (default)
+ * through synchronous drain hooks, which keeps the whole miss chain
+ * nested inside the producer's push exactly like the pre-split
+ * facade pump; in pipeline mode through notify hooks that schedule a
+ * pump at accept + the declared channel lookahead via the cross-post
+ * function (the parallel engine's mailbox when exec groups are
+ * split).
  */
 
 #ifndef ASTRIFLASH_CORE_BACKSIDE_CONTROLLER_HH
@@ -25,8 +38,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "flash/backend.hh"
 #include "mem/address_map.hh"
-#include "mem/dram.hh"
 #include "mem/set_assoc_cache.hh"
 #include "sim/bounded_channel.hh"
 #include "sim/invariant.hh"
@@ -58,39 +71,53 @@ class BacksideController : public sim::SimObject
      *        this shard's slice of the cache-wide MSR and evict-buffer
      *        capacities (the facade slices BcConfig's totals with
      *        shardSlice()).
-     * @param flash_read_estimate conservative whole-read latency used
-     *        for MSR-stalled misses' dataReady estimate; the facade
-     *        derives it from the flash back-end so the BC itself never
-     *        sees the device.
+     * @param flash_dev the shard's submit path. The BC derives its
+     *        conservative read estimate from it; in pipeline mode the
+     *        facade guarantees shards hit disjoint devices
+     *        (deviceCount % shards == 0 with page-residue routing).
      */
     BacksideController(sim::EventQueue &eq, std::string name,
                        const DramCacheConfig &config,
-                       const mem::AddressMap &amap, mem::Dram &dram,
-                       mem::SetAssocCache &tags,
-                       FootprintState &footprint,
+                       const mem::AddressMap &amap,
+                       flash::Backend &flash_dev,
                        sim::BoundedChannel<MissRequest> &inbox,
                        sim::BoundedChannel<FlashCmdMsg> &to_flash,
                        sim::BoundedChannel<InstallComplete> &to_fc,
+                       sim::BoundedChannel<BcNotice> &to_fc_rsp,
+                       sim::BoundedChannel<InstallGrant> &from_fc_ctl,
                        std::uint32_t msr_sets,
                        std::uint32_t msr_entries_per_set,
-                       std::uint32_t evict_entries,
-                       sim::Ticks flash_read_estimate);
+                       std::uint32_t evict_entries);
 
     /**
-     * Service the MissRequest at the head of the FC→BC channel:
-     * evict-buffer short-circuit, MSR dedup/alloc, flash issue. The
-     * slot is released at the transaction's completion tick, so the
-     * channel depth bounds the BC's outstanding-transaction window.
+     * Install this controller's channel hooks. Both controllers
+     * declare bindChannels(); the facade calls it after channel
+     * construction, once per controller. Fused mode installs
+     * synchronous drain hooks on the inbox and the ctl channel;
+     * pipeline mode installs notify hooks that schedule pumps through
+     * the cross-post function. The BC→flash channel always drains
+     * synchronously — the submit path is bc-owned, so that seam never
+     * leaves the domain.
      */
-    BcReply service();
+    void bindChannels();
 
     /**
-     * Completion report for a read command the facade submitted from
-     * the BC→flash channel: stamps the pending miss and schedules the
-     * page-arrival install.
+     * Cross-domain pump scheduler (pipeline mode): posts @p fn at an
+     * absolute tick into this controller's domain. Unset, the BC
+     * schedules on its own queue (single-queue unit tests); System
+     * installs the parallel engine's mailbox for split runs.
      */
-    void flashReadIssued(mem::PageNum page, sim::Ticks issued_at,
-                         sim::Ticks complete_at);
+    void setPostFn(CrossPostFn fn) { postFn = std::move(fn); }
+
+    /**
+     * Telemetry callback fired when the fused-mode drain services a
+     * request in the producer's call chain (the facade's registered
+     * "service" ownership crossing).
+     */
+    void setCrossingNotes(CrossingNoteFn service_note)
+    {
+        serviceNote = std::move(service_note);
+    }
 
     /** Outstanding (in-flight) misses right now. */
     std::uint32_t
@@ -106,11 +133,19 @@ class BacksideController : public sim::SimObject
 
     /**
      * Audit the miss-tracking machinery: every issued pending miss
-     * holds an MSR entry (and nothing else does), the stall queue
-     * mirrors the un-issued pending misses exactly, and footprint
-     * masks only exist for resident pages.
+     * holds an MSR entry (and nothing else does), and the stall queue
+     * mirrors the un-issued pending misses exactly.
      */
     void checkInvariants(sim::InvariantChecker &chk) const;
+
+    /**
+     * Cross-domain audit run at quiesce points (both controllers
+     * declare auditShared; the facade invokes them with the fc-owned
+     * structures passed by const ref): no page may be both resident
+     * in @p tags and pending here.
+     */
+    void auditShared(sim::InvariantChecker &chk,
+                     const mem::SetAssocCache &tags) const;
 
     const Stats &stats() const { return statsData; }
     const MissStatusRow &msr() const { return msrTable; }
@@ -121,6 +156,11 @@ class BacksideController : public sim::SimObject
         sim::Ticks dataReady = 0; ///< Install-complete estimate.
         std::vector<WaiterCookie> waiters;
         bool issued = false;   ///< Flash read issued (vs MSR-stalled).
+        /** Install requested across the seam; the grant is in flight.
+         *  In pipelined mode a sweep can observe the page already
+         *  resident (the grant filled the tags) while finishInstall
+         *  has not yet retired this entry. */
+        bool installing = false;
         bool anyWrite = false; ///< Install dirty (write-allocate).
         std::uint64_t fetchMask = ~0ull; ///< Blocks to transfer.
     };
@@ -140,17 +180,47 @@ class BacksideController : public sim::SimObject
     }
 
     /**
+     * Service the MissRequest at the head of the FC→BC channel:
+     * evict-buffer short-circuit, MSR dedup/alloc, flash issue. The
+     * slot is released at the transaction's completion tick, so the
+     * channel depth bounds the BC's outstanding-transaction window.
+     * The reply leaves through the BC→FC response channel; its push
+     * stamp is floored at @p at_least (the draining pump's bound —
+     * 0 in fused mode, where the drain is nested in the push).
+     */
+    void serviceHead(sim::Ticks at_least = 0);
+
+    /** Drain every serviceable inbox entry (stamp-eligible at @p now;
+     *  fused mode passes kTickNever to drain unconditionally). */
+    void pumpInbox(sim::Ticks eligible_until);
+
+    /** Submit queued flash commands; reads schedule their arrival. */
+    void pumpFlash();
+
+    /** Drain eligible InstallGrants off the FC→BC ctl channel. */
+    void pumpCtl(sim::Ticks eligible_until);
+
+    /** Schedule a pump at @p when in this domain (post or self). */
+    void requestPump(sim::Ticks when, std::function<void()> fn);
+
+    /**
      * Miss handling: MSR dedup/alloc, flash read, arrival event.
      * @return the tick the requester's data will be ready.
      */
-    sim::Ticks startMiss(mem::PageNum page, sim::Ticks now, bool write,
-                         std::uint64_t want_mask);
+    sim::Ticks startMiss(const MissRequest &req, sim::Ticks now);
 
     /** Expected cost of installing one page into its frame. */
     sim::Ticks installEstimate() const;
 
-    /** Install an arrived page, drain victims, notify the FC. */
+    /** A read completed: stamp the miss, schedule the arrival. */
+    void flashReadIssued(mem::PageNum page, sim::Ticks issued_at,
+                         sim::Ticks complete_at);
+
+    /** A fetched page arrived: request the fc-side install. */
     void pageArrived(mem::PageNum page);
+
+    /** The FC installed the page: evict path, MSR free, waiters. */
+    void finishInstall(const InstallGrant &grant, sim::Ticks now);
 
     /** Issue queued misses that were blocked on a full MSR set. */
     void retryMsrStalled(sim::Ticks now);
@@ -162,16 +232,18 @@ class BacksideController : public sim::SimObject
 
     const DramCacheConfig &cfg;
     const mem::AddressMap &addrMap;
-    mem::Dram &dramModel;
-    mem::SetAssocCache &pageTags;
-    FootprintState &fp;
+    flash::Backend &flashDev;
     sim::BoundedChannel<MissRequest> &inbox;
     sim::BoundedChannel<FlashCmdMsg> &toFlash;
     sim::BoundedChannel<InstallComplete> &toFc;
+    sim::BoundedChannel<BcNotice> &toFcRsp;
+    sim::BoundedChannel<InstallGrant> &fromFcCtl;
     MissStatusRow msrTable;
     EvictBuffer evictBuf;
     std::unordered_map<mem::PageNum, PendingMiss> pending;
     std::deque<mem::PageNum> msrStalled; ///< Waiting for MSR space.
+    CrossPostFn postFn;
+    CrossingNoteFn serviceNote;
     sim::Ticks bcOpTicks;
     sim::Ticks flashReadEstimate;
     Stats statsData;

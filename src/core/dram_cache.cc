@@ -9,12 +9,15 @@ DramCache::DramCache(sim::EventQueue &eq, std::string name,
                      flash::Backend &flash,
                      const mem::AddressMap &amap,
                      const std::vector<sim::EventQueue *> &bc_queues)
-    : sim::SimObject(eq, std::move(name)), cfg(config), flashDev(flash),
+    : sim::SimObject(eq, std::move(name)), cfg(config),
       dramModel(SimObject::name() + ".dram", config.dram),
       pageTags(SimObject::name() + ".tags", config.capacityBytes,
                config.pageBytes, config.ways),
       fcCtl(SimObject::name() + ".fc", cfg, dramModel, pageTags,
-            footprint, fcToBc, bcToFc)
+            footprint, fcToBc, bcToFc, bcToFcRsp, fcToBcCtl,
+            // Conservative whole-read estimate for pipelined sync
+            // misses, derived here so the FC never sees the device.
+            flash.readEstimate())
 {
     // Bad user configuration, not an invariant: SIM_CHECK compiles
     // out in plain Release, and shards=0 would SIGFPE in the slice
@@ -23,6 +26,16 @@ DramCache::DramCache(sim::EventQueue &eq, std::string name,
     if (shards == 0)
         ASTRI_FATAL("%s: at least one BC shard required",
                     SimObject::name().c_str());
+    if (cfg.fc.pipeline && cfg.fabric.devices % shards != 0) {
+        // Split exec groups submit flash commands concurrently; the
+        // page-interleaved shards only hit disjoint devices when the
+        // device count is a shard multiple (lpn % devices then fixes
+        // the device's shard residue).
+        ASTRI_FATAL("%s: pipeline mode needs the flash device count "
+                    "(%u) to be a multiple of the BC shard count (%u)",
+                    SimObject::name().c_str(), cfg.fabric.devices,
+                    shards);
+    }
 
     // Capacity conservation: the per-shard slices of the cache-wide
     // MSR and evict-buffer capacities must sum exactly to the
@@ -55,12 +68,16 @@ DramCache::DramCache(sim::EventQueue &eq, std::string name,
     fcToBc.reserve(shards);
     bcToFlash.reserve(shards);
     bcToFc.reserve(shards);
+    bcToFcRsp.reserve(shards);
+    fcToBcCtl.reserve(shards);
     bcCtls.reserve(shards);
     // The lookahead manifest, converted from BC-op multiples to
     // ticks. fc_to_bc and bc_to_flash are fed at skewed core-local
     // clocks through the FC's synchronous probe, so only bc_to_fc —
     // pushed exclusively by the arrival event handler — declares
-    // monotone push ticks.
+    // monotone push ticks. The rsp channel mixes probe-clocked acks
+    // with event-clocked install requests and the ctl channel answers
+    // them, so neither declares monotonicity.
     const sim::ClockDomain clk(cfg.controllerFreqHz);
     const sim::Ticks op = clk.cycles(cfg.bc.cyclesPerOp);
     const sim::ChannelContract miss_contract{
@@ -69,6 +86,10 @@ DramCache::DramCache(sim::EventQueue &eq, std::string name,
         op * cfg.channels.bcToFlashMinLatencyOps, false};
     const sim::ChannelContract install_contract{
         op * cfg.channels.bcToFcMinLatencyOps, true};
+    const sim::ChannelContract rsp_contract{
+        op * cfg.channels.bcToFcRspMinLatencyOps, false};
+    const sim::ChannelContract ctl_contract{
+        op * cfg.channels.fcToBcCtlMinLatencyOps, false};
     for (std::uint32_t i = 0; i < shards; ++i) {
         const std::string tag = shardTag(i);
         fcToBc.push_back(
@@ -83,6 +104,14 @@ DramCache::DramCache(sim::EventQueue &eq, std::string name,
             std::make_unique<sim::BoundedChannel<InstallComplete>>(
                 SimObject::name() + ".bc_to_fc" + tag,
                 cfg.channels.bcToFcDepth, install_contract));
+        bcToFcRsp.push_back(
+            std::make_unique<sim::BoundedChannel<BcNotice>>(
+                SimObject::name() + ".bc_to_fc_rsp" + tag,
+                cfg.channels.bcToFcRspDepth, rsp_contract));
+        fcToBcCtl.push_back(
+            std::make_unique<sim::BoundedChannel<InstallGrant>>(
+                SimObject::name() + ".fc_to_bc_ctl" + tag,
+                cfg.channels.fcToBcCtlDepth, ctl_contract));
     }
     if (!bc_queues.empty() && bc_queues.size() != shards) {
         ASTRI_FATAL("%s: %zu domain queues for %u BC shards",
@@ -92,31 +121,20 @@ DramCache::DramCache(sim::EventQueue &eq, std::string name,
     for (std::uint32_t i = 0; i < shards; ++i) {
         bcCtls.push_back(std::make_unique<BacksideController>(
             bc_queues.empty() ? eq : *bc_queues[i],
-            SimObject::name() + ".bc" + shardTag(i), cfg, amap,
-            dramModel, pageTags, footprint, *fcToBc[i], *bcToFlash[i],
-            *bcToFc[i], shardSlice(cfg.bc.msrSets, shards, i),
+            SimObject::name() + ".bc" + shardTag(i), cfg, amap, flash,
+            *fcToBc[i], *bcToFlash[i], *bcToFc[i], *bcToFcRsp[i],
+            *fcToBcCtl[i], shardSlice(cfg.bc.msrSets, shards, i),
             cfg.bc.msrEntriesPerSet,
-            shardSlice(cfg.bc.evictBufferEntries, shards, i),
-            // Conservative whole-read estimate for MSR-stalled misses,
-            // derived here so the BC never sees the device.
-            flashDev.readEstimate()));
-        bcToFlash[i]->setDrainHook(
-            [this, i] { pumpFlashCommands(i); });
-        bcToFc[i]->setDrainHook([this, i] {
-            // BC-side push synchronously re-enters the FC here.
-            noteCrossing(installCrossings[i], curTick());
-            fcCtl.deliverInstalls();
-        });
+            shardSlice(cfg.bc.evictBufferEntries, shards, i)));
     }
 
     // Ownership declarations (DESIGN.md §16). The facade's value-owned
     // shared structures execute on the frontside queue; each shard's
-    // channel triple declares its endpoint domains; and the facade's
-    // deliberate synchronous crossings — the exact worklist of the
-    // exec-group split — are pre-registered so the runtime audit
-    // counts them instead of flagging them.
+    // channels declare their endpoint domains; and the fused mode's
+    // two deliberate drain-chain crossings per shard are
+    // pre-registered so the runtime audit counts them instead of
+    // flagging them.
     serviceCrossings.assign(shards, kNoCrossing);
-    submitCrossings.assign(shards, kNoCrossing);
     installCrossings.assign(shards, kNoCrossing);
     if ((ownAudit = sim::OwnershipAuditor::current()) != nullptr) {
         sim::OwnershipRegistry &own = ownAudit->registry();
@@ -131,23 +149,50 @@ DramCache::DramCache(sim::EventQueue &eq, std::string name,
                 bc_queues.empty() ? static_cast<const void *>(&eq)
                                   : bc_queues[i]);
             fcToBc[i]->declareEndpoints(fc_dom, bc_dom);
-            bcToFlash[i]->declareEndpoints(bc_dom, fc_dom);
+            bcToFlash[i]->declareEndpoints(bc_dom, bc_dom);
             bcToFc[i]->declareEndpoints(bc_dom, fc_dom);
+            bcToFcRsp[i]->declareEndpoints(bc_dom, fc_dom);
+            fcToBcCtl[i]->declareEndpoints(fc_dom, bc_dom);
             if (fc_dom == bc_dom || fc_dom == sim::kNoDomain ||
                 bc_dom == sim::kNoDomain) {
                 continue; // unpartitioned: nothing crosses
             }
+            if (cfg.fc.pipeline) {
+                // Pipelined mode has no synchronous drain chains to
+                // pre-register: every FC<->BC interaction is channel
+                // traffic pumped inside its owning domain. Zero
+                // declared crossings IS the retirement certificate
+                // (the ownership tests assert it).
+                continue;
+            }
             serviceCrossings[i] = ownAudit->registerCrossing(
                 SimObject::name() + ".bc" + tag + ".service", fc_dom,
                 bc_dom);
-            submitCrossings[i] = ownAudit->registerCrossing(
-                SimObject::name() + ".bc" + tag + ".flash_submit",
-                bc_dom, fc_dom);
             installCrossings[i] = ownAudit->registerCrossing(
                 SimObject::name() + ".bc" + tag + ".deliver_installs",
                 bc_dom, fc_dom);
         }
     }
+
+    // Each controller drains its own inbound channels; the crossing
+    // notes report the fused-mode drain chains that still cross
+    // domains (no-ops when unpartitioned or pipelined).
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        bcCtls[i]->setCrossingNotes([this, i](sim::Ticks t) {
+            noteCrossing(serviceCrossings[i], t);
+        });
+        bcCtls[i]->bindChannels();
+    }
+    std::vector<CrossingNoteFn> install_notes;
+    install_notes.reserve(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        install_notes.push_back([this, i](sim::Ticks t) {
+            noteCrossing(installCrossings[i], t);
+        });
+    }
+    fcCtl.setCrossingNotes(std::move(install_notes));
+    fcCtl.bindChannels();
+    setCrossPost(nullptr);
 }
 
 std::string
@@ -160,25 +205,57 @@ DramCache::shardTag(std::uint32_t shard) const
 }
 
 void
-DramCache::pumpFlashCommands(std::uint32_t shard)
+DramCache::setCrossPost(EnginePostFn fn)
 {
-    auto &channel = *bcToFlash[shard];
-    while (!channel.empty()) {
-        auto &st = channel.front();
-        const FlashCmdMsg msg = st.msg;
-        // Backpressure from a full command channel delays the issue
-        // tick to the accept tick.
-        const sim::Ticks issued = st.acceptedAt;
-        // BC-side push synchronously drives the fc-owned fabric.
-        noteCrossing(submitCrossings[shard], issued);
-        const auto res = flashDev.submit(msg.cmd, issued);
-        // Consumed at the issue tick; the slot models a device-queue
-        // entry, held until the read completes or the write is
-        // accepted into the device buffer.
-        channel.dropFront(issued, res.complete);
-        if (msg.cmd.op == flash::FlashCommand::Op::Read)
-            bcCtls[shard]->flashReadIssued(msg.page, issued,
-                                           res.complete);
+    if (!fn) {
+        // Single-queue fallback: every posted pump schedules on the
+        // facade's own queue (the frontside domain), which fused and
+        // unpartitioned runs share with every shard.
+        fn = [this](std::uint32_t, std::uint32_t, sim::Ticks when,
+                    std::function<void()> cb) {
+            scheduleIn(when > curTick() ? when - curTick() : 0,
+                       std::move(cb));
+        };
+    }
+    // Pre-bind one function per channel direction: the engine keys
+    // deterministic delivery on the posting domain, so the producer
+    // side must be fixed at bind time. Domain 0 is the frontside,
+    // 1+i is backside shard i.
+    std::vector<CrossPostFn> fc_posts;
+    fc_posts.reserve(bcCtls.size());
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(bcCtls.size()); ++i) {
+        fc_posts.push_back(
+            [fn, i](sim::Ticks when, std::function<void()> cb) {
+                fn(1 + i, 0, when, std::move(cb));
+            });
+        bcCtls[i]->setPostFn(
+            [fn, i](sim::Ticks when, std::function<void()> cb) {
+                fn(0, 1 + i, when, std::move(cb));
+            });
+    }
+    fcCtl.setPostFn(std::move(fc_posts));
+}
+
+void
+DramCache::freezeSeamWindows()
+{
+    for (std::size_t i = 0; i < bcCtls.size(); ++i) {
+        fcToBc[i]->freezeDrainWindow();
+        bcToFc[i]->freezeDrainWindow();
+        bcToFcRsp[i]->freezeDrainWindow();
+        fcToBcCtl[i]->freezeDrainWindow();
+    }
+}
+
+void
+DramCache::thawSeamWindows()
+{
+    for (std::size_t i = 0; i < bcCtls.size(); ++i) {
+        fcToBc[i]->thawDrainWindow();
+        bcToFc[i]->thawDrainWindow();
+        bcToFcRsp[i]->thawDrainWindow();
+        fcToBcCtl[i]->thawDrainWindow();
     }
 }
 
@@ -186,25 +263,13 @@ DcAccess
 DramCache::access(mem::Addr pa, bool write, sim::Ticks now,
                   WaiterCookie waiter)
 {
-    FrontsideController::Probe probe =
-        fcCtl.access(pa, write, now, waiter);
-    if (probe.complete)
-        return probe.out;
-    // FC-side miss synchronously services the BC shard (BcReply).
-    noteCrossing(serviceCrossings[probe.shard], now);
-    const BcReply rep = bcCtls[probe.shard]->service();
-    return fcCtl.finishMiss(probe, rep);
+    return fcCtl.access(pa, write, now, waiter);
 }
 
 sim::Ticks
 DramCache::accessSync(mem::Addr pa, bool write, sim::Ticks now)
 {
-    FrontsideController::Probe probe = fcCtl.accessSync(pa, write, now);
-    if (probe.complete)
-        return probe.out.ready;
-    noteCrossing(serviceCrossings[probe.shard], now);
-    const BcReply rep = bcCtls[probe.shard]->service();
-    return fcCtl.finishSyncMiss(probe, rep);
+    return fcCtl.accessSync(pa, write, now);
 }
 
 bool
@@ -216,9 +281,17 @@ DramCache::pageResident(mem::Addr pa) const
 void
 DramCache::prewarmPage(mem::Addr pa)
 {
-    pageTags.fill(mem::pageBase(pa, cfg.pageBytes), false);
-    if (cfg.footprintEnabled)
+    auto victim = pageTags.fill(mem::pageBase(pa, cfg.pageBytes),
+                                false);
+    if (cfg.footprintEnabled) {
         footprint.fetched[mem::pageNumber(pa, cfg.pageBytes)] = ~0ull;
+        if (victim) {
+            // Set-conflict displacement during prewarm leaks the
+            // victim's just-seeded mask (see FootprintState).
+            footprint.prewarmEvicted.insert(
+                mem::pageNumber(victim->tag_addr, cfg.pageBytes));
+        }
+    }
 }
 
 void
@@ -255,6 +328,14 @@ DramCache::regStats(sim::StatRegistry &reg) const
         fcToBc[i]->regStats(reg.subRegistry("fc_to_bc" + tag));
         bcToFlash[i]->regStats(reg.subRegistry("bc_to_flash" + tag));
         bcToFc[i]->regStats(reg.subRegistry("bc_to_fc" + tag));
+        if (cfg.fc.pipeline) {
+            // Pipeline-only channels stay out of the default stat
+            // tree so the pre-split goldens remain byte-identical.
+            bcToFcRsp[i]->regStats(
+                reg.subRegistry("bc_to_fc_rsp" + tag));
+            fcToBcCtl[i]->regStats(
+                reg.subRegistry("fc_to_bc_ctl" + tag));
+        }
     }
 }
 
@@ -262,8 +343,11 @@ void
 DramCache::checkInvariants(sim::InvariantChecker &chk) const
 {
     fcCtl.checkInvariants(chk);
-    for (const auto &bc : bcCtls)
+    fcCtl.auditShared(chk, pageTags);
+    for (const auto &bc : bcCtls) {
         bc->checkInvariants(chk);
+        bc->auditShared(chk, pageTags);
+    }
 }
 
 } // namespace astriflash::core

@@ -5,22 +5,30 @@
  * The cache is a fast FSM frontside controller
  * (frontside_controller.hh) and N page-interleaved backside-controller
  * shards (backside_controller.hh) that exchange state ONLY through
- * bounded, tick-stamped channels — one channel triple per shard:
+ * bounded, tick-stamped channels — five per shard:
  *
  *   FC --MissRequest-->     BC<i>   (fc_to_bc<i>, the shard's queue)
- *   BC<i> --FlashCmdMsg-->  fabric  (bc_to_flash<i>, command queue)
+ *   BC<i> --FlashCmdMsg-->  BC<i>   (bc_to_flash<i>, command queue;
+ *                                    the shard submits through its
+ *                                    abstract flash::Backend)
+ *   BC<i> --BcNotice-->     FC      (bc_to_fc_rsp<i>: miss acks +
+ *                                    install requests)
+ *   FC --InstallGrant-->    BC<i>   (fc_to_bc_ctl<i>: tag fill +
+ *                                    DRAM install results)
  *   BC<i> --InstallComplete--> FC   (bc_to_fc<i>, waiter wakeups)
  *
  * A page's shard is mem::pageInterleave(page, shards); each shard owns
  * an equal slice of the cache-wide MSR and evict-buffer capacity
  * (shardSlice(), checked at construction to sum exactly to the
- * configured totals). The facade owns the shared structures (DRAM
- * device, tag array, footprint masks), the channels, and the
- * controllers; it drives one access through FC→channel→BC→FC and pumps
- * each shard's flash command channel into flash::Backend::submit().
- * It is the single allowlisted place (aflint AF013) where the
- * controllers and the flash back-end are visible at once — and the
- * back-end is only ever the abstract flash::Backend (aflint AF014
+ * configured totals). The facade owns the fc-side shared structures
+ * (DRAM device, tag array, footprint masks) on the frontside domain,
+ * constructs the channels and the controllers, and wires each
+ * controller to drain its OWN inbound channels — the facade itself
+ * pumps nothing and makes no synchronous controller-to-controller
+ * calls (the ownership report's sync-facade-call count is zero). It
+ * is the single allowlisted place (aflint AF013) where both
+ * controllers are visible at once, and the flash back-end it hands
+ * each shard is only ever the abstract flash::Backend (aflint AF014
  * keeps the concrete device types out of src/core entirely).
  *
  * With one shard the channel, controller, and stat names collapse to
@@ -38,6 +46,7 @@
 #define ASTRIFLASH_CORE_DRAM_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -68,6 +77,18 @@ class DramCache : public sim::SimObject
   public:
     using PageReadyFn = FrontsideController::PageReadyFn;
 
+    /**
+     * Cross-domain pump scheduler: run @p fn at tick @p when in domain
+     * @p dst, where the post originates in domain @p src. Domain 0 is
+     * the frontside; domain 1+i is backside shard i. The facade
+     * installs a single-queue fallback at construction
+     * (setCrossPost(nullptr)); System swaps in the parallel engine's
+     * mailbox around a partitioned run.
+     */
+    using EnginePostFn = std::function<void(
+        std::uint32_t src, std::uint32_t dst, sim::Ticks when,
+        std::function<void()> fn)>;
+
     /** Cache-wide backside totals summed across shards. */
     struct BcTotals {
         std::uint64_t fills = 0;
@@ -82,10 +103,13 @@ class DramCache : public sim::SimObject
      * @param bc_queues  Optional per-shard event queues (one per BC
      *                   shard) for sim::ParallelEngine domain
      *                   partitioning; empty keeps every controller on
-     *                   @p eq. The queues must share @p eq's
-     *                   EventQueueGroup — the controllers exchange
-     *                   synchronous state through the facade, so their
-     *                   domains form one exec group (DESIGN.md §15).
+     *                   @p eq. In fused mode (FcConfig::pipeline off)
+     *                   the queues must share @p eq's EventQueueGroup —
+     *                   the drain chains still cross synchronously, so
+     *                   the domains form one exec group. In pipeline
+     *                   mode each shard's domain may live in its own
+     *                   exec group: every seam is channel traffic with
+     *                   declared lookahead (DESIGN.md §17).
      */
     DramCache(sim::EventQueue &eq, std::string name,
               const DramCacheConfig &config, flash::Backend &flash,
@@ -98,6 +122,27 @@ class DramCache : public sim::SimObject
     {
         fcCtl.setPageReadyCallback(std::move(fn));
     }
+
+    /**
+     * Install the cross-domain pump scheduler (pipeline mode).
+     * Passing nullptr restores the single-queue fallback, which
+     * schedules every posted pump on the facade's own event queue.
+     */
+    void setCrossPost(EnginePostFn fn);
+
+    /**
+     * Close every FC<->BC seam channel's drain window at its current
+     * push sequence (sim::BoundedChannel::freezeDrainWindow). System
+     * calls it before the split engine run and at every barrier so
+     * each round's pumps drain exactly the barrier-time queues. The
+     * intra-domain bc_to_flash channels are exempt: their pumps run
+     * in the pushing call chain.
+     */
+    void freezeSeamWindows();
+
+    /** Reopen the seam drain windows (after the split engine run, so
+     *  post-run quiesce pumps on the facade's own queue can drain). */
+    void thawSeamWindows();
 
     /**
      * Frontside access from the LLC miss path.
@@ -188,14 +233,17 @@ class DramCache : public sim::SimObject
      * "fc" (frontside: hit/miss accounting), one backside registry per
      * shard ("bc" unsharded, "bc<i>" sharded) with "msr"/"evictbuf"
      * children, the "dram" device and the "tags" array, plus each
-     * shard's channel triple ("fc_to_bc[<i>]", "bc_to_flash[<i>]",
-     * "bc_to_fc[<i>]").
+     * shard's channels ("fc_to_bc[<i>]", "bc_to_flash[<i>]",
+     * "bc_to_fc[<i>]"; the pipeline-mode rsp/ctl channels register
+     * only when that mode is on, keeping the default tree
+     * byte-identical).
      */
     void regStats(sim::StatRegistry &reg) const;
 
-    /** Audit the FC and every BC shard. The MSRs, evict buffers, tag
-     *  array, and channels register their own invariant entries (see
-     *  System::registerInvariants). */
+    /** Audit the FC and every BC shard, including the cross-domain
+     *  auditShared sweeps over the fc-owned structures. The MSRs,
+     *  evict buffers, tag array, and channels register their own
+     *  invariant entries (see System::registerInvariants). */
     void checkInvariants(sim::InvariantChecker &chk) const;
 
     /** Frontside accounting (hits, misses, hit latency). */
@@ -259,10 +307,19 @@ class DramCache : public sim::SimObject
         return *bcToFc[shard];
     }
 
-  private:
-    /** Drain shard @p shard's bc_to_flash into Backend::submit(). */
-    void pumpFlashCommands(std::uint32_t shard);
+    const sim::BoundedChannel<BcNotice> &
+    rspChannel(std::uint32_t shard = 0) const
+    {
+        return *bcToFcRsp[shard];
+    }
 
+    const sim::BoundedChannel<InstallGrant> &
+    ctlChannel(std::uint32_t shard = 0) const
+    {
+        return *fcToBcCtl[shard];
+    }
+
+  private:
     /** Shard-scoped suffix: "" unsharded, "<i>" sharded. */
     std::string shardTag(std::uint32_t shard) const;
 
@@ -279,7 +336,6 @@ class DramCache : public sim::SimObject
     }
 
     DramCacheConfig cfg;
-    flash::Backend &flashDev;
     mem::Dram dramModel;
     mem::SetAssocCache pageTags;
     FootprintState footprint;
@@ -289,18 +345,23 @@ class DramCache : public sim::SimObject
         bcToFlash;
     std::vector<std::unique_ptr<sim::BoundedChannel<InstallComplete>>>
         bcToFc;
+    std::vector<std::unique_ptr<sim::BoundedChannel<BcNotice>>>
+        bcToFcRsp;
+    std::vector<std::unique_ptr<sim::BoundedChannel<InstallGrant>>>
+        fcToBcCtl;
     FrontsideController fcCtl;
     std::vector<std::unique_ptr<BacksideController>> bcCtls;
 
-    /** Ownership auditor attached at construction (or null). The
-     *  facade is THE allowlisted place where FC↔BC state crosses
-     *  synchronously; each deliberate crossing is pre-registered per
-     *  shard and counted (never a violation) so the static coupling
-     *  report (aflint --ownership-report) can be certified against
-     *  what actually runs. */
+    /** Ownership auditor attached at construction (or null). In fused
+     *  mode the controllers' drain chains still exercise the two
+     *  pre-registered deliberate crossings per shard ("service" and
+     *  "deliver_installs"); the controllers report them through their
+     *  crossing-note callbacks so the static coupling report (aflint
+     *  --ownership-report) can be certified against what actually
+     *  runs. Pipeline mode crosses only through posted pumps, so the
+     *  counts go to zero along with the sync facade calls. */
     sim::OwnershipAuditor *ownAudit = nullptr;
     std::vector<std::uint32_t> serviceCrossings; ///< FC -> BC<i>.
-    std::vector<std::uint32_t> submitCrossings;  ///< BC<i> -> fabric.
     std::vector<std::uint32_t> installCrossings; ///< BC<i> -> FC.
 };
 

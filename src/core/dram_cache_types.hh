@@ -9,7 +9,9 @@
 #define ASTRIFLASH_CORE_DRAM_CACHE_TYPES_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "flash/backend.hh"
 #include "mem/address.hh"
@@ -21,9 +23,42 @@ namespace astriflash::core {
 /** Opaque identifier for whoever is waiting on a missing page. */
 using WaiterCookie = std::uint64_t;
 
+/**
+ * Pipeline-mode pump scheduler: run @p fn at absolute tick @p when in
+ * the destination controller's domain. Each instance is pre-bound to
+ * one (producer domain, consumer domain) channel direction, because
+ * the parallel engine's post() keys its deterministic delivery order
+ * on the posting domain. The facade installs a fallback that schedules
+ * on its own event queue; System replaces it with the engine's
+ * cross-group mailbox for partitioned runs.
+ */
+using CrossPostFn =
+    std::function<void(sim::Ticks when, std::function<void()> fn)>;
+
+/** Telemetry callback counting one exercise of a pre-registered
+ *  deliberate domain crossing (sim::OwnershipAuditor::onCrossing). */
+using CrossingNoteFn = std::function<void(sim::Ticks now)>;
+
 /** Frontside-controller parameters (the 1-cycle-per-op FSM, §V-A). */
 struct FcConfig {
     sim::Cycles cyclesPerOp{1};
+    /**
+     * Pipeline the miss path (--fc-pipeline): miss requests complete
+     * asynchronously through the bc_to_fc_rsp channel instead of the
+     * fused synchronous drain chain, and System places each BC
+     * shard's domain in its own exec group so --host-jobs N runs the
+     * shards on separate workers. Off by default: the fused mode is
+     * byte-identical to the legacy goldens; split mode has its own
+     * golden set (DESIGN.md §17).
+     */
+    bool pipeline = false;
+    /**
+     * Pipeline mode only: bound on the per-shard window of probes
+     * whose acks are still in flight. A probe past the bound is
+     * delayed to the pending queue's drain estimate and counted in
+     * the FC backpressure stats. Effectively unbounded by default.
+     */
+    std::uint32_t pendingDepth = 65536;
 };
 
 /**
@@ -55,6 +90,10 @@ struct ChannelConfig {
     std::uint32_t fcToBcDepth = 65536;
     std::uint32_t bcToFlashDepth = 65536;
     std::uint32_t bcToFcDepth = 65536;
+    /** BC→FC response channel (miss acks + install requests). */
+    std::uint32_t bcToFcRspDepth = 65536;
+    /** FC→BC install-grant channel. */
+    std::uint32_t fcToBcCtlDepth = 65536;
 
     /**
      * Lookahead manifest (DESIGN.md §14): each channel's declared
@@ -71,10 +110,15 @@ struct ChannelConfig {
      * - bc_to_fc: an install completion is consumed no earlier than
      *   the install's trailing BC op after the arrival event that
      *   pushed it.
+     * - bc_to_fc_rsp / fc_to_bc_ctl: acks, install requests, and
+     *   install grants each cost the consumer at least one op before
+     *   it acts — the lookahead the split exec groups run ahead on.
      */
     std::uint32_t fcToBcMinLatencyOps = 1;
     std::uint32_t bcToFlashMinLatencyOps = 0;
     std::uint32_t bcToFcMinLatencyOps = 1;
+    std::uint32_t bcToFcRspMinLatencyOps = 1;
+    std::uint32_t fcToBcCtlMinLatencyOps = 1;
 };
 
 /** DRAM cache parameters. */
@@ -149,10 +193,12 @@ dcSetRowAddr(const DramCacheConfig &cfg, std::uint64_t num_sets,
 }
 
 /**
- * Footprint-mode residency masks, shared between the controllers: the
- * FC records touched blocks and detects sub-page misses; the BC seeds
- * fetch masks from history and maintains the masks across
- * install/evict. Owned by the facade (it also prewarms into it).
+ * Footprint-mode residency masks, owned by the FC's domain: the FC
+ * records touched blocks, detects sub-page misses, snapshots history
+ * into MissRequest::histMask, and maintains the masks across
+ * install/evict when it services the BC's install requests. The BC
+ * never touches this structure — it sees only message fields. Held by
+ * the facade (it also prewarms into it).
  */
 struct FootprintState {
     /** Blocks actually transferred for each resident page. */
@@ -161,6 +207,16 @@ struct FootprintState {
     std::unordered_map<mem::PageNum, std::uint64_t> touched;
     /** Footprint recorded at the page's last eviction. */
     std::unordered_map<mem::PageNum, std::uint64_t> history;
+    /**
+     * Audit-only: pages displaced by set conflicts while prewarm was
+     * filling the tags. Prewarm predates the miss path, so these
+     * evictions carry no InstallGrant victim bookkeeping and the
+     * page's full-page fetched mask is left behind (erasing it here
+     * would change the committed goldens: a later reinstall ORs into
+     * the leftover mask). The residency audit exempts exactly this
+     * set instead of blessing the leak wholesale.
+     */
+    std::unordered_set<mem::PageNum> prewarmEvicted;
 };
 
 } // namespace astriflash::core

@@ -135,8 +135,9 @@ class System
 
     /**
      * Domain-ownership vocabulary (DESIGN.md §16): the partition
-     * table ("fc" = frontside + cores + fabric; "bc<i>" = one BC
-     * shard when hostJobs > 1 builds per-shard queues) plus every
+     * table ("fc" = frontside + cores; "bc<i>" = one BC shard — and
+     * its fabric slice — when hostJobs > 1 or FcConfig::pipeline
+     * builds per-shard queues) plus every
      * component and channel-endpoint declaration made against it.
      */
     sim::OwnershipRegistry &ownershipRegistry() { return ownership; }
@@ -171,8 +172,8 @@ class System
     const SystemConfig &config() const { return cfg; }
     sim::EventQueue &eventQueue() { return eq; }
 
-    /** Per-BC-shard domain queues (empty unless hostJobs > 1 built a
-     *  partitioned system). */
+    /** Per-BC-shard domain queues (empty unless hostJobs > 1 or
+     *  --fc-pipeline built a partitioned system). */
     std::size_t domainQueueCount() const { return bcQueues.size(); }
 
     /** Events executed across every domain queue (== the single
@@ -259,13 +260,15 @@ class System
      *  queues and components for the same lifetime reason. */
     sim::OwnershipRegistry ownership;
     sim::OwnershipAuditor ownAuditor{ownership};
-    /** Shared clock/sequence state for the partitioned run: the main
-     *  queue and every BC shard queue join it when hostJobs > 1, so
-     *  the merged execution is bit-identical to one queue. */
+    /** Shared clock/sequence state for the merged partitioned run:
+     *  the main queue and every BC shard queue join it when
+     *  hostJobs > 1 with the pipeline off, so the merged execution is
+     *  bit-identical to one queue. Pipelined shards stay out of it —
+     *  their exec groups keep independent sequence spaces. */
     sim::EventQueueGroup eqGroup;
     sim::EventQueue eq;
-    /** Per-BC-shard domain queues (hostJobs > 1 only). Built before
-     *  the DramCache so the shards schedule onto them. */
+    /** Per-BC-shard domain queues (hostJobs > 1 or pipeline mode).
+     *  Built before the DramCache so the shards schedule onto them. */
     std::vector<std::unique_ptr<sim::EventQueue>> bcQueues;
     sim::ParallelEngine::Stats engineStatsData;
 

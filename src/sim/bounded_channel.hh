@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,6 +69,17 @@ class BoundedChannel
 
     /** Invoked after every push; consumers drain synchronously. */
     using DrainHook = std::function<void()>;
+
+    /**
+     * Invoked after every push with the message's accept tick.
+     * Pipelined consumers use it instead of a DrainHook: rather than
+     * draining in the producer's call chain, the hook schedules the
+     * consumer's pump at accept + the declared lookahead (through the
+     * engine's cross-group post mailbox when the endpoints live in
+     * different exec groups). The hook runs in the producer's
+     * execution context and must not touch consumer-owned state.
+     */
+    using NotifyHook = std::function<void(Ticks accept)>;
 
     /**
      * @param name      Instance name (stats, audit reports).
@@ -125,13 +137,19 @@ class BoundedChannel
     DomainId consumerEndpoint() const { return consumerDomain; }
 
     /** Messages pushed but not yet popped. */
-    bool empty() const { return waiting.empty(); }
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> lk(chMu);
+        return waiting.empty();
+    }
 
     /** Slots still owned by in-flight transactions at @p now. */
     std::uint32_t
     inFlight(Ticks now) const
     {
-        std::size_t busy = waiting.size();
+        std::lock_guard<std::mutex> lk(chMu);
+        std::size_t busy = waiting.size() + pendingRelease.size();
         for (const Ticks t : busyUntil) {
             if (t > now)
                 ++busy;
@@ -141,6 +159,45 @@ class BoundedChannel
 
     /** Backpressure signal: would a push at @p now stall? */
     bool wouldStall(Ticks now) const { return inFlight(now) >= cap; }
+
+    /**
+     * Close the drainable window at the current push sequence: pump
+     * loops refuse (frontHeldByFreeze()) entries pushed after this
+     * call until the next freeze. System calls it at every engine
+     * barrier in split mode so a consumer group's pumps drain exactly
+     * the barrier-time queue no matter how the producer's and
+     * consumer's workers interleave inside a round — the same set the
+     * sequential host-jobs=1 round order drains (DESIGN.md §17).
+     * Never called in fused or single-queue mode; the default window
+     * is unbounded.
+     */
+    void
+    freezeDrainWindow()
+    {
+        std::lock_guard<std::mutex> lk(chMu);
+        drainLimitSeq = lastSeq;
+        applyPendingReleases();
+        deferReleases = true;
+    }
+
+    /** Reopen the drain window (post-run quiesce draining). */
+    void
+    thawDrainWindow()
+    {
+        std::lock_guard<std::mutex> lk(chMu);
+        drainLimitSeq = ~std::uint64_t{0};
+        applyPendingReleases();
+        deferReleases = false;
+    }
+
+    /** Front entry exists but was pushed after the last freeze. */
+    bool
+    frontHeldByFreeze() const
+    {
+        std::lock_guard<std::mutex> lk(chMu);
+        return !waiting.empty() &&
+               waiting.front().seq > drainLimitSeq;
+    }
 
     /**
      * Stamp watermark: accept tick of the oldest un-popped message,
@@ -168,9 +225,15 @@ class BoundedChannel
     Ticks
     push(Msg msg, Ticks now)
     {
-        prune(now);
         Ticks accept = now;
-        const std::size_t occ = busyUntil.size() + waiting.size();
+        {
+        std::lock_guard<std::mutex> lk(chMu);
+        prune(now);
+        // Deferred releases still hold their slots: they free at the
+        // next barrier (deterministically), never mid-round.
+        const std::size_t occ = busyUntil.size() +
+                                pendingRelease.size() +
+                                waiting.size();
         if (occ >= cap) {
             // Need (occ - cap + 1) slots back. Only popped slots have
             // known release ticks; un-popped ones would deadlock the
@@ -191,7 +254,9 @@ class BoundedChannel
             prune(accept);
         }
         statsData.pushes.inc();
-        const std::size_t live = busyUntil.size() + waiting.size() + 1;
+        const std::size_t live = busyUntil.size() +
+                                 pendingRelease.size() +
+                                 waiting.size() + 1;
         statsData.occupancy.sample(static_cast<double>(live));
         if (live > statsData.peakOccupancy)
             statsData.peakOccupancy = live;
@@ -200,8 +265,14 @@ class BoundedChannel
         publishWatermark();
         if (auditor)
             auditor->onPush(auditId, seq, now, accept);
+        }
+        // Hooks run unlocked: the fused drain hook re-enters this
+        // channel, and the pipelined notify hook posts through the
+        // engine mailbox (its own lock).
         if (drainHook)
             drainHook();
+        if (notifyHook)
+            notifyHook(accept);
         return accept;
     }
 
@@ -209,6 +280,10 @@ class BoundedChannel
     Stamped &
     front()
     {
+        // The returned reference stays valid and unwritten under
+        // concurrent pushes: deque push_back never moves elements and
+        // only the (single) consumer pops.
+        std::lock_guard<std::mutex> lk(chMu);
         ASTRI_ASSERT_MSG(!waiting.empty(), "%s: front() on empty",
                          chName.c_str());
         return waiting.front();
@@ -217,6 +292,7 @@ class BoundedChannel
     const Stamped &
     front() const
     {
+        std::lock_guard<std::mutex> lk(chMu);
         ASTRI_ASSERT_MSG(!waiting.empty(), "%s: front() on empty",
                          chName.c_str());
         return waiting.front();
@@ -233,6 +309,7 @@ class BoundedChannel
     void
     dropFront(Ticks consumed_at, Ticks release_at)
     {
+        std::lock_guard<std::mutex> lk(chMu);
         ASTRI_ASSERT_MSG(!waiting.empty(), "%s: dropFront() on empty",
                          chName.c_str());
         if (auditor) {
@@ -243,7 +320,16 @@ class BoundedChannel
         waiting.pop_front();
         publishWatermark();
         statsData.pops.inc();
-        busyUntil.push_back(release_at);
+        if (deferReleases) {
+            // Frozen (split) mode: the slot's release becomes visible
+            // to the producer at the next barrier, not mid-round —
+            // otherwise push-side occupancy samples and stall
+            // calculations would depend on whether the consumer
+            // worker's drop raced ahead of the producer's push.
+            pendingRelease.push_back(release_at);
+        } else {
+            busyUntil.push_back(release_at);
+        }
     }
 
     /** dropFront() where consumption and slot release coincide. */
@@ -267,6 +353,9 @@ class BoundedChannel
     /** Install the consumer's synchronous drain hook. */
     void setDrainHook(DrainHook hook) { drainHook = std::move(hook); }
 
+    /** Install the consumer's pipelined push notification. */
+    void setNotifyHook(NotifyHook hook) { notifyHook = std::move(hook); }
+
     const Stats &stats() const { return statsData; }
 
     /**
@@ -279,6 +368,7 @@ class BoundedChannel
     void
     resetStats()
     {
+        std::lock_guard<std::mutex> lk(chMu);
         statsData.pushes.reset();
         statsData.pushes.inc(waiting.size());
         statsData.pops.reset();
@@ -314,6 +404,7 @@ class BoundedChannel
     void
     checkInvariants(InvariantChecker &chk) const
     {
+        std::lock_guard<std::mutex> lk(chMu);
         SIM_INVARIANT_MSG(chk,
                           statsData.pushes.value() ==
                               statsData.pops.value() + waiting.size(),
@@ -375,6 +466,15 @@ class BoundedChannel
                       [now](Ticks t) { return t <= now; });
     }
 
+    /** Barrier sync: commit deferred slot releases (lock held). */
+    void
+    applyPendingReleases()
+    {
+        busyUntil.insert(busyUntil.end(), pendingRelease.begin(),
+                         pendingRelease.end());
+        pendingRelease.clear();
+    }
+
     /** Mirror the front stamp after every queue mutation. */
     void
     publishWatermark()
@@ -392,10 +492,23 @@ class BoundedChannel
     DomainId producerDomain = kNoDomain;
     DomainId consumerDomain = kNoDomain;
     std::uint64_t lastSeq = 0;
+    /** freezeDrainWindow() bound; unbounded until the first freeze. */
+    std::uint64_t drainLimitSeq = ~std::uint64_t{0};
     std::deque<Stamped> waiting;    ///< Pushed, not yet popped.
     std::vector<Ticks> busyUntil;   ///< Popped slots' release ticks.
+    /** Releases deferred to the next barrier while frozen. */
+    std::vector<Ticks> pendingRelease;
+    /** Set while the drain window is frozen (split mode). */
+    bool deferReleases = false;
+    /**
+     * Guards every queue/stat mutation and read: in split mode the
+     * producer's push and the consumer pump's front/dropFront run on
+     * different engine workers. Hooks are invoked outside it.
+     */
+    mutable std::mutex chMu;
     std::atomic<Ticks> watermark{kTickNever};
     DrainHook drainHook;
+    NotifyHook notifyHook;
     Stats statsData;
 };
 

@@ -33,6 +33,7 @@ std::uint32_t
 CausalityAuditor::registerChannel(std::string name,
                                   ChannelContract contract)
 {
+    std::lock_guard<std::mutex> lk(mu);
     ChannelState st;
     st.name = std::move(name);
     st.contract = contract;
@@ -67,6 +68,7 @@ CausalityAuditor::onPush(std::uint32_t ch, std::uint64_t seq,
 {
     if (!checksEnabled())
         return;
+    std::lock_guard<std::mutex> lk(mu);
     ChannelState &st = channels[ch];
     ++st.sends;
     ++sendsAuditedCount;
@@ -110,6 +112,7 @@ CausalityAuditor::onDeliver(std::uint32_t ch, std::uint64_t seq,
 {
     if (!checksEnabled())
         return;
+    std::lock_guard<std::mutex> lk(mu);
     ChannelState &st = channels[ch];
     ++st.deliveries;
     ++deliveriesAuditedCount;
@@ -162,6 +165,7 @@ CausalityAuditor::onDeliver(std::uint32_t ch, std::uint64_t seq,
 void
 CausalityAuditor::checkInvariants(InvariantChecker &chk) const
 {
+    std::lock_guard<std::mutex> lk(mu);
     for (const Violation &v : out) {
         chk.fail(__FILE__, __LINE__,
                  detail::format("%s at tick %llu: %s",

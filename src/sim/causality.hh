@@ -32,6 +32,7 @@
 #define ASTRIFLASH_SIM_CAUSALITY_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,7 @@ class CausalityAuditor
     {
         if (!checksEnabled())
             return;
+        std::lock_guard<std::mutex> lk(mu);
         ++eventsAuditedCount;
         if (when < now) {
             violation("eq",
@@ -170,6 +172,13 @@ class CausalityAuditor
     void violation(const std::string &channel, std::string detail,
                    Ticks tick);
 
+    /**
+     * Serializes the audit hooks: armed split runs call onPush from
+     * the producer group's worker and onDeliver from the consumer
+     * group's, concurrently. Auditor state is outside the stats tree,
+     * so the lock cannot perturb goldens.
+     */
+    mutable std::mutex mu;
     std::vector<ChannelState> channels;
     std::vector<Violation> out;
     std::uint64_t sendsAuditedCount = 0;

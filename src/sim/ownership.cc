@@ -130,12 +130,14 @@ OwnershipAuditor::callbackViolation(const char *component,
                     component, static_cast<unsigned long long>(now),
                     detail.c_str());
     }
+    std::lock_guard<std::mutex> lk(vioMu);
     out.push_back(Violation{component, std::move(detail), now});
 }
 
 void
 OwnershipAuditor::checkInvariants(InvariantChecker &chk) const
 {
+    std::lock_guard<std::mutex> lk(vioMu);
     for (const Violation &v : out) {
         chk.fail(__FILE__, __LINE__,
                  detail::format("%s at tick %llu: %s",

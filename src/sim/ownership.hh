@@ -33,7 +33,9 @@
 #ifndef ASTRIFLASH_SIM_OWNERSHIP_HH
 #define ASTRIFLASH_SIM_OWNERSHIP_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -172,7 +174,10 @@ class OwnershipAuditor
     {
         if (!checksEnabled())
             return;
-        ++callbacksAuditedCount;
+        // Armed split runs audit callbacks from every engine worker;
+        // crossings, by contrast, exist only in fused (single-worker)
+        // partitions, so onCrossing stays unsynchronized.
+        callbacksAuditedCount.fetch_add(1, std::memory_order_relaxed);
         const DomainId cur = currentDomain();
         if (cur == kNoDomain || owner == kNoDomain || cur == owner)
             return;
@@ -184,7 +189,7 @@ class OwnershipAuditor
 
     std::uint64_t callbacksAudited() const
     {
-        return callbacksAuditedCount;
+        return callbacksAuditedCount.load(std::memory_order_relaxed);
     }
     std::uint64_t crossingsObserved() const
     {
@@ -249,8 +254,11 @@ class OwnershipAuditor
 
     OwnershipRegistry &reg;
     std::vector<CrossingState> crossings;
+    /** Guards the violation log; onCallback's counter is atomic so
+     *  the clean path stays lock-free across engine workers. */
+    mutable std::mutex vioMu;
     std::vector<Violation> out;
-    std::uint64_t callbacksAuditedCount = 0;
+    std::atomic<std::uint64_t> callbacksAuditedCount{0};
     std::uint64_t crossingsObservedCount = 0;
     bool failFast = true;
 };

@@ -206,6 +206,7 @@ ParallelEngine::runGroupRound(Group &g)
         ++executed;
     }
     g.ranThisRound = executed > 0;
+    g.events += executed;
     return executed;
 }
 
@@ -358,6 +359,13 @@ ParallelEngine::run(const RunHooks &hooks)
             t.join();
         workers.clear();
     }
+
+    // Partition telemetry snapshot (groups are ordered by id, so the
+    // per-group tallies index deterministically).
+    statsData.groups = static_cast<std::uint32_t>(groups.size());
+    statsData.groupEvents.clear();
+    for (const Group &g : groups)
+        statsData.groupEvents.push_back(g.events);
 }
 
 } // namespace astriflash::sim

@@ -86,6 +86,13 @@ class ParallelEngine
         /** Rounds cut short by a horizon (not budget/drain): how often
          *  conservative synchronization actually bit. */
         std::uint64_t horizonStalls = 0;
+        /** Exec groups the run partitioned into (1 merged group when
+         *  the pipeline is off; 1 + BC shards when it is on). */
+        std::uint32_t groups = 0;
+        /** Events executed per exec group, indexed in group-id order —
+         *  the partition's load-balance evidence (bench/parallel_bench
+         *  publishes it next to the speedup numbers). */
+        std::vector<std::uint64_t> groupEvents;
     };
 
     explicit ParallelEngine(Config cfg);
@@ -173,6 +180,9 @@ class ParallelEngine
         GroupId id;
         std::vector<DomainId> members;
         bool ranThisRound = false;
+        /** Lifetime event tally; only the worker holding the group
+         *  touches it, and the poolMu handshake publishes it. */
+        std::uint64_t events = 0;
     };
 
     /** A cross-group event parked until the next barrier. */

@@ -5,11 +5,11 @@
 #         -P check_aflint_ownership_report.cmake
 #
 # The report is the measured domain-coupling graph (DESIGN.md §16):
-# generating it over the real tree must exit cleanly and the JSON must
-# enumerate the facade's synchronous FC<->BC edges — the BC service
-# call on the miss path, the FC install delivery under the channel
-# drain, and the backside's mutable references into the fc-owned
-# shared structures (the baselined AF022 worklist).
+# generating it over the real tree must exit cleanly, the measured
+# sync-call and shared-state worklists must be EMPTY (the exec-group
+# split retired every facade sync edge and every cross-domain mutable
+# reference), and the traffic section must enumerate the per-edge
+# message classes each channel carries.
 
 file(REMOVE_RECURSE "${OUT_DIR}")
 file(MAKE_DIRECTORY "${OUT_DIR}")
@@ -33,18 +33,43 @@ foreach(artifact ownership-report.json ownership-report.dot)
 endforeach()
 
 file(READ "${OUT_DIR}/ownership-report.json" report)
+
+# The split's acceptance bar: zero synchronous facade calls and zero
+# cross-domain mutable references survive.
+foreach(worklist sync_calls shared_state)
+    if(NOT report MATCHES "\"${worklist}\": \\[\n  \\]")
+        message(FATAL_ERROR
+            "ownership report's ${worklist} worklist is not empty — "
+            "a synchronous FC<->BC coupling came back:\n${report}")
+    endif()
+endforeach()
+
+# Every message class the channel seam carries, with its edge.
 foreach(edge
-        "BacksideController::service"
-        "BacksideController::flashReadIssued"
-        "FrontsideController::deliverInstalls"
-        "FrontsideController::finishMiss"
-        "BacksideController::dramModel"
-        "BacksideController::pageTags"
-        "BacksideController::fp")
+        "\"message\": \"MissRequest\", \"edge\": \"fc->bc\""
+        "\"message\": \"FlashCmdMsg\", \"edge\": \"bc->bc\""
+        "\"message\": \"InstallComplete\", \"edge\": \"bc->fc\""
+        "\"message\": \"BcNotice\", \"edge\": \"bc->fc\""
+        "\"message\": \"InstallGrant\", \"edge\": \"fc->bc\"")
     if(NOT report MATCHES "${edge}")
         message(FATAL_ERROR
-            "ownership report lost the measured coupling "
-            "'${edge}':\n${report}")
+            "ownership report traffic section lost '${edge}':"
+            "\n${report}")
+    endif()
+endforeach()
+
+# The response/control channels exist at every endpoint.
+foreach(holder
+        "DramCache::bcToFcRsp"
+        "DramCache::fcToBcCtl"
+        "BacksideController::toFcRsp"
+        "BacksideController::fromFcCtl"
+        "FrontsideController::fromBcRsp"
+        "FrontsideController::toBcCtl")
+    if(NOT report MATCHES "${holder}")
+        message(FATAL_ERROR
+            "ownership report lost channel endpoint '${holder}':"
+            "\n${report}")
     endif()
 endforeach()
 

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Pipelined miss-path (--fc-pipeline) unit and integration tests:
+ * same-tick probe/ack ordering on the bc_to_fc_rsp channel, the
+ * bounded in-flight ack window (FcConfig::pendingDepth) and its
+ * backpressure stats, depth-1 serialization of every FC<->BC channel,
+ * and the split exec-group partition (1 + shards groups) that lets
+ * --host-jobs N run the BC shards on separate workers.
+ *
+ * The depth-1 and split-mode tests are the TSan job's main targets:
+ * they drive the narrowest channel windows and the partitioned
+ * engine, where any unfenced FC<->BC access would race.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/dram_cache.hh"
+#include "core/system.hh"
+#include "flash/flash_device.hh"
+#include "mem/address_map.hh"
+#include "sim/event_queue.hh"
+
+#include "golden_cases.hh"
+
+using namespace astriflash;
+using namespace astriflash::core;
+using namespace astriflash::sim;
+using namespace astriflash::tools;
+using astriflash::mem::kPageSize;
+
+namespace {
+
+/** Single-queue pipelined DRAM cache rig (no engine: the BC pumps
+ *  schedule on the shared queue through the default post path). */
+struct PipelineRig {
+    EventQueue eq;
+    mem::AddressMap amap{64 << 20, 256 << 20};
+    flash::FlashConfig fcfg;
+    std::unique_ptr<flash::FlashDevice> flash;
+    std::unique_ptr<DramCache> dc;
+    std::vector<std::pair<mem::PageNum, std::vector<WaiterCookie>>>
+        ready;
+
+    explicit PipelineRig(DramCacheConfig cfg = pipelineCfg())
+    {
+        fcfg = flash::FlashConfig::forCapacity(512 << 20);
+        flash = std::make_unique<flash::FlashDevice>(
+            "flash", fcfg, (256 << 20) / kPageSize);
+        dc = std::make_unique<DramCache>(eq, "dc", cfg, *flash, amap);
+        dc->setPageReadyCallback(
+            [this](mem::PageNum page, Ticks,
+                   const std::vector<WaiterCookie> &w) {
+                ready.emplace_back(page, w);
+            });
+    }
+
+    static DramCacheConfig
+    pipelineCfg()
+    {
+        DramCacheConfig cfg;
+        cfg.capacityBytes = 2 << 20; // 512 page frames
+        cfg.fc.pipeline = true;
+        return cfg;
+    }
+
+    mem::Addr pa(std::uint64_t page) const
+    {
+        return amap.flashRange().base + page * kPageSize;
+    }
+};
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Same-tick ordering: probes issued at one tick keep FIFO ack order
+// on the rsp channel (finishAck hard-asserts the oldest in-flight
+// probe matches each ack, so any reorder aborts the run).
+// --------------------------------------------------------------------
+
+TEST(FcPipeline, SameTickProbesKeepFifoAckOrder)
+{
+    PipelineRig rig;
+    constexpr unsigned kProbes = 4;
+    for (unsigned i = 0; i < kProbes; ++i) {
+        const auto r = rig.dc->access(rig.pa(3 + i), false, 0, i + 1);
+        // Pipelined miss: the FC answers with the early miss
+        // response; the ack settles the accounting later.
+        EXPECT_FALSE(r.hit);
+        EXPECT_LT(r.ready, microseconds(1));
+    }
+    // Nothing drained yet: the requests sit in the miss channel until
+    // the scheduled pump runs — no nested synchronous service.
+    EXPECT_EQ(rig.dc->outstandingMisses(), 0u);
+    EXPECT_FALSE(rig.dc->missChannel().empty());
+
+    rig.eq.run();
+
+    // Each ack drained in probe order and retired its miss.
+    EXPECT_EQ(rig.dc->fcStats().misses.value(), kProbes);
+    EXPECT_EQ(rig.dc->fcStats().reqQueuePeak, kProbes);
+    EXPECT_EQ(rig.dc->outstandingMisses(), 0u);
+    EXPECT_EQ(rig.ready.size(), kProbes);
+    EXPECT_TRUE(rig.dc->rspChannel().empty());
+    EXPECT_TRUE(rig.dc->ctlChannel().empty());
+}
+
+TEST(FcPipeline, ProbeIssuedAtAckTickStaysOrdered)
+{
+    PipelineRig rig;
+    rig.dc->access(rig.pa(3), false, 0, 1);
+
+    // Issue a second probe at every rsp-channel activity tick the
+    // first miss produces: eligibility boundaries are exactly where a
+    // same-tick probe-issue could slip ahead of a probe-response.
+    const Ticks lat = rig.dc->rspChannel().contract().minLatency;
+    std::vector<Ticks> issue_at;
+    for (Ticks t = lat; t <= 4 * lat; t += lat)
+        issue_at.push_back(t);
+    unsigned issued = 0;
+    for (const Ticks t : issue_at) {
+        rig.eq.schedule(t, [&rig, &issued, t]() {
+            rig.dc->access(rig.pa(100 + issued), false, t,
+                           50 + issued);
+            ++issued;
+        });
+    }
+
+    rig.eq.run();
+
+    // All probes resolved in order (finishAck asserts FIFO) and
+    // every miss was eventually installed and reported ready.
+    EXPECT_EQ(issued, issue_at.size());
+    EXPECT_EQ(rig.dc->fcStats().misses.value() +
+                  rig.dc->fcStats().missesMerged.value(),
+              1 + issue_at.size());
+    EXPECT_EQ(rig.dc->outstandingMisses(), 0u);
+    EXPECT_EQ(rig.ready.size(), 1 + issue_at.size());
+}
+
+// --------------------------------------------------------------------
+// Bounded ack window: pendingDepth=1 charges the documented
+// backpressure stats instead of stalling the probe pipeline.
+// --------------------------------------------------------------------
+
+TEST(FcPipeline, PendingDepthOneChargesBackpressureStats)
+{
+    DramCacheConfig cfg = PipelineRig::pipelineCfg();
+    cfg.fc.pendingDepth = 1;
+    PipelineRig rig(cfg);
+
+    constexpr unsigned kProbes = 3;
+    Ticks prev_ready = 0;
+    for (unsigned i = 0; i < kProbes; ++i) {
+        const auto r = rig.dc->access(rig.pa(3 + i), false, 0, i + 1);
+        EXPECT_FALSE(r.hit);
+        // The FSM works the over-bound backlog down first, so each
+        // excess probe's response lands strictly later.
+        EXPECT_GE(r.ready, prev_ready);
+        prev_ready = r.ready;
+    }
+    // Probes 2 and 3 found the window over its bound of 1.
+    EXPECT_EQ(rig.dc->fcStats().reqQueueStalls.value(), kProbes - 1);
+    EXPECT_GT(rig.dc->fcStats().reqQueueStallTicks.value(), 0u);
+
+    rig.eq.run();
+    EXPECT_EQ(rig.dc->fcStats().misses.value(), kProbes);
+    EXPECT_EQ(rig.dc->outstandingMisses(), 0u);
+    EXPECT_EQ(rig.ready.size(), kProbes);
+}
+
+// --------------------------------------------------------------------
+// Depth-1 channels: the narrowest legal window on every FC<->BC
+// channel still conserves messages — each slot's lifetime ends before
+// the next push needs it, so nothing deadlocks or drops.
+// --------------------------------------------------------------------
+
+TEST(FcPipeline, DepthOneChannelsSerializeWithoutLoss)
+{
+    DramCacheConfig cfg = PipelineRig::pipelineCfg();
+    cfg.channels.fcToBcDepth = 1;
+    cfg.channels.bcToFcDepth = 1;
+    cfg.channels.bcToFcRspDepth = 1;
+    cfg.channels.fcToBcCtlDepth = 1;
+    PipelineRig rig(cfg);
+
+    constexpr unsigned kProbes = 8;
+    unsigned issued = 0;
+    // One probe at a time, spaced a microsecond apart: each full
+    // round trip (miss -> ack -> install-req -> grant -> complete)
+    // must recycle every depth-1 slot before the next begins.
+    for (unsigned i = 0; i < kProbes; ++i) {
+        rig.eq.schedule(microseconds(200) * i, [&rig, &issued]() {
+            rig.dc->access(rig.pa(3 + issued), false,
+                           microseconds(200) * issued, issued + 1);
+            ++issued;
+        });
+    }
+
+    rig.eq.run();
+
+    EXPECT_EQ(issued, kProbes);
+    EXPECT_EQ(rig.dc->fcStats().misses.value(), kProbes);
+    EXPECT_EQ(rig.dc->outstandingMisses(), 0u);
+    EXPECT_EQ(rig.ready.size(), kProbes);
+    EXPECT_TRUE(rig.dc->missChannel().empty());
+    EXPECT_TRUE(rig.dc->rspChannel().empty());
+    EXPECT_TRUE(rig.dc->ctlChannel().empty());
+    EXPECT_TRUE(rig.dc->installChannel().empty());
+    EXPECT_TRUE(rig.dc->flashChannel().empty());
+}
+
+// --------------------------------------------------------------------
+// Split exec groups: pipelined runs partition into 1 + shards groups
+// (the --host-jobs speedup seam); fused partitioned runs stay merged
+// in one group (the byte-identity seam).
+// --------------------------------------------------------------------
+
+TEST(FcPipeline, SplitModePartitionsIntoOneGroupPerShard)
+{
+    for (const GoldenCase &gc : kGoldenCases) {
+        if (!gc.split ||
+            std::string(gc.name) != "split_astriflash_tatp")
+            continue;
+        SystemConfig cfg = goldenCaseConfig(gc);
+        cfg.hostJobs = 2;
+        System sys(cfg);
+        (void)sys.run();
+
+        const ParallelEngine::Stats &es = sys.engineStats();
+        EXPECT_EQ(es.groups, 1u + cfg.dramCache.bc.shards);
+        ASSERT_EQ(es.groupEvents.size(), es.groups);
+        // Every group actually executed events: group 0 carries the
+        // cores + FC, each of the others one BC shard's domain.
+        for (std::uint32_t g = 0; g < es.groups; ++g)
+            EXPECT_GT(es.groupEvents[g], 0u)
+                << "exec group " << g << " ran nothing";
+    }
+}
+
+TEST(FcPipeline, FusedModeStaysMergedInOneGroup)
+{
+    for (const GoldenCase &gc : kGoldenCases) {
+        if (gc.split ||
+            std::string(gc.name) != "astriflash_tatp")
+            continue;
+        SystemConfig cfg = goldenCaseConfig(gc);
+        cfg.hostJobs = 2;
+        System sys(cfg);
+        (void)sys.run();
+
+        const ParallelEngine::Stats &es = sys.engineStats();
+        EXPECT_EQ(es.groups, 1u);
+        ASSERT_EQ(es.groupEvents.size(), 1u);
+        EXPECT_GT(es.groupEvents[0], 0u);
+    }
+}

@@ -1396,9 +1396,10 @@ checkCrossDomainScheduling(const std::vector<Token> &toks,
  * contributes call sites and addLink lambdas, and the rules are judged
  * after the file loop (resolveOwnership). The component→domain table
  * mirrors the runtime partition System builds: the frontside queue
- * owns the cores, the FC, the facade's value-owned shared structures
- * and the flash fabric; each backside shard's queue owns one BC with
- * its MSR and evict buffer.
+ * owns the cores, the FC and the facade's value-owned shared
+ * structures; each backside shard's queue owns one BC with its MSR,
+ * evict buffer and flash-fabric slice (flash submit() runs in the
+ * owning BC's event chain, never the frontside's).
  * ---------------------------------------------------------------------
  */
 
@@ -1408,7 +1409,7 @@ componentDomain(const std::string &cls)
 {
     static const std::map<std::string, const char *> kTable = {
         {"FrontsideController", "fc"}, {"SimCore", "fc"},
-        {"DramCache", "fc"},           {"FlashFabric", "fc"},
+        {"DramCache", "fc"},           {"FlashFabric", "bc"},
         {"BacksideController", "bc"},  {"MissStatusRow", "bc"},
         {"EvictBuffer", "bc"}};
     const auto it = kTable.find(cls);
@@ -1432,12 +1433,12 @@ fileDomain(const std::string &rel)
     if (baseStartsWith(rel, "frontside_controller.") ||
         baseStartsWith(rel, "sim_core.") ||
         baseStartsWith(rel, "system.") ||
-        baseStartsWith(rel, "dram_cache.") ||
-        rel.find("src/flash/") != std::string::npos)
+        baseStartsWith(rel, "dram_cache."))
         return "fc";
     if (baseStartsWith(rel, "backside_controller.") ||
         baseStartsWith(rel, "miss_status_row.") ||
-        baseStartsWith(rel, "evict_buffer."))
+        baseStartsWith(rel, "evict_buffer.") ||
+        rel.find("src/flash/") != std::string::npos)
         return "bc";
     return nullptr;
 }
@@ -2014,6 +2015,46 @@ writeOwnershipReport(const std::string &prefix)
            << jsonEscape(m->file) << ":" << m->line << "\"}"
            << (i + 1 < channels.size() ? "," : "") << "\n";
     }
+    js << "  ],\n  \"traffic\": [\n";
+    // Per-edge message classes, derived from the facade's channel
+    // members: the DramCache names encode the direction (fcToBc,
+    // bcToFcRsp, ...) and the parser's single-token type guess lands
+    // on the template argument — the message class. The endpoint
+    // count tallies every component-held channel member carrying the
+    // same class (facade + both controllers), i.e. how many
+    // declaration sites a message-format change has to visit.
+    struct TrafficEdge {
+        std::string message, edge, channel;
+        int endpoints = 0;
+    };
+    std::vector<TrafficEdge> traffic;
+    for (const OwnershipState::Member *m : channels) {
+        if (m->cls != "DramCache")
+            continue;
+        const std::string &n = m->name;
+        const std::string src = n.rfind("fc", 0) == 0 ? "fc" : "bc";
+        // The flash leg stays inside the backside shard's domain
+        // (the fabric slice is bc-owned).
+        const std::string dst =
+            n.find("ToFc") != std::string::npos ? "fc" : "bc";
+        TrafficEdge e;
+        e.message = m->type;
+        e.edge = src + "->" + dst;
+        e.channel = m->cls + "::" + n;
+        for (const OwnershipState::Member *c : channels) {
+            if (c->type == m->type)
+                ++e.endpoints;
+        }
+        traffic.push_back(std::move(e));
+    }
+    for (std::size_t i = 0; i < traffic.size(); ++i) {
+        const TrafficEdge &e = traffic[i];
+        js << "    {\"message\": \"" << jsonEscape(e.message)
+           << "\", \"edge\": \"" << e.edge << "\", \"channel\": \""
+           << jsonEscape(e.channel) << "\", \"endpoints\": "
+           << e.endpoints << "}"
+           << (i + 1 < traffic.size() ? "," : "") << "\n";
+    }
     js << "  ],\n  \"watermarks\": [\n";
     for (std::size_t i = 0; i < g_own.watermarks.size(); ++i) {
         const OwnershipState::Watermark &w = g_own.watermarks[i];
@@ -2027,10 +2068,15 @@ writeOwnershipReport(const std::string &prefix)
     js << "  ]\n}\n";
 
     dot << "digraph ownership {\n  rankdir=LR;\n"
-        << "  fc [label=\"fc (frontside: cores + FC + facade + "
-           "fabric)\"];\n"
+        << "  fc [label=\"fc (frontside: cores + FC + facade + tags "
+           "+ dram + footprint)\"];\n"
         << "  bc [label=\"bc (backside shard: BC + MSR + evict "
-           "buffer)\"];\n";
+           "buffer + fabric slice)\"];\n";
+    for (const TrafficEdge &e : traffic) {
+        dot << "  " << (e.edge == "fc->bc" ? "fc -> bc" : "bc -> fc")
+            << " [label=\"" << e.message << " via " << e.channel
+            << " (" << e.endpoints << " endpoints)\"];\n";
+    }
     for (const OwnershipState::SyncEdge &e : g_own.syncEdges) {
         const bool to_bc = e.callee == "BacksideController";
         dot << "  " << (to_bc ? "fc -> bc" : "bc -> fc")

@@ -26,10 +26,16 @@ struct GoldenCase {
     std::uint64_t seed;
     bool footprint;
     bool openLoop;
+    /** Pipelined split mode (--fc-pipeline, 4 BC shards over 4 flash
+     *  devices): its own golden set, byte-identical across --host-jobs
+     *  but NOT comparable to the fused default. */
+    bool split = false;
 };
 
 // Mirrors kTortureCases in tests/test_invariants.cpp: one case per
 // system-kind/workload mix, fixed seeds, tatp both closed and open.
+// The split_* cases rerun a representative subset with the pipelined
+// miss path and sharded exec groups (DESIGN.md §17).
 constexpr GoldenCase kGoldenCases[] = {
     {"astriflash_tatp", core::SystemKind::AstriFlash,
      workload::Kind::Tatp, 1, false, false},
@@ -43,6 +49,14 @@ constexpr GoldenCase kGoldenCases[] = {
      workload::Kind::ArraySwap, 5, false, false},
     {"astriflash_tatp_openloop", core::SystemKind::AstriFlash,
      workload::Kind::Tatp, 6, false, true},
+    {"split_astriflash_tatp", core::SystemKind::AstriFlash,
+     workload::Kind::Tatp, 1, false, false, true},
+    {"split_astriflash_silo_footprint", core::SystemKind::AstriFlash,
+     workload::Kind::Silo, 2, true, false, true},
+    {"split_nops_tpcc", core::SystemKind::AstriFlashNoPS,
+     workload::Kind::Tpcc, 3, false, false, true},
+    {"split_astriflash_tatp_openloop", core::SystemKind::AstriFlash,
+     workload::Kind::Tatp, 6, false, true, true},
 };
 
 /** The smallCfg used by the torture suite, verbatim. */
@@ -62,6 +76,13 @@ goldenCaseConfig(const GoldenCase &gc)
         cfg.dramCache.footprintEnabled = true;
     if (gc.openLoop)
         cfg.meanInterarrival = sim::microseconds(5);
+    if (gc.split) {
+        cfg.dramCache.fc.pipeline = true;
+        cfg.dramCache.bc.shards = 4;
+        // Shards must divide devices so each page-interleaved shard's
+        // flash slice is domain-private (the facade enforces it).
+        cfg.dramCache.fabric.devices = 4;
+    }
     return cfg;
 }
 
